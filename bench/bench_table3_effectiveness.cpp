@@ -1,0 +1,132 @@
+// Table 3 — Effectiveness of different GNNs trained with different systems.
+//
+// Paper's table: {GCN, GraphSAGE, GAT} x {PyG, DGL, AGL} on Cora
+// (accuracy), PPI (micro-F1), UUG (AUC). Our full-graph in-memory engine
+// plays the DGL/PyG role ("baseline" column); AGL is the GraphFlat +
+// subgraph trainer. Shape expectation: AGL within noise of the baseline on
+// every cell (the paper reports deviations < 0.01), and on UUG the GAT row
+// strongest.
+
+#include <cstdio>
+
+#include "baseline/full_graph.h"
+#include "data/dataset.h"
+#include "flat/graphflat.h"
+#include "trainer/trainer.h"
+
+namespace {
+
+using namespace agl;
+
+struct Cell {
+  double baseline = 0;
+  double agl = 0;
+};
+
+Cell RunCase(const data::Dataset& ds, gnn::ModelType type,
+             trainer::TaskKind task, int64_t hidden, int64_t out_dim,
+             int baseline_epochs, int agl_epochs) {
+  gnn::ModelConfig model;
+  model.type = type;
+  model.num_layers = 2;
+  model.in_dim = ds.feature_dim;
+  model.hidden_dim = hidden;
+  model.out_dim = out_dim;
+  model.aggregation_threads = 4;
+
+  Cell cell;
+  // Baseline: whole graph in memory, full-batch training.
+  baseline::FullGraphConfig bconfig;
+  bconfig.model = model;
+  bconfig.task = task;
+  bconfig.epochs = baseline_epochs;
+  bconfig.adam.lr = 0.01f;
+  auto bl = baseline::TrainFullGraph(bconfig, ds);
+  if (bl.ok()) cell.baseline = bl->test_metric;
+
+  // AGL: GraphFlat then subgraph-batched PS training.
+  flat::GraphFlatConfig fconfig;
+  fconfig.hops = 2;
+  fconfig.sampler = {sampling::Strategy::kUniform, 15};
+  auto features = flat::RunGraphFlatInMemory(fconfig, ds.nodes, ds.edges);
+  if (!features.ok()) return cell;
+  auto splits = data::SplitFeatures(std::move(features).value(), ds);
+
+  trainer::TrainerConfig tconfig;
+  tconfig.model = model;
+  tconfig.task = task;
+  tconfig.num_workers = 4;
+  tconfig.epochs = agl_epochs;
+  tconfig.batch_size = 32;
+  tconfig.adam.lr = 0.01f;
+  trainer::GraphTrainer trainer(tconfig);
+  auto report = trainer.Train(splits.train, splits.val);
+  if (report.ok()) {
+    auto test = trainer.Evaluate(report->final_state, splits.test);
+    if (test.ok()) cell.agl = *test;
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 3: effectiveness (baseline = in-memory full-graph "
+              "engine standing in for DGL/PyG)\n\n");
+  std::printf("%-10s %-12s %12s %12s\n", "dataset", "model", "baseline",
+              "AGL");
+
+  const gnn::ModelType kModels[] = {gnn::ModelType::kGcn,
+                                    gnn::ModelType::kGraphSage,
+                                    gnn::ModelType::kGat};
+
+  {  // Cora-like, accuracy, embedding 16.
+    data::CoraLikeOptions opts;
+    opts.num_nodes = 1000;
+    opts.feature_dim = 256;
+    opts.val_size = 200;
+    opts.test_size = 300;
+    data::Dataset ds = data::MakeCoraLike(opts);
+    for (auto type : kModels) {
+      Cell c = RunCase(ds, type, trainer::TaskKind::kSingleLabel, 16, 7,
+                       80, 12);
+      std::printf("%-10s %-12s %12.3f %12.3f\n", "cora-like",
+                  gnn::ModelTypeName(type), c.baseline, c.agl);
+    }
+  }
+  {  // PPI-like, micro-F1, embedding 64.
+    data::PpiLikeOptions opts;
+    opts.num_graphs = 8;
+    opts.nodes_per_graph = 150;
+    opts.num_labels = 50;
+    opts.train_graphs = 6;
+    opts.val_graphs = 1;
+    data::Dataset ds = data::MakePpiLike(opts);
+    for (auto type : kModels) {
+      Cell c = RunCase(ds, type, trainer::TaskKind::kMultiLabel, 64, 50,
+                       60, 8);
+      std::printf("%-10s %-12s %12.3f %12.3f\n", "ppi-like",
+                  gnn::ModelTypeName(type), c.baseline, c.agl);
+    }
+  }
+  {  // UUG-like, AUC. The paper could not run DGL/PyG on UUG (OOM);
+     // we still report the baseline at this scaled-down size.
+    data::UugLikeOptions opts;
+    opts.num_nodes = 2000;
+    opts.feature_dim = 32;
+    opts.train_size = 800;
+    opts.val_size = 200;
+    opts.test_size = 400;
+    data::Dataset ds = data::MakeUugLike(opts);
+    for (auto type : kModels) {
+      Cell c = RunCase(ds, type, trainer::TaskKind::kBinaryAuc, 16, 2,
+                       60, 8);
+      std::printf("%-10s %-12s %12.3f %12.3f\n", "uug-like",
+                  gnn::ModelTypeName(type), c.baseline, c.agl);
+    }
+  }
+  std::printf(
+      "\npaper shape: AGL matches DGL/PyG within ~0.01 per cell; on UUG "
+      "GAT > GraphSAGE > GCN (0.867/0.708/0.681).\n");
+  return 0;
+}

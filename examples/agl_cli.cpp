@@ -1,0 +1,309 @@
+// agl_cli — the command-line front end of Figure 6:
+//
+//   agl_cli graphflat -n node.csv -e edge.csv -h 2 -s uniform -o dfs:features
+//   agl_cli train     -m gcn -i dfs:features --labels node.csv -o dfs:model
+//   agl_cli infer     -m dfs:model -n node.csv -e edge.csv -o scores.csv
+//   agl_cli gendata   -d uug -n 1000 --nodes-out node.csv --edges-out edge.csv
+//
+// DFS locations are "<root-dir>:<dataset>"; every stage round-trips
+// through CSV tables and the LocalDfs so the pipeline can be driven one
+// command at a time, as in production.
+
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+
+#include "agl/agl.h"
+#include "common/flags.h"
+#include "data/dataset.h"
+#include "flat/csv_io.h"
+
+namespace {
+
+using namespace agl;
+
+struct DfsLocation {
+  std::string root;
+  std::string dataset;
+};
+
+agl::Result<DfsLocation> ParseDfsLocation(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return agl::Status::InvalidArgument(
+        "expected <dfs-root>:<dataset>, got '" + spec + "'");
+  }
+  return DfsLocation{spec.substr(0, colon), spec.substr(colon + 1)};
+}
+
+int Fail(const agl::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunGraphFlatCmd(const std::vector<std::string>& args) {
+  std::string node_csv, edge_csv, sampling = "none", output;
+  int64_t hops = 2, max_neighbors = 0, hub_threshold = 10000, workers = 4;
+  FlagParser parser;
+  parser.AddString("n", &node_csv, "node table CSV")
+      .AddString("e", &edge_csv, "edge table CSV")
+      .AddInt("h", &hops, "neighborhood hops")
+      .AddString("s", &sampling, "sampling strategy (none|uniform|weighted|topk)")
+      .AddInt("max-neighbors", &max_neighbors, "sampling cap per node")
+      .AddInt("hub-threshold", &hub_threshold, "re-indexing threshold")
+      .AddInt("workers", &workers, "MapReduce workers")
+      .AddString("o", &output, "output <dfs-root>:<dataset>");
+  if (agl::Status s = parser.Parse(args); !s.ok()) return Fail(s);
+  if (node_csv.empty() || edge_csv.empty() || output.empty()) {
+    std::fprintf(stderr, "graphflat requires -n, -e and -o\n%s",
+                 parser.Help().c_str());
+    return 1;
+  }
+
+  auto nodes = flat::ReadNodeCsv(node_csv);
+  if (!nodes.ok()) return Fail(nodes.status());
+  auto edges = flat::ReadEdgeCsv(edge_csv);
+  if (!edges.ok()) return Fail(edges.status());
+  auto loc = ParseDfsLocation(output);
+  if (!loc.ok()) return Fail(loc.status());
+  auto dfs = mr::LocalDfs::Open(loc->root);
+  if (!dfs.ok()) return Fail(dfs.status());
+
+  flat::GraphFlatConfig config;
+  config.hops = static_cast<int>(hops);
+  auto strategy = sampling::ParseStrategy(sampling);
+  if (!strategy.ok()) return Fail(strategy.status());
+  config.sampler = {*strategy, max_neighbors};
+  config.hub_threshold = hub_threshold;
+  config.job.num_workers = static_cast<int>(workers);
+  auto stats = GraphFlat(config, *nodes, *edges, &*dfs, loc->dataset);
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("GraphFlat: %lld features (avg %.1f nodes) -> %s:%s in %.2fs\n",
+              static_cast<long long>(stats->num_features),
+              static_cast<double>(stats->total_nodes) /
+                  std::max<int64_t>(1, stats->num_features),
+              loc->root.c_str(), loc->dataset.c_str(),
+              stats->elapsed_seconds);
+  return 0;
+}
+
+int RunTrainCmd(const std::vector<std::string>& args) {
+  std::string model_name = "gcn", input, output, task = "single",
+              val_input;
+  int64_t layers = 2, hidden = 16, classes = 2, workers = 2, epochs = 10,
+          batch = 32, heads = 1;
+  double lr = 0.01, dropout = 0.0;
+  FlagParser parser;
+  parser.AddString("m", &model_name, "model (gcn|graphsage|gat)")
+      .AddString("i", &input, "training features <dfs-root>:<dataset>")
+      .AddString("val", &val_input, "validation features <dfs-root>:<dataset>")
+      .AddString("t", &task, "task (single|multi|auc)")
+      .AddInt("layers", &layers, "GNN depth")
+      .AddInt("hidden", &hidden, "hidden width")
+      .AddInt("classes", &classes, "output width")
+      .AddInt("heads", &heads, "GAT attention heads")
+      .AddInt("workers", &workers, "trainer workers")
+      .AddInt("epochs", &epochs, "training epochs")
+      .AddInt("batch", &batch, "batch size")
+      .AddDouble("lr", &lr, "Adam learning rate")
+      .AddDouble("dropout", &dropout, "dropout probability")
+      .AddString("o", &output, "model output <dfs-root>:<dataset>");
+  if (agl::Status s = parser.Parse(args); !s.ok()) return Fail(s);
+  if (input.empty() || output.empty()) {
+    std::fprintf(stderr, "train requires -i and -o\n%s",
+                 parser.Help().c_str());
+    return 1;
+  }
+
+  auto in_loc = ParseDfsLocation(input);
+  if (!in_loc.ok()) return Fail(in_loc.status());
+  auto dfs = mr::LocalDfs::Open(in_loc->root);
+  if (!dfs.ok()) return Fail(dfs.status());
+  auto features = LoadGraphFeatures(*dfs, in_loc->dataset);
+  if (!features.ok()) return Fail(features.status());
+  if (features->empty()) {
+    return Fail(agl::Status::InvalidArgument("no training features"));
+  }
+
+  std::vector<subgraph::GraphFeature> val;
+  if (!val_input.empty()) {
+    auto val_loc = ParseDfsLocation(val_input);
+    if (!val_loc.ok()) return Fail(val_loc.status());
+    auto val_dfs = mr::LocalDfs::Open(val_loc->root);
+    if (!val_dfs.ok()) return Fail(val_dfs.status());
+    auto v = LoadGraphFeatures(*val_dfs, val_loc->dataset);
+    if (!v.ok()) return Fail(v.status());
+    val = std::move(v).value();
+  }
+
+  trainer::TrainerConfig config;
+  auto type = gnn::ParseModelType(model_name);
+  if (!type.ok()) return Fail(type.status());
+  config.model.type = *type;
+  config.model.num_layers = static_cast<int>(layers);
+  config.model.in_dim = (*features)[0].node_features.cols();
+  config.model.hidden_dim = hidden;
+  config.model.out_dim = classes;
+  config.model.gat_heads = static_cast<int>(heads);
+  config.model.dropout = static_cast<float>(dropout);
+  config.task = task == "multi"  ? trainer::TaskKind::kMultiLabel
+                : task == "auc" ? trainer::TaskKind::kBinaryAuc
+                                : trainer::TaskKind::kSingleLabel;
+  config.num_workers = static_cast<int>(workers);
+  config.epochs = static_cast<int>(epochs);
+  config.batch_size = static_cast<int>(batch);
+  config.adam.lr = static_cast<float>(lr);
+  config.verbose = true;
+  auto report = GraphTrainer(config, *features, val);
+  if (!report.ok()) return Fail(report.status());
+
+  auto out_loc = ParseDfsLocation(output);
+  if (!out_loc.ok()) return Fail(out_loc.status());
+  auto out_dfs = mr::LocalDfs::Open(out_loc->root);
+  if (!out_dfs.ok()) return Fail(out_dfs.status());
+  if (agl::Status s = out_dfs->WriteDataset(
+          out_loc->dataset, {SerializeState(report->final_state)}, 1);
+      !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("trained %s: best val metric %.4f, model -> %s:%s\n",
+              model_name.c_str(), report->best_val_metric,
+              out_loc->root.c_str(), out_loc->dataset.c_str());
+  return 0;
+}
+
+int RunInferCmd(const std::vector<std::string>& args) {
+  std::string model_loc_str, node_csv, edge_csv, output, model_name = "gcn";
+  int64_t layers = 2, hidden = 16, classes = 2, heads = 1, workers = 4;
+  FlagParser parser;
+  parser.AddString("m", &model_loc_str, "trained model <dfs-root>:<dataset>")
+      .AddString("model-type", &model_name, "model (gcn|graphsage|gat)")
+      .AddString("n", &node_csv, "node table CSV")
+      .AddString("e", &edge_csv, "edge table CSV")
+      .AddInt("layers", &layers, "GNN depth")
+      .AddInt("hidden", &hidden, "hidden width")
+      .AddInt("classes", &classes, "output width")
+      .AddInt("heads", &heads, "GAT attention heads")
+      .AddInt("workers", &workers, "MapReduce workers")
+      .AddString("o", &output, "scores CSV output path");
+  if (agl::Status s = parser.Parse(args); !s.ok()) return Fail(s);
+  if (model_loc_str.empty() || node_csv.empty() || edge_csv.empty() ||
+      output.empty()) {
+    std::fprintf(stderr, "infer requires -m, -n, -e and -o\n%s",
+                 parser.Help().c_str());
+    return 1;
+  }
+
+  auto model_loc = ParseDfsLocation(model_loc_str);
+  if (!model_loc.ok()) return Fail(model_loc.status());
+  auto dfs = mr::LocalDfs::Open(model_loc->root);
+  if (!dfs.ok()) return Fail(dfs.status());
+  auto records = dfs->ReadDataset(model_loc->dataset);
+  if (!records.ok()) return Fail(records.status());
+  if (records->size() != 1) {
+    return Fail(agl::Status::Corruption("model dataset must hold 1 record"));
+  }
+  auto state = ParseState((*records)[0]);
+  if (!state.ok()) return Fail(state.status());
+
+  auto nodes = flat::ReadNodeCsv(node_csv);
+  if (!nodes.ok()) return Fail(nodes.status());
+  auto edges = flat::ReadEdgeCsv(edge_csv);
+  if (!edges.ok()) return Fail(edges.status());
+
+  infer::InferConfig config;
+  auto type = gnn::ParseModelType(model_name);
+  if (!type.ok()) return Fail(type.status());
+  config.model.type = *type;
+  config.model.num_layers = static_cast<int>(layers);
+  config.model.in_dim = static_cast<int64_t>((*nodes)[0].features.size());
+  config.model.hidden_dim = hidden;
+  config.model.out_dim = classes;
+  config.model.gat_heads = static_cast<int>(heads);
+  config.job.num_workers = static_cast<int>(workers);
+  auto result = GraphInfer(config, *state, *nodes, *edges);
+  if (!result.ok()) return Fail(result.status());
+
+  std::FILE* f = std::fopen(output.c_str(), "w");
+  if (f == nullptr) {
+    return Fail(agl::Status::IoError("cannot write " + output));
+  }
+  std::fprintf(f, "# node_id,scores...\n");
+  for (const auto& [id, scores] : result->scores) {
+    std::fprintf(f, "%llu", static_cast<unsigned long long>(id));
+    for (float v : scores) std::fprintf(f, ",%g", v);
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  std::printf("inferred %zu nodes in %.2fs -> %s\n", result->scores.size(),
+              result->costs.time_seconds, output.c_str());
+  return 0;
+}
+
+int RunGenDataCmd(const std::vector<std::string>& args) {
+  std::string kind = "uug", nodes_out, edges_out;
+  int64_t num_nodes = 1000, feature_dim = 16;
+  FlagParser parser;
+  parser.AddString("d", &kind, "dataset kind (uug|cora|ppi)")
+      .AddInt("n", &num_nodes, "node count (uug/cora)")
+      .AddInt("f", &feature_dim, "feature dim (uug)")
+      .AddString("nodes-out", &nodes_out, "node table CSV path")
+      .AddString("edges-out", &edges_out, "edge table CSV path");
+  if (agl::Status s = parser.Parse(args); !s.ok()) return Fail(s);
+  if (nodes_out.empty() || edges_out.empty()) {
+    std::fprintf(stderr, "gendata requires --nodes-out and --edges-out\n%s",
+                 parser.Help().c_str());
+    return 1;
+  }
+  data::Dataset ds;
+  if (kind == "uug") {
+    data::UugLikeOptions opts;
+    opts.num_nodes = num_nodes;
+    opts.feature_dim = feature_dim;
+    opts.train_size = num_nodes / 2;
+    opts.val_size = num_nodes / 8;
+    opts.test_size = num_nodes / 4;
+    ds = data::MakeUugLike(opts);
+  } else if (kind == "cora") {
+    data::CoraLikeOptions opts;
+    opts.num_nodes = num_nodes;
+    opts.val_size = num_nodes / 8;
+    opts.test_size = num_nodes / 4;
+    ds = data::MakeCoraLike(opts);
+  } else if (kind == "ppi") {
+    ds = data::MakePpiLike({});
+  } else {
+    return Fail(agl::Status::InvalidArgument("unknown dataset: " + kind));
+  }
+  if (agl::Status s = flat::WriteNodeCsvFile(nodes_out, ds.nodes); !s.ok()) {
+    return Fail(s);
+  }
+  if (agl::Status s = flat::WriteEdgeCsvFile(edges_out, ds.edges); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("generated %s: %lld nodes -> %s, %lld edges -> %s\n",
+              ds.name.c_str(), static_cast<long long>(ds.num_nodes()),
+              nodes_out.c_str(), static_cast<long long>(ds.num_edges()),
+              edges_out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: agl_cli <graphflat|train|infer|gendata> [flags]\n");
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  if (cmd == "graphflat") return RunGraphFlatCmd(args);
+  if (cmd == "train") return RunTrainCmd(args);
+  if (cmd == "infer") return RunInferCmd(args);
+  if (cmd == "gendata") return RunGenDataCmd(args);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 1;
+}

@@ -1,0 +1,130 @@
+// Fraud detection on a social graph — the paper's motivating Ant Financial
+// scenario (§1): a power-law User-User Graph with a small labeled set,
+// trained with GAT (the model the paper found strongest on UUG because
+// attention weighs different relation types differently), then scored over
+// the *entire* graph with GraphInfer, since in production the unlabeled
+// population dwarfs the labeled one.
+//
+// This example exercises the skew machinery end-to-end: hub users exist by
+// construction, so GraphFlat runs with weighted sampling and a low
+// re-indexing threshold.
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "agl/agl.h"
+#include "data/dataset.h"
+#include "nn/metrics.h"
+
+int main() {
+  using namespace agl;
+
+  data::UugLikeOptions dopts;
+  dopts.num_nodes = 1500;
+  dopts.feature_dim = 24;
+  dopts.attach_edges = 6;  // heavier tail -> real hubs
+  dopts.train_size = 500;
+  dopts.val_size = 150;
+  dopts.test_size = 300;
+  data::Dataset ds = data::MakeUugLike(dopts);
+
+  // Report the hubbiness that makes re-indexing necessary.
+  std::vector<int64_t> in_degree(ds.num_nodes(), 0);
+  for (const auto& e : ds.edges) in_degree[e.dst]++;
+  std::printf("users: %lld  relations: %lld  max in-degree: %lld\n",
+              static_cast<long long>(ds.num_nodes()),
+              static_cast<long long>(ds.num_edges()),
+              static_cast<long long>(
+                  *std::max_element(in_degree.begin(), in_degree.end())));
+
+  // GraphFlat with weighted sampling + aggressive hub re-indexing.
+  flat::GraphFlatConfig fconfig;
+  fconfig.hops = 2;
+  fconfig.sampler = {sampling::Strategy::kWeighted, 12};
+  fconfig.hub_threshold = 64;
+  fconfig.reindex_fanout = 8;
+  fconfig.job.num_workers = 8;
+  flat::GraphFlatStats fstats;
+  auto features =
+      flat::RunGraphFlatInMemory(fconfig, ds.nodes, ds.edges, &fstats);
+  if (!features.ok()) {
+    std::fprintf(stderr, "GraphFlat: %s\n",
+                 features.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "GraphFlat: %lld neighborhoods, largest %lld nodes (sampling caps "
+      "hubs), %.2fs\n",
+      static_cast<long long>(fstats.num_features),
+      static_cast<long long>(fstats.max_nodes), fstats.elapsed_seconds);
+
+  auto splits = data::SplitFeatures(std::move(features).value(), ds);
+
+  // GAT, 2 layers, trained on the PS with 4 workers.
+  trainer::TrainerConfig tconfig;
+  tconfig.model.type = gnn::ModelType::kGat;
+  tconfig.model.num_layers = 2;
+  tconfig.model.in_dim = ds.feature_dim;
+  tconfig.model.hidden_dim = 8;
+  tconfig.model.out_dim = 2;
+  tconfig.model.gat_heads = 2;
+  tconfig.model.aggregation_threads = 4;
+  tconfig.task = trainer::TaskKind::kBinaryAuc;
+  tconfig.num_workers = 4;
+  tconfig.epochs = 6;
+  tconfig.batch_size = 32;
+  tconfig.adam.lr = 0.005f;
+  auto report = GraphTrainer(tconfig, splits.train, splits.val);
+  if (!report.ok()) {
+    std::fprintf(stderr, "GraphTrainer: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("training: best val AUC %.4f over %zu epochs (%.1fs total)\n",
+              report->best_val_metric, report->epochs.size(),
+              report->total_seconds);
+
+  // Score every user in the graph.
+  infer::InferConfig iconfig;
+  iconfig.model = tconfig.model;
+  iconfig.job.num_workers = 8;
+  auto inference =
+      GraphInfer(iconfig, report->final_state, ds.nodes, ds.edges);
+  if (!inference.ok()) {
+    std::fprintf(stderr, "GraphInfer: %s\n",
+                 inference.status().ToString().c_str());
+    return 1;
+  }
+
+  // Held-out AUC from the full-graph scores.
+  std::unordered_map<uint64_t, int> label_of;
+  for (const auto& n : ds.nodes) label_of[n.id] = static_cast<int>(n.label);
+  std::unordered_set<uint64_t> test_ids(ds.test_ids.begin(),
+                                        ds.test_ids.end());
+  std::vector<float> scores;
+  std::vector<int> labels;
+  for (const auto& [id, s] : inference->scores) {
+    if (test_ids.count(id) == 0) continue;
+    scores.push_back(s[1]);
+    labels.push_back(label_of[id]);
+  }
+  std::printf("inference: %zu users scored in %.2fs, held-out AUC %.4f\n",
+              inference->scores.size(), inference->costs.time_seconds,
+              nn::Auc(scores, labels));
+
+  // Top-risk users (what a fraud analyst would consume).
+  std::vector<std::pair<float, uint64_t>> ranked;
+  for (const auto& [id, s] : inference->scores) ranked.push_back({s[1], id});
+  std::partial_sort(ranked.begin(), ranked.begin() + 5, ranked.end(),
+                    std::greater<>());
+  std::printf("top-5 risk scores: ");
+  for (int i = 0; i < 5; ++i) {
+    std::printf("user %llu (%.3f)  ",
+                static_cast<unsigned long long>(ranked[i].second),
+                ranked[i].first);
+  }
+  std::printf("\n");
+  return 0;
+}

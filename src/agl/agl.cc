@@ -1,0 +1,55 @@
+#include "agl/agl.h"
+
+#include "nn/state_io.h"
+
+namespace agl {
+
+agl::Result<flat::GraphFlatStats> GraphFlat(
+    const flat::GraphFlatConfig& config,
+    const std::vector<flat::NodeRecord>& node_table,
+    const std::vector<flat::EdgeRecord>& edge_table, mr::LocalDfs* dfs,
+    const std::string& dataset) {
+  return flat::RunGraphFlat(config, node_table, edge_table, dfs, dataset);
+}
+
+agl::Result<std::vector<subgraph::GraphFeature>> LoadGraphFeatures(
+    const mr::LocalDfs& dfs, const std::string& dataset) {
+  AGL_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                       dfs.ReadDataset(dataset));
+  std::vector<subgraph::GraphFeature> features;
+  features.reserve(records.size());
+  for (const std::string& bytes : records) {
+    AGL_ASSIGN_OR_RETURN(subgraph::GraphFeature gf,
+                         subgraph::GraphFeature::Parse(bytes));
+    features.push_back(std::move(gf));
+  }
+  return features;
+}
+
+agl::Result<trainer::TrainReport> GraphTrainer(
+    const trainer::TrainerConfig& config,
+    std::span<const subgraph::GraphFeature> train,
+    std::span<const subgraph::GraphFeature> val) {
+  trainer::GraphTrainer t(config);
+  return t.Train(train, val);
+}
+
+agl::Result<infer::InferResult> GraphInfer(
+    const infer::InferConfig& config,
+    const std::map<std::string, tensor::Tensor>& trained_state,
+    const std::vector<flat::NodeRecord>& node_table,
+    const std::vector<flat::EdgeRecord>& edge_table) {
+  return infer::RunGraphInfer(config, trained_state, node_table, edge_table);
+}
+
+std::string SerializeState(
+    const std::map<std::string, tensor::Tensor>& state) {
+  return nn::SerializeStateDict(state);
+}
+
+agl::Result<std::map<std::string, tensor::Tensor>> ParseState(
+    const std::string& bytes) {
+  return nn::ParseStateDict(bytes);
+}
+
+}  // namespace agl

@@ -1,0 +1,56 @@
+// AGL public facade — the three well-encapsulated entry points of Figure 6:
+//
+//   GraphFlat    -n node_table -e edge_table -h hops -s sampling_strategy
+//   GraphTrainer -m model_name -i input -t train_strategy -c dist_configs
+//   GraphInfer   -m model -i input -c infer_configs
+//
+// Each call is one stage of the integrated pipeline; developers only write
+// the model (gnn::ModelConfig picks one of the built-in GCN / GraphSAGE /
+// GAT implementations, or extend gnn::GnnModel).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "flat/graphflat.h"
+#include "infer/graphinfer.h"
+#include "infer/original.h"
+#include "mr/local_dfs.h"
+#include "trainer/trainer.h"
+
+namespace agl {
+
+/// Stage 1 — GraphFlat: turn raw node/edge tables into k-hop
+/// GraphFeatures stored on the DFS under `dataset`.
+agl::Result<flat::GraphFlatStats> GraphFlat(
+    const flat::GraphFlatConfig& config,
+    const std::vector<flat::NodeRecord>& node_table,
+    const std::vector<flat::EdgeRecord>& edge_table, mr::LocalDfs* dfs,
+    const std::string& dataset);
+
+/// Loads a GraphFeature dataset back from the DFS.
+agl::Result<std::vector<subgraph::GraphFeature>> LoadGraphFeatures(
+    const mr::LocalDfs& dfs, const std::string& dataset);
+
+/// Stage 2 — GraphTrainer: distributed training over GraphFeatures.
+agl::Result<trainer::TrainReport> GraphTrainer(
+    const trainer::TrainerConfig& config,
+    std::span<const subgraph::GraphFeature> train,
+    std::span<const subgraph::GraphFeature> val);
+
+/// Stage 3 — GraphInfer: distributed sliced inference over the full graph.
+agl::Result<infer::InferResult> GraphInfer(
+    const infer::InferConfig& config,
+    const std::map<std::string, tensor::Tensor>& trained_state,
+    const std::vector<flat::NodeRecord>& node_table,
+    const std::vector<flat::EdgeRecord>& edge_table);
+
+/// Serializes a trained state dict for storage on the DFS.
+std::string SerializeState(const std::map<std::string, tensor::Tensor>& state);
+agl::Result<std::map<std::string, tensor::Tensor>> ParseState(
+    const std::string& bytes);
+
+}  // namespace agl

@@ -1,0 +1,724 @@
+#include "autograd/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "tensor/edge_partition.h"
+
+namespace agl::autograd {
+
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// Dense algebra
+// ---------------------------------------------------------------------------
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  Tensor out = tensor::MatMul(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::Op(
+      std::move(out), {a, b},
+      [an, bn](Node* self) {
+        const Tensor& g = self->grad();
+        if (an->requires_grad()) {
+          // dA = g @ B^T
+          an->AccumulateGrad(tensor::MatMulTransB(g, bn->value()));
+        }
+        if (bn->requires_grad()) {
+          // dB = A^T @ g
+          bn->AccumulateGrad(tensor::MatMulTransA(an->value(), g));
+        }
+      },
+      "matmul");
+}
+
+Variable Add(const Variable& a, const Variable& b) {
+  Tensor out = tensor::Add(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::Op(
+      std::move(out), {a, b},
+      [an, bn](Node* self) {
+        if (an->requires_grad()) an->AccumulateGrad(self->grad());
+        if (bn->requires_grad()) bn->AccumulateGrad(self->grad());
+      },
+      "add");
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  Tensor out = tensor::Sub(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::Op(
+      std::move(out), {a, b},
+      [an, bn](Node* self) {
+        if (an->requires_grad()) an->AccumulateGrad(self->grad());
+        if (bn->requires_grad()) {
+          Tensor neg = self->grad();
+          neg.Scale(-1.f);
+          bn->AccumulateGrad(neg);
+        }
+      },
+      "sub");
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  Tensor out = tensor::Mul(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::Op(
+      std::move(out), {a, b},
+      [an, bn](Node* self) {
+        if (an->requires_grad()) {
+          an->AccumulateGrad(tensor::Mul(self->grad(), bn->value()));
+        }
+        if (bn->requires_grad()) {
+          bn->AccumulateGrad(tensor::Mul(self->grad(), an->value()));
+        }
+      },
+      "mul");
+}
+
+Variable AddBias(const Variable& a, const Variable& bias) {
+  Tensor out = tensor::AddRowBroadcast(a.value(), bias.value());
+  auto an = a.node();
+  auto bn = bias.node();
+  return Variable::Op(
+      std::move(out), {a, bias},
+      [an, bn](Node* self) {
+        const Tensor& g = self->grad();
+        if (an->requires_grad()) an->AccumulateGrad(g);
+        if (bn->requires_grad()) {
+          Tensor col(1, g.cols());
+          for (int64_t i = 0; i < g.rows(); ++i) {
+            const float* r = g.row(i);
+            for (int64_t j = 0; j < g.cols(); ++j) col.at(0, j) += r[j];
+          }
+          bn->AccumulateGrad(col);
+        }
+      },
+      "add_bias");
+}
+
+Variable Scale(const Variable& a, float alpha) {
+  Tensor out = a.value();
+  out.Scale(alpha);
+  auto an = a.node();
+  return Variable::Op(
+      std::move(out), {a},
+      [an, alpha](Node* self) {
+        if (an->requires_grad()) {
+          Tensor g = self->grad();
+          g.Scale(alpha);
+          an->AccumulateGrad(g);
+        }
+      },
+      "scale");
+}
+
+Variable ConcatCols(const Variable& a, const Variable& b) {
+  AGL_CHECK_EQ(a.rows(), b.rows());
+  const int64_t ca = a.cols(), cb = b.cols();
+  Tensor out(a.rows(), ca + cb);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    std::copy(a.value().row(i), a.value().row(i) + ca, out.row(i));
+    std::copy(b.value().row(i), b.value().row(i) + cb, out.row(i) + ca);
+  }
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::Op(
+      std::move(out), {a, b},
+      [an, bn, ca, cb](Node* self) {
+        const Tensor& g = self->grad();
+        if (an->requires_grad()) {
+          Tensor ga(g.rows(), ca);
+          for (int64_t i = 0; i < g.rows(); ++i) {
+            std::copy(g.row(i), g.row(i) + ca, ga.row(i));
+          }
+          an->AccumulateGrad(ga);
+        }
+        if (bn->requires_grad()) {
+          Tensor gb(g.rows(), cb);
+          for (int64_t i = 0; i < g.rows(); ++i) {
+            std::copy(g.row(i) + ca, g.row(i) + ca + cb, gb.row(i));
+          }
+          bn->AccumulateGrad(gb);
+        }
+      },
+      "concat_cols");
+}
+
+Variable GatherRows(const Variable& a, std::vector<int64_t> indices) {
+  Tensor out = a.value().GatherRows(indices);
+  auto an = a.node();
+  auto idx = std::make_shared<std::vector<int64_t>>(std::move(indices));
+  return Variable::Op(
+      std::move(out), {a},
+      [an, idx](Node* self) {
+        if (!an->requires_grad()) return;
+        const Tensor& g = self->grad();
+        Tensor ga(an->value().rows(), an->value().cols());
+        for (std::size_t i = 0; i < idx->size(); ++i) {
+          float* dst = ga.row((*idx)[i]);
+          const float* src = g.row(static_cast<int64_t>(i));
+          for (int64_t j = 0; j < g.cols(); ++j) dst[j] += src[j];
+        }
+        an->AccumulateGrad(ga);
+      },
+      "gather_rows");
+}
+
+// ---------------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Builds an elementwise op where the local derivative only depends on the
+// input and output values.
+Variable Elementwise(const Variable& a, const char* name,
+                     float (*fwd)(float),
+                     float (*dfn)(float /*x*/, float /*y*/)) {
+  Tensor out = tensor::Map(a.value(), fwd);
+  auto an = a.node();
+  auto self_holder = std::make_shared<Tensor>(out);
+  return Variable::Op(
+      std::move(out), {a},
+      [an, dfn, self_holder](Node* self) {
+        if (!an->requires_grad()) return;
+        const Tensor& g = self->grad();
+        const Tensor& x = an->value();
+        Tensor ga(g.rows(), g.cols());
+        for (int64_t i = 0; i < g.size(); ++i) {
+          ga.data()[i] =
+              g.data()[i] * dfn(x.data()[i], self_holder->data()[i]);
+        }
+        an->AccumulateGrad(ga);
+      },
+      name);
+}
+
+}  // namespace
+
+Variable Relu(const Variable& a) {
+  return Elementwise(
+      a, "relu", [](float x) { return x > 0.f ? x : 0.f; },
+      [](float x, float) { return x > 0.f ? 1.f : 0.f; });
+}
+
+Variable LeakyRelu(const Variable& a, float slope) {
+  Tensor out = tensor::Map(a.value(), [slope](float x) {
+    return x > 0.f ? x : slope * x;
+  });
+  auto an = a.node();
+  return Variable::Op(
+      std::move(out), {a},
+      [an, slope](Node* self) {
+        if (!an->requires_grad()) return;
+        const Tensor& g = self->grad();
+        const Tensor& x = an->value();
+        Tensor ga(g.rows(), g.cols());
+        for (int64_t i = 0; i < g.size(); ++i) {
+          ga.data()[i] = g.data()[i] * (x.data()[i] > 0.f ? 1.f : slope);
+        }
+        an->AccumulateGrad(ga);
+      },
+      "leaky_relu");
+}
+
+Variable Elu(const Variable& a, float alpha) {
+  Tensor out = tensor::Map(a.value(), [alpha](float x) {
+    return x > 0.f ? x : alpha * (std::exp(x) - 1.f);
+  });
+  auto an = a.node();
+  auto out_copy = std::make_shared<Tensor>(out);
+  return Variable::Op(
+      std::move(out), {a},
+      [an, alpha, out_copy](Node* self) {
+        if (!an->requires_grad()) return;
+        const Tensor& g = self->grad();
+        const Tensor& x = an->value();
+        Tensor ga(g.rows(), g.cols());
+        for (int64_t i = 0; i < g.size(); ++i) {
+          const float d =
+              x.data()[i] > 0.f ? 1.f : out_copy->data()[i] + alpha;
+          ga.data()[i] = g.data()[i] * d;
+        }
+        an->AccumulateGrad(ga);
+      },
+      "elu");
+}
+
+Variable Sigmoid(const Variable& a) {
+  return Elementwise(
+      a, "sigmoid", [](float x) { return 1.f / (1.f + std::exp(-x)); },
+      [](float, float y) { return y * (1.f - y); });
+}
+
+Variable Tanh(const Variable& a) {
+  return Elementwise(
+      a, "tanh", [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.f - y * y; });
+}
+
+Variable Dropout(const Variable& a, float p, bool training, Rng* rng) {
+  if (!training || p <= 0.f) return a;
+  AGL_CHECK_LT(p, 1.f);
+  const float keep = 1.f - p;
+  auto mask = std::make_shared<Tensor>(a.rows(), a.cols());
+  Tensor out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.value().size(); ++i) {
+    const float m = rng->Bernoulli(keep) ? 1.f / keep : 0.f;
+    mask->data()[i] = m;
+    out.data()[i] = a.value().data()[i] * m;
+  }
+  auto an = a.node();
+  return Variable::Op(
+      std::move(out), {a},
+      [an, mask](Node* self) {
+        if (!an->requires_grad()) return;
+        an->AccumulateGrad(tensor::Mul(self->grad(), *mask));
+      },
+      "dropout");
+}
+
+// ---------------------------------------------------------------------------
+// Reductions & losses
+// ---------------------------------------------------------------------------
+
+Variable Sum(const Variable& a) {
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(a.value().Sum());
+  auto an = a.node();
+  return Variable::Op(
+      std::move(out), {a},
+      [an](Node* self) {
+        if (!an->requires_grad()) return;
+        Tensor g(an->value().rows(), an->value().cols());
+        g.Fill(self->grad().at(0, 0));
+        an->AccumulateGrad(g);
+      },
+      "sum");
+}
+
+Variable Mean(const Variable& a) {
+  const float inv = 1.f / static_cast<float>(std::max<int64_t>(1, a.value().size()));
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(a.value().Sum()) * inv;
+  auto an = a.node();
+  return Variable::Op(
+      std::move(out), {a},
+      [an, inv](Node* self) {
+        if (!an->requires_grad()) return;
+        Tensor g(an->value().rows(), an->value().cols());
+        g.Fill(self->grad().at(0, 0) * inv);
+        an->AccumulateGrad(g);
+      },
+      "mean");
+}
+
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int64_t>& labels) {
+  AGL_CHECK_EQ(logits.rows(), static_cast<int64_t>(labels.size()));
+  const Tensor lsm = tensor::RowLogSoftmax(logits.value());
+  const int64_t n = logits.rows();
+  double loss = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    AGL_CHECK_GE(labels[i], 0);
+    AGL_CHECK_LT(labels[i], logits.cols());
+    loss -= lsm.at(i, labels[i]);
+  }
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(loss / std::max<int64_t>(1, n));
+
+  auto ln = logits.node();
+  auto labels_copy = std::make_shared<std::vector<int64_t>>(labels);
+  auto softmax = std::make_shared<Tensor>(tensor::RowSoftmax(logits.value()));
+  return Variable::Op(
+      std::move(out), {logits},
+      [ln, labels_copy, softmax, n](Node* self) {
+        if (!ln->requires_grad()) return;
+        const float upstream = self->grad().at(0, 0);
+        Tensor g = *softmax;
+        for (int64_t i = 0; i < n; ++i) g.at(i, (*labels_copy)[i]) -= 1.f;
+        g.Scale(upstream / static_cast<float>(std::max<int64_t>(1, n)));
+        ln->AccumulateGrad(g);
+      },
+      "softmax_xent");
+}
+
+Variable BceWithLogits(const Variable& logits, const Tensor& targets) {
+  AGL_CHECK_EQ(logits.rows(), targets.rows());
+  AGL_CHECK_EQ(logits.cols(), targets.cols());
+  const Tensor& x = logits.value();
+  const int64_t sz = x.size();
+  double loss = 0;
+  for (int64_t i = 0; i < sz; ++i) {
+    const float xv = x.data()[i];
+    const float t = targets.data()[i];
+    // Numerically stable: max(x,0) - x*t + log(1+exp(-|x|)).
+    loss += std::max(xv, 0.f) - xv * t + std::log1p(std::exp(-std::fabs(xv)));
+  }
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(loss / std::max<int64_t>(1, sz));
+
+  auto ln = logits.node();
+  auto targets_copy = std::make_shared<Tensor>(targets);
+  return Variable::Op(
+      std::move(out), {logits},
+      [ln, targets_copy, sz](Node* self) {
+        if (!ln->requires_grad()) return;
+        const float upstream = self->grad().at(0, 0);
+        const Tensor& x = ln->value();
+        Tensor g(x.rows(), x.cols());
+        const float inv = upstream / static_cast<float>(std::max<int64_t>(1, sz));
+        for (int64_t i = 0; i < sz; ++i) {
+          const float sig = 1.f / (1.f + std::exp(-x.data()[i]));
+          g.data()[i] = (sig - targets_copy->data()[i]) * inv;
+        }
+        ln->AccumulateGrad(g);
+      },
+      "bce_logits");
+}
+
+Variable L2Penalty(const Variable& a, float weight_decay) {
+  Tensor out(1, 1);
+  out.at(0, 0) = 0.5f * weight_decay * static_cast<float>(a.value().SquaredNorm());
+  auto an = a.node();
+  return Variable::Op(
+      std::move(out), {a},
+      [an, weight_decay](Node* self) {
+        if (!an->requires_grad()) return;
+        Tensor g = an->value();
+        g.Scale(weight_decay * self->grad().at(0, 0));
+        an->AccumulateGrad(g);
+      },
+      "l2_penalty");
+}
+
+// ---------------------------------------------------------------------------
+// Graph aggregation kernels
+// ---------------------------------------------------------------------------
+
+const tensor::SparseMatrix& SharedAdjacency::transposed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (transposed_ == nullptr) {
+    transposed_ =
+        std::make_unique<tensor::SparseMatrix>(matrix_.Transposed());
+  }
+  return *transposed_;
+}
+
+const SharedAdjacency::TransposeIndex& SharedAdjacency::transpose_index()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (transpose_index_ == nullptr) {
+    auto idx = std::make_unique<TransposeIndex>();
+    const auto& row_ptr = matrix_.row_ptr();
+    const auto& col_idx = matrix_.col_idx();
+    const int64_t cols = matrix_.cols();
+    const int64_t nnz = matrix_.nnz();
+    idx->row_ptr.assign(cols + 1, 0);
+    for (int64_t p = 0; p < nnz; ++p) idx->row_ptr[col_idx[p] + 1]++;
+    for (int64_t c = 0; c < cols; ++c) idx->row_ptr[c + 1] += idx->row_ptr[c];
+    idx->dst.resize(nnz);
+    idx->orig_pos.resize(nnz);
+    std::vector<int64_t> cursor(idx->row_ptr.begin(), idx->row_ptr.end() - 1);
+    for (int64_t r = 0; r < matrix_.rows(); ++r) {
+      for (int64_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+        const int64_t c = col_idx[p];
+        const int64_t slot = cursor[c]++;
+        idx->dst[slot] = r;
+        idx->orig_pos[slot] = p;
+      }
+    }
+    transpose_index_ = std::move(idx);
+  }
+  return *transpose_index_;
+}
+
+Variable SpmmAggregate(const AdjacencyPtr& adj, const Variable& h,
+                       const tensor::SpmmOptions& opts) {
+  Tensor out = tensor::Spmm(adj->matrix(), h.value(), opts);
+  auto hn = h.node();
+  return Variable::Op(
+      std::move(out), {h},
+      [adj, hn, opts](Node* self) {
+        if (!hn->requires_grad()) return;
+        // dh = A^T @ dout; the transpose's rows are sources, so this pass is
+        // also conflict-free under row partitioning.
+        hn->AccumulateGrad(
+            tensor::Spmm(adj->transposed(), self->grad(), opts));
+      },
+      "spmm");
+}
+
+Variable EdgeGatedAggregate(const AdjacencyPtr& adj, const Variable& h,
+                            const Variable& gate,
+                            const tensor::SpmmOptions& opts) {
+  const tensor::SparseMatrix& a = adj->matrix();
+  AGL_CHECK_EQ(a.cols(), h.rows());
+  AGL_CHECK_EQ(gate.rows(), a.nnz());
+  AGL_CHECK_EQ(gate.cols(), 1);
+
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  const int64_t n = a.rows();
+  const int64_t f = h.cols();
+  const Tensor& hv = h.value();
+  const Tensor& gv = gate.value();
+
+  Tensor out(n, f);
+  auto forward_span = [&](tensor::RowSpan span) {
+    for (int64_t i = span.row_begin; i < span.row_end; ++i) {
+      float* out_row = out.row(i);
+      for (int64_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+        const float w = values[p] * gv.at(p, 0);
+        const float* in_row = hv.row(col_idx[p]);
+        for (int64_t j = 0; j < f; ++j) out_row[j] += w * in_row[j];
+      }
+    }
+  };
+  if (opts.num_threads <= 1 || n < 2) {
+    forward_span({0, n});
+  } else {
+    const auto spans = tensor::PartitionRowsByNnz(row_ptr, n,
+                                                  opts.num_threads);
+    GlobalThreadPool().ParallelFor(spans.size(), [&](std::size_t i) {
+      forward_span(spans[i]);
+    });
+  }
+
+  auto hn = h.node();
+  auto gn = gate.node();
+  return Variable::Op(
+      std::move(out), {h, gate},
+      [adj, hn, gn, opts](Node* self) {
+        const tensor::SparseMatrix& a = adj->matrix();
+        const auto& row_ptr = a.row_ptr();
+        const auto& col_idx = a.col_idx();
+        const auto& values = a.values();
+        const int64_t f = hn->value().cols();
+        const Tensor& g = self->grad();
+        const Tensor& hv = hn->value();
+        const Tensor& gv = gn->value();
+
+        // dgate_p = w_p * (dout_{dst(p)} . h_{src(p)}) — per-edge slots
+        // are exclusive, parallel over destination rows.
+        if (gn->requires_grad()) {
+          Tensor dgate(a.nnz(), 1);
+          auto pass = [&](tensor::RowSpan span) {
+            for (int64_t i = span.row_begin; i < span.row_end; ++i) {
+              const float* grow = g.row(i);
+              for (int64_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+                const float* hrow = hv.row(col_idx[p]);
+                float dot = 0.f;
+                for (int64_t j = 0; j < f; ++j) dot += grow[j] * hrow[j];
+                dgate.at(p, 0) = values[p] * dot;
+              }
+            }
+          };
+          if (opts.num_threads <= 1 || a.rows() < 2) {
+            pass({0, a.rows()});
+          } else {
+            const auto spans = tensor::PartitionRowsByNnz(
+                row_ptr, a.rows(), opts.num_threads);
+            GlobalThreadPool().ParallelFor(spans.size(), [&](std::size_t i) {
+              pass(spans[i]);
+            });
+          }
+          gn->AccumulateGrad(dgate);
+        }
+
+        // dh_j = sum over out-edges p of j: w_p * gate_p * dout_{dst(p)} —
+        // conflict-free over transpose rows.
+        if (hn->requires_grad()) {
+          const auto& tix = adj->transpose_index();
+          Tensor dh(hv.rows(), hv.cols());
+          auto pass = [&](tensor::RowSpan span) {
+            for (int64_t jrow = span.row_begin; jrow < span.row_end;
+                 ++jrow) {
+              float* dh_row = dh.row(jrow);
+              for (int64_t q = tix.row_ptr[jrow]; q < tix.row_ptr[jrow + 1];
+                   ++q) {
+                const int64_t p = tix.orig_pos[q];
+                const float w = values[p] * gv.at(p, 0);
+                const float* grow = g.row(tix.dst[q]);
+                for (int64_t j = 0; j < f; ++j) dh_row[j] += w * grow[j];
+              }
+            }
+          };
+          if (opts.num_threads <= 1 || hv.rows() < 2) {
+            pass({0, hv.rows()});
+          } else {
+            const auto spans = tensor::PartitionRowsByNnz(
+                tix.row_ptr, hv.rows(), opts.num_threads);
+            GlobalThreadPool().ParallelFor(spans.size(), [&](std::size_t i) {
+              pass(spans[i]);
+            });
+          }
+          hn->AccumulateGrad(dh);
+        }
+      },
+      "edge_gated_aggregate");
+}
+
+Variable GatAggregate(const AdjacencyPtr& adj, const Variable& h,
+                      const Variable& al, const Variable& ar, float slope,
+                      const tensor::SpmmOptions& opts) {
+  const tensor::SparseMatrix& a = adj->matrix();
+  AGL_CHECK_EQ(a.cols(), h.rows());
+  AGL_CHECK_EQ(al.rows(), a.rows());
+  AGL_CHECK_EQ(ar.rows(), h.rows());
+  AGL_CHECK_EQ(al.cols(), 1);
+  AGL_CHECK_EQ(ar.cols(), 1);
+
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const int64_t n = a.rows();
+  const int64_t f = h.cols();
+  const int64_t nnz = a.nnz();
+
+  // Per-edge attention weights and LeakyReLU derivative, saved for backward.
+  auto alpha = std::make_shared<std::vector<float>>(nnz, 0.f);
+  auto dz_factor = std::make_shared<std::vector<float>>(nnz, 0.f);
+
+  Tensor out(n, f);
+  const Tensor& hv = h.value();
+  const Tensor& alv = al.value();
+  const Tensor& arv = ar.value();
+
+  auto forward_span = [&](tensor::RowSpan span) {
+    std::vector<float> scores;
+    for (int64_t i = span.row_begin; i < span.row_end; ++i) {
+      const int64_t begin = row_ptr[i], end = row_ptr[i + 1];
+      if (begin == end) continue;
+      scores.resize(end - begin);
+      float mx = -std::numeric_limits<float>::infinity();
+      for (int64_t p = begin; p < end; ++p) {
+        const float z = alv.at(i, 0) + arv.at(col_idx[p], 0);
+        (*dz_factor)[p] = z > 0.f ? 1.f : slope;
+        const float s = z > 0.f ? z : slope * z;
+        scores[p - begin] = s;
+        mx = std::max(mx, s);
+      }
+      float denom = 0.f;
+      for (int64_t p = begin; p < end; ++p) {
+        const float e = std::exp(scores[p - begin] - mx);
+        (*alpha)[p] = e;
+        denom += e;
+      }
+      float* out_row = out.row(i);
+      for (int64_t p = begin; p < end; ++p) {
+        (*alpha)[p] /= denom;
+        const float w = (*alpha)[p];
+        const float* in_row = hv.row(col_idx[p]);
+        for (int64_t j = 0; j < f; ++j) out_row[j] += w * in_row[j];
+      }
+    }
+  };
+
+  if (opts.num_threads <= 1 || n < 2) {
+    forward_span({0, n});
+  } else {
+    const auto spans =
+        tensor::PartitionRowsByNnz(row_ptr, n, opts.num_threads);
+    GlobalThreadPool().ParallelFor(spans.size(), [&](std::size_t i) {
+      forward_span(spans[i]);
+    });
+  }
+
+  auto hn = h.node();
+  auto aln = al.node();
+  auto arn = ar.node();
+  return Variable::Op(
+      std::move(out), {h, al, ar},
+      [adj, hn, aln, arn, alpha, dz_factor, opts](Node* self) {
+        const tensor::SparseMatrix& a = adj->matrix();
+        const auto& row_ptr = a.row_ptr();
+        const auto& col_idx = a.col_idx();
+        const int64_t n = a.rows();
+        const int64_t f = hn->value().cols();
+        const Tensor& g = self->grad();
+        const Tensor& hv = hn->value();
+
+        // Pass 1 (parallel over destination rows): per-edge dz and dal.
+        std::vector<float> dz(a.nnz(), 0.f);
+        Tensor dal(n, 1);
+        auto pass1 = [&](tensor::RowSpan span) {
+          for (int64_t i = span.row_begin; i < span.row_end; ++i) {
+            const int64_t begin = row_ptr[i], end = row_ptr[i + 1];
+            if (begin == end) continue;
+            const float* grow = g.row(i);
+            // dalpha_ij = dout_i . h_j ; r_i = sum_k alpha_ik dalpha_ik
+            float r = 0.f;
+            for (int64_t p = begin; p < end; ++p) {
+              const float* hrow = hv.row(col_idx[p]);
+              float dot = 0.f;
+              for (int64_t j = 0; j < f; ++j) dot += grow[j] * hrow[j];
+              dz[p] = dot;  // hold dalpha temporarily
+              r += (*alpha)[p] * dot;
+            }
+            float dal_i = 0.f;
+            for (int64_t p = begin; p < end; ++p) {
+              const float ds = (*alpha)[p] * (dz[p] - r);
+              dz[p] = ds * (*dz_factor)[p];
+              dal_i += dz[p];
+            }
+            dal.at(i, 0) = dal_i;
+          }
+        };
+        auto run_spans = [&](auto body, const std::vector<int64_t>& rp,
+                             int64_t rows) {
+          if (opts.num_threads <= 1 || rows < 2) {
+            body({0, rows});
+            return;
+          }
+          const auto spans =
+              tensor::PartitionRowsByNnz(rp, rows, opts.num_threads);
+          GlobalThreadPool().ParallelFor(spans.size(), [&](std::size_t i) {
+            body(spans[i]);
+          });
+        };
+        run_spans(pass1, row_ptr, n);
+
+        // Pass 2 (parallel over source rows via the transpose index):
+        // dh_j = sum_i alpha_ij * dout_i ; dar_j = sum_i dz_ij.
+        const bool need_h = hn->requires_grad();
+        const bool need_ar = arn->requires_grad();
+        Tensor dh(hv.rows(), hv.cols());
+        Tensor dar(hv.rows(), 1);
+        if (need_h || need_ar) {
+          const auto& tix = adj->transpose_index();
+          auto pass2 = [&](tensor::RowSpan span) {
+            for (int64_t jrow = span.row_begin; jrow < span.row_end; ++jrow) {
+              float* dh_row = dh.row(jrow);
+              float dar_j = 0.f;
+              for (int64_t p = tix.row_ptr[jrow]; p < tix.row_ptr[jrow + 1];
+                   ++p) {
+                const int64_t i = tix.dst[p];
+                const int64_t op = tix.orig_pos[p];
+                const float w = (*alpha)[op];
+                const float* grow = g.row(i);
+                for (int64_t j = 0; j < f; ++j) dh_row[j] += w * grow[j];
+                dar_j += dz[op];
+              }
+              dar.at(jrow, 0) = dar_j;
+            }
+          };
+          run_spans(pass2, adj->transpose_index().row_ptr, hv.rows());
+        }
+
+        if (need_h) hn->AccumulateGrad(dh);
+        if (aln->requires_grad()) aln->AccumulateGrad(dal);
+        if (need_ar) arn->AccumulateGrad(dar);
+      },
+      "gat_aggregate");
+}
+
+}  // namespace agl::autograd

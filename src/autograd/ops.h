@@ -1,0 +1,131 @@
+// Differentiable operations over Variables: the dense ops every model needs,
+// plus the two graph-specific kernels at the heart of AGL's GraphTrainer —
+// sparse aggregation (SpMM) and the fused GAT edge-softmax — both of which
+// run multi-threaded with the edge-partitioning strategy of §3.3.2.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/rng.h"
+#include "tensor/sparse.h"
+
+namespace agl::autograd {
+
+// ---------------------------------------------------------------------------
+// Dense algebra
+// ---------------------------------------------------------------------------
+
+/// out = a @ b.
+Variable MatMul(const Variable& a, const Variable& b);
+/// Elementwise sum (shapes must match).
+Variable Add(const Variable& a, const Variable& b);
+/// Elementwise difference.
+Variable Sub(const Variable& a, const Variable& b);
+/// Elementwise (Hadamard) product.
+Variable Mul(const Variable& a, const Variable& b);
+/// Adds a [1 x C] bias row to each row of `a`.
+Variable AddBias(const Variable& a, const Variable& bias);
+/// out = alpha * a.
+Variable Scale(const Variable& a, float alpha);
+/// Column-wise concatenation [a | b].
+Variable ConcatCols(const Variable& a, const Variable& b);
+/// Gathers rows of `a` at `indices` (the target-node lookup of Figure 6).
+Variable GatherRows(const Variable& a, std::vector<int64_t> indices);
+
+// ---------------------------------------------------------------------------
+// Activations & regularization
+// ---------------------------------------------------------------------------
+
+Variable Relu(const Variable& a);
+Variable LeakyRelu(const Variable& a, float slope = 0.2f);
+Variable Elu(const Variable& a, float alpha = 1.0f);
+Variable Sigmoid(const Variable& a);
+Variable Tanh(const Variable& a);
+/// Inverted dropout; identity when `training` is false or p == 0.
+Variable Dropout(const Variable& a, float p, bool training, Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Reductions & losses (all produce a [1 x 1] scalar)
+// ---------------------------------------------------------------------------
+
+Variable Sum(const Variable& a);
+Variable Mean(const Variable& a);
+/// Mean softmax cross-entropy against integer class labels (one per row).
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int64_t>& labels);
+/// Mean binary cross-entropy with logits against {0,1} targets, elementwise
+/// over the whole matrix (multi-label protocol used for PPI and UUG).
+Variable BceWithLogits(const Variable& logits, const tensor::Tensor& targets);
+/// 0.5 * weight_decay * ||a||^2.
+Variable L2Penalty(const Variable& a, float weight_decay);
+
+// ---------------------------------------------------------------------------
+// Graph aggregation kernels
+// ---------------------------------------------------------------------------
+
+/// Sparse adjacency shared by forward and backward. The transpose (needed by
+/// the backward pass, and itself row-partitionable so the backward is also
+/// conflict-free) is built lazily once.
+class SharedAdjacency {
+ public:
+  explicit SharedAdjacency(tensor::SparseMatrix matrix)
+      : matrix_(std::move(matrix)) {}
+
+  /// Edge index of the transpose aligned with the forward CSR: for each
+  /// source row, the destinations of its out-edges and the position of each
+  /// edge in the forward CSR arrays. Lets the backward pass scatter into
+  /// source rows without conflicts.
+  struct TransposeIndex {
+    std::vector<int64_t> row_ptr;   // length cols+1 (per source node)
+    std::vector<int64_t> dst;       // destination of each edge
+    std::vector<int64_t> orig_pos;  // index into forward col_idx()/values()
+  };
+
+  const tensor::SparseMatrix& matrix() const { return matrix_; }
+  const tensor::SparseMatrix& transposed() const;
+  const TransposeIndex& transpose_index() const;
+
+ private:
+  tensor::SparseMatrix matrix_;
+  mutable std::unique_ptr<tensor::SparseMatrix> transposed_;
+  mutable std::unique_ptr<TransposeIndex> transpose_index_;
+  mutable std::mutex mu_;
+};
+
+using AdjacencyPtr = std::shared_ptr<SharedAdjacency>;
+
+/// out = A @ h. Forward partitions destination rows across `opts.num_threads`
+/// threads; backward computes dh = A^T @ dout partitioned over A^T rows.
+Variable SpmmAggregate(const AdjacencyPtr& adj, const Variable& h,
+                       const tensor::SpmmOptions& opts = {});
+
+/// Edge-featured aggregation (Equation 1's {e_vu} term): for each edge
+/// (i <- j) with per-edge gate g_p (a [nnz x 1] column aligned with the
+/// adjacency's CSR order),
+///   out_i = sum_p  w_p * g_p * h_{src(p)}
+/// Gradients flow into both `h` and `gate`, so a model can *learn* the
+/// gate from edge features (see gnn::EdgeGcnLayer). Forward partitions
+/// destination rows; backward uses the transpose index — both
+/// conflict-free.
+Variable EdgeGatedAggregate(const AdjacencyPtr& adj, const Variable& h,
+                            const Variable& gate,
+                            const tensor::SpmmOptions& opts = {});
+
+/// Fused GAT aggregation: for every destination i with in-edges (i <- j),
+///   z_ij   = LeakyReLU(al_i + ar_j, slope)
+///   alpha  = softmax_j(z_ij)
+///   out_i  = sum_j alpha_ij * h_j
+/// `h` is [n x f] (typically W @ features), `al`/`ar` are [n x 1] attention
+/// projections. Rows with no in-edges produce zeros. Both passes are
+/// conflict-free parallel: forward over destination rows, backward source-
+/// side terms over transpose rows.
+Variable GatAggregate(const AdjacencyPtr& adj, const Variable& h,
+                      const Variable& al, const Variable& ar,
+                      float slope = 0.2f, const tensor::SpmmOptions& opts = {});
+
+}  // namespace agl::autograd

@@ -1,0 +1,79 @@
+#include "autograd/variable.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace agl::autograd {
+
+tensor::Tensor& Node::grad() {
+  if (grad_.empty() && value_.size() > 0) {
+    grad_ = tensor::Tensor(value_.rows(), value_.cols());
+  }
+  return grad_;
+}
+
+void Node::ZeroGrad() {
+  if (!grad_.empty()) grad_.Fill(0.f);
+}
+
+void Node::AccumulateGrad(const tensor::Tensor& g) {
+  grad().Add(g);
+}
+
+Variable Variable::Op(tensor::Tensor value, std::vector<Variable> inputs,
+                      std::function<void(Node*)> backward_fn,
+                      std::string op_name) {
+  bool requires_grad = false;
+  for (const Variable& in : inputs) {
+    if (in.defined() && in.requires_grad()) requires_grad = true;
+  }
+  Variable v;
+  v.node_ = std::make_shared<Node>(std::move(value), requires_grad,
+                                   std::move(op_name));
+  if (requires_grad) {
+    v.node_->backward_fn_ = std::move(backward_fn);
+    for (Variable& in : inputs) {
+      if (in.defined()) v.node_->inputs_.push_back(in.node_);
+    }
+  }
+  return v;
+}
+
+namespace {
+
+// Post-order DFS producing reverse-topological execution order.
+void Topo(Node* node, std::unordered_set<Node*>* visited,
+          std::vector<Node*>* order) {
+  if (visited->count(node) > 0) return;
+  visited->insert(node);
+  for (const auto& in : node->inputs()) {
+    if (in->requires_grad()) Topo(in.get(), visited, order);
+  }
+  order->push_back(node);
+}
+
+}  // namespace
+
+void Backward(const Variable& root) {
+  AGL_CHECK(root.defined());
+  AGL_CHECK(root.requires_grad())
+      << "Backward called on a graph with no parameters";
+  Node* root_node = root.node().get();
+
+  std::unordered_set<Node*> visited;
+  std::vector<Node*> order;
+  Topo(root_node, &visited, &order);
+
+  // Clear stale gradients from a previous backward pass.
+  for (Node* n : order) n->ZeroGrad();
+
+  root_node->grad().Fill(1.f);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn_) n->backward_fn_(n);
+  }
+}
+
+}  // namespace agl::autograd

@@ -1,0 +1,103 @@
+// Tape-based reverse-mode automatic differentiation over dense Tensors.
+//
+// This is the training-engine substrate: the paper trains GNNs on a
+// TensorFlow-like engine; we provide the minimal equivalent — an eagerly
+// built computation graph of Nodes, each knowing how to push its output
+// gradient back into its inputs. Backward() runs the tape in reverse
+// topological order.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace agl::autograd {
+
+/// One vertex of the computation graph.
+class Node {
+ public:
+  Node(tensor::Tensor value, bool requires_grad, std::string op_name)
+      : value_(std::move(value)),
+        requires_grad_(requires_grad),
+        op_name_(std::move(op_name)) {}
+
+  const tensor::Tensor& value() const { return value_; }
+  tensor::Tensor& mutable_value() { return value_; }
+
+  bool requires_grad() const { return requires_grad_; }
+  const std::string& op_name() const { return op_name_; }
+
+  /// Gradient accumulator, lazily allocated to the value's shape.
+  tensor::Tensor& grad();
+  bool has_grad() const { return !grad_.empty(); }
+  void ZeroGrad();
+
+  /// Adds `g` into the gradient accumulator.
+  void AccumulateGrad(const tensor::Tensor& g);
+
+  const std::vector<std::shared_ptr<Node>>& inputs() const { return inputs_; }
+
+ private:
+  friend class Variable;
+  friend void Backward(const class Variable& root);
+
+  tensor::Tensor value_;
+  tensor::Tensor grad_;
+  bool requires_grad_;
+  std::string op_name_;
+  std::vector<std::shared_ptr<Node>> inputs_;
+  // Invoked once during Backward with this node's grad fully accumulated.
+  std::function<void(Node*)> backward_fn_;
+};
+
+/// Shared handle to a Node; the user-facing autograd value type.
+class Variable {
+ public:
+  Variable() = default;
+  /// Wraps a constant (no gradient).
+  explicit Variable(tensor::Tensor value)
+      : node_(std::make_shared<Node>(std::move(value), false, "const")) {}
+
+  /// Creates a leaf parameter that accumulates gradients.
+  static Variable Parameter(tensor::Tensor value) {
+    Variable v;
+    v.node_ = std::make_shared<Node>(std::move(value), true, "param");
+    return v;
+  }
+
+  /// Creates a constant input (gradient never flows into it).
+  static Variable Constant(tensor::Tensor value) {
+    return Variable(std::move(value));
+  }
+
+  /// Internal: creates an op node.
+  static Variable Op(tensor::Tensor value,
+                     std::vector<Variable> inputs,
+                     std::function<void(Node*)> backward_fn,
+                     std::string op_name);
+
+  bool defined() const { return node_ != nullptr; }
+  const tensor::Tensor& value() const { return node_->value(); }
+  tensor::Tensor& mutable_value() { return node_->mutable_value(); }
+  bool requires_grad() const { return node_->requires_grad(); }
+  const tensor::Tensor& grad() const { return node_->grad(); }
+  void ZeroGrad() { node_->ZeroGrad(); }
+
+  int64_t rows() const { return value().rows(); }
+  int64_t cols() const { return value().cols(); }
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+/// Runs reverse-mode accumulation from `root` (seed gradient = ones, so the
+/// root is normally a scalar loss).
+void Backward(const Variable& root);
+
+}  // namespace agl::autograd

@@ -1,0 +1,145 @@
+#include "baseline/full_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "autograd/ops.h"
+#include "common/timer.h"
+#include "nn/optimizer.h"
+
+namespace agl::baseline {
+namespace {
+
+using data::Dataset;
+using data::NodeId;
+
+/// Builds the whole-graph PreparedBatch for a given target set.
+agl::Result<gnn::PreparedBatch> BuildWholeGraphBatch(
+    const gnn::GnnModel& model, const Dataset& dataset,
+    const std::vector<NodeId>& targets) {
+  std::unordered_map<NodeId, int64_t> local_of;
+  local_of.reserve(dataset.nodes.size());
+  for (std::size_t i = 0; i < dataset.nodes.size(); ++i) {
+    local_of.emplace(dataset.nodes[i].id, static_cast<int64_t>(i));
+  }
+  const int64_t n = dataset.num_nodes();
+
+  gnn::PreparedBatch batch;
+  batch.node_features = tensor::Tensor(n, dataset.feature_dim);
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& f = dataset.nodes[i].features;
+    std::copy(f.begin(), f.end(), batch.node_features.row(i));
+  }
+
+  std::vector<tensor::CooEntry> entries;
+  entries.reserve(dataset.edges.size());
+  for (const auto& e : dataset.edges) {
+    auto sit = local_of.find(e.src);
+    auto dit = local_of.find(e.dst);
+    if (sit == local_of.end() || dit == local_of.end()) {
+      return agl::Status::NotFound("edge references missing node");
+    }
+    entries.push_back({dit->second, sit->second, e.weight});
+  }
+  auto normalized = std::make_shared<autograd::SharedAdjacency>(
+      model.NormalizeAdjacency(tensor::SparseMatrix::FromCoo(
+          n, n, std::move(entries))));
+  batch.layer_adj.assign(model.config().num_layers, normalized);
+
+  const int64_t ml_width = dataset.multilabel && !dataset.nodes.empty()
+                               ? static_cast<int64_t>(
+                                     dataset.nodes[0].multilabel.size())
+                               : 0;
+  if (ml_width > 0) {
+    batch.multilabels =
+        tensor::Tensor(static_cast<int64_t>(targets.size()), ml_width);
+  }
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    auto it = local_of.find(targets[t]);
+    if (it == local_of.end()) {
+      return agl::Status::NotFound("target not in dataset");
+    }
+    batch.target_indices.push_back(it->second);
+    const auto& node = dataset.nodes[it->second];
+    batch.labels.push_back(node.label);
+    if (ml_width > 0) {
+      std::copy(node.multilabel.begin(), node.multilabel.end(),
+                batch.multilabels.row(static_cast<int64_t>(t)));
+    }
+  }
+  return batch;
+}
+
+}  // namespace
+
+agl::Result<FullGraphReport> TrainFullGraph(const FullGraphConfig& config,
+                                            const data::Dataset& dataset) {
+  gnn::ModelConfig model_config = config.model;
+  model_config.use_pruning = false;  // meaningless on the whole graph
+  gnn::GnnModel model(model_config);
+  Rng rng(config.seed);
+
+  AGL_ASSIGN_OR_RETURN(
+      gnn::PreparedBatch train_batch,
+      BuildWholeGraphBatch(model, dataset, dataset.train_ids));
+  AGL_ASSIGN_OR_RETURN(gnn::PreparedBatch val_batch,
+                       BuildWholeGraphBatch(model, dataset, dataset.val_ids));
+  AGL_ASSIGN_OR_RETURN(
+      gnn::PreparedBatch test_batch,
+      BuildWholeGraphBatch(model, dataset, dataset.test_ids));
+
+  nn::Adam optimizer(model.Parameters(), config.adam);
+  FullGraphReport report;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    Stopwatch watch;
+    autograd::Variable logits =
+        model.Forward(train_batch, /*training=*/true, &rng);
+    autograd::Variable loss =
+        trainer::TaskLoss(config.task, logits, train_batch);
+    autograd::Backward(loss);
+    optimizer.Step();
+    report.train_loss.push_back(loss.value().at(0, 0));
+    report.epoch_seconds.push_back(watch.Seconds());
+    if (config.verbose && epoch % 20 == 0) {
+      AGL_LOG(Info) << "full-graph epoch " << epoch << " loss "
+                    << loss.value().at(0, 0);
+    }
+  }
+
+  autograd::Variable val_logits =
+      model.Forward(val_batch, /*training=*/false, &rng);
+  report.val_metric =
+      trainer::TaskMetric(config.task, val_logits.value(), val_batch);
+  autograd::Variable test_logits =
+      model.Forward(test_batch, /*training=*/false, &rng);
+  report.test_metric =
+      trainer::TaskMetric(config.task, test_logits.value(), test_batch);
+
+  double total = 0;
+  for (double s : report.epoch_seconds) total += s;
+  report.mean_epoch_seconds =
+      report.epoch_seconds.empty() ? 0 : total / report.epoch_seconds.size();
+  report.final_state = model.StateDict();
+  return report;
+}
+
+agl::Result<tensor::Tensor> FullGraphScores(
+    const gnn::ModelConfig& model_config,
+    const std::map<std::string, tensor::Tensor>& state,
+    const data::Dataset& dataset) {
+  gnn::ModelConfig cfg = model_config;
+  cfg.use_pruning = false;
+  gnn::GnnModel model(cfg);
+  AGL_RETURN_IF_ERROR(model.LoadStateDict(state));
+  Rng rng(cfg.seed);
+
+  std::vector<NodeId> all_ids;
+  all_ids.reserve(dataset.nodes.size());
+  for (const auto& n : dataset.nodes) all_ids.push_back(n.id);
+  AGL_ASSIGN_OR_RETURN(gnn::PreparedBatch batch,
+                       BuildWholeGraphBatch(model, dataset, all_ids));
+  autograd::Variable logits = model.Forward(batch, /*training=*/false, &rng);
+  return tensor::RowSoftmax(logits.value());
+}
+
+}  // namespace agl::baseline

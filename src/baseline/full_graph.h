@@ -1,0 +1,54 @@
+// Full-graph in-memory engine — the DGL/PyG stand-in for Tables 3 and 4.
+//
+// Like the single-machine systems AGL is compared against, this engine
+// keeps the entire graph and all features in memory, trains full-batch
+// (layer-wise SpMM over the whole adjacency, loss masked to the training
+// nodes) and uses none of AGL's optimizations: no per-sample subgraphs, no
+// pruning, no pipeline. The algorithmic distinction from GraphTrainer —
+// whole-graph versus subgraph-batched computation — is what Table 4's
+// comparison exercises.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "gnn/model.h"
+#include "trainer/trainer.h"
+
+namespace agl::baseline {
+
+struct FullGraphConfig {
+  gnn::ModelConfig model;
+  trainer::TaskKind task = trainer::TaskKind::kSingleLabel;
+  nn::Adam::Options adam;
+  int epochs = 100;
+  uint64_t seed = 5;
+  bool verbose = false;
+};
+
+struct FullGraphReport {
+  std::vector<double> epoch_seconds;
+  std::vector<double> train_loss;
+  double val_metric = 0;
+  double test_metric = 0;
+  double mean_epoch_seconds = 0;
+  std::map<std::string, tensor::Tensor> final_state;
+};
+
+/// Trains a GNN full-batch over `dataset`'s whole graph.
+agl::Result<FullGraphReport> TrainFullGraph(const FullGraphConfig& config,
+                                            const data::Dataset& dataset);
+
+/// Forward-only full-graph inference: returns per-node class scores
+/// (softmax) for every node, in dataset node order. Used as the numeric
+/// ground truth GraphInfer must match.
+agl::Result<tensor::Tensor> FullGraphScores(
+    const gnn::ModelConfig& model_config,
+    const std::map<std::string, tensor::Tensor>& state,
+    const data::Dataset& dataset);
+
+}  // namespace agl::baseline

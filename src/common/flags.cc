@@ -1,0 +1,149 @@
+#include "common/flags.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+namespace agl {
+namespace {
+
+const char* TypeName(int type) {
+  switch (type) {
+    case 0:
+      return "string";
+    case 1:
+      return "int";
+    case 2:
+      return "double";
+    case 3:
+      return "bool";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FlagParser& FlagParser::AddString(const std::string& name,
+                                  std::string* target, std::string help) {
+  flags_[name] = {Type::kString, target, std::move(help), *target};
+  return *this;
+}
+
+FlagParser& FlagParser::AddInt(const std::string& name, int64_t* target,
+                               std::string help) {
+  flags_[name] = {Type::kInt, target, std::move(help),
+                  std::to_string(*target)};
+  return *this;
+}
+
+FlagParser& FlagParser::AddDouble(const std::string& name, double* target,
+                                  std::string help) {
+  flags_[name] = {Type::kDouble, target, std::move(help),
+                  std::to_string(*target)};
+  return *this;
+}
+
+FlagParser& FlagParser::AddBool(const std::string& name, bool* target,
+                                std::string help) {
+  flags_[name] = {Type::kBool, target, std::move(help),
+                  *target ? "true" : "false"};
+  return *this;
+}
+
+agl::Status FlagParser::SetValue(const std::string& name,
+                                 const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return agl::Status::InvalidArgument("unknown flag: -" + name);
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return agl::Status::OK();
+    case Type::kInt: {
+      int64_t v = 0;
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), v);
+      if (ec != std::errc() || ptr != value.data() + value.size()) {
+        return agl::Status::InvalidArgument("flag -" + name +
+                                            " expects an integer, got '" +
+                                            value + "'");
+      }
+      *static_cast<int64_t*>(flag.target) = v;
+      return agl::Status::OK();
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size()) {
+        return agl::Status::InvalidArgument("flag -" + name +
+                                            " expects a number, got '" +
+                                            value + "'");
+      }
+      *static_cast<double*>(flag.target) = v;
+      return agl::Status::OK();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return agl::Status::InvalidArgument("flag -" + name +
+                                            " expects true/false, got '" +
+                                            value + "'");
+      }
+      return agl::Status::OK();
+    }
+  }
+  return agl::Status::Internal("bad flag type");
+}
+
+agl::Status FlagParser::Parse(const std::vector<std::string>& args) {
+  positional_.clear();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.size() < 2 || arg[0] != '-') {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(arg[1] == '-' ? 2 : 1);
+    const std::size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      AGL_RETURN_IF_ERROR(SetValue(name.substr(0, eq), name.substr(eq + 1)));
+      continue;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return agl::Status::InvalidArgument("unknown flag: " + arg);
+    }
+    if (it->second.type == Type::kBool &&
+        (i + 1 >= args.size() || args[i + 1][0] == '-')) {
+      *static_cast<bool*>(it->second.target) = true;  // bare boolean
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      return agl::Status::InvalidArgument("flag " + arg + " needs a value");
+    }
+    AGL_RETURN_IF_ERROR(SetValue(name, args[++i]));
+  }
+  return agl::Status::OK();
+}
+
+agl::Status FlagParser::Parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return Parse(args);
+}
+
+std::string FlagParser::Help() const {
+  std::ostringstream os;
+  for (const auto& [name, flag] : flags_) {
+    os << "  -" << name << " (" << TypeName(static_cast<int>(flag.type))
+       << ")  " << flag.help << " [default: " << flag.default_value << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace agl

@@ -1,0 +1,53 @@
+// Minimal command-line flag parsing for the CLI front-ends (Figure 6's
+// `GraphFlat -n node_table -e edge_table -h hops -s sampling_strategy`).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace agl {
+
+/// Registers typed flags, then parses `argv`-style input. Flags are given
+/// as `-name value` or `--name value` (bools also accept bare `--name`).
+class FlagParser {
+ public:
+  FlagParser& AddString(const std::string& name, std::string* target,
+                        std::string help = "");
+  FlagParser& AddInt(const std::string& name, int64_t* target,
+                     std::string help = "");
+  FlagParser& AddDouble(const std::string& name, double* target,
+                        std::string help = "");
+  FlagParser& AddBool(const std::string& name, bool* target,
+                      std::string help = "");
+
+  /// Parses arguments (excluding argv[0]). Unknown flags are an error;
+  /// non-flag positional arguments are collected into positional().
+  agl::Status Parse(const std::vector<std::string>& args);
+  agl::Status Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// One line per flag: "-name (type)  help [default: ...]".
+  std::string Help() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  agl::Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace agl

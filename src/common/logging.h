@@ -1,0 +1,85 @@
+// Minimal leveled logging and CHECK macros.
+//
+// The logger writes to stderr and is thread-safe at line granularity. CHECK
+// macros express internal invariants: they abort with a message on failure
+// and are always on (cheap compared to the numeric kernels they guard).
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace agl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_ = nullptr;
+  int line_ = 0;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process after emitting.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  // Lowest-precedence operator so `cond ? (void)0 : Voidify() & stream`
+  // compiles for any streamed type.
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace agl
+
+#define AGL_LOG(level)                                                       \
+  ::agl::internal::LogMessage(::agl::LogLevel::k##level, __FILE__, __LINE__) \
+      .stream()
+
+#define AGL_CHECK(cond)                                         \
+  (cond) ? (void)0                                              \
+         : ::agl::internal::Voidify() &                         \
+               ::agl::internal::FatalLogMessage(__FILE__, __LINE__).stream() \
+                   << "Check failed: " #cond " "
+
+#define AGL_CHECK_OP_(a, b, op) AGL_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define AGL_CHECK_EQ(a, b) AGL_CHECK_OP_(a, b, ==)
+#define AGL_CHECK_NE(a, b) AGL_CHECK_OP_(a, b, !=)
+#define AGL_CHECK_LT(a, b) AGL_CHECK_OP_(a, b, <)
+#define AGL_CHECK_LE(a, b) AGL_CHECK_OP_(a, b, <=)
+#define AGL_CHECK_GT(a, b) AGL_CHECK_OP_(a, b, >)
+#define AGL_CHECK_GE(a, b) AGL_CHECK_OP_(a, b, >=)
+
+#define AGL_CHECK_OK(expr)                            \
+  do {                                                \
+    ::agl::Status _agl_s = (expr);                    \
+    AGL_CHECK(_agl_s.ok()) << _agl_s.ToString();      \
+  } while (0)

@@ -1,0 +1,30 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace agl {
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  if (k >= n) return idx;
+  // Partial Fisher-Yates: the first k slots become the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = static_cast<std::size_t>(
+        UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n - 1)));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+uint64_t DeriveSeed(uint64_t parent, uint64_t stream) {
+  uint64_t z = parent + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace agl

@@ -1,0 +1,70 @@
+// Deterministic random number utilities.
+//
+// All stochastic components (samplers, initializers, dataset generators,
+// fault injection) take an explicit Rng so experiments are reproducible.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace agl {
+
+/// Thin wrapper around a 64-bit Mersenne Twister with convenience draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Standard normal scaled by `stddev` around `mean`.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Draws an index in [0, weights.size()) proportionally to weights.
+  std::size_t Discrete(const std::vector<double>& weights) {
+    std::discrete_distribution<std::size_t> d(weights.begin(), weights.end());
+    return d(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k >= n returns all of them).
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Derives a child seed from a parent seed and a stream id (splitmix64 mix),
+/// so parallel workers get decorrelated deterministic streams.
+uint64_t DeriveSeed(uint64_t parent, uint64_t stream);
+
+}  // namespace agl

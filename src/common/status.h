@@ -1,0 +1,167 @@
+// Status / Result error-handling primitives for the AGL library.
+//
+// Library code returns Status (or Result<T>) instead of throwing across the
+// public API boundary, following the style used by large C++ database systems
+// (RocksDB, Arrow). Internal invariants use the CHECK macros in logging.h.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace agl {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kCorruption,
+  kIoError,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kAborted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a StatusCode ("OK", "NotFound"...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// The OK status is cheap to construct and copy (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "<CodeName>: <message>" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status explaining why there is none.
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : value_(std::move(value)) {}
+  /* implicit */ Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Accessing the value of a failed Result aborts.
+  const T& value() const& {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfNotOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfNotOk() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfNotOk() const {
+  if (!ok()) internal::DieBadResultAccess(status_);
+}
+
+}  // namespace agl
+
+/// Propagates a non-OK status to the caller.
+#define AGL_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::agl::Status _agl_status = (expr);             \
+    if (!_agl_status.ok()) return _agl_status;      \
+  } while (0)
+
+/// Evaluates a Result<T> expression, assigning the value or returning the
+/// error. Usage: AGL_ASSIGN_OR_RETURN(auto v, MakeV());
+#define AGL_ASSIGN_OR_RETURN(decl, expr)            \
+  AGL_ASSIGN_OR_RETURN_IMPL_(                       \
+      AGL_STATUS_CONCAT_(_agl_result, __LINE__), decl, expr)
+
+#define AGL_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  decl = std::move(tmp).value()
+
+#define AGL_STATUS_CONCAT_INNER_(a, b) a##b
+#define AGL_STATUS_CONCAT_(a, b) AGL_STATUS_CONCAT_INNER_(a, b)

@@ -1,0 +1,67 @@
+// Fixed-size worker thread pool used by the MapReduce engine, the parameter
+// server, and the edge-partitioned aggregation kernels.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace agl {
+
+/// A fixed pool of worker threads consuming a FIFO task queue.
+///
+/// Tasks are arbitrary `void()` callables. `Submit` returns a future that
+/// becomes ready when the task finishes (exceptions propagate through the
+/// future). The pool joins all workers on destruction after draining the
+/// queue.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (minimum 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its completion.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and blocks until all
+  /// iterations finish. Iterations are distributed in contiguous chunks.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Process-wide shared pool sized to the hardware concurrency. Use for
+/// compute kernels; create dedicated pools for long-blocking work.
+ThreadPool& GlobalThreadPool();
+
+}  // namespace agl

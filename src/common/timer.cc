@@ -1,0 +1,30 @@
+#include "common/timer.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace agl {
+
+uint64_t CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long size = 0, resident = 0;
+  int n = std::fscanf(f, "%lu %lu", &size, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<uint64_t>(resident) *
+         static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+}
+
+double ProcessCpuSeconds() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) + 1e-6 * t.tv_usec;
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+}
+
+}  // namespace agl

@@ -1,0 +1,77 @@
+// Wall-clock stopwatch and resource accounting used by the benchmark
+// harnesses (Table 5 reports time-cost, CPU-cost and memory-cost).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace agl {
+
+/// Simple monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Restart.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates simulated resource costs for a distributed job, mirroring the
+/// units of the paper's Table 5: CPU-cost in core*min and memory-cost in
+/// GB*min. Thread-safe.
+class ResourceMeter {
+ public:
+  /// Charges `seconds` of busy time on one core.
+  void ChargeCpuSeconds(double seconds) {
+    AddAtomic(&cpu_core_seconds_, seconds);
+  }
+
+  /// Charges `bytes` held for `seconds`.
+  void ChargeMemory(double bytes, double seconds) {
+    AddAtomic(&mem_byte_seconds_, bytes * seconds);
+  }
+
+  double cpu_core_minutes() const { return Load(&cpu_core_seconds_) / 60.0; }
+  double memory_gb_minutes() const {
+    return Load(&mem_byte_seconds_) / (1024.0 * 1024.0 * 1024.0) / 60.0;
+  }
+
+  void Reset() {
+    cpu_core_seconds_.store(0.0);
+    mem_byte_seconds_.store(0.0);
+  }
+
+ private:
+  static void AddAtomic(std::atomic<double>* a, double v) {
+    double cur = a->load(std::memory_order_relaxed);
+    while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+  static double Load(const std::atomic<double>* a) {
+    return a->load(std::memory_order_relaxed);
+  }
+
+  std::atomic<double> cpu_core_seconds_{0.0};
+  std::atomic<double> mem_byte_seconds_{0.0};
+};
+
+/// Current process resident-set size in bytes (Linux; 0 if unavailable).
+uint64_t CurrentRssBytes();
+
+/// Total CPU time (user+sys) consumed by the process, in seconds.
+double ProcessCpuSeconds();
+
+}  // namespace agl

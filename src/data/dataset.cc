@@ -1,0 +1,305 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace agl::data {
+
+agl::Result<graph::Graph> BuildGraph(const Dataset& dataset) {
+  const int64_t edge_dim =
+      dataset.edges.empty()
+          ? 0
+          : static_cast<int64_t>(dataset.edges[0].features.size());
+  graph::GraphBuilder builder(dataset.feature_dim, edge_dim);
+  for (const NodeRecord& n : dataset.nodes) {
+    if (n.label >= 0) {
+      AGL_RETURN_IF_ERROR(builder.AddNode(n.id, n.features, n.label));
+    } else {
+      AGL_RETURN_IF_ERROR(builder.AddNode(n.id, n.features));
+    }
+  }
+  for (const NodeRecord& n : dataset.nodes) {
+    if (!n.multilabel.empty()) {
+      AGL_RETURN_IF_ERROR(builder.SetMultilabel(n.id, n.multilabel));
+    }
+  }
+  for (const EdgeRecord& e : dataset.edges) {
+    builder.AddEdge(e.src, e.dst, e.weight, e.features);
+  }
+  return builder.Build();
+}
+
+FeatureSplits SplitFeatures(std::vector<subgraph::GraphFeature> features,
+                            const Dataset& dataset) {
+  std::unordered_set<NodeId> train(dataset.train_ids.begin(),
+                                   dataset.train_ids.end());
+  std::unordered_set<NodeId> val(dataset.val_ids.begin(),
+                                 dataset.val_ids.end());
+  std::unordered_set<NodeId> test(dataset.test_ids.begin(),
+                                  dataset.test_ids.end());
+  FeatureSplits splits;
+  for (subgraph::GraphFeature& gf : features) {
+    if (train.count(gf.target_id) > 0) {
+      splits.train.push_back(std::move(gf));
+    } else if (val.count(gf.target_id) > 0) {
+      splits.val.push_back(std::move(gf));
+    } else if (test.count(gf.target_id) > 0) {
+      splits.test.push_back(std::move(gf));
+    }
+  }
+  return splits;
+}
+
+Dataset MakeCoraLike(const CoraLikeOptions& options) {
+  Rng rng(options.seed);
+  Dataset ds;
+  ds.name = "cora-like";
+  ds.feature_dim = options.feature_dim;
+  ds.num_classes = options.num_classes;
+
+  // Per-class "topic words": each class owns a block of the vocabulary it
+  // samples from preferentially — sparse binary bag-of-words features.
+  const int64_t words_per_class = options.feature_dim / options.num_classes;
+  ds.nodes.reserve(options.num_nodes);
+  std::vector<int64_t> label_of(options.num_nodes);
+  for (int64_t i = 0; i < options.num_nodes; ++i) {
+    const int64_t cls = rng.UniformInt(0, options.num_classes - 1);
+    label_of[i] = cls;
+    std::vector<float> feat(options.feature_dim, 0.f);
+    // ~20 active words, 70% drawn from the class block.
+    for (int w = 0; w < 20; ++w) {
+      int64_t word;
+      if (rng.Bernoulli(0.7)) {
+        word = cls * words_per_class +
+               rng.UniformInt(0, words_per_class - 1);
+      } else {
+        word = rng.UniformInt(0, options.feature_dim - 1);
+      }
+      feat[word] = 1.f;
+    }
+    ds.nodes.push_back(NodeRecord{static_cast<NodeId>(i), std::move(feat),
+                                  cls, {}});
+  }
+
+  // Homophilous citations: node i cites `avg_degree` earlier nodes, mostly
+  // in-class. Undirected semantics -> two directed edges. Duplicate pairs
+  // are skipped: edge identity is the endpoint pair everywhere downstream.
+  std::vector<std::vector<int64_t>> by_class(options.num_classes);
+  std::unordered_set<uint64_t> seen;
+  for (int64_t i = 0; i < options.num_nodes; ++i) {
+    const int64_t cls = label_of[i];
+    for (int64_t d = 0; d < options.avg_degree && i > 0; ++d) {
+      int64_t j;
+      if (rng.Bernoulli(options.homophily) && !by_class[cls].empty()) {
+        j = by_class[cls][rng.UniformInt(
+            0, static_cast<int64_t>(by_class[cls].size()) - 1)];
+      } else {
+        j = rng.UniformInt(0, i - 1);
+      }
+      if (j == i) continue;
+      const uint64_t key = (static_cast<uint64_t>(i) << 32) |
+                           static_cast<uint64_t>(j);
+      if (!seen.insert(key).second) continue;
+      ds.edges.push_back({static_cast<NodeId>(i), static_cast<NodeId>(j), 1.f, {}});
+      ds.edges.push_back({static_cast<NodeId>(j), static_cast<NodeId>(i), 1.f, {}});
+    }
+    by_class[cls].push_back(i);
+  }
+
+  // Splits: train_per_class per class, then val/test from the remainder.
+  std::vector<NodeId> pool;
+  std::vector<int64_t> taken_per_class(options.num_classes, 0);
+  std::vector<std::size_t> order(options.num_nodes);
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+  for (std::size_t idx : order) {
+    const int64_t cls = label_of[idx];
+    if (taken_per_class[cls] < options.train_per_class) {
+      ds.train_ids.push_back(static_cast<NodeId>(idx));
+      taken_per_class[cls]++;
+    } else {
+      pool.push_back(static_cast<NodeId>(idx));
+    }
+  }
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (static_cast<int64_t>(ds.val_ids.size()) < options.val_size) {
+      ds.val_ids.push_back(pool[i]);
+    } else if (static_cast<int64_t>(ds.test_ids.size()) < options.test_size) {
+      ds.test_ids.push_back(pool[i]);
+    }
+  }
+  return ds;
+}
+
+Dataset MakePpiLike(const PpiLikeOptions& options) {
+  Rng rng(options.seed);
+  Dataset ds;
+  ds.name = "ppi-like";
+  ds.feature_dim = options.feature_dim;
+  ds.num_classes = options.num_labels;
+  ds.multilabel = true;
+
+  // A shared teacher: label j fires when w_j . (x_v + mean_u x_u) > 0 —
+  // neighborhood-dependent, so graph structure genuinely matters.
+  std::vector<std::vector<float>> teacher(options.num_labels);
+  for (auto& w : teacher) {
+    w.resize(options.feature_dim);
+    for (float& v : w) v = static_cast<float>(rng.Normal(0, 1));
+  }
+
+  for (int64_t g = 0; g < options.num_graphs; ++g) {
+    const NodeId base = static_cast<NodeId>(g * options.nodes_per_graph);
+    // Features: per-graph Gaussian blobs (proteins of similar function).
+    std::vector<std::vector<float>> feats(options.nodes_per_graph);
+    for (int64_t i = 0; i < options.nodes_per_graph; ++i) {
+      feats[i].resize(options.feature_dim);
+      for (float& v : feats[i]) v = static_cast<float>(rng.Normal(0, 1));
+    }
+    // Edges: random regular-ish, avg degree ~ options.avg_degree
+    // (undirected -> both directions).
+    std::vector<std::vector<int64_t>> adj(options.nodes_per_graph);
+    std::unordered_set<uint64_t> seen;
+    const int64_t num_undirected =
+        options.nodes_per_graph * options.avg_degree / 2;
+    for (int64_t e = 0; e < num_undirected; ++e) {
+      const int64_t a = rng.UniformInt(0, options.nodes_per_graph - 1);
+      const int64_t b = rng.UniformInt(0, options.nodes_per_graph - 1);
+      if (a == b) continue;
+      const uint64_t key = a < b
+                               ? (static_cast<uint64_t>(a) << 32) |
+                                     static_cast<uint64_t>(b)
+                               : (static_cast<uint64_t>(b) << 32) |
+                                     static_cast<uint64_t>(a);
+      if (!seen.insert(key).second) continue;
+      adj[a].push_back(b);
+      adj[b].push_back(a);
+      ds.edges.push_back({base + static_cast<NodeId>(a),
+                          base + static_cast<NodeId>(b), 1.f, {}});
+      ds.edges.push_back({base + static_cast<NodeId>(b),
+                          base + static_cast<NodeId>(a), 1.f, {}});
+    }
+    // Labels from the teacher over neighborhood-averaged features.
+    for (int64_t i = 0; i < options.nodes_per_graph; ++i) {
+      std::vector<float> agg = feats[i];
+      if (!adj[i].empty()) {
+        std::vector<float> mean(options.feature_dim, 0.f);
+        for (int64_t u : adj[i]) {
+          for (int64_t d = 0; d < options.feature_dim; ++d) {
+            mean[d] += feats[u][d];
+          }
+        }
+        for (int64_t d = 0; d < options.feature_dim; ++d) {
+          agg[d] += mean[d] / static_cast<float>(adj[i].size());
+        }
+      }
+      std::vector<float> y(options.num_labels, 0.f);
+      for (int64_t j = 0; j < options.num_labels; ++j) {
+        float dot = 0.f;
+        for (int64_t d = 0; d < options.feature_dim; ++d) {
+          dot += teacher[j][d] * agg[d];
+        }
+        y[j] = dot > 0.f ? 1.f : 0.f;
+      }
+      NodeRecord node;
+      node.id = base + static_cast<NodeId>(i);
+      node.features = feats[i];
+      node.label = -1;
+      node.multilabel = std::move(y);
+      const NodeId id = node.id;
+      ds.nodes.push_back(std::move(node));
+      if (g < options.train_graphs) {
+        ds.train_ids.push_back(id);
+      } else if (g < options.train_graphs + options.val_graphs) {
+        ds.val_ids.push_back(id);
+      } else {
+        ds.test_ids.push_back(id);
+      }
+    }
+  }
+  return ds;
+}
+
+Dataset MakeUugLike(const UugLikeOptions& options) {
+  Rng rng(options.seed);
+  Dataset ds;
+  ds.name = "uug-like";
+  ds.feature_dim = options.feature_dim;
+  ds.num_classes = 2;
+
+  // Community assignment drives the label; features are a noisy community
+  // signature so the task is learnable but not trivial (graph smoothing
+  // helps, which is why GNNs beat feature-only models here).
+  std::vector<int> community(options.num_nodes);
+  ds.nodes.reserve(options.num_nodes);
+  for (int64_t i = 0; i < options.num_nodes; ++i) {
+    community[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    std::vector<float> feat(options.feature_dim);
+    const float center = community[i] == 1 ? 0.5f : -0.5f;
+    for (float& v : feat) {
+      v = static_cast<float>(
+          rng.Normal(center, options.community_feature_noise));
+    }
+    ds.nodes.push_back(NodeRecord{static_cast<NodeId>(i), std::move(feat),
+                                  community[i], {}});
+  }
+
+  // Preferential attachment (power-law hubs) kept per community so the
+  // graph stays assortative: new node i attaches mostly inside its own
+  // community, proportionally to degree; a small rate of cross-community
+  // links keeps the task non-trivial. Duplicate pairs are skipped.
+  std::vector<std::vector<int64_t>> repeated(2);  // per-community degree bag
+  std::unordered_set<uint64_t> seen;
+  for (int64_t i = 0; i < options.num_nodes; ++i) {
+    const int64_t attach = std::min<int64_t>(i, options.attach_edges);
+    for (int64_t e = 0; e < attach; ++e) {
+      const bool cross = rng.Bernoulli(options.cross_community_edge_rate);
+      const int com = cross ? 1 - community[i] : community[i];
+      int64_t j = -1;
+      if (!repeated[com].empty() && rng.Bernoulli(0.85)) {
+        // Preferential: sample an endpoint of an existing edge.
+        j = repeated[com][rng.UniformInt(
+            0, static_cast<int64_t>(repeated[com].size()) - 1)];
+      } else {
+        // Uniform fallback among earlier nodes of that community.
+        for (int tries = 0; tries < 8; ++tries) {
+          const int64_t cand = rng.UniformInt(0, i - 1);
+          if (community[cand] == com) {
+            j = cand;
+            break;
+          }
+        }
+      }
+      if (j < 0 || j == i) continue;
+      const uint64_t key = (static_cast<uint64_t>(i) << 32) |
+                           static_cast<uint64_t>(j);
+      if (!seen.insert(key).second) continue;
+      ds.edges.push_back({static_cast<NodeId>(i), static_cast<NodeId>(j), 1.f, {}});
+      ds.edges.push_back({static_cast<NodeId>(j), static_cast<NodeId>(i), 1.f, {}});
+      repeated[community[i]].push_back(i);
+      repeated[community[j]].push_back(j);
+    }
+  }
+
+  // Splits.
+  std::vector<std::size_t> order(options.num_nodes);
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const NodeId id = static_cast<NodeId>(order[i]);
+    if (static_cast<int64_t>(ds.train_ids.size()) < options.train_size) {
+      ds.train_ids.push_back(id);
+    } else if (static_cast<int64_t>(ds.val_ids.size()) < options.val_size) {
+      ds.val_ids.push_back(id);
+    } else if (static_cast<int64_t>(ds.test_ids.size()) < options.test_size) {
+      ds.test_ids.push_back(id);
+    }
+  }
+  return ds;
+}
+
+}  // namespace agl::data

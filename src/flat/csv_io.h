@@ -1,0 +1,46 @@
+// CSV readers/writers for the node and edge tables — the concrete file
+// format behind Figure 6's `GraphFlat -n node_table -e edge_table`.
+//
+// Node table row:   id,label,f0;f1;...;fn[,m0;m1;...;mk]
+//   - label -1 (or empty) means unlabeled
+//   - the optional 4th column holds multi-label targets
+// Edge table row:   src,dst,weight,f0;f1;...;fm
+//   - trailing columns optional (weight defaults to 1, features to none)
+//
+// Feature vectors use ';' as the inner separator so the files stay plain
+// single-char-delimited CSV.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "flat/tables.h"
+
+namespace agl::flat {
+
+/// Parses a node table from CSV text (one record per line, '#' comments
+/// and blank lines skipped).
+agl::Result<std::vector<NodeRecord>> ParseNodeCsv(const std::string& text);
+
+/// Parses an edge table from CSV text.
+agl::Result<std::vector<EdgeRecord>> ParseEdgeCsv(const std::string& text);
+
+/// Reads and parses a node table file.
+agl::Result<std::vector<NodeRecord>> ReadNodeCsv(const std::string& path);
+
+/// Reads and parses an edge table file.
+agl::Result<std::vector<EdgeRecord>> ReadEdgeCsv(const std::string& path);
+
+/// Serializes tables back to CSV (round-trips with the parsers).
+std::string WriteNodeCsv(const std::vector<NodeRecord>& nodes);
+std::string WriteEdgeCsv(const std::vector<EdgeRecord>& edges);
+
+/// Writes a table file; parent directory must exist.
+agl::Status WriteNodeCsvFile(const std::string& path,
+                             const std::vector<NodeRecord>& nodes);
+agl::Status WriteEdgeCsvFile(const std::string& path,
+                             const std::vector<EdgeRecord>& edges);
+
+}  // namespace agl::flat

@@ -1,0 +1,89 @@
+// GraphFlat (§3.2): the distributed MapReduce generator of k-hop
+// neighborhoods. Usage mirrors Figure 6:
+//
+//   GraphFlat -n node_table -e edge_table -h hops -s sampling_strategy
+//
+// The pipeline:
+//   Map    — runs once; per node emits self info keyed by the node, per
+//            edge emits in-edge info keyed by the destination and out-edge
+//            info keyed by the source.
+//   Reduce — runs k+1 times. Round 0 folds the in-edge structure into each
+//            node's self info (this joins neighbor ids/edge features; the
+//            paper's input tables arrive pre-joined, ours do the join as
+//            the first round). Rounds 1..k merge the neighbor states
+//            propagated along out-edges, growing the self info by one hop
+//            per round, then propagate the merged state again.
+//   Store  — final self infos for the requested targets are flattened to
+//            GraphFeature byte strings on the LocalDfs.
+//
+// Skew handling (§3.2.2): before each Reduce round, records whose shuffle
+// key exceeds `hub_threshold` are re-indexed with random suffixes, partially
+// sampled+merged per suffix shard (sound because state merge is a set
+// union), and inverted back to the original key.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "flat/tables.h"
+#include "mr/local_dfs.h"
+#include "mr/mapreduce.h"
+#include "sampling/sampler.h"
+#include "subgraph/graph_feature.h"
+
+namespace agl::flat {
+
+struct GraphFlatConfig {
+  /// Neighborhood radius k (the GNN depth it must support).
+  int hops = 2;
+  /// Sampling applied to each node's in-edge neighbor set every round.
+  sampling::SamplerConfig sampler;
+  /// In-degree above which a shuffle key is re-indexed across suffix shards
+  /// ("like 10k" in the paper; tests use small values).
+  int64_t hub_threshold = 10000;
+  /// Number of suffix shards a hub key is split into.
+  int reindex_fanout = 8;
+  /// Which nodes receive a GraphFeature.
+  enum class Targets { kLabeledNodes, kAllNodes };
+  Targets targets = Targets::kLabeledNodes;
+  /// Part files written to the DFS dataset.
+  int output_parts = 4;
+  mr::JobConfig job;
+};
+
+struct GraphFlatStats {
+  int64_t num_features = 0;
+  int64_t total_nodes = 0;   // sum over features
+  int64_t total_edges = 0;
+  int64_t max_nodes = 0;     // largest single neighborhood
+  double elapsed_seconds = 0;
+  mr::JobStats job_stats;
+};
+
+/// Runs the full pipeline and writes the flattened GraphFeatures to
+/// `dfs`/`dataset`. Feature dims are inferred from the first node/edge.
+agl::Result<GraphFlatStats> RunGraphFlat(const GraphFlatConfig& config,
+                                         const std::vector<NodeRecord>& nodes,
+                                         const std::vector<EdgeRecord>& edges,
+                                         mr::LocalDfs* dfs,
+                                         const std::string& dataset);
+
+/// In-memory variant used by tests and small benchmarks: returns the
+/// GraphFeatures directly instead of writing to the DFS.
+agl::Result<std::vector<subgraph::GraphFeature>> RunGraphFlatInMemory(
+    const GraphFlatConfig& config, const std::vector<NodeRecord>& nodes,
+    const std::vector<EdgeRecord>& edges, GraphFlatStats* stats = nullptr);
+
+/// Exposed for tests: applies the re-index/sample/invert pass to one
+/// round's shuffle input. Records with key multiplicity above
+/// `hub_threshold` are suffixed, each suffix shard is sampled down, and the
+/// original keys restored.
+agl::Result<std::vector<mr::KeyValue>> ReindexAndSampleHubKeys(
+    const GraphFlatConfig& config, std::vector<mr::KeyValue> records,
+    int round);
+
+}  // namespace agl::flat

@@ -1,0 +1,126 @@
+#include "flat/state.h"
+
+#include <algorithm>
+
+#include "io/codec.h"
+
+namespace agl::flat {
+
+void SubgraphState::AddNode(const NodeRecord& node) {
+  nodes_.emplace(node.id, node);
+}
+
+void SubgraphState::AddEdge(const EdgeRecord& edge) {
+  edges_.emplace(std::make_pair(edge.src, edge.dst), edge);
+}
+
+void SubgraphState::Merge(const SubgraphState& other) {
+  for (const auto& [id, node] : other.nodes_) nodes_.emplace(id, node);
+  for (const auto& [key, edge] : other.edges_) edges_.emplace(key, edge);
+}
+
+float SubgraphState::EdgeWeightOr(NodeId src, NodeId dst,
+                                  float fallback) const {
+  auto it = edges_.find({src, dst});
+  return it == edges_.end() ? fallback : it->second.weight;
+}
+
+std::string SubgraphState::Serialize() const {
+  io::BufferWriter w;
+  w.PutVarint64(root_);
+  w.PutVarint64(nodes_.size());
+  for (const auto& [id, node] : nodes_) w.PutString(node.Serialize());
+  w.PutVarint64(edges_.size());
+  for (const auto& [key, edge] : edges_) w.PutString(edge.Serialize());
+  return w.Release();
+}
+
+agl::Result<SubgraphState> SubgraphState::Parse(const std::string& bytes) {
+  io::BufferReader r(bytes);
+  SubgraphState state;
+  AGL_RETURN_IF_ERROR(r.GetVarint64(&state.root_));
+  uint64_t num_nodes;
+  AGL_RETURN_IF_ERROR(r.GetVarint64(&num_nodes));
+  std::string buf;
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    AGL_RETURN_IF_ERROR(r.GetString(&buf));
+    AGL_ASSIGN_OR_RETURN(NodeRecord node, NodeRecord::Parse(buf));
+    state.nodes_.emplace(node.id, std::move(node));
+  }
+  uint64_t num_edges;
+  AGL_RETURN_IF_ERROR(r.GetVarint64(&num_edges));
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    AGL_RETURN_IF_ERROR(r.GetString(&buf));
+    AGL_ASSIGN_OR_RETURN(EdgeRecord edge, EdgeRecord::Parse(buf));
+    state.edges_.emplace(std::make_pair(edge.src, edge.dst), std::move(edge));
+  }
+  return state;
+}
+
+agl::Result<subgraph::GraphFeature> SubgraphState::ToGraphFeature(
+    int64_t node_feature_dim, int64_t edge_feature_dim) const {
+  auto root_it = nodes_.find(root_);
+  if (root_it == nodes_.end()) {
+    return agl::Status::Internal("state missing its root node " +
+                                 std::to_string(root_));
+  }
+  subgraph::GraphFeature gf;
+  gf.target_id = root_;
+  gf.label = root_it->second.label;
+  gf.multilabel = root_it->second.multilabel;
+
+  // Local index assignment: root first, remaining nodes in id order.
+  std::map<NodeId, int64_t> local_of;
+  local_of.emplace(root_, 0);
+  gf.node_ids.push_back(root_);
+  for (const auto& [id, node] : nodes_) {
+    if (id == root_) continue;
+    local_of.emplace(id, static_cast<int64_t>(gf.node_ids.size()));
+    gf.node_ids.push_back(id);
+  }
+  gf.target_index = 0;
+
+  gf.node_features = tensor::Tensor(
+      static_cast<int64_t>(gf.node_ids.size()), node_feature_dim);
+  for (std::size_t i = 0; i < gf.node_ids.size(); ++i) {
+    const NodeRecord& node = nodes_.at(gf.node_ids[i]);
+    if (static_cast<int64_t>(node.features.size()) != node_feature_dim) {
+      return agl::Status::InvalidArgument(
+          "node " + std::to_string(node.id) + " feature width " +
+          std::to_string(node.features.size()) + " != expected " +
+          std::to_string(node_feature_dim));
+    }
+    std::copy(node.features.begin(), node.features.end(),
+              gf.node_features.row(static_cast<int64_t>(i)));
+  }
+
+  // Edges with both endpoints materialized; frontier edges whose source
+  // features never arrived are structural noise and get dropped.
+  std::vector<const EdgeRecord*> kept;
+  for (const auto& [key, edge] : edges_) {
+    if (local_of.count(edge.src) > 0 && local_of.count(edge.dst) > 0) {
+      kept.push_back(&edge);
+    }
+  }
+  std::sort(kept.begin(), kept.end(),
+            [&](const EdgeRecord* a, const EdgeRecord* b) {
+              const int64_t da = local_of.at(a->dst), db = local_of.at(b->dst);
+              if (da != db) return da < db;
+              return local_of.at(a->src) < local_of.at(b->src);
+            });
+  gf.edge_features = tensor::Tensor(
+      edge_feature_dim > 0 ? static_cast<int64_t>(kept.size()) : 0,
+      edge_feature_dim);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    const EdgeRecord& e = *kept[i];
+    gf.edges.push_back({local_of.at(e.src), local_of.at(e.dst), e.weight});
+    if (edge_feature_dim > 0 &&
+        static_cast<int64_t>(e.features.size()) == edge_feature_dim) {
+      std::copy(e.features.begin(), e.features.end(),
+                gf.edge_features.row(static_cast<int64_t>(i)));
+    }
+  }
+  return gf;
+}
+
+}  // namespace agl::flat

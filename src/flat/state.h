@@ -1,0 +1,72 @@
+// SubgraphState: the "self information" a GraphFlat reducer accumulates for
+// a node across Reduce rounds — a growing partial subgraph. Merging is a
+// set union over nodes (by id) and edges (by endpoint pair), which makes it
+// associative and commutative, the property that lets hub keys be partially
+// merged on re-indexed reducers (§3.2.2) without changing the result.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "flat/tables.h"
+#include "subgraph/graph_feature.h"
+
+namespace agl::flat {
+
+/// A partial k-hop neighborhood keyed by its root node.
+class SubgraphState {
+ public:
+  SubgraphState() = default;
+  explicit SubgraphState(NodeId root) : root_(root) {}
+
+  NodeId root() const { return root_; }
+
+  /// Inserts a node (no-op if the id is already present).
+  void AddNode(const NodeRecord& node);
+  /// Inserts an edge (no-op if (src, dst) is already present). Endpoints
+  /// need not have node entries yet; dangling edges are dropped at
+  /// finalization.
+  void AddEdge(const EdgeRecord& edge);
+  /// Set-union with another state.
+  void Merge(const SubgraphState& other);
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  bool HasNode(NodeId id) const { return nodes_.count(id) > 0; }
+
+  const std::map<NodeId, NodeRecord>& nodes() const { return nodes_; }
+  const std::map<std::pair<NodeId, NodeId>, EdgeRecord>& edges() const {
+    return edges_;
+  }
+
+  /// Looks up the weight of edge (src -> dst); 1.0 when unknown.
+  float EdgeWeightOr(NodeId src, NodeId dst, float fallback) const;
+
+  std::string Serialize() const;
+  static agl::Result<SubgraphState> Parse(const std::string& bytes);
+
+  /// Converts to the final GraphFeature: nodes get dense local indices
+  /// (root first), edges referencing nodes without features are dropped,
+  /// edges sort by (dst, src). `edge_feature_dim` 0 omits the edge feature
+  /// matrix.
+  agl::Result<subgraph::GraphFeature> ToGraphFeature(
+      int64_t node_feature_dim, int64_t edge_feature_dim) const;
+
+  bool operator==(const SubgraphState& o) const {
+    return root_ == o.root_ && nodes_ == o.nodes_ && edges_ == o.edges_;
+  }
+
+ private:
+  NodeId root_ = 0;
+  // Ordered maps keep serialization canonical (deterministic bytes for
+  // identical states regardless of merge order).
+  std::map<NodeId, NodeRecord> nodes_;
+  std::map<std::pair<NodeId, NodeId>, EdgeRecord> edges_;
+};
+
+}  // namespace agl::flat

@@ -1,0 +1,69 @@
+#include "gnn/edge_model.h"
+
+namespace agl::gnn {
+
+using autograd::Variable;
+
+EdgeGcnModel::EdgeGcnModel(const EdgeModelConfig& config)
+    : config_(config), init_rng_(config.seed) {
+  AGL_CHECK_GE(config.num_layers, 1);
+  AGL_CHECK_GT(config.in_dim, 0);
+  AGL_CHECK_GT(config.edge_dim, 0);
+  AGL_CHECK_GT(config.out_dim, 0);
+  for (int k = 0; k < config_.num_layers; ++k) {
+    const int64_t in = k == 0 ? config_.in_dim : config_.hidden_dim;
+    const int64_t out =
+        k == config_.num_layers - 1 ? config_.out_dim : config_.hidden_dim;
+    Layer layer;
+    layer.self_linear =
+        std::make_unique<nn::Linear>(in, out, &init_rng_, /*bias=*/true);
+    layer.neigh_linear =
+        std::make_unique<nn::Linear>(in, out, &init_rng_, /*bias=*/false);
+    RegisterChild("layer" + std::to_string(k) + ".self",
+                  layer.self_linear.get());
+    RegisterChild("layer" + std::to_string(k) + ".neigh",
+                  layer.neigh_linear.get());
+    layers_.push_back(std::move(layer));
+  }
+  gate_linear_ = std::make_unique<nn::Linear>(config_.edge_dim, 1,
+                                              &init_rng_, /*bias=*/true);
+  RegisterChild("gate", gate_linear_.get());
+}
+
+agl::Result<Variable> EdgeGcnModel::Forward(
+    const subgraph::VectorizedBatch& batch, bool training, Rng* rng) const {
+  const tensor::SparseMatrix& raw = batch.adjacency->matrix();
+  if (batch.edge_features.rows() != raw.nnz()) {
+    return agl::Status::InvalidArgument(
+        "EdgeGcnModel needs per-edge features aligned with the adjacency (" +
+        std::to_string(batch.edge_features.rows()) + " rows vs " +
+        std::to_string(raw.nnz()) + " edges)");
+  }
+  if (batch.edge_features.cols() != config_.edge_dim) {
+    return agl::Status::InvalidArgument("edge feature width mismatch");
+  }
+
+  // Row-normalize once (preserves CSR order, keeping the edge-feature
+  // alignment intact).
+  auto adj = std::make_shared<autograd::SharedAdjacency>(raw.RowNormalized());
+  const tensor::SpmmOptions opts{config_.aggregation_threads};
+
+  // Shared per-edge gate from edge features.
+  Variable efeat = Variable::Constant(batch.edge_features);
+  Variable gate = autograd::Sigmoid(gate_linear_->Forward(efeat));
+
+  Variable h = Variable::Constant(batch.node_features);
+  for (int k = 0; k < config_.num_layers; ++k) {
+    if (training && config_.dropout > 0.f) {
+      h = autograd::Dropout(h, config_.dropout, training, rng);
+    }
+    Variable self_term = layers_[k].self_linear->Forward(h);
+    Variable neigh = autograd::EdgeGatedAggregate(adj, h, gate, opts);
+    Variable neigh_term = layers_[k].neigh_linear->Forward(neigh);
+    h = autograd::Add(self_term, neigh_term);
+    if (k < config_.num_layers - 1) h = autograd::Relu(h);
+  }
+  return autograd::GatherRows(h, batch.target_indices);
+}
+
+}  // namespace agl::gnn

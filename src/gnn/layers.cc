@@ -1,0 +1,77 @@
+#include "gnn/layers.h"
+
+namespace agl::gnn {
+
+using autograd::Variable;
+
+GcnLayer::GcnLayer(int64_t in_dim, int64_t out_dim, Rng* rng)
+    : linear_(in_dim, out_dim, rng, /*bias=*/true) {
+  RegisterChild("linear", &linear_);
+}
+
+Variable GcnLayer::Forward(const autograd::AdjacencyPtr& adj,
+                           const Variable& h,
+                           const tensor::SpmmOptions& opts) const {
+  // Transform then aggregate: Â @ (h W) — cheaper when out_dim < in_dim.
+  return autograd::SpmmAggregate(adj, linear_.Forward(h), opts);
+}
+
+SageLayer::SageLayer(int64_t in_dim, int64_t out_dim, Rng* rng)
+    : self_linear_(in_dim, out_dim, rng, /*bias=*/true),
+      neigh_linear_(in_dim, out_dim, rng, /*bias=*/false) {
+  RegisterChild("self", &self_linear_);
+  RegisterChild("neigh", &neigh_linear_);
+}
+
+Variable SageLayer::Forward(const autograd::AdjacencyPtr& adj,
+                            const Variable& h,
+                            const tensor::SpmmOptions& opts) const {
+  Variable neigh =
+      neigh_linear_.Forward(autograd::SpmmAggregate(adj, h, opts));
+  return autograd::Add(self_linear_.Forward(h), neigh);
+}
+
+GatLayer::GatLayer(int64_t in_dim, int64_t out_dim, int num_heads,
+                   bool concat_heads, Rng* rng, float leaky_slope)
+    : out_dim_(out_dim),
+      num_heads_(num_heads),
+      concat_heads_(concat_heads),
+      leaky_slope_(leaky_slope) {
+  AGL_CHECK_GE(num_heads, 1);
+  for (int hd = 0; hd < num_heads; ++hd) {
+    const std::string suffix = std::to_string(hd);
+    weights_.push_back(RegisterParameter(
+        "weight_" + suffix, tensor::Tensor::GlorotUniform(in_dim, out_dim, rng)));
+    attn_left_.push_back(RegisterParameter(
+        "attn_l_" + suffix, tensor::Tensor::GlorotUniform(out_dim, 1, rng)));
+    attn_right_.push_back(RegisterParameter(
+        "attn_r_" + suffix, tensor::Tensor::GlorotUniform(out_dim, 1, rng)));
+  }
+  bias_ = RegisterParameter("bias", tensor::Tensor(1, output_dim()));
+}
+
+Variable GatLayer::Forward(const autograd::AdjacencyPtr& adj,
+                           const Variable& h,
+                           const tensor::SpmmOptions& opts) const {
+  Variable combined;
+  for (int hd = 0; hd < num_heads_; ++hd) {
+    Variable wh = autograd::MatMul(h, weights_[hd]);
+    Variable al = autograd::MatMul(wh, attn_left_[hd]);
+    Variable ar = autograd::MatMul(wh, attn_right_[hd]);
+    Variable head =
+        autograd::GatAggregate(adj, wh, al, ar, leaky_slope_, opts);
+    if (!combined.defined()) {
+      combined = head;
+    } else if (concat_heads_) {
+      combined = autograd::ConcatCols(combined, head);
+    } else {
+      combined = autograd::Add(combined, head);
+    }
+  }
+  if (!concat_heads_ && num_heads_ > 1) {
+    combined = autograd::Scale(combined, 1.f / static_cast<float>(num_heads_));
+  }
+  return autograd::AddBias(combined, bias_);
+}
+
+}  // namespace agl::gnn

@@ -1,0 +1,74 @@
+// GNN layers (Equation 1): each layer aggregates a node's in-edge
+// neighborhood into its next embedding. All layers take the adjacency as an
+// AdjacencyPtr prepared by the batch vectorizer (possibly pruned per layer,
+// §3.3.2) and thread-count options controlling edge-partitioned aggregation.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace agl::gnn {
+
+/// Kipf & Welling GCN layer: h' = act(Â @ h @ W + b). The adjacency passed
+/// in must already be GCN-normalized (see PrepareBatch).
+class GcnLayer : public nn::Module {
+ public:
+  GcnLayer(int64_t in_dim, int64_t out_dim, Rng* rng);
+
+  autograd::Variable Forward(const autograd::AdjacencyPtr& adj,
+                             const autograd::Variable& h,
+                             const tensor::SpmmOptions& opts) const;
+
+ private:
+  nn::Linear linear_;
+};
+
+/// GraphSAGE-mean layer with the "add" combine the paper notes all three
+/// systems use: h' = act(W_self h + W_neigh mean(h_neighbors)).
+/// The adjacency must be row-normalized (mean aggregation).
+class SageLayer : public nn::Module {
+ public:
+  SageLayer(int64_t in_dim, int64_t out_dim, Rng* rng);
+
+  autograd::Variable Forward(const autograd::AdjacencyPtr& adj,
+                             const autograd::Variable& h,
+                             const tensor::SpmmOptions& opts) const;
+
+ private:
+  nn::Linear self_linear_;
+  nn::Linear neigh_linear_;
+};
+
+/// Multi-head graph attention layer (Velickovic et al.). Heads are
+/// concatenated (hidden layers) or averaged (output layer).
+class GatLayer : public nn::Module {
+ public:
+  GatLayer(int64_t in_dim, int64_t out_dim, int num_heads, bool concat_heads,
+           Rng* rng, float leaky_slope = 0.2f);
+
+  autograd::Variable Forward(const autograd::AdjacencyPtr& adj,
+                             const autograd::Variable& h,
+                             const tensor::SpmmOptions& opts) const;
+
+  int64_t output_dim() const {
+    return concat_heads_ ? out_dim_ * num_heads_ : out_dim_;
+  }
+
+ private:
+  int64_t out_dim_;
+  int num_heads_;
+  bool concat_heads_;
+  float leaky_slope_;
+  std::vector<autograd::Variable> weights_;   // per head [in x out]
+  std::vector<autograd::Variable> attn_left_;   // per head [out x 1]
+  std::vector<autograd::Variable> attn_right_;  // per head [out x 1]
+  autograd::Variable bias_;  // [1 x output_dim()]
+};
+
+}  // namespace agl::gnn

@@ -1,0 +1,196 @@
+#include "gnn/model.h"
+
+#include <limits>
+
+#include "autograd/ops.h"
+#include "gnn/layers.h"
+
+namespace agl::gnn {
+
+using autograd::Variable;
+
+agl::Result<ModelType> ParseModelType(const std::string& name) {
+  if (name == "gcn") return ModelType::kGcn;
+  if (name == "graphsage" || name == "sage") return ModelType::kGraphSage;
+  if (name == "gat") return ModelType::kGat;
+  return agl::Status::InvalidArgument("unknown model type: " + name);
+}
+
+const char* ModelTypeName(ModelType t) {
+  switch (t) {
+    case ModelType::kGcn:
+      return "gcn";
+    case ModelType::kGraphSage:
+      return "graphsage";
+    case ModelType::kGat:
+      return "gat";
+  }
+  return "?";
+}
+
+GnnModel::GnnModel(const ModelConfig& config)
+    : config_(config), init_rng_(config.seed) {
+  AGL_CHECK_GE(config.num_layers, 1);
+  AGL_CHECK_GT(config.in_dim, 0);
+  AGL_CHECK_GT(config.out_dim, 0);
+  for (int k = 0; k < config_.num_layers; ++k) {
+    const int64_t in = LayerInputDim(k);
+    const int64_t out = LayerOutputDim(k);
+    const std::string name = "layer" + std::to_string(k);
+    switch (config_.type) {
+      case ModelType::kGcn:
+        layers_.push_back(std::make_unique<GcnLayer>(in, out, &init_rng_));
+        break;
+      case ModelType::kGraphSage:
+        layers_.push_back(std::make_unique<SageLayer>(in, out, &init_rng_));
+        break;
+      case ModelType::kGat: {
+        const bool last = k == config_.num_layers - 1;
+        layers_.push_back(std::make_unique<GatLayer>(
+            in, out, config_.gat_heads, /*concat_heads=*/!last, &init_rng_));
+        break;
+      }
+    }
+    RegisterChild(name, layers_.back().get());
+  }
+}
+
+int64_t GnnModel::LayerInputDim(int k) const {
+  if (k == 0) return config_.in_dim;
+  // Hidden GAT layers concatenate heads.
+  if (config_.type == ModelType::kGat) {
+    return config_.hidden_dim * config_.gat_heads;
+  }
+  return config_.hidden_dim;
+}
+
+int64_t GnnModel::LayerOutputDim(int k) const {
+  return k == config_.num_layers - 1 ? config_.out_dim : config_.hidden_dim;
+}
+
+tensor::SparseMatrix GnnModel::NormalizeAdjacency(
+    const tensor::SparseMatrix& adj) const {
+  switch (config_.type) {
+    case ModelType::kGcn:
+      return adj.WithSelfLoops().GcnNormalized();
+    case ModelType::kGraphSage:
+      // Mean aggregator: self term is handled by the layer itself.
+      return adj.RowNormalized();
+    case ModelType::kGat:
+      // Attention normalizes per-row; self-loop lets a node attend to
+      // itself.
+      return adj.WithSelfLoops();
+  }
+  return adj;
+}
+
+namespace {
+
+/// Drops every row whose distance to the batch targets exceeds `max_dist`
+/// (keeping the row's values untouched, so normalization computed on the
+/// full matrix is preserved — pruning is a pure compute-saving rewrite).
+tensor::SparseMatrix PruneRows(const tensor::SparseMatrix& full,
+                               const std::vector<int64_t>& distance,
+                               int64_t max_dist) {
+  // Whole-row copies preserve CSR ordering, so the pruned matrix can be
+  // assembled without any sorting — this runs per batch per layer, in the
+  // preprocessing stage of the training pipeline.
+  std::vector<int64_t> row_ptr(full.rows() + 1, 0);
+  std::vector<int64_t> col_idx;
+  std::vector<float> values;
+  for (int64_t r = 0; r < full.rows(); ++r) {
+    if (distance[r] <= max_dist) {
+      const int64_t begin = full.row_ptr()[r], end = full.row_ptr()[r + 1];
+      col_idx.insert(col_idx.end(), full.col_idx().begin() + begin,
+                     full.col_idx().begin() + end);
+      values.insert(values.end(), full.values().begin() + begin,
+                    full.values().begin() + end);
+    }
+    row_ptr[r + 1] = static_cast<int64_t>(col_idx.size());
+  }
+  return tensor::SparseMatrix::FromCsr(full.rows(), full.cols(),
+                                       std::move(row_ptr),
+                                       std::move(col_idx),
+                                       std::move(values));
+}
+
+}  // namespace
+
+PreparedBatch GnnModel::Prepare(const subgraph::VectorizedBatch& batch) const {
+  PreparedBatch out;
+  out.node_features = batch.node_features;
+  out.target_indices = batch.target_indices;
+  out.labels = batch.labels;
+  out.multilabels = batch.multilabels;
+
+  // Normalize the full merged adjacency once, THEN prune rows per layer:
+  // pruning only removes whole destination rows, so normalized weights of
+  // surviving rows are untouched and the target logits are bit-compatible
+  // with the unpruned computation.
+  auto normalized = std::make_shared<autograd::SharedAdjacency>(
+      NormalizeAdjacency(batch.adjacency->matrix()));
+  if (!config_.use_pruning) {
+    out.layer_adj.assign(config_.num_layers, normalized);
+    return out;
+  }
+
+  int64_t max_observed = 0;
+  constexpr int64_t kFar = std::numeric_limits<int64_t>::max() / 4;
+  for (int64_t d : batch.target_distance) {
+    if (d < kFar) max_observed = std::max(max_observed, d);
+  }
+  out.layer_adj.reserve(config_.num_layers);
+  for (int k = 0; k < config_.num_layers; ++k) {
+    const int64_t max_dist = config_.num_layers - k - 1;
+    if (max_dist >= max_observed) {
+      out.layer_adj.push_back(normalized);
+      continue;
+    }
+    out.layer_adj.push_back(std::make_shared<autograd::SharedAdjacency>(
+        PruneRows(normalized->matrix(), batch.target_distance, max_dist)));
+  }
+  return out;
+}
+
+Variable GnnModel::ForwardLayer(int k, const autograd::AdjacencyPtr& adj,
+                                const Variable& h) const {
+  tensor::SpmmOptions opts{config_.aggregation_threads};
+  Variable out;
+  switch (config_.type) {
+    case ModelType::kGcn:
+      out = static_cast<const GcnLayer*>(layers_[k].get())
+                ->Forward(adj, h, opts);
+      break;
+    case ModelType::kGraphSage:
+      out = static_cast<const SageLayer*>(layers_[k].get())
+                ->Forward(adj, h, opts);
+      break;
+    case ModelType::kGat:
+      out = static_cast<const GatLayer*>(layers_[k].get())
+                ->Forward(adj, h, opts);
+      break;
+  }
+  if (k < config_.num_layers - 1) {
+    out = config_.type == ModelType::kGat ? autograd::Elu(out)
+                                          : autograd::Relu(out);
+  }
+  return out;
+}
+
+Variable GnnModel::Predict(const Variable& h) const { return h; }
+
+Variable GnnModel::Forward(const PreparedBatch& batch, bool training,
+                           Rng* rng) const {
+  AGL_CHECK_EQ(static_cast<int>(batch.layer_adj.size()), config_.num_layers);
+  Variable h = Variable::Constant(batch.node_features);
+  for (int k = 0; k < config_.num_layers; ++k) {
+    if (training && config_.dropout > 0.f) {
+      h = autograd::Dropout(h, config_.dropout, training, rng);
+    }
+    h = ForwardLayer(k, batch.layer_adj[k], h);
+  }
+  Variable target_h = autograd::GatherRows(h, batch.target_indices);
+  return Predict(target_h);
+}
+
+}  // namespace agl::gnn

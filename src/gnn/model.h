@@ -1,0 +1,86 @@
+// End-to-end GNN models over vectorized subgraph batches — the "Model File"
+// of Figure 6: parse GraphFeature -> vectorize -> per-layer pruned adjacency
+// -> K layers -> look_up(target) -> logits.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "subgraph/batch.h"
+
+namespace agl::gnn {
+
+enum class ModelType { kGcn, kGraphSage, kGat };
+
+agl::Result<ModelType> ParseModelType(const std::string& name);
+const char* ModelTypeName(ModelType t);
+
+struct ModelConfig {
+  ModelType type = ModelType::kGcn;
+  int num_layers = 2;
+  int64_t in_dim = 0;
+  int64_t hidden_dim = 16;
+  int64_t out_dim = 0;  // number of classes / label width
+  int gat_heads = 1;
+  float dropout = 0.0f;
+  /// Graph pruning optimization (§3.3.2); per-layer A^(k) when true.
+  bool use_pruning = true;
+  /// Threads for edge-partitioned aggregation; 1 disables partitioning.
+  int aggregation_threads = 1;
+  uint64_t seed = 13;
+};
+
+/// A batch after model-specific preprocessing (normalization + pruning),
+/// produced in the trainer's preprocessing pipeline stage so that model
+/// computation overlaps with it (§3.3.2 "training pipeline").
+struct PreparedBatch {
+  std::vector<autograd::AdjacencyPtr> layer_adj;  // one per layer
+  tensor::Tensor node_features;
+  std::vector<int64_t> target_indices;
+  std::vector<int64_t> labels;
+  tensor::Tensor multilabels;
+};
+
+/// K-layer GNN classifier.
+class GnnModel : public nn::Module {
+ public:
+  explicit GnnModel(const ModelConfig& config);
+
+  const ModelConfig& config() const { return config_; }
+
+  /// Normalizes (model-specific) and prunes the batch adjacency.
+  PreparedBatch Prepare(const subgraph::VectorizedBatch& batch) const;
+
+  /// Full forward pass; returns logits for the batch targets
+  /// [num_targets x out_dim].
+  autograd::Variable Forward(const PreparedBatch& batch, bool training,
+                             Rng* rng) const;
+
+  /// Single-layer forward used by GraphInfer's model slices: applies layer
+  /// `k` (and the final activation) to embeddings `h` under adjacency `adj`.
+  autograd::Variable ForwardLayer(int k, const autograd::AdjacencyPtr& adj,
+                                  const autograd::Variable& h) const;
+
+  /// Applies the prediction slice (identity for these models — logits come
+  /// straight from the last layer; kept explicit so GraphInfer's K+1-th
+  /// slice has a home).
+  autograd::Variable Predict(const autograd::Variable& h) const;
+
+  /// Model-specific adjacency normalization used by Prepare and GraphInfer.
+  tensor::SparseMatrix NormalizeAdjacency(
+      const tensor::SparseMatrix& adj) const;
+
+ private:
+  int64_t LayerInputDim(int k) const;
+  int64_t LayerOutputDim(int k) const;
+
+  ModelConfig config_;
+  mutable Rng init_rng_;
+  std::vector<std::unique_ptr<nn::Module>> layers_;
+};
+
+}  // namespace agl::gnn

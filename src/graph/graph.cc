@@ -1,0 +1,151 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace agl::graph {
+
+agl::Status GraphBuilder::AddNode(NodeId id, std::vector<float> features) {
+  if (static_cast<int64_t>(features.size()) != node_dim_) {
+    return agl::Status::InvalidArgument(
+        "node feature width mismatch: expected " + std::to_string(node_dim_) +
+        " got " + std::to_string(features.size()));
+  }
+  if (id_to_local_.count(id) > 0) {
+    return agl::Status::AlreadyExists("duplicate node id " +
+                                      std::to_string(id));
+  }
+  id_to_local_.emplace(id, static_cast<int64_t>(ids_.size()));
+  ids_.push_back(id);
+  feats_.push_back(std::move(features));
+  labels_.push_back(-1);
+  return agl::Status::OK();
+}
+
+agl::Status GraphBuilder::AddNode(NodeId id, std::vector<float> features,
+                                  int64_t label) {
+  AGL_RETURN_IF_ERROR(AddNode(id, std::move(features)));
+  labels_.back() = label;
+  any_label_ = true;
+  return agl::Status::OK();
+}
+
+void GraphBuilder::AddEdge(NodeId src, NodeId dst, float weight,
+                           std::vector<float> features) {
+  pending_.push_back({src, dst, weight, std::move(features)});
+}
+
+agl::Status GraphBuilder::SetMultilabel(NodeId id,
+                                        const std::vector<float>& targets) {
+  if (id_to_local_.count(id) == 0) {
+    return agl::Status::NotFound("SetMultilabel: unknown node " +
+                                 std::to_string(id));
+  }
+  if (multilabel_dim_ == 0) {
+    multilabel_dim_ = static_cast<int64_t>(targets.size());
+  } else if (multilabel_dim_ != static_cast<int64_t>(targets.size())) {
+    return agl::Status::InvalidArgument("multilabel width mismatch");
+  }
+  multilabels_[id] = targets;
+  return agl::Status::OK();
+}
+
+agl::Result<Graph> GraphBuilder::Build() {
+  Graph g;
+  const int64_t n = static_cast<int64_t>(ids_.size());
+  g.node_ids_ = std::move(ids_);
+  g.id_to_local_ = std::move(id_to_local_);
+
+  g.node_features_ = tensor::Tensor(n, node_dim_);
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy(feats_[i].begin(), feats_[i].end(), g.node_features_.row(i));
+  }
+  if (any_label_) g.labels_ = std::move(labels_);
+  if (multilabel_dim_ > 0) {
+    g.multilabels_ = tensor::Tensor(n, multilabel_dim_);
+    for (const auto& [id, row] : multilabels_) {
+      const int64_t local = g.id_to_local_.at(id);
+      std::copy(row.begin(), row.end(), g.multilabels_.row(local));
+    }
+  }
+
+  // Resolve endpoints and validate edge feature widths.
+  struct ResolvedEdge {
+    int64_t src, dst;
+    float weight;
+    const std::vector<float>* features;
+  };
+  std::vector<ResolvedEdge> resolved;
+  resolved.reserve(pending_.size());
+  int64_t num_featured = 0;
+  for (const PendingEdge& e : pending_) {
+    auto sit = g.id_to_local_.find(e.src);
+    auto dit = g.id_to_local_.find(e.dst);
+    if (sit == g.id_to_local_.end() || dit == g.id_to_local_.end()) {
+      return agl::Status::NotFound("edge references missing node " +
+                                   std::to_string(sit == g.id_to_local_.end()
+                                                      ? e.src
+                                                      : e.dst));
+    }
+    if (!e.features.empty()) {
+      if (static_cast<int64_t>(e.features.size()) != edge_dim_) {
+        return agl::Status::InvalidArgument("edge feature width mismatch");
+      }
+      ++num_featured;
+    } else if (edge_dim_ > 0) {
+      // Unfeatured edge in a featured graph gets a zero row.
+      ++num_featured;
+    }
+    resolved.push_back({sit->second, dit->second, e.weight, &e.features});
+  }
+
+  // Sort by destination (then source) — the in-edge CSR grouping that
+  // subgraph vectorization relies on ("edges sorted by destination").
+  std::vector<int64_t> order(resolved.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    if (resolved[a].dst != resolved[b].dst) {
+      return resolved[a].dst < resolved[b].dst;
+    }
+    return resolved[a].src < resolved[b].src;
+  });
+
+  g.edge_features_ = tensor::Tensor(edge_dim_ > 0 ? num_featured : 0,
+                                    edge_dim_);
+  g.edges_.reserve(resolved.size());
+  g.in_ptr_.assign(n + 1, 0);
+  int64_t feat_row = 0;
+  for (int64_t pos : order) {
+    const ResolvedEdge& e = resolved[pos];
+    Edge edge;
+    edge.src = e.src;
+    edge.dst = e.dst;
+    edge.weight = e.weight;
+    if (edge_dim_ > 0) {
+      edge.feature_offset = feat_row;
+      if (!e.features->empty()) {
+        std::copy(e.features->begin(), e.features->end(),
+                  g.edge_features_.row(feat_row));
+      }
+      ++feat_row;
+    }
+    g.in_ptr_[e.dst + 1]++;
+    g.edges_.push_back(edge);
+  }
+  for (int64_t v = 0; v < n; ++v) g.in_ptr_[v + 1] += g.in_ptr_[v];
+
+  // Out-edge index: edge positions grouped by source.
+  g.out_ptr_.assign(n + 1, 0);
+  for (const Edge& e : g.edges_) g.out_ptr_[e.src + 1]++;
+  for (int64_t v = 0; v < n; ++v) g.out_ptr_[v + 1] += g.out_ptr_[v];
+  g.out_edge_idx_.resize(g.edges_.size());
+  std::vector<int64_t> cursor(g.out_ptr_.begin(), g.out_ptr_.end() - 1);
+  for (std::size_t i = 0; i < g.edges_.size(); ++i) {
+    g.out_edge_idx_[cursor[g.edges_[i].src]++] = static_cast<int64_t>(i);
+  }
+  return g;
+}
+
+}  // namespace agl::graph

@@ -1,0 +1,140 @@
+// In-memory attributed directed graph (§2.1 of the paper).
+//
+// G = {V, E, A, X, E}: weighted directed edges, per-node feature vectors,
+// per-edge feature vectors. The adjacency convention follows the paper:
+// A[v,u] > 0 means an edge u -> v, so u is an *in-edge neighbour* of v and
+// the in-edges of v are what its GNN layers aggregate over.
+//
+// This container is used for the reference single-machine paths (tests,
+// baselines, the Original inference module). The distributed path
+// (GraphFlat) never materializes it — it works from node/edge tables.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace agl::graph {
+
+/// External node identifier (arbitrary, sparse).
+using NodeId = uint64_t;
+
+/// One directed edge in adjacency storage, kept in both in- and out-edge
+/// indexes.
+struct Edge {
+  int64_t src = 0;  // local index of the source node
+  int64_t dst = 0;  // local index of the destination node
+  float weight = 1.f;
+  int64_t feature_offset = -1;  // row into edge feature matrix, -1 if none
+};
+
+/// Immutable attributed graph; build with GraphBuilder.
+class Graph {
+ public:
+  int64_t num_nodes() const { return static_cast<int64_t>(node_ids_.size()); }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  int64_t node_feature_dim() const { return node_features_.cols(); }
+  int64_t edge_feature_dim() const { return edge_features_.cols(); }
+
+  /// External id of a local node index.
+  NodeId node_id(int64_t local) const { return node_ids_[local]; }
+  /// Local index for an external id (kNotFound when absent).
+  static constexpr int64_t kNotFound = -1;
+  int64_t LocalIndex(NodeId id) const {
+    auto it = id_to_local_.find(id);
+    return it == id_to_local_.end() ? kNotFound : it->second;
+  }
+
+  const tensor::Tensor& node_features() const { return node_features_; }
+  const tensor::Tensor& edge_features() const { return edge_features_; }
+
+  /// In-edges of `v` (edges pointing at v; what GNN layers aggregate).
+  std::span<const Edge> InEdges(int64_t v) const {
+    return {edges_.data() + in_ptr_[v],
+            static_cast<std::size_t>(in_ptr_[v + 1] - in_ptr_[v])};
+  }
+  /// Out-edges of `v` (edges v points along; the propagation direction).
+  /// Returned as indices into a secondary permutation.
+  std::span<const int64_t> OutEdgeIndices(int64_t v) const {
+    return {out_edge_idx_.data() + out_ptr_[v],
+            static_cast<std::size_t>(out_ptr_[v + 1] - out_ptr_[v])};
+  }
+  const Edge& edge(int64_t idx) const { return edges_[idx]; }
+
+  int64_t InDegree(int64_t v) const { return in_ptr_[v + 1] - in_ptr_[v]; }
+  int64_t OutDegree(int64_t v) const { return out_ptr_[v + 1] - out_ptr_[v]; }
+
+  /// Per-node integer class labels; empty when the graph is unlabeled.
+  const std::vector<int64_t>& labels() const { return labels_; }
+  /// Per-node multi-label targets [num_nodes x num_classes]; may be empty.
+  const tensor::Tensor& multilabels() const { return multilabels_; }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<NodeId> node_ids_;
+  std::unordered_map<NodeId, int64_t> id_to_local_;
+  tensor::Tensor node_features_;
+  tensor::Tensor edge_features_;
+  std::vector<int64_t> labels_;
+  tensor::Tensor multilabels_;
+
+  std::vector<Edge> edges_;          // grouped by dst (in-edge CSR ordering)
+  std::vector<int64_t> in_ptr_;      // len num_nodes+1
+  std::vector<int64_t> out_ptr_;     // len num_nodes+1
+  std::vector<int64_t> out_edge_idx_;  // edge indices grouped by src
+};
+
+/// Accumulates nodes and edges, then freezes into a Graph.
+class GraphBuilder {
+ public:
+  /// `node_feature_dim` / `edge_feature_dim` fix X / E widths up front
+  /// (edge_feature_dim == 0 means unfeatured edges).
+  GraphBuilder(int64_t node_feature_dim, int64_t edge_feature_dim = 0)
+      : node_dim_(node_feature_dim), edge_dim_(edge_feature_dim) {}
+
+  /// Adds a node; `features` must have node_feature_dim entries.
+  agl::Status AddNode(NodeId id, std::vector<float> features);
+  /// Adds a node with an integer class label.
+  agl::Status AddNode(NodeId id, std::vector<float> features, int64_t label);
+
+  /// Adds a directed edge src -> dst (both endpoints must exist by Build
+  /// time; order of insertion is free).
+  void AddEdge(NodeId src, NodeId dst, float weight = 1.f,
+               std::vector<float> features = {});
+
+  /// Attaches a multi-label target row to a node (width fixed by first call).
+  agl::Status SetMultilabel(NodeId id, const std::vector<float>& targets);
+
+  /// Freezes into an immutable Graph; fails if an edge references a missing
+  /// endpoint or a feature width mismatches.
+  agl::Result<Graph> Build();
+
+  int64_t num_nodes() const { return static_cast<int64_t>(ids_.size()); }
+
+ private:
+  struct PendingEdge {
+    NodeId src;
+    NodeId dst;
+    float weight;
+    std::vector<float> features;
+  };
+
+  int64_t node_dim_;
+  int64_t edge_dim_;
+  std::vector<NodeId> ids_;
+  std::unordered_map<NodeId, int64_t> id_to_local_;
+  std::vector<std::vector<float>> feats_;
+  std::vector<int64_t> labels_;
+  bool any_label_ = false;
+  std::unordered_map<NodeId, std::vector<float>> multilabels_;
+  int64_t multilabel_dim_ = 0;
+  std::vector<PendingEdge> pending_;
+};
+
+}  // namespace agl::graph

@@ -1,0 +1,344 @@
+#include "infer/graphinfer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "infer/segmentation.h"
+#include "io/codec.h"
+#include "tensor/sparse.h"
+
+namespace agl::infer {
+namespace {
+
+using flat::EdgeRecord;
+using flat::NodeId;
+using flat::NodeRecord;
+
+// Record tags.
+constexpr char kTagEmb = 'H';       // self embedding
+constexpr char kTagInStub = 'I';    // in-edge: (src, normalized weight)
+constexpr char kTagOutEdge = 'O';   // out-edge: (dst)
+constexpr char kTagNeighbor = 'P';  // propagated neighbor embedding
+constexpr char kTagScore = 'F';     // final predicted scores
+
+std::string EncodeEmbedding(NodeId id, const std::vector<float>& h) {
+  io::BufferWriter w;
+  w.PutVarint64(id);
+  w.PutFloatArray(h);
+  return w.Release();
+}
+
+agl::Status DecodeEmbedding(const std::string& bytes, NodeId* id,
+                            std::vector<float>* h) {
+  io::BufferReader r(bytes);
+  AGL_RETURN_IF_ERROR(r.GetVarint64(id));
+  return r.GetFloatArray(h);
+}
+
+std::string EncodeStub(NodeId src, float weight) {
+  io::BufferWriter w;
+  w.PutVarint64(src);
+  w.PutFloat(weight);
+  return w.Release();
+}
+
+agl::Status DecodeStub(const std::string& bytes, NodeId* src, float* weight) {
+  io::BufferReader r(bytes);
+  AGL_RETURN_IF_ERROR(r.GetVarint64(src));
+  return r.GetFloat(weight);
+}
+
+std::string Tagged(char tag, const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 1);
+  out.push_back(tag);
+  out.append(payload);
+  return out;
+}
+
+struct RoundContext {
+  int round = 0;       // 0 = propagation bootstrap; 1..K layer slices;
+                       // K+1 = prediction slice
+  int num_layers = 0;
+  gnn::ModelConfig model;
+  const std::vector<ModelSlice>* slices = nullptr;
+  std::atomic<int64_t>* embedding_evals = nullptr;
+};
+
+/// One GraphInfer Reduce round. Round 0 only bootstraps propagation (our
+/// node/edge tables are not pre-joined; see GraphFlat's round-0 note).
+/// Rounds 1..K apply slice k-1; round K+1 applies the prediction slice.
+class InferReducer : public mr::Reducer {
+ public:
+  explicit InferReducer(const RoundContext& ctx) : ctx_(ctx) {}
+
+  agl::Status Reduce(const std::string& key,
+                     const std::vector<std::string>& values,
+                     mr::Emitter* out) override {
+    std::vector<float> self_emb;
+    bool have_self = false;
+    std::vector<NeighborEmbedding> neighbors;
+    std::vector<std::pair<NodeId, float>> in_stubs;
+    std::vector<std::string> out_edges;
+    std::vector<std::pair<NodeId, std::vector<float>>> arrived;
+
+    for (const std::string& v : values) {
+      if (v.empty()) return agl::Status::Corruption("empty infer value");
+      const std::string payload = v.substr(1);
+      switch (v[0]) {
+        case kTagEmb: {
+          NodeId id;
+          AGL_RETURN_IF_ERROR(DecodeEmbedding(payload, &id, &self_emb));
+          have_self = true;
+          break;
+        }
+        case kTagInStub: {
+          NodeId src;
+          float w;
+          AGL_RETURN_IF_ERROR(DecodeStub(payload, &src, &w));
+          in_stubs.emplace_back(src, w);
+          break;
+        }
+        case kTagOutEdge:
+          out_edges.push_back(payload);
+          break;
+        case kTagNeighbor: {
+          NodeId src;
+          std::vector<float> h;
+          AGL_RETURN_IF_ERROR(DecodeEmbedding(payload, &src, &h));
+          arrived.emplace_back(src, std::move(h));
+          break;
+        }
+        default:
+          return agl::Status::Corruption("unknown infer tag");
+      }
+    }
+    if (!have_self) {
+      // Structure-only node (no node-table row): drop.
+      return agl::Status::OK();
+    }
+    const NodeId self_id = static_cast<NodeId>(std::stoull(key));
+
+    std::vector<float> new_emb;
+    if (ctx_.round == 0) {
+      new_emb = self_emb;  // bootstrap: propagate raw features
+    } else if (ctx_.round <= ctx_.num_layers) {
+      // Join arrived neighbor embeddings with the normalized in-edge
+      // weights; the self-loop stub (src == self) uses the self embedding.
+      std::unordered_map<NodeId, const std::vector<float>*> by_src;
+      by_src.reserve(arrived.size());
+      for (const auto& [aid, h] : arrived) by_src.emplace(aid, &h);
+      neighbors.reserve(in_stubs.size());
+      for (const auto& [src, w] : in_stubs) {
+        if (src == self_id) {
+          neighbors.push_back({src, w, self_emb});
+          continue;
+        }
+        auto it = by_src.find(src);
+        if (it != by_src.end()) neighbors.push_back({src, w, *it->second});
+      }
+      AGL_ASSIGN_OR_RETURN(
+          new_emb, ApplySlice(ctx_.model, (*ctx_.slices)[ctx_.round - 1],
+                              self_emb, neighbors));
+      ctx_.embedding_evals->fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Prediction round: output scores, nothing else.
+      const std::vector<float> scores =
+          ApplyPredictionSlice(ctx_.model, self_emb);
+      out->Emit(key, Tagged(kTagScore, EncodeEmbedding(self_id, scores)));
+      return agl::Status::OK();
+    }
+
+    // Propagate the new embedding along out-edges for the next round and
+    // carry the structure forward.
+    const bool propagate = ctx_.round < ctx_.num_layers;
+    const std::string emb_bytes = EncodeEmbedding(self_id, new_emb);
+    if (propagate) {
+      for (const std::string& payload : out_edges) {
+        io::BufferReader r(payload);
+        uint64_t dst;
+        AGL_RETURN_IF_ERROR(r.GetVarint64(&dst));
+        out->Emit(std::to_string(dst), Tagged(kTagNeighbor, emb_bytes));
+      }
+      for (const std::string& payload : out_edges) {
+        out->Emit(key, Tagged(kTagOutEdge, payload));
+      }
+      for (const auto& [src, w] : in_stubs) {
+        out->Emit(key, Tagged(kTagInStub, EncodeStub(src, w)));
+      }
+    }
+    out->Emit(key, Tagged(kTagEmb, emb_bytes));
+    return agl::Status::OK();
+  }
+
+ private:
+  RoundContext ctx_;
+};
+
+}  // namespace
+
+agl::Result<InferResult> RunGraphInfer(
+    const InferConfig& config,
+    const std::map<std::string, tensor::Tensor>& state,
+    const std::vector<NodeRecord>& nodes,
+    const std::vector<EdgeRecord>& edges) {
+  if (nodes.empty()) {
+    return agl::Status::InvalidArgument("GraphInfer: empty node table");
+  }
+  Stopwatch watch;
+  const double cpu_start = ProcessCpuSeconds();
+
+  // Target-subset pruning: restrict the pipeline to the union of the
+  // targets' K-hop in-neighborhoods. Nodes outside can never influence a
+  // target's embedding (Theorem 1), so dropping them up front is the
+  // inference-side analogue of the trainer's graph pruning.
+  if (!config.target_ids.empty()) {
+    std::unordered_map<NodeId, std::vector<std::pair<NodeId, float>>>
+        in_edges_of;
+    for (const EdgeRecord& e : edges) {
+      in_edges_of[e.dst].emplace_back(e.src, e.weight);
+    }
+    std::unordered_set<NodeId> keep(config.target_ids.begin(),
+                                    config.target_ids.end());
+    std::vector<NodeId> frontier(keep.begin(), keep.end());
+    for (int hop = 0; hop < config.model.num_layers; ++hop) {
+      std::vector<NodeId> next;
+      for (NodeId v : frontier) {
+        auto it = in_edges_of.find(v);
+        if (it == in_edges_of.end()) continue;
+        for (const auto& [src, w] : it->second) {
+          if (keep.insert(src).second) next.push_back(src);
+        }
+      }
+      frontier = std::move(next);
+    }
+    std::vector<NodeRecord> pruned_nodes;
+    for (const NodeRecord& n : nodes) {
+      if (keep.count(n.id) > 0) pruned_nodes.push_back(n);
+    }
+    std::vector<EdgeRecord> pruned_edges;
+    for (const EdgeRecord& e : edges) {
+      if (keep.count(e.src) > 0 && keep.count(e.dst) > 0) {
+        pruned_edges.push_back(e);
+      }
+    }
+    InferConfig sub_config = config;
+    sub_config.target_ids.clear();
+    AGL_ASSIGN_OR_RETURN(
+        InferResult sub,
+        RunGraphInfer(sub_config, state, pruned_nodes, pruned_edges));
+    // Keep only the requested targets (neighborhood nodes were computed
+    // with possibly pruned in-neighborhoods of their own).
+    std::unordered_set<NodeId> wanted(config.target_ids.begin(),
+                                      config.target_ids.end());
+    InferResult out;
+    out.costs = sub.costs;
+    for (auto& entry : sub.scores) {
+      if (wanted.count(entry.first) > 0) out.scores.push_back(std::move(entry));
+    }
+    out.costs.time_seconds = watch.Seconds();
+    return out;
+  }
+
+  AGL_ASSIGN_OR_RETURN(std::vector<ModelSlice> slices,
+                       SegmentModel(state, config.model.num_layers));
+
+  // Pre-normalize the adjacency exactly as the trainer does (our stand-in
+  // for the paper's degree-joining preprocessing): each in-edge stub carries
+  // its normalized weight, self-loops included where the model adds them.
+  std::unordered_map<NodeId, int64_t> local_of;
+  local_of.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    local_of.emplace(nodes[i].id, static_cast<int64_t>(i));
+  }
+  std::vector<tensor::CooEntry> entries;
+  entries.reserve(edges.size());
+  for (const EdgeRecord& e : edges) {
+    auto sit = local_of.find(e.src);
+    auto dit = local_of.find(e.dst);
+    if (sit == local_of.end() || dit == local_of.end()) {
+      return agl::Status::NotFound("edge references missing node");
+    }
+    entries.push_back({dit->second, sit->second, e.weight});
+  }
+  gnn::GnnModel model_for_norm(config.model);
+  const tensor::SparseMatrix norm = model_for_norm.NormalizeAdjacency(
+      tensor::SparseMatrix::FromCoo(static_cast<int64_t>(nodes.size()),
+                                    static_cast<int64_t>(nodes.size()),
+                                    std::move(entries)));
+
+  // Map-equivalent bootstrap input: self embeddings (raw features), in-edge
+  // stubs with normalized weights, out-edge lists.
+  std::vector<mr::KeyValue> records;
+  records.reserve(nodes.size() + 2 * norm.nnz());
+  int64_t live_bytes = 0;
+  for (const NodeRecord& n : nodes) {
+    const std::string key = std::to_string(n.id);
+    records.push_back(
+        {key, Tagged(kTagEmb, EncodeEmbedding(n.id, n.features))});
+  }
+  for (int64_t dst = 0; dst < norm.rows(); ++dst) {
+    const std::string dst_key = std::to_string(nodes[dst].id);
+    for (int64_t p = norm.row_ptr()[dst]; p < norm.row_ptr()[dst + 1]; ++p) {
+      const NodeId src_id = nodes[norm.col_idx()[p]].id;
+      records.push_back(
+          {dst_key,
+           Tagged(kTagInStub, EncodeStub(src_id, norm.values()[p]))});
+      if (src_id != nodes[dst].id) {
+        io::BufferWriter w;
+        w.PutVarint64(nodes[dst].id);
+        records.push_back(
+            {std::to_string(src_id), Tagged(kTagOutEdge, w.Release())});
+      }
+    }
+  }
+
+  RoundContext ctx;
+  ctx.num_layers = config.model.num_layers;
+  ctx.model = config.model;
+  ctx.slices = &slices;
+  std::atomic<int64_t> embedding_evals{0};
+  ctx.embedding_evals = &embedding_evals;
+
+  InferResult result;
+  mr::JobStats job_stats;
+  for (int round = 0; round <= config.model.num_layers + 1; ++round) {
+    Stopwatch round_watch;
+    ctx.round = round;
+    RoundContext round_ctx = ctx;
+    for (const mr::KeyValue& kv : records) {
+      live_bytes += static_cast<int64_t>(kv.key.size() + kv.value.size());
+    }
+    AGL_ASSIGN_OR_RETURN(
+        records,
+        mr::RunReducePhase(config.job, std::move(records),
+                           [round_ctx] {
+                             return std::make_unique<InferReducer>(round_ctx);
+                           },
+                           &job_stats));
+    result.costs.memory_gb_minutes +=
+        static_cast<double>(live_bytes) / (1024.0 * 1024.0 * 1024.0) *
+        (round_watch.Seconds() / 60.0);
+    live_bytes = 0;
+  }
+
+  for (const mr::KeyValue& kv : records) {
+    if (kv.value.empty() || kv.value[0] != kTagScore) continue;
+    NodeId id;
+    std::vector<float> scores;
+    AGL_RETURN_IF_ERROR(DecodeEmbedding(kv.value.substr(1), &id, &scores));
+    result.scores.emplace_back(id, std::move(scores));
+  }
+  std::sort(result.scores.begin(), result.scores.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  result.costs.time_seconds = watch.Seconds();
+  result.costs.cpu_core_minutes = (ProcessCpuSeconds() - cpu_start) / 60.0;
+  result.costs.embedding_evaluations = embedding_evals.load();
+  return result;
+}
+
+}  // namespace agl::infer

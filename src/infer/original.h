@@ -1,0 +1,43 @@
+// The "Original" inference baseline of Table 5: generate a GraphFeature per
+// target node with GraphFlat, then run the forward pass on each
+// neighborhood independently. Overlapping neighborhoods recompute shared
+// intermediate embeddings, which is exactly the repetition GraphInfer
+// eliminates.
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "flat/graphflat.h"
+#include "infer/graphinfer.h"
+
+namespace agl::infer {
+
+struct OriginalInferenceConfig {
+  gnn::ModelConfig model;
+  flat::GraphFlatConfig flat;
+  /// Targets per forward batch.
+  int batch_size = 64;
+};
+
+/// Runs GraphFlat (targets = all nodes) followed by per-batch forward
+/// passes. Returns scores in the same format as RunGraphInfer, with costs
+/// split between the two phases (the paper reports GraphFlat + forward
+/// separately; `costs` here is the total and `flat_seconds` /
+/// `forward_seconds` the split).
+struct OriginalResult {
+  std::vector<std::pair<flat::NodeId, std::vector<float>>> scores;
+  InferCosts costs;
+  double flat_seconds = 0;
+  double forward_seconds = 0;
+};
+
+agl::Result<OriginalResult> RunOriginalInference(
+    const OriginalInferenceConfig& config,
+    const std::map<std::string, tensor::Tensor>& state,
+    const std::vector<flat::NodeRecord>& nodes,
+    const std::vector<flat::EdgeRecord>& edges);
+
+}  // namespace agl::infer

@@ -1,0 +1,158 @@
+#include "io/codec.h"
+
+namespace agl::io {
+
+void BufferWriter::PutVarint64(uint64_t v) {
+  while (v >= 0x80) {
+    data_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  data_.push_back(static_cast<char>(v));
+}
+
+void BufferWriter::PutVarint64Signed(int64_t v) {
+  // Zig-zag encoding.
+  PutVarint64((static_cast<uint64_t>(v) << 1) ^
+              static_cast<uint64_t>(v >> 63));
+}
+
+void BufferWriter::PutFixed32(uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  data_.append(buf, 4);
+}
+
+void BufferWriter::PutFixed64(uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  data_.append(buf, 8);
+}
+
+void BufferWriter::PutFloat(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  PutFixed32(bits);
+}
+
+void BufferWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutFixed64(bits);
+}
+
+void BufferWriter::PutString(const std::string& s) {
+  PutVarint64(s.size());
+  data_.append(s);
+}
+
+void BufferWriter::PutBytes(const void* data, std::size_t n) {
+  data_.append(static_cast<const char*>(data), n);
+}
+
+void BufferWriter::PutFloatArray(const std::vector<float>& v) {
+  PutVarint64(v.size());
+  if (!v.empty()) {
+    data_.append(reinterpret_cast<const char*>(v.data()),
+                 v.size() * sizeof(float));
+  }
+}
+
+void BufferWriter::PutVarintArray(const std::vector<uint64_t>& v) {
+  PutVarint64(v.size());
+  for (uint64_t x : v) PutVarint64(x);
+}
+
+agl::Status BufferReader::GetVarint64(uint64_t* out) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (true) {
+    AGL_RETURN_IF_ERROR(Need(1));
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    if (shift >= 64) {
+      return agl::Status::Corruption("varint64 too long");
+    }
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = result;
+  return agl::Status::OK();
+}
+
+agl::Status BufferReader::GetVarint64Signed(int64_t* out) {
+  uint64_t raw;
+  AGL_RETURN_IF_ERROR(GetVarint64(&raw));
+  *out = static_cast<int64_t>(raw >> 1) ^ -static_cast<int64_t>(raw & 1);
+  return agl::Status::OK();
+}
+
+agl::Status BufferReader::GetFixed32(uint32_t* out) {
+  AGL_RETURN_IF_ERROR(Need(4));
+  std::memcpy(out, data_ + pos_, 4);
+  pos_ += 4;
+  return agl::Status::OK();
+}
+
+agl::Status BufferReader::GetFixed64(uint64_t* out) {
+  AGL_RETURN_IF_ERROR(Need(8));
+  std::memcpy(out, data_ + pos_, 8);
+  pos_ += 8;
+  return agl::Status::OK();
+}
+
+agl::Status BufferReader::GetFloat(float* out) {
+  uint32_t bits;
+  AGL_RETURN_IF_ERROR(GetFixed32(&bits));
+  std::memcpy(out, &bits, 4);
+  return agl::Status::OK();
+}
+
+agl::Status BufferReader::GetDouble(double* out) {
+  uint64_t bits;
+  AGL_RETURN_IF_ERROR(GetFixed64(&bits));
+  std::memcpy(out, &bits, 8);
+  return agl::Status::OK();
+}
+
+agl::Status BufferReader::GetString(std::string* out) {
+  uint64_t n;
+  AGL_RETURN_IF_ERROR(GetVarint64(&n));
+  AGL_RETURN_IF_ERROR(Need(n));
+  out->assign(data_ + pos_, n);
+  pos_ += n;
+  return agl::Status::OK();
+}
+
+agl::Status BufferReader::GetFloatArray(std::vector<float>* out) {
+  uint64_t n;
+  AGL_RETURN_IF_ERROR(GetVarint64(&n));
+  AGL_RETURN_IF_ERROR(Need(n * sizeof(float)));
+  out->resize(n);
+  if (n > 0) {
+    std::memcpy(out->data(), data_ + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+  }
+  return agl::Status::OK();
+}
+
+agl::Status BufferReader::GetRaw(void* dst, std::size_t n) {
+  AGL_RETURN_IF_ERROR(Need(n));
+  std::memcpy(dst, data_ + pos_, n);
+  pos_ += n;
+  return agl::Status::OK();
+}
+
+agl::Status BufferReader::GetVarintArray(std::vector<uint64_t>* out) {
+  uint64_t n;
+  AGL_RETURN_IF_ERROR(GetVarint64(&n));
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t v;
+    AGL_RETURN_IF_ERROR(GetVarint64(&v));
+    out->push_back(v);
+  }
+  return agl::Status::OK();
+}
+
+}  // namespace agl::io

@@ -1,0 +1,87 @@
+// Binary serialization primitives: a growable write buffer and a bounds-
+// checked read cursor with varint / fixed-width / string / float-array
+// codecs. This plays the role protobuf plays in the paper: GraphFeatures
+// (k-hop neighborhoods) are flattened to these byte strings and stored on
+// the distributed file system.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace agl::io {
+
+/// Append-only byte buffer with varint-based encoders.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+
+  /// Unsigned LEB128 varint.
+  void PutVarint64(uint64_t v);
+  /// Zig-zag then varint (efficient for small negatives).
+  void PutVarint64Signed(int64_t v);
+  void PutFixed32(uint32_t v);
+  void PutFixed64(uint64_t v);
+  void PutFloat(float v);
+  void PutDouble(double v);
+  /// Length-prefixed byte string.
+  void PutString(const std::string& s);
+  void PutBytes(const void* data, std::size_t n);
+  /// Length-prefixed float array (raw little-endian payload).
+  void PutFloatArray(const std::vector<float>& v);
+  /// Length-prefixed varint array.
+  void PutVarintArray(const std::vector<uint64_t>& v);
+
+  const std::string& data() const { return data_; }
+  std::string Release() { return std::move(data_); }
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  std::string data_;
+};
+
+/// Bounds-checked sequential reader over a byte span. All getters return a
+/// Status so corrupted/truncated inputs surface as kCorruption instead of
+/// undefined behaviour.
+class BufferReader {
+ public:
+  BufferReader(const void* data, std::size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+  explicit BufferReader(const std::string& s) : BufferReader(s.data(), s.size()) {}
+
+  agl::Status GetVarint64(uint64_t* out);
+  agl::Status GetVarint64Signed(int64_t* out);
+  agl::Status GetFixed32(uint32_t* out);
+  agl::Status GetFixed64(uint64_t* out);
+  agl::Status GetFloat(float* out);
+  agl::Status GetDouble(double* out);
+  agl::Status GetString(std::string* out);
+  agl::Status GetFloatArray(std::vector<float>* out);
+  agl::Status GetVarintArray(std::vector<uint64_t>* out);
+  /// Copies `n` raw bytes into `dst` and advances.
+  agl::Status GetRaw(void* dst, std::size_t n);
+
+  bool AtEnd() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  agl::Status Need(std::size_t n) const {
+    if (pos_ + n > size_) {
+      return agl::Status::Corruption("buffer underflow: need " +
+                                     std::to_string(n) + " bytes, have " +
+                                     std::to_string(size_ - pos_));
+    }
+    return agl::Status::OK();
+  }
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace agl::io

@@ -1,0 +1,170 @@
+#include "io/record_file.h"
+
+#include <cstdio>
+
+#include "io/codec.h"
+
+namespace agl::io {
+namespace {
+
+// Software CRC32C table, generated on first use.
+const uint32_t* Crc32cTable() {
+  static uint32_t table[256];
+  static bool init = [] {
+    const uint32_t poly = 0x82f63b78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc & 1) ? (crc >> 1) ^ poly : crc >> 1;
+      }
+      table[i] = crc;
+    }
+    return true;
+  }();
+  (void)init;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, std::size_t n) {
+  const uint32_t* table = Crc32cTable();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ p[i]) & 0xff];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+agl::Result<RecordWriter> RecordWriter::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return agl::Status::IoError("cannot open for write: " + path);
+  }
+  return RecordWriter(f);
+}
+
+RecordWriter::~RecordWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+RecordWriter::RecordWriter(RecordWriter&& other) noexcept
+    : file_(other.file_),
+      num_records_(other.num_records_),
+      bytes_written_(other.bytes_written_) {
+  other.file_ = nullptr;
+}
+
+RecordWriter& RecordWriter::operator=(RecordWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    num_records_ = other.num_records_;
+    bytes_written_ = other.bytes_written_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+agl::Status RecordWriter::Append(const std::string& record) {
+  if (file_ == nullptr) return agl::Status::FailedPrecondition("writer closed");
+  BufferWriter header;
+  header.PutVarint64(record.size());
+  header.PutFixed32(Crc32c(record.data(), record.size()));
+  if (std::fwrite(header.data().data(), 1, header.size(), file_) !=
+      header.size()) {
+    return agl::Status::IoError("short header write");
+  }
+  if (!record.empty() &&
+      std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return agl::Status::IoError("short payload write");
+  }
+  ++num_records_;
+  bytes_written_ += header.size() + record.size();
+  return agl::Status::OK();
+}
+
+agl::Status RecordWriter::Flush() {
+  if (file_ == nullptr) return agl::Status::FailedPrecondition("writer closed");
+  if (std::fflush(file_) != 0) return agl::Status::IoError("fflush failed");
+  return agl::Status::OK();
+}
+
+agl::Status RecordWriter::Close() {
+  if (file_ == nullptr) return agl::Status::OK();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return agl::Status::IoError("fclose failed");
+  return agl::Status::OK();
+}
+
+agl::Result<RecordReader> RecordReader::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return agl::Status::IoError("cannot open for read: " + path);
+  }
+  return RecordReader(f);
+}
+
+RecordReader::~RecordReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+RecordReader::RecordReader(RecordReader&& other) noexcept
+    : file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+RecordReader& RecordReader::operator=(RecordReader&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+agl::Status RecordReader::Next(std::string* out) {
+  if (file_ == nullptr) return agl::Status::FailedPrecondition("reader closed");
+  // Decode the varint length byte-by-byte from the stream.
+  uint64_t len = 0;
+  int shift = 0;
+  while (true) {
+    int c = std::fgetc(file_);
+    if (c == EOF) {
+      if (shift == 0) return agl::Status::OutOfRange("end of file");
+      return agl::Status::Corruption("truncated record length");
+    }
+    if (shift >= 64) return agl::Status::Corruption("record length overflow");
+    len |= static_cast<uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) break;
+    shift += 7;
+  }
+  uint8_t crc_buf[4];
+  if (std::fread(crc_buf, 1, 4, file_) != 4) {
+    return agl::Status::Corruption("truncated record checksum");
+  }
+  uint32_t expected_crc;
+  std::memcpy(&expected_crc, crc_buf, 4);
+  out->resize(len);
+  if (len > 0 && std::fread(out->data(), 1, len, file_) != len) {
+    return agl::Status::Corruption("truncated record payload");
+  }
+  if (Crc32c(out->data(), out->size()) != expected_crc) {
+    return agl::Status::Corruption("record checksum mismatch");
+  }
+  return agl::Status::OK();
+}
+
+agl::Status RecordReader::ReadAll(std::vector<std::string>* out) {
+  while (true) {
+    std::string rec;
+    agl::Status s = Next(&rec);
+    if (s.code() == agl::StatusCode::kOutOfRange) return agl::Status::OK();
+    AGL_RETURN_IF_ERROR(s);
+    out->push_back(std::move(rec));
+  }
+}
+
+}  // namespace agl::io

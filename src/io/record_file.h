@@ -1,0 +1,72 @@
+// Length-prefixed, checksummed record files — the on-disk format used by the
+// LocalDfs part files that stand in for the paper's distributed file system.
+//
+// Layout per record:  varint(length) | fixed32(crc of payload) | payload.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace agl::io {
+
+/// CRC32 (Castagnoli polynomial, software implementation) over a byte span.
+uint32_t Crc32c(const void* data, std::size_t n);
+
+/// Appends checksummed records to a file.
+class RecordWriter {
+ public:
+  /// Opens (truncates) `path` for writing.
+  static agl::Result<RecordWriter> Open(const std::string& path);
+  ~RecordWriter();
+
+  RecordWriter(RecordWriter&& other) noexcept;
+  RecordWriter& operator=(RecordWriter&& other) noexcept;
+  RecordWriter(const RecordWriter&) = delete;
+  RecordWriter& operator=(const RecordWriter&) = delete;
+
+  agl::Status Append(const std::string& record);
+  agl::Status Flush();
+  agl::Status Close();
+
+  uint64_t num_records() const { return num_records_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  explicit RecordWriter(std::FILE* f) : file_(f) {}
+
+  std::FILE* file_ = nullptr;
+  uint64_t num_records_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Sequentially reads checksummed records from a file.
+class RecordReader {
+ public:
+  static agl::Result<RecordReader> Open(const std::string& path);
+  ~RecordReader();
+
+  RecordReader(RecordReader&& other) noexcept;
+  RecordReader& operator=(RecordReader&& other) noexcept;
+  RecordReader(const RecordReader&) = delete;
+  RecordReader& operator=(const RecordReader&) = delete;
+
+  /// Reads the next record into `*out`. Returns kOutOfRange at end-of-file
+  /// and kCorruption on checksum mismatch or truncated payload.
+  agl::Status Next(std::string* out);
+
+  /// Reads every remaining record.
+  agl::Status ReadAll(std::vector<std::string>* out);
+
+ private:
+  explicit RecordReader(std::FILE* f) : file_(f) {}
+
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace agl::io

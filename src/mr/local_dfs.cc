@@ -1,0 +1,109 @@
+#include "mr/local_dfs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "io/record_file.h"
+
+namespace agl::mr {
+
+namespace fs = std::filesystem;
+
+agl::Result<LocalDfs> LocalDfs::Open(const std::string& root) {
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    return agl::Status::IoError("cannot create DFS root " + root + ": " +
+                                ec.message());
+  }
+  return LocalDfs(root);
+}
+
+std::string LocalDfs::DatasetDir(const std::string& name) const {
+  return root_ + "/" + name;
+}
+
+agl::Status LocalDfs::WriteDataset(const std::string& name,
+                                   const std::vector<std::string>& records,
+                                   int num_parts) {
+  num_parts = std::max(1, num_parts);
+  AGL_RETURN_IF_ERROR(DropDataset(name));
+  const std::string dir = DatasetDir(name);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return agl::Status::IoError("cannot create dataset dir: " + ec.message());
+  }
+  std::vector<io::RecordWriter> writers;
+  writers.reserve(num_parts);
+  for (int p = 0; p < num_parts; ++p) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/part-%05d", p);
+    AGL_ASSIGN_OR_RETURN(io::RecordWriter w,
+                         io::RecordWriter::Open(dir + buf));
+    writers.push_back(std::move(w));
+  }
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    AGL_RETURN_IF_ERROR(writers[i % num_parts].Append(records[i]));
+  }
+  for (io::RecordWriter& w : writers) {
+    AGL_RETURN_IF_ERROR(w.Close());
+  }
+  return agl::Status::OK();
+}
+
+agl::Result<std::vector<std::string>> LocalDfs::ReadDataset(
+    const std::string& name) const {
+  AGL_ASSIGN_OR_RETURN(std::vector<std::string> parts, ListParts(name));
+  std::vector<std::string> records;
+  for (const std::string& path : parts) {
+    AGL_ASSIGN_OR_RETURN(io::RecordReader reader,
+                         io::RecordReader::Open(path));
+    AGL_RETURN_IF_ERROR(reader.ReadAll(&records));
+  }
+  return records;
+}
+
+agl::Result<std::vector<std::string>> LocalDfs::ListParts(
+    const std::string& name) const {
+  const std::string dir = DatasetDir(name);
+  if (!fs::exists(dir)) {
+    return agl::Status::NotFound("dataset not found: " + name);
+  }
+  std::vector<std::string> parts;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() &&
+        entry.path().filename().string().rfind("part-", 0) == 0) {
+      parts.push_back(entry.path().string());
+    }
+  }
+  std::sort(parts.begin(), parts.end());
+  return parts;
+}
+
+bool LocalDfs::DatasetExists(const std::string& name) const {
+  return fs::exists(DatasetDir(name));
+}
+
+agl::Status LocalDfs::DropDataset(const std::string& name) {
+  const std::string dir = DatasetDir(name);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  if (ec) {
+    return agl::Status::IoError("cannot drop dataset: " + ec.message());
+  }
+  return agl::Status::OK();
+}
+
+agl::Result<uint64_t> LocalDfs::DatasetBytes(const std::string& name) const {
+  AGL_ASSIGN_OR_RETURN(std::vector<std::string> parts, ListParts(name));
+  uint64_t total = 0;
+  for (const std::string& p : parts) {
+    std::error_code ec;
+    total += fs::file_size(p, ec);
+  }
+  return total;
+}
+
+}  // namespace agl::mr

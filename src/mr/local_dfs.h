@@ -1,0 +1,54 @@
+// LocalDfs: a directory of checksummed part-files standing in for the
+// distributed file system where GraphFlat stores flattened GraphFeatures
+// ("Storing" step of §3.2.1) and GraphInfer reads/writes embeddings.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace agl::mr {
+
+/// File-system backed record store. Datasets are subdirectories holding
+/// part-00000..part-NNNNN record files.
+class LocalDfs {
+ public:
+  /// `root` is created if missing.
+  static agl::Result<LocalDfs> Open(const std::string& root);
+
+  /// Writes `records` as `num_parts` part files (round-robin), replacing the
+  /// dataset if it exists.
+  agl::Status WriteDataset(const std::string& name,
+                           const std::vector<std::string>& records,
+                           int num_parts = 1);
+
+  /// Reads every record of a dataset (part order, then file order).
+  agl::Result<std::vector<std::string>> ReadDataset(
+      const std::string& name) const;
+
+  /// Lists the part files of a dataset (absolute paths, sorted).
+  agl::Result<std::vector<std::string>> ListParts(
+      const std::string& name) const;
+
+  bool DatasetExists(const std::string& name) const;
+
+  /// Removes a dataset and its part files.
+  agl::Status DropDataset(const std::string& name);
+
+  /// Total bytes across the dataset's part files.
+  agl::Result<uint64_t> DatasetBytes(const std::string& name) const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  explicit LocalDfs(std::string root) : root_(std::move(root)) {}
+
+  std::string DatasetDir(const std::string& name) const;
+
+  std::string root_;
+};
+
+}  // namespace agl::mr

@@ -1,0 +1,197 @@
+#include "mr/mapreduce.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace agl::mr {
+namespace {
+
+uint64_t HashKey(const std::string& key) {
+  // FNV-1a.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Runs `task(attempt)` with retry and deterministic fault injection.
+/// `task_uid` decorrelates the injection stream across tasks and rounds.
+agl::Status RunWithRetry(const JobConfig& config, uint64_t task_uid,
+                         std::atomic<int64_t>* failed_attempts,
+                         const std::function<agl::Status()>& task) {
+  agl::Status last;
+  for (int attempt = 0; attempt < config.max_task_attempts; ++attempt) {
+    if (config.fault_injection_rate > 0.0) {
+      Rng rng(DeriveSeed(config.seed,
+                         task_uid * 131 + static_cast<uint64_t>(attempt)));
+      if (rng.Bernoulli(config.fault_injection_rate)) {
+        failed_attempts->fetch_add(1, std::memory_order_relaxed);
+        last = agl::Status::Aborted("injected fault (task " +
+                                    std::to_string(task_uid) + " attempt " +
+                                    std::to_string(attempt) + ")");
+        continue;
+      }
+    }
+    last = task();
+    if (last.ok()) return last;
+    failed_attempts->fetch_add(1, std::memory_order_relaxed);
+  }
+  return agl::Status::Aborted("task " + std::to_string(task_uid) +
+                              " exhausted " +
+                              std::to_string(config.max_task_attempts) +
+                              " attempts; last error: " + last.ToString());
+}
+
+}  // namespace
+
+agl::Result<std::vector<KeyValue>> RunMapPhase(const JobConfig& config,
+                                               std::span<const KeyValue> input,
+                                               const MapperFactory& mapper,
+                                               JobStats* stats) {
+  Stopwatch watch;
+  const int num_tasks = std::max(1, config.num_map_tasks);
+  const std::size_t chunk = (input.size() + num_tasks - 1) / num_tasks;
+
+  std::vector<std::vector<KeyValue>> task_outputs(num_tasks);
+  std::vector<agl::Status> task_status(num_tasks);
+  std::atomic<int64_t> failed_attempts{0};
+
+  ThreadPool pool(static_cast<std::size_t>(std::max(1, config.num_workers)));
+  std::vector<std::future<void>> futs;
+  for (int t = 0; t < num_tasks; ++t) {
+    futs.push_back(pool.Submit([&, t] {
+      const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+      const std::size_t end = std::min(input.size(), begin + chunk);
+      task_status[t] = RunWithRetry(
+          config, static_cast<uint64_t>(t), &failed_attempts, [&]() {
+            // Fresh mapper + output per attempt: failed attempts leave no
+            // partial state behind.
+            auto m = mapper();
+            Emitter emitter;
+            for (std::size_t i = begin; i < end; ++i) {
+              AGL_RETURN_IF_ERROR(m->Map(input[i], &emitter));
+            }
+            task_outputs[t] = std::move(emitter.records());
+            return agl::Status::OK();
+          });
+    }));
+  }
+  for (auto& f : futs) f.get();
+  for (const agl::Status& s : task_status) {
+    if (!s.ok()) return s;
+  }
+
+  std::vector<KeyValue> out;
+  std::size_t total = 0;
+  for (const auto& v : task_outputs) total += v.size();
+  out.reserve(total);
+  for (auto& v : task_outputs) {
+    for (KeyValue& kv : v) out.push_back(std::move(kv));
+  }
+  if (stats != nullptr) {
+    stats->map_tasks += num_tasks;
+    stats->failed_attempts += failed_attempts.load();
+    stats->input_records += static_cast<int64_t>(input.size());
+    stats->elapsed_seconds += watch.Seconds();
+  }
+  return out;
+}
+
+agl::Result<std::vector<KeyValue>> RunReducePhase(
+    const JobConfig& config, std::vector<KeyValue> input,
+    const ReducerFactory& reducer, JobStats* stats) {
+  Stopwatch watch;
+  const int num_parts = std::max(1, config.num_reduce_tasks);
+
+  // Shuffle: hash-partition records by key.
+  std::vector<std::vector<KeyValue>> partitions(num_parts);
+  for (KeyValue& kv : input) {
+    partitions[HashKey(kv.key) % num_parts].push_back(std::move(kv));
+  }
+  const int64_t shuffled = static_cast<int64_t>(input.size());
+  input.clear();
+  input.shrink_to_fit();
+
+  std::vector<std::vector<KeyValue>> task_outputs(num_parts);
+  std::vector<agl::Status> task_status(num_parts);
+  std::atomic<int64_t> failed_attempts{0};
+  int64_t max_task_records = 0;
+  for (const auto& p : partitions) {
+    max_task_records =
+        std::max(max_task_records, static_cast<int64_t>(p.size()));
+  }
+
+  ThreadPool pool(static_cast<std::size_t>(std::max(1, config.num_workers)));
+  std::vector<std::future<void>> futs;
+  for (int t = 0; t < num_parts; ++t) {
+    futs.push_back(pool.Submit([&, t] {
+      task_status[t] = RunWithRetry(
+          config, 100000 + static_cast<uint64_t>(t), &failed_attempts, [&]() {
+            // Group by key: sort the partition (stable for deterministic
+            // value order), then walk runs of equal keys.
+            std::vector<KeyValue> part = partitions[t];  // copy per attempt
+            std::stable_sort(part.begin(), part.end(),
+                             [](const KeyValue& a, const KeyValue& b) {
+                               return a.key < b.key;
+                             });
+            auto r = reducer();
+            Emitter emitter;
+            std::size_t i = 0;
+            std::vector<std::string> values;
+            while (i < part.size()) {
+              std::size_t j = i;
+              values.clear();
+              while (j < part.size() && part[j].key == part[i].key) {
+                values.push_back(std::move(part[j].value));
+                ++j;
+              }
+              AGL_RETURN_IF_ERROR(r->Reduce(part[i].key, values, &emitter));
+              i = j;
+            }
+            task_outputs[t] = std::move(emitter.records());
+            return agl::Status::OK();
+          });
+    }));
+  }
+  for (auto& f : futs) f.get();
+  for (const agl::Status& s : task_status) {
+    if (!s.ok()) return s;
+  }
+
+  std::vector<KeyValue> out;
+  std::size_t total = 0;
+  for (const auto& v : task_outputs) total += v.size();
+  out.reserve(total);
+  for (auto& v : task_outputs) {
+    for (KeyValue& kv : v) out.push_back(std::move(kv));
+  }
+  if (stats != nullptr) {
+    stats->reduce_tasks += num_parts;
+    stats->failed_attempts += failed_attempts.load();
+    stats->shuffled_records += shuffled;
+    stats->output_records += static_cast<int64_t>(out.size());
+    stats->max_reduce_task_records =
+        std::max(stats->max_reduce_task_records, max_task_records);
+    stats->elapsed_seconds += watch.Seconds();
+  }
+  return out;
+}
+
+agl::Result<std::vector<KeyValue>> RunJob(const JobConfig& config,
+                                          std::span<const KeyValue> input,
+                                          const MapperFactory& mapper,
+                                          const ReducerFactory& reducer,
+                                          JobStats* stats) {
+  AGL_ASSIGN_OR_RETURN(std::vector<KeyValue> mapped,
+                       RunMapPhase(config, input, mapper, stats));
+  return RunReducePhase(config, std::move(mapped), reducer, stats);
+}
+
+}  // namespace agl::mr

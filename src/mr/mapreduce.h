@@ -1,0 +1,122 @@
+// Multi-threaded local MapReduce engine — the "mature infrastructure" AGL is
+// built on instead of a custom graph store. Semantics follow Dean &
+// Ghemawat: map over input splits, hash-shuffle by key, grouped reduce.
+//
+// Fault tolerance is task-level, like the real thing: a task attempt that
+// fails (including deterministically injected faults, used by the tests) is
+// retried up to `max_task_attempts` times with a fresh Mapper/Reducer
+// instance, so user code must be idempotent per attempt. Workers are
+// threads; the worker count models the paper's cluster width.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace agl::mr {
+
+/// One record flowing through the pipeline.
+struct KeyValue {
+  std::string key;
+  std::string value;
+};
+
+/// Collects the records a task emits.
+class Emitter {
+ public:
+  void Emit(std::string key, std::string value) {
+    out_.push_back({std::move(key), std::move(value)});
+  }
+  std::vector<KeyValue>& records() { return out_; }
+
+ private:
+  std::vector<KeyValue> out_;
+};
+
+/// User map function; a fresh instance is constructed per task attempt.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual agl::Status Map(const KeyValue& input, Emitter* out) = 0;
+};
+
+/// User reduce function; receives every value that shares a shuffle key.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual agl::Status Reduce(const std::string& key,
+                             const std::vector<std::string>& values,
+                             Emitter* out) = 0;
+};
+
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+
+struct JobConfig {
+  /// Parallel worker threads executing tasks.
+  int num_workers = 4;
+  /// Input splits for the map phase.
+  int num_map_tasks = 8;
+  /// Shuffle partitions / reduce tasks.
+  int num_reduce_tasks = 8;
+  /// A task attempt is retried until this many failures.
+  int max_task_attempts = 3;
+  /// Probability that any task attempt is killed before running (fault
+  /// injection for tests / resilience benchmarks). Deterministic given
+  /// `seed`.
+  double fault_injection_rate = 0.0;
+  uint64_t seed = 1234;
+};
+
+/// Aggregate execution statistics (exposed for load-balance experiments).
+struct JobStats {
+  int64_t map_tasks = 0;
+  int64_t reduce_tasks = 0;
+  int64_t failed_attempts = 0;
+  int64_t input_records = 0;
+  int64_t shuffled_records = 0;
+  int64_t output_records = 0;
+  /// Max records processed by a single reduce task (skew indicator).
+  int64_t max_reduce_task_records = 0;
+  double elapsed_seconds = 0;
+
+  void Accumulate(const JobStats& other) {
+    map_tasks += other.map_tasks;
+    reduce_tasks += other.reduce_tasks;
+    failed_attempts += other.failed_attempts;
+    input_records += other.input_records;
+    shuffled_records += other.shuffled_records;
+    output_records += other.output_records;
+    max_reduce_task_records =
+        std::max(max_reduce_task_records, other.max_reduce_task_records);
+    elapsed_seconds += other.elapsed_seconds;
+  }
+};
+
+/// Runs only the map phase: input records -> emitted records (unshuffled).
+agl::Result<std::vector<KeyValue>> RunMapPhase(const JobConfig& config,
+                                               std::span<const KeyValue> input,
+                                               const MapperFactory& mapper,
+                                               JobStats* stats = nullptr);
+
+/// Shuffles by key and runs the reduce phase. This is the unit GraphFlat
+/// and GraphInfer iterate K times.
+agl::Result<std::vector<KeyValue>> RunReducePhase(
+    const JobConfig& config, std::vector<KeyValue> input,
+    const ReducerFactory& reducer, JobStats* stats = nullptr);
+
+/// Full job: map, shuffle, reduce.
+agl::Result<std::vector<KeyValue>> RunJob(const JobConfig& config,
+                                          std::span<const KeyValue> input,
+                                          const MapperFactory& mapper,
+                                          const ReducerFactory& reducer,
+                                          JobStats* stats = nullptr);
+
+}  // namespace agl::mr

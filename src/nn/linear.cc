@@ -1,0 +1,20 @@
+#include "nn/linear.h"
+
+namespace agl::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter(
+      "weight", tensor::Tensor::GlorotUniform(in_features, out_features, rng));
+  if (bias) {
+    bias_ = RegisterParameter("bias", tensor::Tensor(1, out_features));
+  }
+}
+
+autograd::Variable Linear::Forward(const autograd::Variable& x) const {
+  autograd::Variable y = autograd::MatMul(x, weight_);
+  if (bias_.defined()) y = autograd::AddBias(y, bias_);
+  return y;
+}
+
+}  // namespace agl::nn

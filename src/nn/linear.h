@@ -1,0 +1,29 @@
+// Fully-connected layer: y = x @ W + b.
+
+#pragma once
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace agl::nn {
+
+/// Dense affine transform with Glorot-uniform initialized weights.
+class Linear : public Module {
+ public:
+  /// `bias` may be disabled for layers that follow an aggregation.
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool bias = true);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  autograd::Variable weight_;  // [in x out]
+  autograd::Variable bias_;    // [1 x out], undefined when disabled
+};
+
+}  // namespace agl::nn

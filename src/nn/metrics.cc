@@ -1,0 +1,78 @@
+#include "nn/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace agl::nn {
+
+double Accuracy(const tensor::Tensor& logits,
+                const std::vector<int64_t>& labels) {
+  AGL_CHECK_EQ(logits.rows(), static_cast<int64_t>(labels.size()));
+  if (labels.empty()) return 0.0;
+  int64_t correct = 0;
+  for (int64_t i = 0; i < logits.rows(); ++i) {
+    const float* r = logits.row(i);
+    int64_t best = 0;
+    for (int64_t j = 1; j < logits.cols(); ++j) {
+      if (r[j] > r[best]) best = j;
+    }
+    if (best == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double MicroF1(const tensor::Tensor& logits, const tensor::Tensor& targets,
+               float threshold) {
+  AGL_CHECK_EQ(logits.rows(), targets.rows());
+  AGL_CHECK_EQ(logits.cols(), targets.cols());
+  int64_t tp = 0, fp = 0, fn = 0;
+  for (int64_t i = 0; i < logits.size(); ++i) {
+    const bool pred = logits.data()[i] > threshold;
+    const bool truth = targets.data()[i] > 0.5f;
+    if (pred && truth) ++tp;
+    if (pred && !truth) ++fp;
+    if (!pred && truth) ++fn;
+  }
+  const double denom = 2.0 * tp + fp + fn;
+  return denom > 0 ? 2.0 * tp / denom : 0.0;
+}
+
+double Auc(const std::vector<float>& scores, const std::vector<int>& labels) {
+  AGL_CHECK_EQ(scores.size(), labels.size());
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  // Average ranks over ties, then apply the Mann-Whitney U statistic.
+  std::vector<double> rank(scores.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double avg_rank = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0;
+  int64_t num_pos = 0, num_neg = 0;
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] == 1) {
+      pos_rank_sum += rank[k];
+      ++num_pos;
+    } else {
+      ++num_neg;
+    }
+  }
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+  const double u = pos_rank_sum - static_cast<double>(num_pos) *
+                                      (static_cast<double>(num_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+}  // namespace agl::nn

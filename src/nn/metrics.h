@@ -1,0 +1,26 @@
+// Evaluation metrics matching the paper's protocol: accuracy on Cora,
+// micro-F1 on PPI (multi-label), AUC on UUG (binary).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace agl::nn {
+
+/// Fraction of rows whose argmax matches the label.
+double Accuracy(const tensor::Tensor& logits,
+                const std::vector<int64_t>& labels);
+
+/// Micro-averaged F1 for multi-label prediction: an entry is predicted
+/// positive when its logit > `threshold` (0 == sigmoid 0.5).
+double MicroF1(const tensor::Tensor& logits, const tensor::Tensor& targets,
+               float threshold = 0.f);
+
+/// Area under the ROC curve for binary scores (higher score => class 1),
+/// computed by the rank statistic with tie handling.
+double Auc(const std::vector<float>& scores, const std::vector<int>& labels);
+
+}  // namespace agl::nn

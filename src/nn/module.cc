@@ -1,0 +1,70 @@
+#include "nn/module.h"
+
+#include "common/logging.h"
+
+namespace agl::nn {
+
+std::vector<NamedParameter> Module::Parameters() const {
+  std::vector<NamedParameter> out = own_params_;
+  for (const auto& [child_name, child] : children_) {
+    for (NamedParameter p : child->Parameters()) {
+      p.name = child_name + "." + p.name;
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const NamedParameter& p : Parameters()) n += p.variable.value().size();
+  return n;
+}
+
+void Module::ZeroGrad() {
+  for (NamedParameter& p : Parameters()) p.variable.ZeroGrad();
+}
+
+std::map<std::string, tensor::Tensor> Module::StateDict() const {
+  std::map<std::string, tensor::Tensor> out;
+  for (const NamedParameter& p : Parameters()) {
+    out.emplace(p.name, p.variable.value());
+  }
+  return out;
+}
+
+agl::Status Module::LoadStateDict(
+    const std::map<std::string, tensor::Tensor>& state) {
+  for (NamedParameter& p : Parameters()) {
+    auto it = state.find(p.name);
+    if (it == state.end()) {
+      return agl::Status::NotFound("missing parameter in state dict: " +
+                                   p.name);
+    }
+    if (it->second.rows() != p.variable.rows() ||
+        it->second.cols() != p.variable.cols()) {
+      return agl::Status::InvalidArgument(
+          "shape mismatch for " + p.name + ": expected " +
+          p.variable.value().ShapeString() + " got " +
+          it->second.ShapeString());
+    }
+    p.variable.mutable_value() = it->second;
+  }
+  return agl::Status::OK();
+}
+
+autograd::Variable Module::RegisterParameter(const std::string& name,
+                                             tensor::Tensor init) {
+  for (const NamedParameter& p : own_params_) {
+    AGL_CHECK_NE(p.name, name) << "duplicate parameter name";
+  }
+  autograd::Variable v = autograd::Variable::Parameter(std::move(init));
+  own_params_.push_back({name, v});
+  return v;
+}
+
+void Module::RegisterChild(const std::string& name, Module* child) {
+  children_.emplace_back(name, child);
+}
+
+}  // namespace agl::nn

@@ -1,0 +1,60 @@
+// Parameter registry shared by layers, optimizers and the parameter server.
+//
+// A Module owns named parameters (autograd leaf Variables). GNN models are
+// Modules composed of layer Modules; the PS shards parameters by these names.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/status.h"
+
+namespace agl::nn {
+
+/// A named trainable parameter.
+struct NamedParameter {
+  std::string name;
+  autograd::Variable variable;
+};
+
+/// Base class for anything that owns trainable parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All parameters of this module (and registered children), with
+  /// hierarchical dot-separated names.
+  std::vector<NamedParameter> Parameters() const;
+
+  /// Total scalar count across all parameters.
+  int64_t NumParameters() const;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+  /// Copies parameter values out as a name -> tensor map (PS snapshot /
+  /// model segmentation use this).
+  std::map<std::string, tensor::Tensor> StateDict() const;
+
+  /// Loads values from a name -> tensor map; missing names are an error,
+  /// shape mismatches are an error.
+  agl::Status LoadStateDict(const std::map<std::string, tensor::Tensor>& state);
+
+ protected:
+  /// Registers an owned parameter under `name`.
+  autograd::Variable RegisterParameter(const std::string& name,
+                                       tensor::Tensor init);
+  /// Registers a child module whose parameters are exposed under
+  /// "<name>.<child param name>".
+  void RegisterChild(const std::string& name, Module* child);
+
+ private:
+  std::vector<NamedParameter> own_params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace agl::nn

@@ -1,0 +1,78 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace agl::nn {
+
+void Sgd::Step() {
+  for (NamedParameter& p : params_) {
+    autograd::Variable& var = p.variable;
+    if (!var.node()->has_grad()) continue;
+    tensor::Tensor& value = var.mutable_value();
+    const tensor::Tensor& g = var.grad();
+    if (weight_decay_ > 0.f) value.Scale(1.f - lr_ * weight_decay_);
+    value.Axpy(-lr_, g);
+  }
+}
+
+Adam::Adam(std::vector<NamedParameter> params, Options opts)
+    : Optimizer(std::move(params)), opts_(opts) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const NamedParameter& p : params_) {
+    m_.emplace_back(p.variable.rows(), p.variable.cols());
+    v_.emplace_back(p.variable.rows(), p.variable.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.f - std::pow(opts_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.f - std::pow(opts_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    autograd::Variable& var = params_[i].variable;
+    if (!var.node()->has_grad()) continue;
+    tensor::Tensor& value = var.mutable_value();
+    const tensor::Tensor& g = var.grad();
+    tensor::Tensor& m = m_[i];
+    tensor::Tensor& v = v_[i];
+    for (int64_t k = 0; k < value.size(); ++k) {
+      float gk = g.data()[k];
+      if (opts_.weight_decay > 0.f) {
+        gk += opts_.weight_decay * value.data()[k];
+      }
+      m.data()[k] = opts_.beta1 * m.data()[k] + (1.f - opts_.beta1) * gk;
+      v.data()[k] = opts_.beta2 * v.data()[k] + (1.f - opts_.beta2) * gk * gk;
+      const float mhat = m.data()[k] / bc1;
+      const float vhat = v.data()[k] / bc2;
+      value.data()[k] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
+    }
+  }
+}
+
+void AdamApply(const Adam::Options& opts, const tensor::Tensor& grad,
+               tensor::Tensor* value, AdamState* state) {
+  AGL_CHECK_EQ(grad.size(), value->size());
+  if (state->m.empty()) {
+    state->m = tensor::Tensor(value->rows(), value->cols());
+    state->v = tensor::Tensor(value->rows(), value->cols());
+  }
+  state->t += 1;
+  const float bc1 = 1.f - std::pow(opts.beta1, static_cast<float>(state->t));
+  const float bc2 = 1.f - std::pow(opts.beta2, static_cast<float>(state->t));
+  for (int64_t k = 0; k < value->size(); ++k) {
+    float gk = grad.data()[k];
+    if (opts.weight_decay > 0.f) gk += opts.weight_decay * value->data()[k];
+    state->m.data()[k] =
+        opts.beta1 * state->m.data()[k] + (1.f - opts.beta1) * gk;
+    state->v.data()[k] =
+        opts.beta2 * state->v.data()[k] + (1.f - opts.beta2) * gk * gk;
+    const float mhat = state->m.data()[k] / bc1;
+    const float vhat = state->v.data()[k] / bc2;
+    value->data()[k] -= opts.lr * mhat / (std::sqrt(vhat) + opts.eps);
+  }
+}
+
+}  // namespace agl::nn

@@ -1,0 +1,86 @@
+// Gradient-descent optimizers over a parameter list. Adam is the optimizer
+// the paper uses for all experiments (§4.1.2). The same update rule also
+// runs server-side inside the parameter server (ps/).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace agl::nn {
+
+/// Interface: consume the accumulated gradients of the registered
+/// parameters and update their values in place.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<NamedParameter> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (NamedParameter& p : params_) p.variable.ZeroGrad();
+  }
+
+ protected:
+  std::vector<NamedParameter> params_;
+};
+
+/// Plain SGD with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<NamedParameter> params, float lr, float weight_decay = 0.f)
+      : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adam hyper-parameters (namespace scope so it can be a default argument).
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.f;
+};
+
+/// Adam (Kingma & Ba, 2014) with bias correction.
+class Adam : public Optimizer {
+ public:
+  using Options = AdamOptions;
+
+  Adam(std::vector<NamedParameter> params, Options opts = {});
+
+  void Step() override;
+
+  int64_t step_count() const { return t_; }
+
+ private:
+  Options opts_;
+  int64_t t_ = 0;
+  std::vector<tensor::Tensor> m_;  // first moment per parameter
+  std::vector<tensor::Tensor> v_;  // second moment per parameter
+};
+
+/// Stateless functional Adam update used by the parameter-server shards: the
+/// moments live with the server, not with the Variables.
+struct AdamState {
+  tensor::Tensor m;
+  tensor::Tensor v;
+  int64_t t = 0;
+};
+
+/// Applies one Adam update to `value` given `grad`, mutating `state`.
+void AdamApply(const Adam::Options& opts, const tensor::Tensor& grad,
+               tensor::Tensor* value, AdamState* state);
+
+}  // namespace agl::nn

@@ -1,0 +1,24 @@
+// Binary (de)serialization of model state dicts — used to store trained
+// models on the DFS, ship slices to GraphInfer reducers, and checkpoint
+// the trainer.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace agl::nn {
+
+/// Flattens a name -> tensor map into a versioned byte string.
+std::string SerializeStateDict(
+    const std::map<std::string, tensor::Tensor>& state);
+
+/// Parses bytes produced by SerializeStateDict; kCorruption on malformed
+/// input.
+agl::Result<std::map<std::string, tensor::Tensor>> ParseStateDict(
+    const std::string& bytes);
+
+}  // namespace agl::nn

@@ -1,0 +1,93 @@
+#include "ps/parameter_server.h"
+
+#include "common/logging.h"
+
+namespace agl::ps {
+
+ParameterServer::ParameterServer(const ServerOptions& options)
+    : options_(options) {
+  const int n = std::max(1, options_.num_shards);
+  shards_.reserve(n);
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+std::size_t ParameterServer::ShardOf(const std::string& key) const {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h % shards_.size();
+}
+
+void ParameterServer::Initialize(
+    const std::map<std::string, tensor::Tensor>& state) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+  }
+  for (const auto& [key, value] : state) {
+    Shard& shard = *shards_[ShardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries[key] = Entry{value, nn::AdamState{}};
+  }
+}
+
+std::map<std::string, tensor::Tensor> ParameterServer::PullAll() const {
+  std::map<std::string, tensor::Tensor> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, entry] : shard->entries) {
+      out.emplace(key, entry.value);
+      shard->pulls++;
+      shard->bytes_pulled +=
+          entry.value.size() * static_cast<int64_t>(sizeof(float));
+    }
+  }
+  return out;
+}
+
+agl::Status ParameterServer::PushGradients(
+    const std::map<std::string, tensor::Tensor>& grads) {
+  for (const auto& [key, grad] : grads) {
+    Shard& shard = *shards_[ShardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+      return agl::Status::NotFound("push to unknown parameter: " + key);
+    }
+    if (grad.rows() != it->second.value.rows() ||
+        grad.cols() != it->second.value.cols()) {
+      return agl::Status::InvalidArgument("gradient shape mismatch for " +
+                                          key);
+    }
+    nn::AdamApply(options_.adam, grad, &it->second.value,
+                  &it->second.opt_state);
+    shard.pushes++;
+    shard.bytes_pushed += grad.size() * static_cast<int64_t>(sizeof(float));
+  }
+  return agl::Status::OK();
+}
+
+int64_t ParameterServer::NumParameters() const {
+  int64_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += static_cast<int64_t>(shard->entries.size());
+  }
+  return n;
+}
+
+ServerStats ParameterServer::stats() const {
+  ServerStats s;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.pulls += shard->pulls;
+    s.pushes += shard->pushes;
+    s.bytes_pulled += shard->bytes_pulled;
+    s.bytes_pushed += shard->bytes_pushed;
+  }
+  return s;
+}
+
+}  // namespace agl::ps

@@ -1,0 +1,84 @@
+// Sharded parameter server (the Kunpeng-style substrate of §3.3).
+//
+// Because GraphFlat makes every training example self-contained, the
+// trainer is plain data-parallel: workers pull the current parameters,
+// compute gradients on their own k-hop neighborhoods, and push gradients
+// back. Servers apply the optimizer update (Adam) shard-locally. Pushes
+// are applied as they arrive (asynchronous / eventual consistency), which
+// is what produces the paper's Figure 7 behaviour: more workers need a few
+// more epochs but converge to the same AUC.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace agl::ps {
+
+struct ServerOptions {
+  /// Number of server shards; parameters are assigned by key hash.
+  int num_shards = 4;
+  /// Server-side optimizer settings (one AdamState per parameter).
+  nn::Adam::Options adam;
+};
+
+/// Counters for traffic accounting (exposed to the scalability benches).
+struct ServerStats {
+  int64_t pulls = 0;
+  int64_t pushes = 0;
+  int64_t bytes_pulled = 0;
+  int64_t bytes_pushed = 0;
+};
+
+/// In-process sharded parameter server.
+class ParameterServer {
+ public:
+  explicit ParameterServer(const ServerOptions& options);
+
+  /// Registers the initial values (typically a model's StateDict). Resets
+  /// any previous state.
+  void Initialize(const std::map<std::string, tensor::Tensor>& state);
+
+  /// Returns a consistent-enough snapshot of all parameters (per-shard
+  /// locking; cross-shard staleness is part of the async model).
+  std::map<std::string, tensor::Tensor> PullAll() const;
+
+  /// Applies one optimizer step per pushed gradient, shard-locally.
+  /// Unknown keys fail.
+  agl::Status PushGradients(
+      const std::map<std::string, tensor::Tensor>& grads);
+
+  /// Number of distinct parameters.
+  int64_t NumParameters() const;
+
+  ServerStats stats() const;
+
+ private:
+  struct Entry {
+    tensor::Tensor value;
+    nn::AdamState opt_state;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, Entry> entries;
+    mutable int64_t pulls = 0;
+    int64_t pushes = 0;
+    mutable int64_t bytes_pulled = 0;
+    int64_t bytes_pushed = 0;
+  };
+
+  std::size_t ShardOf(const std::string& key) const;
+
+  ServerOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace agl::ps

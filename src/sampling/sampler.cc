@@ -1,0 +1,140 @@
+#include "sampling/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace agl::sampling {
+
+agl::Result<Strategy> ParseStrategy(const std::string& name) {
+  if (name == "none") return Strategy::kNone;
+  if (name == "uniform") return Strategy::kUniform;
+  if (name == "weighted") return Strategy::kWeighted;
+  if (name == "topk") return Strategy::kTopK;
+  return agl::Status::InvalidArgument("unknown sampling strategy: " + name);
+}
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kNone:
+      return "none";
+    case Strategy::kUniform:
+      return "uniform";
+    case Strategy::kWeighted:
+      return "weighted";
+    case Strategy::kTopK:
+      return "topk";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::size_t> AllIndices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+class PassThroughSampler : public NeighborSampler {
+ public:
+  std::vector<std::size_t> Sample(std::span<const float> weights,
+                                  Rng*) const override {
+    return AllIndices(weights.size());
+  }
+  Strategy strategy() const override { return Strategy::kNone; }
+};
+
+class UniformSampler : public NeighborSampler {
+ public:
+  explicit UniformSampler(int64_t k) : k_(k) {}
+
+  std::vector<std::size_t> Sample(std::span<const float> weights,
+                                  Rng* rng) const override {
+    const std::size_t n = weights.size();
+    if (k_ <= 0 || static_cast<int64_t>(n) <= k_) return AllIndices(n);
+    std::vector<std::size_t> idx =
+        rng->SampleWithoutReplacement(n, static_cast<std::size_t>(k_));
+    std::sort(idx.begin(), idx.end());
+    return idx;
+  }
+  Strategy strategy() const override { return Strategy::kUniform; }
+
+ private:
+  int64_t k_;
+};
+
+class WeightedSampler : public NeighborSampler {
+ public:
+  explicit WeightedSampler(int64_t k) : k_(k) {}
+
+  std::vector<std::size_t> Sample(std::span<const float> weights,
+                                  Rng* rng) const override {
+    const std::size_t n = weights.size();
+    if (k_ <= 0 || static_cast<int64_t>(n) <= k_) return AllIndices(n);
+    // Efraimidis-Spirakis reservoir: key = U^(1/w); take the k largest keys.
+    // Zero-weight edges can only be chosen after all positive ones.
+    std::vector<std::pair<double, std::size_t>> keyed(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = std::max(1e-12, static_cast<double>(weights[i]));
+      keyed[i] = {std::pow(rng->Uniform(1e-12, 1.0), 1.0 / w), i};
+    }
+    std::partial_sort(keyed.begin(), keyed.begin() + k_, keyed.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    std::vector<std::size_t> idx(k_);
+    for (int64_t i = 0; i < k_; ++i) idx[i] = keyed[i].second;
+    std::sort(idx.begin(), idx.end());
+    return idx;
+  }
+  Strategy strategy() const override { return Strategy::kWeighted; }
+
+ private:
+  int64_t k_;
+};
+
+class TopKSampler : public NeighborSampler {
+ public:
+  explicit TopKSampler(int64_t k) : k_(k) {}
+
+  std::vector<std::size_t> Sample(std::span<const float> weights,
+                                  Rng*) const override {
+    const std::size_t n = weights.size();
+    if (k_ <= 0 || static_cast<int64_t>(n) <= k_) return AllIndices(n);
+    std::vector<std::size_t> idx = AllIndices(n);
+    // Stable tie-break on index keeps the result deterministic.
+    std::partial_sort(idx.begin(), idx.begin() + k_, idx.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        if (weights[a] != weights[b]) {
+                          return weights[a] > weights[b];
+                        }
+                        return a < b;
+                      });
+    idx.resize(k_);
+    std::sort(idx.begin(), idx.end());
+    return idx;
+  }
+  Strategy strategy() const override { return Strategy::kTopK; }
+
+ private:
+  int64_t k_;
+};
+
+}  // namespace
+
+std::unique_ptr<NeighborSampler> MakeSampler(const SamplerConfig& config) {
+  switch (config.strategy) {
+    case Strategy::kNone:
+      return std::make_unique<PassThroughSampler>();
+    case Strategy::kUniform:
+      return std::make_unique<UniformSampler>(config.max_neighbors);
+    case Strategy::kWeighted:
+      return std::make_unique<WeightedSampler>(config.max_neighbors);
+    case Strategy::kTopK:
+      return std::make_unique<TopKSampler>(config.max_neighbors);
+  }
+  return std::make_unique<PassThroughSampler>();
+}
+
+}  // namespace agl::sampling

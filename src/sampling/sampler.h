@@ -1,0 +1,55 @@
+// Neighbor sampling framework (paper §3.2.2).
+//
+// GraphFlat bounds the size of k-hop neighborhoods around "hub" nodes by
+// sampling a portion of each node's in-edges before merging. The framework
+// is pluggable; the paper names uniform and weighted sampling explicitly.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace agl::sampling {
+
+enum class Strategy {
+  kNone = 0,     // keep every neighbor
+  kUniform,      // uniform without replacement
+  kWeighted,     // probability proportional to edge weight, w/o replacement
+  kTopK,         // deterministic: the k largest edge weights
+};
+
+/// Parses "none" / "uniform" / "weighted" / "topk".
+agl::Result<Strategy> ParseStrategy(const std::string& name);
+const char* StrategyName(Strategy s);
+
+struct SamplerConfig {
+  Strategy strategy = Strategy::kNone;
+  /// Max in-edge neighbors kept per node; <= 0 means unlimited.
+  int64_t max_neighbors = 0;
+};
+
+/// Selects which of `n` candidate edges to keep given their weights.
+/// Implementations must be stateless w.r.t. calls (Rng carries all state) so
+/// reducers can share one sampler across shuffle keys.
+class NeighborSampler {
+ public:
+  virtual ~NeighborSampler() = default;
+
+  /// Returns indices (into the candidate list) of the kept edges, in
+  /// ascending order. `weights` supplies one non-negative weight per edge.
+  virtual std::vector<std::size_t> Sample(std::span<const float> weights,
+                                          Rng* rng) const = 0;
+
+  virtual Strategy strategy() const = 0;
+};
+
+/// Builds a sampler for `config`; kNone returns a pass-through sampler.
+std::unique_ptr<NeighborSampler> MakeSampler(const SamplerConfig& config);
+
+}  // namespace agl::sampling

@@ -1,0 +1,186 @@
+#include "subgraph/batch.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace agl::subgraph {
+namespace {
+
+constexpr int64_t kUnreachable = std::numeric_limits<int64_t>::max() / 2;
+
+}  // namespace
+
+VectorizedBatch MergeAndVectorize(std::span<const GraphFeature> features) {
+  VectorizedBatch batch;
+
+  // 1. Merge nodes by external id; first occurrence wins (all replicas of a
+  //    node carry identical features by construction).
+  std::unordered_map<NodeId, int64_t> local_of;
+  int64_t fn = 0, fe = 0;
+  for (const GraphFeature& gf : features) {
+    fn = std::max(fn, gf.node_features.cols());
+    fe = std::max(fe, gf.edge_features.cols());
+    for (NodeId id : gf.node_ids) {
+      if (local_of.emplace(id, static_cast<int64_t>(batch.node_ids.size()))
+              .second) {
+        batch.node_ids.push_back(id);
+      }
+    }
+  }
+  const int64_t n = static_cast<int64_t>(batch.node_ids.size());
+
+  batch.node_features = tensor::Tensor(n, fn);
+  std::vector<bool> feature_set(n, false);
+  std::vector<tensor::CooEntry> entries;
+  struct EdgeFeatRow {
+    int64_t row_in_source;
+    const GraphFeature* source;
+  };
+  std::vector<EdgeFeatRow> edge_feat_rows;
+
+  for (const GraphFeature& gf : features) {
+    // Node features.
+    for (int64_t i = 0; i < gf.num_nodes(); ++i) {
+      const int64_t local = local_of.at(gf.node_ids[i]);
+      if (!feature_set[local]) {
+        std::copy(gf.node_features.row(i), gf.node_features.row(i) + fn,
+                  batch.node_features.row(local));
+        feature_set[local] = true;
+      }
+    }
+    // Targets.
+    const int64_t t = local_of.at(gf.node_ids[gf.target_index]);
+    batch.target_indices.push_back(t);
+    batch.labels.push_back(gf.label);
+    // Edges (remapped into merged indices); duplicates coalesce below.
+    for (std::size_t ei = 0; ei < gf.edges.size(); ++ei) {
+      const GraphFeature::EdgeRec& e = gf.edges[ei];
+      entries.push_back({local_of.at(gf.node_ids[e.dst]),
+                         local_of.at(gf.node_ids[e.src]), e.weight});
+      if (fe > 0 && gf.edge_features.rows() > 0) {
+        edge_feat_rows.push_back({static_cast<int64_t>(ei), &gf});
+      }
+    }
+  }
+
+  // Multi-labels (all-or-nothing across the batch).
+  const int64_t ml_width =
+      features.empty() ? 0 : static_cast<int64_t>(features[0].multilabel.size());
+  if (ml_width > 0) {
+    batch.multilabels =
+        tensor::Tensor(static_cast<int64_t>(features.size()), ml_width);
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      AGL_CHECK_EQ(static_cast<int64_t>(features[i].multilabel.size()),
+                   ml_width)
+          << "inconsistent multilabel widths in batch";
+      std::copy(features[i].multilabel.begin(), features[i].multilabel.end(),
+                batch.multilabels.row(static_cast<int64_t>(i)));
+    }
+  }
+
+  // 2. Deduplicate edges on (dst, src): overlapping neighborhoods replicate
+  //    the same graph edge; keep one copy (not a sum).
+  std::sort(entries.begin(), entries.end(),
+            [](const tensor::CooEntry& a, const tensor::CooEntry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const tensor::CooEntry& a,
+                               const tensor::CooEntry& b) {
+                              return a.row == b.row && a.col == b.col;
+                            }),
+                entries.end());
+
+  // Edge features: aligned with the deduplicated CSR ordering. A simple
+  // lookup keyed by endpoints keeps the first-seen feature row.
+  if (fe > 0 && !edge_feat_rows.empty()) {
+    std::unordered_map<uint64_t, const float*> feat_by_edge;
+    std::unordered_map<NodeId, int64_t>& lof = local_of;
+    for (const GraphFeature& gf : features) {
+      if (gf.edge_features.rows() == 0) continue;
+      for (std::size_t ei = 0; ei < gf.edges.size(); ++ei) {
+        const GraphFeature::EdgeRec& e = gf.edges[ei];
+        const uint64_t key =
+            (static_cast<uint64_t>(lof.at(gf.node_ids[e.dst])) << 32) |
+            static_cast<uint64_t>(lof.at(gf.node_ids[e.src]));
+        feat_by_edge.emplace(key, gf.edge_features.row(ei));
+      }
+    }
+    batch.edge_features =
+        tensor::Tensor(static_cast<int64_t>(entries.size()), fe);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const uint64_t key = (static_cast<uint64_t>(entries[i].row) << 32) |
+                           static_cast<uint64_t>(entries[i].col);
+      auto it = feat_by_edge.find(key);
+      if (it != feat_by_edge.end()) {
+        std::copy(it->second, it->second + fe,
+                  batch.edge_features.row(static_cast<int64_t>(i)));
+      }
+    }
+  }
+
+  batch.adjacency = std::make_shared<autograd::SharedAdjacency>(
+      tensor::SparseMatrix::FromCoo(n, n, entries));
+
+  // 3. Distances d(V_B, u): multi-source BFS from targets, traversing edges
+  //    backwards (dst -> src), i.e. following the in-edge aggregation
+  //    direction outwards.
+  batch.target_distance.assign(n, kUnreachable);
+  std::queue<int64_t> q;
+  for (int64_t t : batch.target_indices) {
+    if (batch.target_distance[t] != 0) {
+      batch.target_distance[t] = 0;
+      q.push(t);
+    }
+  }
+  const tensor::SparseMatrix& adj = batch.adjacency->matrix();
+  while (!q.empty()) {
+    const int64_t v = q.front();
+    q.pop();
+    for (int64_t p = adj.row_ptr()[v]; p < adj.row_ptr()[v + 1]; ++p) {
+      const int64_t u = adj.col_idx()[p];
+      if (batch.target_distance[u] > batch.target_distance[v] + 1) {
+        batch.target_distance[u] = batch.target_distance[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return batch;
+}
+
+std::vector<autograd::AdjacencyPtr> VectorizedBatch::PrunedAdjacencies(
+    int num_layers) const {
+  AGL_CHECK_GE(num_layers, 1);
+  const tensor::SparseMatrix& full = adjacency->matrix();
+  // The deepest distance that actually occurs; layers whose cutoff covers it
+  // can reuse the unpruned adjacency without copying.
+  int64_t max_observed = 0;
+  for (int64_t d : target_distance) {
+    if (d < kUnreachable) max_observed = std::max(max_observed, d);
+  }
+  std::vector<autograd::AdjacencyPtr> out(num_layers);
+  for (int k = 0; k < num_layers; ++k) {
+    const int64_t max_dist = num_layers - k - 1;
+    if (max_dist >= max_observed) {
+      out[k] = adjacency;
+      continue;
+    }
+    std::vector<tensor::CooEntry> kept;
+    for (int64_t r = 0; r < full.rows(); ++r) {
+      if (target_distance[r] > max_dist) continue;
+      for (int64_t p = full.row_ptr()[r]; p < full.row_ptr()[r + 1]; ++p) {
+        kept.push_back({r, full.col_idx()[p], full.values()[p]});
+      }
+    }
+    out[k] = std::make_shared<autograd::SharedAdjacency>(
+        tensor::SparseMatrix::FromCoo(full.rows(), full.cols(),
+                                      std::move(kept)));
+  }
+  return out;
+}
+
+}  // namespace agl::subgraph

@@ -1,0 +1,52 @@
+// Subgraph vectorization (paper §3.3.1) and graph pruning (§3.3.2).
+//
+// A training batch B = {<TargetedNodeId, Label, GraphFeature>} is merged
+// into one subgraph and vectorized into the three matrices the model
+// computation phase consumes: adjacency A_B, node features X_B and edge
+// features E_B, plus target indices and labels. Pruning derives the
+// per-layer adjacencies A_B^(k) that drop rows whose embeddings cannot
+// reach any target.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "subgraph/graph_feature.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace agl::subgraph {
+
+/// The vectorized form of a merged batch of GraphFeatures.
+struct VectorizedBatch {
+  /// Merged adjacency: entry (dst, src) per edge, rows sorted by
+  /// destination as Figure 4 prescribes.
+  autograd::AdjacencyPtr adjacency;
+  tensor::Tensor node_features;  // X_B
+  tensor::Tensor edge_features;  // E_B (may be empty)
+  std::vector<NodeId> node_ids;  // merged local index -> external id
+  std::vector<int64_t> target_indices;  // local rows of the targets
+  std::vector<int64_t> labels;          // per-target class labels (-1 ok)
+  tensor::Tensor multilabels;           // [num_targets x L] or empty
+  /// d(V_B, u): hops from node u to the nearest target following the
+  /// aggregation direction; INT64_MAX/2 when unreachable.
+  std::vector<int64_t> target_distance;
+
+  int64_t num_nodes() const { return static_cast<int64_t>(node_ids.size()); }
+
+  /// Per-layer pruned adjacencies for a K-layer model. Element k is used by
+  /// layer k (which computes H^(k+1)): it keeps only destination rows at
+  /// distance <= K - k - 1 from the batch targets, so the last layer only
+  /// aggregates into the targets themselves. Element k == nullptr never
+  /// happens; an un-pruned model can simply pass `adjacency` everywhere.
+  std::vector<autograd::AdjacencyPtr> PrunedAdjacencies(int num_layers) const;
+};
+
+/// Merges GraphFeatures (deduplicating shared nodes by external id and
+/// duplicate edges by endpoint pair) and vectorizes the result.
+VectorizedBatch MergeAndVectorize(std::span<const GraphFeature> features);
+
+}  // namespace agl::subgraph

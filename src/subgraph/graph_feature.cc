@@ -1,0 +1,131 @@
+#include "subgraph/graph_feature.h"
+
+#include "io/codec.h"
+
+namespace agl::subgraph {
+namespace {
+
+constexpr uint32_t kMagic = 0x41474c46;  // "AGLF"
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+std::string GraphFeature::Serialize() const {
+  io::BufferWriter w;
+  w.PutFixed32(kMagic);
+  w.PutVarint64(kVersion);
+  w.PutVarint64(target_id);
+  w.PutVarint64Signed(target_index);
+  w.PutVarint64Signed(label);
+  w.PutFloatArray(multilabel);
+
+  w.PutVarint64(node_ids.size());
+  for (NodeId id : node_ids) w.PutVarint64(id);
+  w.PutVarint64Signed(node_features.rows());
+  w.PutVarint64Signed(node_features.cols());
+  w.PutBytes(node_features.data(), node_features.size() * sizeof(float));
+
+  w.PutVarint64(edges.size());
+  for (const EdgeRec& e : edges) {
+    w.PutVarint64Signed(e.src);
+    w.PutVarint64Signed(e.dst);
+    w.PutFloat(e.weight);
+  }
+  w.PutVarint64Signed(edge_features.rows());
+  w.PutVarint64Signed(edge_features.cols());
+  w.PutBytes(edge_features.data(), edge_features.size() * sizeof(float));
+  return w.Release();
+}
+
+agl::Result<GraphFeature> GraphFeature::Parse(const std::string& bytes) {
+  io::BufferReader r(bytes);
+  uint32_t magic;
+  AGL_RETURN_IF_ERROR(r.GetFixed32(&magic));
+  if (magic != kMagic) {
+    return agl::Status::Corruption("GraphFeature: bad magic");
+  }
+  uint64_t version;
+  AGL_RETURN_IF_ERROR(r.GetVarint64(&version));
+  if (version != kVersion) {
+    return agl::Status::Corruption("GraphFeature: unsupported version " +
+                                   std::to_string(version));
+  }
+  GraphFeature gf;
+  uint64_t target_id;
+  AGL_RETURN_IF_ERROR(r.GetVarint64(&target_id));
+  gf.target_id = target_id;
+  AGL_RETURN_IF_ERROR(r.GetVarint64Signed(&gf.target_index));
+  AGL_RETURN_IF_ERROR(r.GetVarint64Signed(&gf.label));
+  AGL_RETURN_IF_ERROR(r.GetFloatArray(&gf.multilabel));
+
+  uint64_t num_nodes;
+  AGL_RETURN_IF_ERROR(r.GetVarint64(&num_nodes));
+  gf.node_ids.reserve(num_nodes);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    uint64_t id;
+    AGL_RETURN_IF_ERROR(r.GetVarint64(&id));
+    gf.node_ids.push_back(id);
+  }
+  int64_t rows, cols;
+  AGL_RETURN_IF_ERROR(r.GetVarint64Signed(&rows));
+  AGL_RETURN_IF_ERROR(r.GetVarint64Signed(&cols));
+  if (rows < 0 || cols < 0 ||
+      static_cast<uint64_t>(rows) != num_nodes) {
+    return agl::Status::Corruption("GraphFeature: node feature shape");
+  }
+  {
+    std::vector<float> data(static_cast<std::size_t>(rows * cols));
+    AGL_RETURN_IF_ERROR(r.GetRaw(data.data(), data.size() * sizeof(float)));
+    gf.node_features = tensor::Tensor(rows, cols, std::move(data));
+  }
+
+  uint64_t num_edges;
+  AGL_RETURN_IF_ERROR(r.GetVarint64(&num_edges));
+  gf.edges.reserve(num_edges);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    EdgeRec e;
+    AGL_RETURN_IF_ERROR(r.GetVarint64Signed(&e.src));
+    AGL_RETURN_IF_ERROR(r.GetVarint64Signed(&e.dst));
+    AGL_RETURN_IF_ERROR(r.GetFloat(&e.weight));
+    if (e.src < 0 || e.dst < 0 || e.src >= rows || e.dst >= rows) {
+      return agl::Status::Corruption("GraphFeature: edge endpoint range");
+    }
+    gf.edges.push_back(e);
+  }
+  int64_t erows, ecols;
+  AGL_RETURN_IF_ERROR(r.GetVarint64Signed(&erows));
+  AGL_RETURN_IF_ERROR(r.GetVarint64Signed(&ecols));
+  if (erows < 0 || ecols < 0) {
+    return agl::Status::Corruption("GraphFeature: edge feature shape");
+  }
+  {
+    std::vector<float> data(static_cast<std::size_t>(erows * ecols));
+    AGL_RETURN_IF_ERROR(r.GetRaw(data.data(), data.size() * sizeof(float)));
+    gf.edge_features = tensor::Tensor(erows, ecols, std::move(data));
+  }
+  if (gf.target_index < 0 || gf.target_index >= gf.num_nodes()) {
+    return agl::Status::Corruption("GraphFeature: target index range");
+  }
+  return gf;
+}
+
+bool GraphFeature::operator==(const GraphFeature& other) const {
+  auto edges_eq = [&] {
+    if (edges.size() != other.edges.size()) return false;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (edges[i].src != other.edges[i].src ||
+          edges[i].dst != other.edges[i].dst ||
+          edges[i].weight != other.edges[i].weight) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return target_id == other.target_id && target_index == other.target_index &&
+         label == other.label && multilabel == other.multilabel &&
+         node_ids == other.node_ids &&
+         node_features.AllClose(other.node_features, 0.f) &&
+         edges_eq() && edge_features.AllClose(other.edge_features, 0.f);
+}
+
+}  // namespace agl::subgraph

@@ -1,0 +1,59 @@
+// GraphFeature: the serialized k-hop neighborhood (paper §3.2.1).
+//
+// "At the end of this pipeline, the k-hop neighborhood w.r.t. a certain
+//  targeted node is flattened to a protobuf string. ... since the k-hop
+//  neighborhood w.r.t. a node helps discriminate the node from others, we
+//  also call it GraphFeature."
+//
+// Our byte format plays the protobuf role: a versioned, varint-coded,
+// self-contained subgraph that round-trips through the LocalDfs record
+// files produced by GraphFlat and consumed by GraphTrainer.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace agl::subgraph {
+
+using NodeId = uint64_t;
+
+/// An information-complete subgraph for one target node.
+struct GraphFeature {
+  /// One directed edge with endpoints as local node indices.
+  struct EdgeRec {
+    int64_t src = 0;
+    int64_t dst = 0;
+    float weight = 1.f;
+  };
+
+  NodeId target_id = 0;
+  /// Local index of the target inside `node_ids` (always present).
+  int64_t target_index = 0;
+  /// Integer class label; -1 when unlabeled (inference-time features).
+  int64_t label = -1;
+  /// Optional multi-label target vector (PPI-style tasks); empty if unused.
+  std::vector<float> multilabel;
+
+  std::vector<NodeId> node_ids;
+  tensor::Tensor node_features;  // [num_nodes x fn]
+  std::vector<EdgeRec> edges;    // sorted by (dst, src)
+  tensor::Tensor edge_features;  // [num_edges x fe] or empty
+
+  int64_t num_nodes() const { return static_cast<int64_t>(node_ids.size()); }
+  int64_t num_edges() const { return static_cast<int64_t>(edges.size()); }
+
+  /// Flattens to the versioned byte string stored on the DFS.
+  std::string Serialize() const;
+  /// Parses a byte string; kCorruption on malformed input.
+  static agl::Result<GraphFeature> Parse(const std::string& bytes);
+
+  /// Structural + value equality (used heavily by round-trip tests).
+  bool operator==(const GraphFeature& other) const;
+};
+
+}  // namespace agl::subgraph

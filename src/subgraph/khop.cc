@@ -1,0 +1,105 @@
+#include "subgraph/khop.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace agl::subgraph {
+
+agl::Result<GraphFeature> ExtractKHop(const graph::Graph& g,
+                                      graph::NodeId target,
+                                      const KHopOptions& opts) {
+  const int64_t root = g.LocalIndex(target);
+  if (root == graph::Graph::kNotFound) {
+    return agl::Status::NotFound("target node not in graph: " +
+                                 std::to_string(target));
+  }
+  Rng rng(DeriveSeed(opts.seed, target));
+  auto sampler = sampling::MakeSampler(opts.sampler);
+
+  // BFS from the target following in-edges backwards (dst -> src), since a
+  // node at distance d feeds the target's layer-(k-d) embeddings.
+  std::unordered_map<int64_t, int64_t> local_of;  // graph idx -> subgraph idx
+  std::vector<int64_t> order;                     // subgraph idx -> graph idx
+  std::vector<int> depth;
+  local_of.emplace(root, 0);
+  order.push_back(root);
+  depth.push_back(0);
+
+  // Tree edges discovered during expansion (used when !opts.induced).
+  std::vector<GraphFeature::EdgeRec> tree_edges;
+
+  std::queue<int64_t> frontier;  // subgraph indices
+  frontier.push(0);
+  std::vector<float> weights;
+  while (!frontier.empty()) {
+    const int64_t sub_v = frontier.front();
+    frontier.pop();
+    if (depth[sub_v] >= opts.k) continue;
+    const int64_t v = order[sub_v];
+    const auto in_edges = g.InEdges(v);
+    weights.clear();
+    weights.reserve(in_edges.size());
+    for (const graph::Edge& e : in_edges) weights.push_back(e.weight);
+    const std::vector<std::size_t> kept =
+        sampler->Sample({weights.data(), weights.size()}, &rng);
+    for (std::size_t pos : kept) {
+      const graph::Edge& e = in_edges[pos];
+      auto [it, inserted] =
+          local_of.emplace(e.src, static_cast<int64_t>(order.size()));
+      if (inserted) {
+        order.push_back(e.src);
+        depth.push_back(depth[sub_v] + 1);
+        frontier.push(it->second);
+      }
+      tree_edges.push_back({it->second, sub_v, e.weight});
+    }
+  }
+
+  GraphFeature gf;
+  gf.target_id = target;
+  gf.target_index = 0;
+  gf.node_ids.reserve(order.size());
+  for (int64_t v : order) gf.node_ids.push_back(g.node_id(v));
+  if (!g.labels().empty()) gf.label = g.labels()[root];
+  if (g.multilabels().rows() > 0) {
+    const float* row = g.multilabels().row(root);
+    gf.multilabel.assign(row, row + g.multilabels().cols());
+  }
+
+  gf.node_features =
+      tensor::Tensor(static_cast<int64_t>(order.size()), g.node_feature_dim());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    std::copy(g.node_features().row(order[i]),
+              g.node_features().row(order[i]) + g.node_feature_dim(),
+              gf.node_features.row(static_cast<int64_t>(i)));
+  }
+
+  if (opts.induced) {
+    // Induced edge set: every graph edge with both endpoints collected.
+    // Walk in-edges of each collected node so ordering is by (dst, src).
+    for (std::size_t sub_dst = 0; sub_dst < order.size(); ++sub_dst) {
+      for (const graph::Edge& e : g.InEdges(order[sub_dst])) {
+        auto it = local_of.find(e.src);
+        if (it == local_of.end()) continue;
+        gf.edges.push_back(
+            {it->second, static_cast<int64_t>(sub_dst), e.weight});
+      }
+    }
+  } else {
+    gf.edges = std::move(tree_edges);
+  }
+  std::sort(gf.edges.begin(), gf.edges.end(),
+            [](const GraphFeature::EdgeRec& a, const GraphFeature::EdgeRec& b) {
+              return a.dst != b.dst ? a.dst < b.dst : a.src < b.src;
+            });
+  gf.edges.erase(std::unique(gf.edges.begin(), gf.edges.end(),
+                             [](const GraphFeature::EdgeRec& a,
+                                const GraphFeature::EdgeRec& b) {
+                               return a.src == b.src && a.dst == b.dst;
+                             }),
+                 gf.edges.end());
+  return gf;
+}
+
+}  // namespace agl::subgraph

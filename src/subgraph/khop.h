@@ -1,0 +1,38 @@
+// Reference single-machine k-hop neighborhood extraction (Definition 1).
+//
+// This is the semantic ground truth that the distributed GraphFlat pipeline
+// must match: BFS over in-edges from the target, with per-node neighbor
+// sampling applied at expansion time. Tests assert GraphFlat's MapReduce
+// output is equivalent to this extractor; the Original inference baseline
+// uses it directly.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "sampling/sampler.h"
+#include "subgraph/graph_feature.h"
+
+namespace agl::subgraph {
+
+struct KHopOptions {
+  int k = 2;
+  sampling::SamplerConfig sampler;
+  /// Seed for the sampling Rng; derived per target for determinism.
+  uint64_t seed = 7;
+  /// When true (default) edges among all collected nodes are induced; when
+  /// false only tree edges discovered by the BFS are kept. The paper's
+  /// Definition 1 is the induced subgraph.
+  bool induced = true;
+};
+
+/// Extracts the k-hop neighborhood of the node with external id `target`.
+/// The label is copied from the graph when present. Fails with kNotFound if
+/// the target is not in the graph.
+agl::Result<GraphFeature> ExtractKHop(const graph::Graph& g,
+                                      graph::NodeId target,
+                                      const KHopOptions& opts);
+
+}  // namespace agl::subgraph

@@ -1,0 +1,32 @@
+#include "tensor/edge_partition.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace agl::tensor {
+
+std::vector<RowSpan> PartitionRowsByNnz(const std::vector<int64_t>& row_ptr,
+                                        int64_t num_rows, int num_parts) {
+  AGL_CHECK_EQ(static_cast<int64_t>(row_ptr.size()), num_rows + 1);
+  AGL_CHECK_GE(num_parts, 1);
+  std::vector<RowSpan> spans;
+  if (num_rows == 0) return spans;
+
+  const int64_t total_nnz = row_ptr[num_rows];
+  // Aim each span at total/num_parts nnz; advance the cut greedily. Empty
+  // rows ride along with their neighbours.
+  const int64_t target = std::max<int64_t>(1, total_nnz / num_parts);
+  int64_t row = 0;
+  while (row < num_rows && static_cast<int>(spans.size()) < num_parts - 1) {
+    const int64_t span_start = row;
+    const int64_t nnz_start = row_ptr[row];
+    while (row < num_rows && row_ptr[row + 1] - nnz_start < target) ++row;
+    if (row < num_rows) ++row;  // include the row that crossed the target
+    spans.push_back({span_start, row});
+  }
+  if (row < num_rows) spans.push_back({row, num_rows});
+  return spans;
+}
+
+}  // namespace agl::tensor

@@ -1,0 +1,30 @@
+// Edge partitioning (paper §3.3.2, edge-level optimization).
+//
+// The aggregation Φ(k) walks the sparse adjacency row by row: every edge
+// (dst ← src) contributes to exactly one destination row. If all edges with
+// the same destination are handled by the same thread, multi-threaded
+// aggregation needs no locks or atomics. EdgePartition splits the CSR rows
+// into `t` contiguous spans balanced by non-zero count, which is exactly the
+// strategy Figure 4 illustrates.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace agl::tensor {
+
+/// A contiguous row span [row_begin, row_end) assigned to one thread.
+struct RowSpan {
+  int64_t row_begin = 0;
+  int64_t row_end = 0;
+};
+
+/// Splits `num_rows` CSR rows into at most `num_parts` spans such that each
+/// span carries a roughly equal number of non-zeros (`row_ptr` is the CSR
+/// row-offset array of length num_rows+1). Rows are never split across
+/// spans, so edges sharing a destination stay on one thread.
+std::vector<RowSpan> PartitionRowsByNnz(const std::vector<int64_t>& row_ptr,
+                                        int64_t num_rows, int num_parts);
+
+}  // namespace agl::tensor

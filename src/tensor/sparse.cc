@@ -1,0 +1,171 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.h"
+
+namespace agl::tensor {
+
+SparseMatrix SparseMatrix::FromCoo(int64_t rows, int64_t cols,
+                                   std::vector<CooEntry> entries) {
+  for (const CooEntry& e : entries) {
+    AGL_CHECK_GE(e.row, 0);
+    AGL_CHECK_LT(e.row, rows);
+    AGL_CHECK_GE(e.col, 0);
+    AGL_CHECK_LT(e.col, cols);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CooEntry& a, const CooEntry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    // Entries are sorted, so duplicates are adjacent; coalesce by summing.
+    if (i > 0 && entries[i - 1].row == entries[i].row &&
+        entries[i - 1].col == entries[i].col) {
+      m.values_.back() += entries[i].value;
+      continue;
+    }
+    m.col_idx_.push_back(entries[i].col);
+    m.values_.push_back(entries[i].value);
+    m.row_ptr_[entries[i].row + 1]++;
+  }
+  for (int64_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromCsr(int64_t rows, int64_t cols,
+                                   std::vector<int64_t> row_ptr,
+                                   std::vector<int64_t> col_idx,
+                                   std::vector<float> values) {
+  AGL_CHECK_EQ(static_cast<int64_t>(row_ptr.size()), rows + 1);
+  AGL_CHECK_EQ(col_idx.size(), values.size());
+  AGL_CHECK_EQ(row_ptr.back(), static_cast<int64_t>(col_idx.size()));
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
+SparseMatrix SparseMatrix::Transposed() const {
+  std::vector<CooEntry> entries;
+  entries.reserve(nnz());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      entries.push_back({col_idx_[p], r, values_[p]});
+    }
+  }
+  return FromCoo(cols_, rows_, std::move(entries));
+}
+
+SparseMatrix SparseMatrix::RowNormalized() const {
+  SparseMatrix out = *this;
+  for (int64_t r = 0; r < rows_; ++r) {
+    float sum = 0.f;
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      sum += std::fabs(values_[p]);
+    }
+    if (sum <= 0.f) continue;
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      out.values_[p] = values_[p] / sum;
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::GcnNormalized() const {
+  // Degree of a row = sum of in-edge weights; degree of a column = sum of
+  // out-edge weights. Scale each entry by 1/sqrt(d_row * d_col).
+  std::vector<float> row_deg(rows_, 0.f), col_deg(cols_, 0.f);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      row_deg[r] += values_[p];
+      col_deg[col_idx_[p]] += values_[p];
+    }
+  }
+  SparseMatrix out = *this;
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      const float d = row_deg[r] * col_deg[col_idx_[p]];
+      out.values_[p] = d > 0.f ? values_[p] / std::sqrt(d) : 0.f;
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::WithSelfLoops() const {
+  AGL_CHECK_EQ(rows_, cols_);
+  // Rows are already column-sorted: merge the diagonal entry in linearly.
+  std::vector<int64_t> row_ptr(rows_ + 1, 0);
+  std::vector<int64_t> col_idx;
+  std::vector<float> values;
+  col_idx.reserve(nnz() + rows_);
+  values.reserve(nnz() + rows_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    bool inserted = false;
+    for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      const int64_t c = col_idx_[p];
+      if (!inserted && c >= r) {
+        if (c != r) {
+          col_idx.push_back(r);
+          values.push_back(1.f);
+        }
+        inserted = true;
+      }
+      col_idx.push_back(c);
+      values.push_back(values_[p]);
+    }
+    if (!inserted) {
+      col_idx.push_back(r);
+      values.push_back(1.f);
+    }
+    row_ptr[r + 1] = static_cast<int64_t>(col_idx.size());
+  }
+  return FromCsr(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                 std::move(values));
+}
+
+Tensor Spmm(const SparseMatrix& a, const Tensor& dense,
+            const SpmmOptions& opts) {
+  AGL_CHECK_EQ(a.cols(), dense.rows())
+      << "Spmm shape mismatch: A is [" << a.rows() << " x " << a.cols()
+      << "], dense is " << dense.ShapeString();
+  Tensor out(a.rows(), dense.cols());
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  const int64_t f = dense.cols();
+
+  auto aggregate_span = [&](RowSpan span) {
+    for (int64_t r = span.row_begin; r < span.row_end; ++r) {
+      float* out_row = out.row(r);
+      for (int64_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+        const float w = values[p];
+        const float* in_row = dense.row(col_idx[p]);
+        for (int64_t j = 0; j < f; ++j) out_row[j] += w * in_row[j];
+      }
+    }
+  };
+
+  if (opts.num_threads <= 1 || a.rows() < 2) {
+    aggregate_span({0, a.rows()});
+    return out;
+  }
+  const std::vector<RowSpan> spans =
+      PartitionRowsByNnz(row_ptr, a.rows(), opts.num_threads);
+  GlobalThreadPool().ParallelFor(spans.size(), [&](std::size_t i) {
+    aggregate_span(spans[i]);
+  });
+  return out;
+}
+
+}  // namespace agl::tensor

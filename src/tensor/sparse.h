@@ -1,0 +1,93 @@
+// CSR sparse matrix for adjacency structure, plus the aggregation kernels
+// (SpMM) used by every GNN layer. Aggregation honours the paper's edge
+// partitioning: rows are split across threads by non-zero count so that each
+// destination node is owned by exactly one thread (conflict-free).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/edge_partition.h"
+#include "tensor/tensor.h"
+
+namespace agl::tensor {
+
+/// One COO entry: edge src -> dst stored at (row=dst, col=src), matching the
+/// paper's convention that A[v,u] > 0 means edge u -> v (u is an in-edge
+/// neighbour of v).
+struct CooEntry {
+  int64_t row = 0;
+  int64_t col = 0;
+  float value = 1.f;
+};
+
+/// Immutable CSR matrix. Rows are destinations, columns are sources.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Builds from unsorted COO entries (duplicates are summed).
+  static SparseMatrix FromCoo(int64_t rows, int64_t cols,
+                              std::vector<CooEntry> entries);
+
+  /// Builds directly from CSR arrays the caller guarantees are valid
+  /// (row_ptr monotone of length rows+1, col_idx sorted within each row,
+  /// no duplicates). No sorting — O(nnz). Used by hot per-batch paths
+  /// (pruning, self-loop insertion).
+  static SparseMatrix FromCsr(int64_t rows, int64_t cols,
+                              std::vector<int64_t> row_ptr,
+                              std::vector<int64_t> col_idx,
+                              std::vector<float> values);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& mutable_values() { return values_; }
+
+  int64_t RowNnz(int64_t r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+
+  /// Transpose copy (swaps the roles of src and dst).
+  SparseMatrix Transposed() const;
+
+  /// Returns a copy whose rows are L1-normalized (mean aggregation).
+  SparseMatrix RowNormalized() const;
+
+  /// Returns D_out^{-1/2} (this) D_in^{-1/2} — the symmetric GCN
+  /// normalization generalized to directed adjacency.
+  SparseMatrix GcnNormalized() const;
+
+  /// Returns a copy with self-loop entries (r, r, 1.0) added for every row
+  /// (requires rows == cols).
+  SparseMatrix WithSelfLoops() const;
+
+  bool operator==(const SparseMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           row_ptr_ == other.row_ptr_ && col_idx_ == other.col_idx_ &&
+           values_ == other.values_;
+  }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;  // length rows_+1
+  std::vector<int64_t> col_idx_;  // length nnz, sorted within each row
+  std::vector<float> values_;    // length nnz
+};
+
+/// Controls the aggregation kernels; `num_threads <= 1` disables the edge
+/// partitioning optimization (the AGL_base configuration of Table 4).
+struct SpmmOptions {
+  int num_threads = 1;
+};
+
+/// out = A @ dense, where A is [n x m] CSR and dense is [m x f].
+/// Each output row is produced by exactly one thread (edge partitioning).
+Tensor Spmm(const SparseMatrix& a, const Tensor& dense,
+            const SpmmOptions& opts = {});
+
+}  // namespace agl::tensor

@@ -1,0 +1,291 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/thread_pool.h"
+
+namespace agl::tensor {
+
+Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
+  Tensor t(rows, cols);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Eye(int64_t n) {
+  Tensor t(n, n);
+  for (int64_t i = 0; i < n; ++i) t.at(i, i) = 1.f;
+  return t;
+}
+
+Tensor Tensor::RandomUniform(int64_t rows, int64_t cols, float lo, float hi,
+                             Rng* rng) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomNormal(int64_t rows, int64_t cols, float mean,
+                            float stddev, Rng* rng) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::GlorotUniform(int64_t rows, int64_t cols, Rng* rng) {
+  const float limit = std::sqrt(6.f / static_cast<float>(rows + cols));
+  return RandomUniform(rows, cols, -limit, limit, rng);
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::Add(const Tensor& other) {
+  AGL_CHECK_EQ(rows_, other.rows_);
+  AGL_CHECK_EQ(cols_, other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  AGL_CHECK_EQ(rows_, other.rows_);
+  AGL_CHECK_EQ(cols_, other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Tensor::Scale(float alpha) {
+  for (float& v : data_) v *= alpha;
+}
+
+Tensor Tensor::Row(int64_t r) const { return RowSlice(r, r + 1); }
+
+Tensor Tensor::RowSlice(int64_t begin, int64_t end) const {
+  AGL_CHECK_GE(begin, 0);
+  AGL_CHECK_LE(end, rows_);
+  AGL_CHECK_LE(begin, end);
+  Tensor out(end - begin, cols_);
+  std::copy(data_.begin() + begin * cols_, data_.begin() + end * cols_,
+            out.data());
+  return out;
+}
+
+Tensor Tensor::GatherRows(const std::vector<int64_t>& indices) const {
+  Tensor out(static_cast<int64_t>(indices.size()), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    AGL_CHECK_GE(indices[i], 0);
+    AGL_CHECK_LT(indices[i], rows_);
+    std::copy(row(indices[i]), row(indices[i]) + cols_, out.row(i));
+  }
+  return out;
+}
+
+double Tensor::Sum() const {
+  double s = 0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+double Tensor::SquaredNorm() const {
+  double s = 0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+float Tensor::AbsMax() const {
+  float m = 0;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool Tensor::AllClose(const Tensor& other, float tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[" << rows_ << " x " << cols_ << "]";
+  return os.str();
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  AGL_CHECK_EQ(a.cols(), b.rows()) << "MatMul shape mismatch " << a.ShapeString()
+                                   << " @ " << b.ShapeString();
+  Tensor out(a.rows(), b.cols());
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  auto body = [&](std::size_t i) {
+    float* out_row = out.row(static_cast<int64_t>(i));
+    const float* a_row = a.row(static_cast<int64_t>(i));
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.f) continue;
+      const float* b_row = b.row(p);
+      for (int64_t j = 0; j < m; ++j) out_row[j] += av * b_row[j];
+    }
+  };
+  // Parallelism only pays off for reasonably sized products.
+  if (n * k * m > (1 << 16)) {
+    GlobalThreadPool().ParallelFor(static_cast<std::size_t>(n), body);
+  } else {
+    for (int64_t i = 0; i < n; ++i) body(static_cast<std::size_t>(i));
+  }
+  return out;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  AGL_CHECK_EQ(a.rows(), b.rows());
+  Tensor out(a.cols(), b.cols());
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  // out[p, j] = sum_i a[i, p] * b[i, j]; serial accumulation to stay
+  // deterministic (gradient path).
+  for (int64_t i = 0; i < n; ++i) {
+    const float* a_row = a.row(i);
+    const float* b_row = b.row(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.f) continue;
+      float* out_row = out.row(p);
+      for (int64_t j = 0; j < m; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  AGL_CHECK_EQ(a.cols(), b.cols());
+  Tensor out(a.rows(), b.rows());
+  const int64_t n = a.rows(), k = a.cols(), m = b.rows();
+  auto body = [&](std::size_t i) {
+    float* out_row = out.row(static_cast<int64_t>(i));
+    const float* a_row = a.row(static_cast<int64_t>(i));
+    for (int64_t j = 0; j < m; ++j) {
+      const float* b_row = b.row(j);
+      float acc = 0.f;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out_row[j] = acc;
+    }
+  };
+  if (n * k * m > (1 << 16)) {
+    GlobalThreadPool().ParallelFor(static_cast<std::size_t>(n), body);
+  } else {
+    for (int64_t i = 0; i < n; ++i) body(static_cast<std::size_t>(i));
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor out(a.cols(), a.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) out.at(j, i) = a.at(i, j);
+  }
+  return out;
+}
+
+namespace {
+Tensor Zip(const Tensor& a, const Tensor& b, float (*fn)(float, float)) {
+  AGL_CHECK_EQ(a.rows(), b.rows());
+  AGL_CHECK_EQ(a.cols(), b.cols());
+  Tensor out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    out.data()[i] = fn(a.data()[i], b.data()[i]);
+  }
+  return out;
+}
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return Zip(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return Zip(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return Zip(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+  AGL_CHECK_EQ(bias.rows(), 1);
+  AGL_CHECK_EQ(bias.cols(), a.cols());
+  Tensor out = a;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    float* r = out.row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) r[j] += bias.at(0, j);
+  }
+  return out;
+}
+
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
+  Tensor out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) out.data()[i] = fn(a.data()[i]);
+  return out;
+}
+
+Tensor RowSoftmax(const Tensor& a) {
+  Tensor out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* in = a.row(i);
+    float* o = out.row(i);
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < a.cols(); ++j) mx = std::max(mx, in[j]);
+    float denom = 0.f;
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      o[j] = std::exp(in[j] - mx);
+      denom += o[j];
+    }
+    for (int64_t j = 0; j < a.cols(); ++j) o[j] /= denom;
+  }
+  return out;
+}
+
+Tensor RowLogSoftmax(const Tensor& a) {
+  Tensor out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* in = a.row(i);
+    float* o = out.row(i);
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < a.cols(); ++j) mx = std::max(mx, in[j]);
+    float denom = 0.f;
+    for (int64_t j = 0; j < a.cols(); ++j) denom += std::exp(in[j] - mx);
+    const float log_denom = std::log(denom) + mx;
+    for (int64_t j = 0; j < a.cols(); ++j) o[j] = in[j] - log_denom;
+  }
+  return out;
+}
+
+Tensor RowSum(const Tensor& a) {
+  Tensor out(a.rows(), 1);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* r = a.row(i);
+    float s = 0.f;
+    for (int64_t j = 0; j < a.cols(); ++j) s += r[j];
+    out.at(i, 0) = s;
+  }
+  return out;
+}
+
+Tensor ColMean(const Tensor& a) {
+  Tensor out(1, a.cols());
+  if (a.rows() == 0) return out;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* r = a.row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) out.at(0, j) += r[j];
+  }
+  out.Scale(1.f / static_cast<float>(a.rows()));
+  return out;
+}
+
+}  // namespace agl::tensor

@@ -1,0 +1,120 @@
+// Dense row-major float32 matrix — the numeric workhorse under the autograd
+// tape and the GNN layers. Deliberately 2-D only: every quantity in the AGL
+// computation (features, embeddings, logits) is a [rows x cols] matrix; a
+// vector is a single-column or single-row matrix.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace agl::tensor {
+
+/// Dense row-major float matrix.
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Zero-initialized [rows x cols].
+  Tensor(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols), 0.f) {
+    AGL_CHECK_GE(rows, 0);
+    AGL_CHECK_GE(cols, 0);
+  }
+  /// Takes ownership of `data` (size must equal rows*cols).
+  Tensor(int64_t rows, int64_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    AGL_CHECK_EQ(static_cast<int64_t>(data_.size()), rows * cols);
+  }
+
+  static Tensor Zeros(int64_t rows, int64_t cols) { return Tensor(rows, cols); }
+  static Tensor Full(int64_t rows, int64_t cols, float value);
+  static Tensor Eye(int64_t n);
+  /// I.i.d. uniform in [lo, hi).
+  static Tensor RandomUniform(int64_t rows, int64_t cols, float lo, float hi,
+                              Rng* rng);
+  /// I.i.d. normal.
+  static Tensor RandomNormal(int64_t rows, int64_t cols, float mean,
+                             float stddev, Rng* rng);
+  /// Glorot/Xavier uniform initialization (fan_in = rows, fan_out = cols).
+  static Tensor GlorotUniform(int64_t rows, int64_t cols, Rng* rng);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(int64_t r) { return data_.data() + r * cols_; }
+  const float* row(int64_t r) const { return data_.data() + r * cols_; }
+
+  float& at(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+  float at(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+  /// Elementwise accumulate: this += other (shapes must match).
+  void Add(const Tensor& other);
+  /// this += alpha * other.
+  void Axpy(float alpha, const Tensor& other);
+  /// Multiplies every element by `alpha`.
+  void Scale(float alpha);
+
+  /// Returns a copy of row `r` as a [1 x cols] tensor.
+  Tensor Row(int64_t r) const;
+  /// Returns rows [begin, end) as a new tensor.
+  Tensor RowSlice(int64_t begin, int64_t end) const;
+  /// Gathers `indices` rows into a new [indices.size() x cols] tensor.
+  Tensor GatherRows(const std::vector<int64_t>& indices) const;
+
+  /// Sum of all elements.
+  double Sum() const;
+  /// Squared Frobenius norm.
+  double SquaredNorm() const;
+  /// Max absolute element.
+  float AbsMax() const;
+
+  /// True when shapes match and all elements differ by at most `tol`.
+  bool AllClose(const Tensor& other, float tol = 1e-5f) const;
+
+  std::string ShapeString() const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a @ b. Parallelized over rows of `a` with the global thread pool.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// out = a^T @ b.
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+/// out = a @ b^T.
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+/// Transpose copy.
+Tensor Transpose(const Tensor& a);
+
+/// Elementwise lambdas (shape-checked).
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// Adds a [1 x cols] bias row to every row of `a`.
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias);
+/// Applies `fn` elementwise.
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn);
+
+/// Row-wise softmax.
+Tensor RowSoftmax(const Tensor& a);
+/// Row-wise log-softmax (numerically stable).
+Tensor RowLogSoftmax(const Tensor& a);
+/// Per-row sum as [rows x 1].
+Tensor RowSum(const Tensor& a);
+/// Per-column mean as [1 x cols].
+Tensor ColMean(const Tensor& a);
+
+}  // namespace agl::tensor

@@ -1,0 +1,54 @@
+#include "trainer/feature_source.h"
+
+#include "common/logging.h"
+#include "io/record_file.h"
+
+namespace agl::trainer {
+
+agl::Result<DfsFeatureSource> DfsFeatureSource::Open(
+    const mr::LocalDfs& dfs, const std::string& dataset) {
+  AGL_ASSIGN_OR_RETURN(std::vector<std::string> parts,
+                       dfs.ListParts(dataset));
+  return DfsFeatureSource(std::move(parts));
+}
+
+agl::Status DfsFeatureSource::ScanPart(
+    int64_t part,
+    const std::function<agl::Status(subgraph::GraphFeature)>& fn) const {
+  if (part < 0 || part >= num_parts()) {
+    return agl::Status::OutOfRange("part index " + std::to_string(part));
+  }
+  AGL_ASSIGN_OR_RETURN(io::RecordReader reader,
+                       io::RecordReader::Open(parts_[part]));
+  while (true) {
+    std::string bytes;
+    agl::Status s = reader.Next(&bytes);
+    if (s.code() == agl::StatusCode::kOutOfRange) return agl::Status::OK();
+    AGL_RETURN_IF_ERROR(s);
+    AGL_ASSIGN_OR_RETURN(subgraph::GraphFeature gf,
+                         subgraph::GraphFeature::Parse(bytes));
+    AGL_RETURN_IF_ERROR(fn(std::move(gf)));
+  }
+}
+
+agl::Result<std::vector<subgraph::GraphFeature>> DfsFeatureSource::ReadShard(
+    int worker, int num_workers) const {
+  if (worker < 0 || num_workers <= 0 || worker >= num_workers) {
+    return agl::Status::InvalidArgument("bad shard spec");
+  }
+  std::vector<subgraph::GraphFeature> out;
+  for (int64_t part = worker; part < num_parts(); part += num_workers) {
+    AGL_RETURN_IF_ERROR(ScanPart(part, [&out](subgraph::GraphFeature gf) {
+      out.push_back(std::move(gf));
+      return agl::Status::OK();
+    }));
+  }
+  return out;
+}
+
+agl::Result<std::vector<subgraph::GraphFeature>> DfsFeatureSource::ReadAll()
+    const {
+  return ReadShard(0, 1);
+}
+
+}  // namespace agl::trainer

@@ -1,0 +1,54 @@
+// Streaming access to GraphFeature datasets on the DFS.
+//
+// The paper's workers "just have to process their own partitions of
+// training data" read from disk; this wrapper gives each worker its shard
+// of a DFS dataset without materializing the others — part files are
+// assigned round-robin to workers, and records stream through the
+// checksummed reader one at a time.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mr/local_dfs.h"
+#include "subgraph/graph_feature.h"
+
+namespace agl::trainer {
+
+/// A handle on one GraphFeature dataset.
+class DfsFeatureSource {
+ public:
+  /// Binds to `dataset` inside `dfs`; fails if the dataset is missing.
+  static agl::Result<DfsFeatureSource> Open(const mr::LocalDfs& dfs,
+                                            const std::string& dataset);
+
+  /// Number of part files (the sharding granularity).
+  int64_t num_parts() const { return static_cast<int64_t>(parts_.size()); }
+
+  /// Parses every record of the parts assigned to `worker` out of
+  /// `num_workers` (parts are dealt round-robin; workers beyond the part
+  /// count receive empty shards).
+  agl::Result<std::vector<subgraph::GraphFeature>> ReadShard(
+      int worker, int num_workers) const;
+
+  /// Parses the entire dataset.
+  agl::Result<std::vector<subgraph::GraphFeature>> ReadAll() const;
+
+  /// Streams records of one part file through `fn` without keeping them:
+  /// `fn` gets each parsed GraphFeature; returning a non-OK status stops
+  /// the scan and is propagated.
+  agl::Status ScanPart(
+      int64_t part,
+      const std::function<agl::Status(subgraph::GraphFeature)>& fn) const;
+
+ private:
+  explicit DfsFeatureSource(std::vector<std::string> parts)
+      : parts_(std::move(parts)) {}
+
+  std::vector<std::string> parts_;  // absolute part-file paths, sorted
+};
+
+}  // namespace agl::trainer

@@ -1,0 +1,402 @@
+#include "trainer/trainer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <limits>
+
+#include "autograd/ops.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "nn/metrics.h"
+#include "nn/state_io.h"
+#include "subgraph/batch.h"
+
+namespace agl::trainer {
+
+using autograd::Variable;
+using subgraph::GraphFeature;
+
+Variable TaskLoss(TaskKind task, const Variable& logits,
+                  const gnn::PreparedBatch& batch) {
+  switch (task) {
+    case TaskKind::kSingleLabel:
+    case TaskKind::kBinaryAuc:
+      return autograd::SoftmaxCrossEntropy(logits, batch.labels);
+    case TaskKind::kMultiLabel:
+      return autograd::BceWithLogits(logits, batch.multilabels);
+  }
+  AGL_CHECK(false) << "unreachable";
+  return Variable();
+}
+
+double TaskMetric(TaskKind task, const tensor::Tensor& logits,
+                  const gnn::PreparedBatch& batch) {
+  switch (task) {
+    case TaskKind::kSingleLabel:
+      return nn::Accuracy(logits, batch.labels);
+    case TaskKind::kMultiLabel:
+      return nn::MicroF1(logits, batch.multilabels);
+    case TaskKind::kBinaryAuc: {
+      std::vector<float> scores(logits.rows());
+      std::vector<int> labels(logits.rows());
+      for (int64_t i = 0; i < logits.rows(); ++i) {
+        scores[i] = logits.at(i, 1) - logits.at(i, 0);  // monotone in P(1)
+        labels[i] = batch.labels[i] == 1 ? 1 : 0;
+      }
+      return nn::Auc(scores, labels);
+    }
+  }
+  AGL_CHECK(false) << "unreachable";
+  return 0;
+}
+
+namespace {
+
+/// Splits [0, n) into `parts` nearly equal contiguous ranges.
+std::vector<std::pair<std::size_t, std::size_t>> SplitRanges(std::size_t n,
+                                                             int parts) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  parts = std::max(1, parts);
+  const std::size_t chunk = (n + parts - 1) / parts;
+  for (int p = 0; p < parts; ++p) {
+    const std::size_t begin = static_cast<std::size_t>(p) * chunk;
+    if (begin >= n) break;
+    out.emplace_back(begin, std::min(n, begin + chunk));
+  }
+  return out;
+}
+
+/// Prepares one batch: merge + vectorize + prune + normalize. This is the
+/// "preprocessing stage" of the training pipeline.
+gnn::PreparedBatch PrepareSlice(const gnn::GnnModel& model,
+                                std::span<const GraphFeature> features,
+                                std::size_t begin, std::size_t end) {
+  const subgraph::VectorizedBatch vec = subgraph::MergeAndVectorize(
+      std::span<const GraphFeature>(features.data() + begin, end - begin));
+  return model.Prepare(vec);
+}
+
+}  // namespace
+
+using internal::WorkerResult;
+
+GraphTrainer::GraphTrainer(const TrainerConfig& config) : config_(config) {}
+
+agl::Result<std::map<std::string, tensor::Tensor>> LoadCheckpoint(
+    const mr::LocalDfs& dfs, const std::string& prefix, int epoch) {
+  AGL_ASSIGN_OR_RETURN(
+      std::vector<std::string> records,
+      dfs.ReadDataset(prefix + "-epoch-" + std::to_string(epoch)));
+  if (records.size() != 1) {
+    return agl::Status::Corruption("checkpoint must hold exactly 1 record");
+  }
+  return nn::ParseStateDict(records[0]);
+}
+
+agl::Result<TrainReport> GraphTrainer::Train(
+    std::span<const GraphFeature> train,
+    std::span<const GraphFeature> val) const {
+  if (train.empty()) {
+    return agl::Status::InvalidArgument("empty training set");
+  }
+  Stopwatch total_watch;
+
+  // Global model: provides the initial parameter values (and the layer
+  // shapes every worker replica shares). A non-empty initial_state warm-
+  // starts from a checkpoint instead.
+  gnn::GnnModel init_model(config_.model);
+  ps::ServerOptions ps_opts;
+  ps_opts.num_shards = config_.ps_shards;
+  ps_opts.adam = config_.adam;
+  ps::ParameterServer server(ps_opts);
+  if (config_.initial_state.empty()) {
+    server.Initialize(init_model.StateDict());
+  } else {
+    AGL_RETURN_IF_ERROR(init_model.LoadStateDict(config_.initial_state));
+    server.Initialize(config_.initial_state);
+  }
+
+  // Static partition of the training data across workers (the paper's
+  // workers each own a partition of GraphFeatures on the DFS).
+  const auto partitions = SplitRanges(train.size(), config_.num_workers);
+  const int active_workers = static_cast<int>(partitions.size());
+
+  TrainReport report;
+  report.best_val_metric = -std::numeric_limits<double>::infinity();
+  int bad_evals = 0;
+
+  ThreadPool pool(static_cast<std::size_t>(active_workers));
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Stopwatch epoch_watch;
+    std::vector<WorkerResult> results(active_workers);
+    if (config_.sync_mode == SyncMode::kBsp) {
+      AGL_RETURN_IF_ERROR(RunBspEpoch(train, epoch, &server, &pool,
+                                      partitions, &results));
+    } else {
+      AGL_RETURN_IF_ERROR(RunAsyncEpoch(train, epoch, &server, &pool,
+                                        partitions, &results));
+    }
+
+    EpochRecord rec;
+    rec.epoch = epoch;
+    double loss_sum = 0;
+    int64_t batches = 0;
+    for (const WorkerResult& r : results) {
+      loss_sum += r.loss_sum;
+      batches += r.batches;
+      rec.prep_seconds += r.prep_seconds;
+      rec.compute_seconds += r.compute_seconds;
+    }
+    rec.mean_train_loss = batches > 0 ? loss_sum / batches : 0;
+    rec.seconds = epoch_watch.Seconds();
+    rec.val_metric = std::numeric_limits<double>::quiet_NaN();
+
+    if (!val.empty() && config_.eval_every > 0 &&
+        (epoch + 1) % config_.eval_every == 0) {
+      AGL_ASSIGN_OR_RETURN(rec.val_metric,
+                           Evaluate(server.PullAll(), val));
+      if (rec.val_metric > report.best_val_metric) {
+        report.best_val_metric = rec.val_metric;
+        bad_evals = 0;
+      } else {
+        ++bad_evals;
+      }
+    }
+    if (config_.verbose) {
+      AGL_LOG(Info) << "epoch " << epoch << " loss " << rec.mean_train_loss
+                    << " val " << rec.val_metric << " (" << rec.seconds
+                    << "s)";
+    }
+    report.epochs.push_back(rec);
+    if (config_.checkpoint_dfs != nullptr) {
+      AGL_RETURN_IF_ERROR(config_.checkpoint_dfs->WriteDataset(
+          config_.checkpoint_prefix + "-epoch-" + std::to_string(epoch),
+          {nn::SerializeStateDict(server.PullAll())}, /*num_parts=*/1));
+    }
+    if (config_.patience > 0 && bad_evals >= config_.patience) break;
+  }
+
+  report.final_state = server.PullAll();
+  report.total_seconds = total_watch.Seconds();
+  return report;
+}
+
+agl::Status GraphTrainer::RunAsyncEpoch(
+    std::span<const GraphFeature> train, int epoch,
+    ps::ParameterServer* server, ThreadPool* pool,
+    const std::vector<std::pair<std::size_t, std::size_t>>& partitions,
+    std::vector<WorkerResult>* results) const {
+  const int active_workers = static_cast<int>(partitions.size());
+  ps::ParameterServer& srv = *server;
+  std::vector<std::future<void>> futs;
+  for (int w = 0; w < active_workers; ++w) {
+    futs.push_back(pool->Submit([&, w] {
+        const auto [begin, end] = partitions[w];
+        // Each worker owns a model replica and a deterministic RNG stream.
+        gnn::GnnModel model(config_.model);
+        Rng rng(DeriveSeed(config_.seed,
+                           static_cast<uint64_t>(epoch) * 1000 + w));
+        WorkerResult& res = (*results)[w];
+
+        const std::size_t bs =
+            static_cast<std::size_t>(std::max(1, config_.batch_size));
+        std::vector<std::size_t> starts;
+        for (std::size_t s = begin; s < end; s += bs) starts.push_back(s);
+
+        // Training pipeline: preprocessing of batch i+1 overlaps the model
+        // computation of batch i via an async prefetch.
+        std::future<gnn::PreparedBatch> prefetch;
+        auto launch_prefetch = [&](std::size_t idx) {
+          const std::size_t s = starts[idx];
+          const std::size_t e = std::min(end, s + bs);
+          prefetch = std::async(std::launch::async,
+                                [&model, &res, train, s, e] {
+            Stopwatch prep_watch;
+            gnn::PreparedBatch out = PrepareSlice(model, train, s, e);
+            res.prep_seconds += prep_watch.Seconds();
+            return out;
+          });
+        };
+        if (config_.use_pipeline && !starts.empty()) launch_prefetch(0);
+
+        for (std::size_t bi = 0; bi < starts.size(); ++bi) {
+          gnn::PreparedBatch batch;
+          if (config_.use_pipeline) {
+            batch = prefetch.get();
+            if (bi + 1 < starts.size()) launch_prefetch(bi + 1);
+          } else {
+            const std::size_t s = starts[bi];
+            const std::size_t e = std::min(end, s + bs);
+            Stopwatch prep_watch;
+            batch = PrepareSlice(model, train, s, e);
+            res.prep_seconds += prep_watch.Seconds();
+          }
+          Stopwatch compute_watch;
+
+          // Pull fresh parameters, compute, push gradients.
+          res.status = model.LoadStateDict(srv.PullAll());
+          if (!res.status.ok()) return;
+          Variable logits = model.Forward(batch, /*training=*/true, &rng);
+          Variable loss = TaskLoss(config_.task, logits, batch);
+          autograd::Backward(loss);
+          res.loss_sum += loss.value().at(0, 0);
+          res.batches++;
+
+          std::map<std::string, tensor::Tensor> grads;
+          for (const nn::NamedParameter& p : model.Parameters()) {
+            if (p.variable.node()->has_grad()) {
+              grads.emplace(p.name, p.variable.grad());
+            }
+          }
+          res.status = srv.PushGradients(grads);
+          if (!res.status.ok()) return;
+          res.compute_seconds += compute_watch.Seconds();
+        }
+        res.status = agl::Status::OK();
+      }));
+  }
+  for (auto& f : futs) f.get();
+  for (const WorkerResult& r : *results) {
+    AGL_RETURN_IF_ERROR(r.status);
+  }
+  return agl::Status::OK();
+}
+
+agl::Status GraphTrainer::RunBspEpoch(
+    std::span<const GraphFeature> train, int epoch,
+    ps::ParameterServer* server, ThreadPool* pool,
+    const std::vector<std::pair<std::size_t, std::size_t>>& partitions,
+    std::vector<WorkerResult>* results) const {
+  const int active_workers = static_cast<int>(partitions.size());
+  const std::size_t bs =
+      static_cast<std::size_t>(std::max(1, config_.batch_size));
+
+  // Lock-step rounds: the number of rounds is set by the largest
+  // partition; workers with fewer batches idle in later rounds.
+  std::vector<std::vector<std::size_t>> starts(active_workers);
+  std::size_t rounds = 0;
+  for (int w = 0; w < active_workers; ++w) {
+    const auto [begin, end] = partitions[w];
+    for (std::size_t s = begin; s < end; s += bs) starts[w].push_back(s);
+    rounds = std::max(rounds, starts[w].size());
+  }
+
+  // Persistent per-worker replicas avoid per-round construction cost.
+  std::vector<std::unique_ptr<gnn::GnnModel>> models;
+  std::vector<Rng> rngs;
+  for (int w = 0; w < active_workers; ++w) {
+    models.push_back(std::make_unique<gnn::GnnModel>(config_.model));
+    rngs.emplace_back(DeriveSeed(config_.seed,
+                                 static_cast<uint64_t>(epoch) * 1000 + w));
+  }
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Barrier 1: every participating worker sees the same snapshot.
+    const std::map<std::string, tensor::Tensor> snapshot = server->PullAll();
+    std::vector<std::map<std::string, tensor::Tensor>> grads(active_workers);
+    std::vector<agl::Status> statuses(active_workers);
+    std::vector<std::future<void>> futs;
+    for (int w = 0; w < active_workers; ++w) {
+      if (round >= starts[w].size()) continue;
+      futs.push_back(pool->Submit([&, w] {
+        WorkerResult& res = (*results)[w];
+        const std::size_t s = starts[w][round];
+        const std::size_t e = std::min(partitions[w].second, s + bs);
+        Stopwatch prep_watch;
+        gnn::PreparedBatch batch = PrepareSlice(*models[w], train, s, e);
+        res.prep_seconds += prep_watch.Seconds();
+        Stopwatch compute_watch;
+        statuses[w] = models[w]->LoadStateDict(snapshot);
+        if (!statuses[w].ok()) return;
+        Variable logits = models[w]->Forward(batch, true, &rngs[w]);
+        Variable loss = TaskLoss(config_.task, logits, batch);
+        autograd::Backward(loss);
+        res.loss_sum += loss.value().at(0, 0);
+        res.batches++;
+        for (const nn::NamedParameter& p : models[w]->Parameters()) {
+          if (p.variable.node()->has_grad()) {
+            grads[w].emplace(p.name, p.variable.grad());
+          }
+        }
+        res.compute_seconds += compute_watch.Seconds();
+      }));
+    }
+    for (auto& f : futs) f.get();
+    for (const agl::Status& s : statuses) AGL_RETURN_IF_ERROR(s);
+
+    // Barrier 2: average the round's gradients into one update.
+    std::map<std::string, tensor::Tensor> avg;
+    int contributors = 0;
+    for (int w = 0; w < active_workers; ++w) {
+      if (grads[w].empty()) continue;
+      ++contributors;
+      for (const auto& [key, g] : grads[w]) {
+        auto it = avg.find(key);
+        if (it == avg.end()) {
+          avg.emplace(key, g);
+        } else {
+          it->second.Add(g);
+        }
+      }
+    }
+    if (contributors == 0) continue;
+    for (auto& [key, g] : avg) {
+      g.Scale(1.f / static_cast<float>(contributors));
+    }
+    AGL_RETURN_IF_ERROR(server->PushGradients(avg));
+  }
+  return agl::Status::OK();
+}
+
+agl::Result<double> GraphTrainer::Evaluate(
+    const std::map<std::string, tensor::Tensor>& state,
+    std::span<const GraphFeature> data) const {
+  if (data.empty()) {
+    return agl::Status::InvalidArgument("empty evaluation set");
+  }
+  gnn::GnnModel model(config_.model);
+  AGL_RETURN_IF_ERROR(model.LoadStateDict(state));
+  Rng rng(config_.seed);
+
+  // Evaluate in batches; aggregate logits/labels for a dataset-level metric
+  // (AUC and micro-F1 are not batch-decomposable).
+  const std::size_t bs =
+      static_cast<std::size_t>(std::max(1, config_.batch_size));
+  std::vector<tensor::Tensor> logit_chunks;
+  std::vector<gnn::PreparedBatch> batches;
+  int64_t total_targets = 0;
+  for (std::size_t s = 0; s < data.size(); s += bs) {
+    const std::size_t e = std::min(data.size(), s + bs);
+    gnn::PreparedBatch batch = PrepareSlice(model, data, s, e);
+    Variable logits = model.Forward(batch, /*training=*/false, &rng);
+    total_targets += logits.value().rows();
+    logit_chunks.push_back(logits.value());
+    batches.push_back(std::move(batch));
+  }
+  // Stitch into one pseudo-batch for metric computation.
+  const int64_t cols = logit_chunks[0].cols();
+  tensor::Tensor all_logits(total_targets, cols);
+  gnn::PreparedBatch all;
+  int64_t row = 0;
+  const int64_t ml_cols =
+      batches[0].multilabels.rows() > 0 ? batches[0].multilabels.cols() : 0;
+  if (ml_cols > 0) all.multilabels = tensor::Tensor(total_targets, ml_cols);
+  for (std::size_t c = 0; c < logit_chunks.size(); ++c) {
+    for (int64_t i = 0; i < logit_chunks[c].rows(); ++i, ++row) {
+      std::copy(logit_chunks[c].row(i), logit_chunks[c].row(i) + cols,
+                all_logits.row(row));
+      all.labels.push_back(batches[c].labels[i]);
+      if (ml_cols > 0) {
+        std::copy(batches[c].multilabels.row(i),
+                  batches[c].multilabels.row(i) + ml_cols,
+                  all.multilabels.row(row));
+      }
+    }
+  }
+  return TaskMetric(config_.task, all_logits, all);
+}
+
+}  // namespace agl::trainer

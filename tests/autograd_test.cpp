@@ -1,0 +1,287 @@
+// Autograd correctness: every differentiable op is verified against
+// central-difference numerical gradients, including the two graph kernels
+// (SpMM aggregation and the fused GAT edge-softmax). The numerical check is
+// the strongest property test available for an AD engine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "common/rng.h"
+
+namespace agl::autograd {
+namespace {
+
+using tensor::SparseMatrix;
+using tensor::Tensor;
+
+/// Checks d(loss)/d(param) against central differences for every element.
+void CheckGradient(Variable param,
+                   const std::function<Variable()>& loss_fn,
+                   float eps = 1e-3f, float tol = 2e-2f) {
+  Variable loss = loss_fn();
+  Backward(loss);
+  Tensor analytic = param.grad();
+
+  Tensor& value = param.mutable_value();
+  for (int64_t i = 0; i < value.size(); ++i) {
+    const float orig = value.data()[i];
+    value.data()[i] = orig + eps;
+    const float up = loss_fn().value().at(0, 0);
+    value.data()[i] = orig - eps;
+    const float down = loss_fn().value().at(0, 0);
+    value.data()[i] = orig;
+    const float numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric,
+                tol * std::max(1.f, std::fabs(numeric)))
+        << "element " << i;
+  }
+}
+
+TEST(VariableTest, ParameterRequiresGrad) {
+  Variable p = Variable::Parameter(Tensor(2, 2));
+  EXPECT_TRUE(p.requires_grad());
+  Variable c = Variable::Constant(Tensor(2, 2));
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(VariableTest, BackwardAccumulatesThroughSharedInput) {
+  // y = x + x => dy/dx = 2.
+  Variable x = Variable::Parameter(Tensor::Full(1, 1, 3.f));
+  Variable y = Add(x, x);
+  Backward(Sum(y));
+  EXPECT_NEAR(x.grad().at(0, 0), 2.f, 1e-6f);
+}
+
+TEST(VariableTest, RepeatedBackwardDoesNotDoubleCount) {
+  Variable x = Variable::Parameter(Tensor::Full(1, 1, 2.f));
+  auto make_loss = [&] { return Sum(Mul(x, x)); };
+  Backward(make_loss());
+  const float g1 = x.grad().at(0, 0);
+  Backward(make_loss());
+  EXPECT_NEAR(x.grad().at(0, 0), g1, 1e-6f);  // zeroed between passes
+}
+
+TEST(OpsGradTest, MatMul) {
+  Rng rng(21);
+  Variable a = Variable::Parameter(Tensor::RandomNormal(3, 4, 0, 1, &rng));
+  Variable b = Variable::Parameter(Tensor::RandomNormal(4, 2, 0, 1, &rng));
+  CheckGradient(a, [&] { return Sum(MatMul(a, b)); });
+  CheckGradient(b, [&] { return Sum(MatMul(a, b)); });
+}
+
+TEST(OpsGradTest, AddSubMul) {
+  Rng rng(22);
+  Variable a = Variable::Parameter(Tensor::RandomNormal(2, 3, 0, 1, &rng));
+  Variable b = Variable::Parameter(Tensor::RandomNormal(2, 3, 0, 1, &rng));
+  CheckGradient(a, [&] { return Sum(Mul(Add(a, b), Sub(a, b))); });
+  CheckGradient(b, [&] { return Sum(Mul(Add(a, b), Sub(a, b))); });
+}
+
+TEST(OpsGradTest, AddBias) {
+  Rng rng(23);
+  Variable a = Variable::Parameter(Tensor::RandomNormal(4, 3, 0, 1, &rng));
+  Variable bias = Variable::Parameter(Tensor::RandomNormal(1, 3, 0, 1, &rng));
+  CheckGradient(bias, [&] { return Sum(AddBias(a, bias)); });
+  CheckGradient(a, [&] { return Sum(AddBias(a, bias)); });
+}
+
+TEST(OpsGradTest, ScaleAndMean) {
+  Rng rng(24);
+  Variable a = Variable::Parameter(Tensor::RandomNormal(3, 3, 0, 1, &rng));
+  CheckGradient(a, [&] { return Mean(Scale(a, 2.5f)); });
+}
+
+TEST(OpsGradTest, ConcatCols) {
+  Rng rng(25);
+  Variable a = Variable::Parameter(Tensor::RandomNormal(3, 2, 0, 1, &rng));
+  Variable b = Variable::Parameter(Tensor::RandomNormal(3, 4, 0, 1, &rng));
+  Variable w = Variable::Constant(Tensor::RandomNormal(6, 1, 0, 1, &rng));
+  auto loss = [&] { return Sum(MatMul(ConcatCols(a, b), w)); };
+  CheckGradient(a, loss);
+  CheckGradient(b, loss);
+}
+
+TEST(OpsGradTest, GatherRows) {
+  Rng rng(26);
+  Variable a = Variable::Parameter(Tensor::RandomNormal(5, 3, 0, 1, &rng));
+  // Repeated index: gradients must accumulate.
+  auto loss = [&] { return Sum(GatherRows(a, {0, 2, 2, 4})); };
+  CheckGradient(a, loss);
+  Backward(loss());
+  EXPECT_NEAR(a.grad().at(2, 0), 2.f, 1e-5f);
+  EXPECT_NEAR(a.grad().at(1, 0), 0.f, 1e-5f);
+}
+
+TEST(OpsGradTest, Activations) {
+  Rng rng(27);
+  // Avoid kinks at 0 by shifting values away from it.
+  Tensor init = Tensor::RandomNormal(3, 3, 0, 1, &rng);
+  for (int64_t i = 0; i < init.size(); ++i) {
+    if (std::fabs(init.data()[i]) < 0.2f) init.data()[i] += 0.5f;
+  }
+  Variable a = Variable::Parameter(init);
+  CheckGradient(a, [&] { return Sum(Relu(a)); });
+  CheckGradient(a, [&] { return Sum(LeakyRelu(a, 0.2f)); });
+  CheckGradient(a, [&] { return Sum(Elu(a)); });
+  CheckGradient(a, [&] { return Sum(Sigmoid(a)); });
+  CheckGradient(a, [&] { return Sum(Tanh(a)); });
+}
+
+TEST(OpsGradTest, SoftmaxCrossEntropy) {
+  Rng rng(28);
+  Variable logits =
+      Variable::Parameter(Tensor::RandomNormal(4, 3, 0, 1, &rng));
+  const std::vector<int64_t> labels = {0, 2, 1, 2};
+  CheckGradient(logits,
+                [&] { return SoftmaxCrossEntropy(logits, labels); });
+}
+
+TEST(OpsGradTest, BceWithLogits) {
+  Rng rng(29);
+  Variable logits =
+      Variable::Parameter(Tensor::RandomNormal(3, 5, 0, 1, &rng));
+  Tensor targets(3, 5);
+  for (int64_t i = 0; i < targets.size(); ++i) {
+    targets.data()[i] = rng.Bernoulli(0.4) ? 1.f : 0.f;
+  }
+  CheckGradient(logits, [&] { return BceWithLogits(logits, targets); });
+}
+
+TEST(OpsGradTest, L2Penalty) {
+  Rng rng(30);
+  Variable w = Variable::Parameter(Tensor::RandomNormal(3, 3, 0, 1, &rng));
+  CheckGradient(w, [&] { return L2Penalty(w, 0.3f); });
+}
+
+TEST(OpsTest, DropoutTrainFalseIsIdentity) {
+  Rng rng(31);
+  Variable a = Variable::Parameter(Tensor::RandomNormal(4, 4, 0, 1, &rng));
+  Variable out = Dropout(a, 0.5f, /*training=*/false, &rng);
+  EXPECT_TRUE(out.value().AllClose(a.value(), 0.f));
+}
+
+TEST(OpsTest, DropoutPreservesScaleInExpectation) {
+  Rng rng(32);
+  Variable a = Variable::Constant(Tensor::Full(100, 100, 1.f));
+  Variable out = Dropout(a, 0.3f, /*training=*/true, &rng);
+  // Inverted dropout: E[out] == 1. Mean over 10k elements is tight.
+  EXPECT_NEAR(out.value().Sum() / out.value().size(), 1.0, 0.05);
+}
+
+TEST(OpsTest, DropoutGradientMatchesMask) {
+  Rng rng(33);
+  Variable a = Variable::Parameter(Tensor::Full(10, 10, 2.f));
+  Variable out = Dropout(a, 0.5f, true, &rng);
+  Backward(Sum(out));
+  // Gradient equals the mask: out = a * mask => d/da sum(out) = mask.
+  for (int64_t i = 0; i < a.value().size(); ++i) {
+    const float m = out.value().data()[i] / 2.f;
+    EXPECT_NEAR(a.grad().data()[i], m, 1e-6f);
+  }
+}
+
+AdjacencyPtr TestAdjacency() {
+  // 5 nodes, mixed degrees incl. an isolated destination (row 4 empty).
+  return std::make_shared<SharedAdjacency>(SparseMatrix::FromCoo(
+      5, 5,
+      {{0, 1, 1.f}, {0, 2, 0.5f}, {1, 0, 2.f}, {2, 3, 1.f}, {2, 0, 1.f},
+       {3, 3, 1.f}}));
+}
+
+TEST(SharedAdjacencyTest, TransposeIndexIsConsistent) {
+  AdjacencyPtr adj = TestAdjacency();
+  const auto& tix = adj->transpose_index();
+  const auto& m = adj->matrix();
+  EXPECT_EQ(static_cast<int64_t>(tix.dst.size()), m.nnz());
+  // Every (row j of transpose, entry -> dst i at orig_pos p) must satisfy
+  // m.col_idx[p] == j and p lies in row i of the forward CSR.
+  for (int64_t j = 0; j < m.cols(); ++j) {
+    for (int64_t q = tix.row_ptr[j]; q < tix.row_ptr[j + 1]; ++q) {
+      const int64_t i = tix.dst[q];
+      const int64_t p = tix.orig_pos[q];
+      EXPECT_EQ(m.col_idx()[p], j);
+      EXPECT_GE(p, m.row_ptr()[i]);
+      EXPECT_LT(p, m.row_ptr()[i + 1]);
+    }
+  }
+}
+
+TEST(OpsGradTest, SpmmAggregate) {
+  Rng rng(34);
+  AdjacencyPtr adj = TestAdjacency();
+  Variable h = Variable::Parameter(Tensor::RandomNormal(5, 3, 0, 1, &rng));
+  CheckGradient(h, [&] { return Sum(SpmmAggregate(adj, h)); });
+}
+
+TEST(OpsGradTest, SpmmAggregateMultiThreaded) {
+  Rng rng(35);
+  AdjacencyPtr adj = TestAdjacency();
+  Variable h = Variable::Parameter(Tensor::RandomNormal(5, 3, 0, 1, &rng));
+  tensor::SpmmOptions opts{4};
+  CheckGradient(h, [&] { return Sum(SpmmAggregate(adj, h, opts)); });
+}
+
+TEST(OpsGradTest, GatAggregateAllInputs) {
+  Rng rng(36);
+  AdjacencyPtr adj = TestAdjacency();
+  Variable h = Variable::Parameter(Tensor::RandomNormal(5, 3, 0, 0.5, &rng));
+  Variable al = Variable::Parameter(Tensor::RandomNormal(5, 1, 0, 0.5, &rng));
+  Variable ar = Variable::Parameter(Tensor::RandomNormal(5, 1, 0, 0.5, &rng));
+  auto loss = [&] { return Sum(GatAggregate(adj, h, al, ar)); };
+  CheckGradient(h, loss, 1e-3f, 3e-2f);
+  CheckGradient(al, loss, 1e-3f, 3e-2f);
+  CheckGradient(ar, loss, 1e-3f, 3e-2f);
+}
+
+TEST(OpsGradTest, GatAggregateParallelMatchesSerial) {
+  Rng rng(37);
+  AdjacencyPtr adj = TestAdjacency();
+  Tensor h0 = Tensor::RandomNormal(5, 4, 0, 1, &rng);
+  Tensor al0 = Tensor::RandomNormal(5, 1, 0, 1, &rng);
+  Tensor ar0 = Tensor::RandomNormal(5, 1, 0, 1, &rng);
+
+  auto run = [&](int threads) {
+    Variable h = Variable::Parameter(h0);
+    Variable al = Variable::Parameter(al0);
+    Variable ar = Variable::Parameter(ar0);
+    Variable out = GatAggregate(adj, h, al, ar, 0.2f, {threads});
+    Backward(Sum(out));
+    return std::make_tuple(out.value(), h.grad(), al.grad(), ar.grad());
+  };
+  auto [o1, gh1, gal1, gar1] = run(1);
+  auto [o4, gh4, gal4, gar4] = run(4);
+  EXPECT_TRUE(o1.AllClose(o4, 1e-6f));
+  EXPECT_TRUE(gh1.AllClose(gh4, 1e-6f));
+  EXPECT_TRUE(gal1.AllClose(gal4, 1e-6f));
+  EXPECT_TRUE(gar1.AllClose(gar4, 1e-6f));
+}
+
+TEST(OpsTest, GatAggregateRowsAreConvexCombinations) {
+  Rng rng(38);
+  AdjacencyPtr adj = TestAdjacency();
+  // With identical h rows, any convex combination returns that row.
+  Tensor h(5, 2);
+  for (int64_t i = 0; i < 5; ++i) {
+    h.at(i, 0) = 1.f;
+    h.at(i, 1) = -2.f;
+  }
+  Variable out = GatAggregate(adj, Variable::Constant(h),
+                              Variable::Constant(Tensor(5, 1)),
+                              Variable::Constant(Tensor(5, 1)));
+  const auto& m = adj->matrix();
+  for (int64_t i = 0; i < 5; ++i) {
+    if (m.RowNnz(i) == 0) {
+      EXPECT_EQ(out.value().at(i, 0), 0.f);  // isolated row stays zero
+    } else {
+      EXPECT_NEAR(out.value().at(i, 0), 1.f, 1e-5f);
+      EXPECT_NEAR(out.value().at(i, 1), -2.f, 1e-5f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agl::autograd

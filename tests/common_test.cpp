@@ -1,0 +1,201 @@
+// Unit tests for the common substrate: Status/Result, thread pool, RNG,
+// resource accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace agl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+Status Inner(bool fail) {
+  if (fail) return Status::Aborted("inner");
+  return Status::OK();
+}
+
+Status Outer(bool fail) {
+  AGL_RETURN_IF_ERROR(Inner(fail));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Outer(false).ok());
+  EXPECT_EQ(Outer(true).code(), StatusCode::kAborted);
+}
+
+Result<int> MakeInt(bool fail) {
+  if (fail) return Status::NotFound("none");
+  return 7;
+}
+
+Status UseInt(bool fail, int* out) {
+  AGL_ASSIGN_OR_RETURN(int v, MakeInt(fail));
+  *out = v;
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, AssignOrReturn) {
+  int out = 0;
+  EXPECT_TRUE(UseInt(false, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(UseInt(true, &out).code(), StatusCode::kNotFound);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.Submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto fut = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmpty) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, MinimumOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(2);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (std::size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementAllWhenKTooLarge) {
+  Rng rng(3);
+  auto sample = rng.SampleWithoutReplacement(10, 50);
+  EXPECT_EQ(sample.size(), 10u);
+}
+
+TEST(RngTest, DeriveSeedDecorrelatesStreams) {
+  const uint64_t s1 = DeriveSeed(42, 0);
+  const uint64_t s2 = DeriveSeed(42, 1);
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(DeriveSeed(42, 0), s1);  // deterministic
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(4);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Discrete(w), 1u);
+}
+
+TEST(TimerTest, StopwatchAdvances) {
+  Stopwatch w;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  EXPECT_GE(w.Seconds(), 0.0);
+  EXPECT_GE(w.Millis(), w.Seconds() * 1000.0 - 1e-6);
+}
+
+TEST(TimerTest, ResourceMeterAccumulates) {
+  ResourceMeter meter;
+  meter.ChargeCpuSeconds(120.0);
+  EXPECT_NEAR(meter.cpu_core_minutes(), 2.0, 1e-9);
+  meter.ChargeMemory(1024.0 * 1024.0 * 1024.0, 60.0);
+  EXPECT_NEAR(meter.memory_gb_minutes(), 1.0, 1e-9);
+  meter.Reset();
+  EXPECT_EQ(meter.cpu_core_minutes(), 0.0);
+}
+
+TEST(TimerTest, ProcessStatsAvailable) {
+  EXPECT_GT(CurrentRssBytes(), 0u);
+  EXPECT_GT(ProcessCpuSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace agl

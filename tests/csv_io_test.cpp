@@ -1,0 +1,115 @@
+// Tests for the CSV node/edge table readers and writers.
+
+#include <gtest/gtest.h>
+
+#include "flat/csv_io.h"
+
+namespace agl::flat {
+namespace {
+
+TEST(NodeCsvTest, ParsesBasicRows) {
+  const std::string text =
+      "# comment line\n"
+      "1,0,0.5;1.5;2.5\n"
+      "2,-1,1;2;3\n"
+      "\n"
+      "3,2,0;0;0,1;0;1\n";
+  auto nodes = ParseNodeCsv(text);
+  ASSERT_TRUE(nodes.ok()) << nodes.status().ToString();
+  ASSERT_EQ(nodes->size(), 3u);
+  EXPECT_EQ((*nodes)[0].id, 1u);
+  EXPECT_EQ((*nodes)[0].label, 0);
+  EXPECT_EQ((*nodes)[0].features, (std::vector<float>{0.5f, 1.5f, 2.5f}));
+  EXPECT_EQ((*nodes)[1].label, -1);
+  EXPECT_EQ((*nodes)[2].multilabel, (std::vector<float>{1.f, 0.f, 1.f}));
+}
+
+TEST(NodeCsvTest, EmptyLabelMeansUnlabeled) {
+  auto nodes = ParseNodeCsv("5,,1;2\n");
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ((*nodes)[0].label, -1);
+}
+
+TEST(NodeCsvTest, RejectsMalformedRows) {
+  EXPECT_FALSE(ParseNodeCsv("1\n").ok());                 // too few columns
+  EXPECT_FALSE(ParseNodeCsv("x,0,1;2\n").ok());           // bad id
+  EXPECT_FALSE(ParseNodeCsv("1,0,1;zzz\n").ok());         // bad feature
+  EXPECT_FALSE(ParseNodeCsv("1,0,1;2,0;1,extra\n").ok()); // too many columns
+}
+
+TEST(NodeCsvTest, ErrorIncludesLineNumber) {
+  auto result = ParseNodeCsv("1,0,1;2\nbroken\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(EdgeCsvTest, ParsesWithOptionalColumns) {
+  const std::string text =
+      "1,2\n"
+      "2,3,0.5\n"
+      "3,4,2.0,1;0;1\n";
+  auto edges = ParseEdgeCsv(text);
+  ASSERT_TRUE(edges.ok()) << edges.status().ToString();
+  ASSERT_EQ(edges->size(), 3u);
+  EXPECT_EQ((*edges)[0].weight, 1.f);  // default
+  EXPECT_EQ((*edges)[1].weight, 0.5f);
+  EXPECT_EQ((*edges)[2].features, (std::vector<float>{1.f, 0.f, 1.f}));
+}
+
+TEST(EdgeCsvTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseEdgeCsv("1\n").ok());
+  EXPECT_FALSE(ParseEdgeCsv("1,y\n").ok());
+  EXPECT_FALSE(ParseEdgeCsv("1,2,w\n").ok());
+}
+
+TEST(CsvRoundTripTest, NodesSurviveWriteParse) {
+  std::vector<NodeRecord> nodes = {
+      {1, {0.25f, -1.5f}, 3, {}},
+      {2, {0.f, 0.f}, -1, {1.f, 0.f}},
+  };
+  auto parsed = ParseNodeCsv(WriteNodeCsv(nodes));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_TRUE((*parsed)[0] == nodes[0]);
+  EXPECT_TRUE((*parsed)[1] == nodes[1]);
+}
+
+TEST(CsvRoundTripTest, EdgesSurviveWriteParse) {
+  std::vector<EdgeRecord> edges = {
+      {1, 2, 0.5f, {}},
+      {2, 1, 1.25f, {3.f, 4.f}},
+  };
+  auto parsed = ParseEdgeCsv(WriteEdgeCsv(edges));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_TRUE((*parsed)[0] == edges[0]);
+  EXPECT_TRUE((*parsed)[1] == edges[1]);
+}
+
+TEST(CsvFileTest, FileRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  std::vector<NodeRecord> nodes = {{7, {1.f}, 0, {}}};
+  std::vector<EdgeRecord> edges = {{7, 7, 2.f, {}}};
+  ASSERT_TRUE(WriteNodeCsvFile(dir + "/n.csv", nodes).ok());
+  ASSERT_TRUE(WriteEdgeCsvFile(dir + "/e.csv", edges).ok());
+  auto n = ReadNodeCsv(dir + "/n.csv");
+  auto e = ReadEdgeCsv(dir + "/e.csv");
+  ASSERT_TRUE(n.ok() && e.ok());
+  EXPECT_TRUE((*n)[0] == nodes[0]);
+  EXPECT_TRUE((*e)[0] == edges[0]);
+}
+
+TEST(CsvFileTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadNodeCsv("/no/such/file.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(CsvCrLfTest, WindowsLineEndingsAccepted) {
+  auto nodes = ParseNodeCsv("1,0,1;2\r\n2,1,3;4\r\n");
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(nodes->size(), 2u);
+  EXPECT_EQ((*nodes)[1].features, (std::vector<float>{3.f, 4.f}));
+}
+
+}  // namespace
+}  // namespace agl::flat

@@ -1,0 +1,196 @@
+// Tests for the synthetic dataset generators: shape contracts (Table 2),
+// split disjointness, planted-structure learnability hooks, and the skewed
+// degree distribution the UUG generator must exhibit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "data/dataset.h"
+
+namespace agl::data {
+namespace {
+
+TEST(CoraLikeTest, ShapesMatchOptions) {
+  CoraLikeOptions opts;
+  opts.num_nodes = 500;
+  opts.feature_dim = 140;
+  opts.num_classes = 7;
+  opts.val_size = 100;   // must fit inside num_nodes - train
+  opts.test_size = 200;
+  Dataset ds = MakeCoraLike(opts);
+  EXPECT_EQ(ds.num_nodes(), 500);
+  EXPECT_EQ(ds.feature_dim, 140);
+  EXPECT_EQ(ds.num_classes, 7);
+  EXPECT_FALSE(ds.multilabel);
+  EXPECT_EQ(static_cast<int64_t>(ds.train_ids.size()), 7 * 20);
+  EXPECT_EQ(static_cast<int64_t>(ds.val_ids.size()), opts.val_size);
+  EXPECT_EQ(static_cast<int64_t>(ds.test_ids.size()), opts.test_size);
+  for (const auto& n : ds.nodes) {
+    EXPECT_EQ(static_cast<int64_t>(n.features.size()), 140);
+    EXPECT_GE(n.label, 0);
+    EXPECT_LT(n.label, 7);
+  }
+}
+
+TEST(CoraLikeTest, SplitsDisjoint) {
+  Dataset ds = MakeCoraLike({});
+  std::set<NodeId> train(ds.train_ids.begin(), ds.train_ids.end());
+  std::set<NodeId> val(ds.val_ids.begin(), ds.val_ids.end());
+  std::set<NodeId> test(ds.test_ids.begin(), ds.test_ids.end());
+  for (NodeId id : val) EXPECT_EQ(train.count(id), 0u);
+  for (NodeId id : test) {
+    EXPECT_EQ(train.count(id), 0u);
+    EXPECT_EQ(val.count(id), 0u);
+  }
+}
+
+TEST(CoraLikeTest, TrainBalancedPerClass) {
+  Dataset ds = MakeCoraLike({});
+  std::unordered_map<NodeId, int64_t> label_of;
+  for (const auto& n : ds.nodes) label_of[n.id] = n.label;
+  std::unordered_map<int64_t, int> counts;
+  for (NodeId id : ds.train_ids) counts[label_of[id]]++;
+  EXPECT_EQ(counts.size(), 7u);
+  for (const auto& [cls, c] : counts) EXPECT_EQ(c, 20) << "class " << cls;
+}
+
+TEST(CoraLikeTest, EdgesHomophilous) {
+  Dataset ds = MakeCoraLike({});
+  std::unordered_map<NodeId, int64_t> label_of;
+  for (const auto& n : ds.nodes) label_of[n.id] = n.label;
+  int64_t same = 0;
+  for (const auto& e : ds.edges) {
+    if (label_of[e.src] == label_of[e.dst]) ++same;
+  }
+  EXPECT_GT(static_cast<double>(same) / ds.edges.size(), 0.6);
+}
+
+TEST(CoraLikeTest, Deterministic) {
+  Dataset a = MakeCoraLike({});
+  Dataset b = MakeCoraLike({});
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_TRUE(a.nodes[i] == b.nodes[i]);
+  }
+  EXPECT_EQ(a.train_ids, b.train_ids);
+}
+
+TEST(PpiLikeTest, ShapesAndGraphSplits) {
+  PpiLikeOptions opts;
+  opts.num_graphs = 6;
+  opts.nodes_per_graph = 50;
+  opts.num_labels = 20;
+  opts.train_graphs = 4;
+  opts.val_graphs = 1;
+  Dataset ds = MakePpiLike(opts);
+  EXPECT_EQ(ds.num_nodes(), 300);
+  EXPECT_TRUE(ds.multilabel);
+  EXPECT_EQ(static_cast<int64_t>(ds.train_ids.size()), 200);
+  EXPECT_EQ(static_cast<int64_t>(ds.val_ids.size()), 50);
+  EXPECT_EQ(static_cast<int64_t>(ds.test_ids.size()), 50);
+  for (const auto& n : ds.nodes) {
+    EXPECT_EQ(n.multilabel.size(), 20u);
+    for (float v : n.multilabel) EXPECT_TRUE(v == 0.f || v == 1.f);
+  }
+}
+
+TEST(PpiLikeTest, GraphsAreDisjoint) {
+  PpiLikeOptions opts;
+  opts.num_graphs = 3;
+  opts.nodes_per_graph = 40;
+  Dataset ds = MakePpiLike(opts);
+  // No edge crosses a graph boundary of 40.
+  for (const auto& e : ds.edges) {
+    EXPECT_EQ(e.src / 40, e.dst / 40)
+        << "edge crosses graphs: " << e.src << "->" << e.dst;
+  }
+}
+
+TEST(PpiLikeTest, LabelsNotDegenerate) {
+  Dataset ds = MakePpiLike({});
+  int64_t positives = 0, total = 0;
+  for (const auto& n : ds.nodes) {
+    for (float v : n.multilabel) {
+      positives += v > 0.5f ? 1 : 0;
+      ++total;
+    }
+  }
+  const double rate = static_cast<double>(positives) / total;
+  EXPECT_GT(rate, 0.2);
+  EXPECT_LT(rate, 0.8);
+}
+
+TEST(UugLikeTest, ShapesAndBinaryLabels) {
+  UugLikeOptions opts;
+  opts.num_nodes = 1000;
+  opts.feature_dim = 16;
+  Dataset ds = MakeUugLike(opts);
+  EXPECT_EQ(ds.num_nodes(), 1000);
+  EXPECT_EQ(ds.num_classes, 2);
+  for (const auto& n : ds.nodes) {
+    EXPECT_TRUE(n.label == 0 || n.label == 1);
+  }
+  EXPECT_GT(ds.num_edges(), 1000);
+}
+
+TEST(UugLikeTest, DegreeDistributionIsSkewed) {
+  UugLikeOptions opts;
+  opts.num_nodes = 3000;
+  opts.feature_dim = 4;
+  Dataset ds = MakeUugLike(opts);
+  std::unordered_map<NodeId, int64_t> degree;
+  for (const auto& e : ds.edges) degree[e.dst]++;
+  int64_t max_deg = 0;
+  double sum_deg = 0;
+  for (const auto& [id, d] : degree) {
+    max_deg = std::max(max_deg, d);
+    sum_deg += static_cast<double>(d);
+  }
+  const double mean_deg = sum_deg / ds.num_nodes();
+  // Hubs: the max degree dwarfs the mean (power-law-ish tail) — this is
+  // what exercises GraphFlat's re-indexing path.
+  EXPECT_GT(static_cast<double>(max_deg), 10 * mean_deg);
+}
+
+TEST(UugLikeTest, CommunitiesMostlyAssortative) {
+  Dataset ds = MakeUugLike({});
+  std::unordered_map<NodeId, int64_t> label_of;
+  for (const auto& n : ds.nodes) label_of[n.id] = n.label;
+  int64_t same = 0;
+  for (const auto& e : ds.edges) {
+    if (label_of[e.src] == label_of[e.dst]) ++same;
+  }
+  EXPECT_GT(static_cast<double>(same) / ds.num_edges(), 0.7);
+}
+
+TEST(BuildGraphTest, RoundTripsTables) {
+  UugLikeOptions opts;
+  opts.num_nodes = 100;
+  opts.feature_dim = 4;
+  Dataset ds = MakeUugLike(opts);
+  auto g = BuildGraph(ds);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), ds.num_nodes());
+  EXPECT_EQ(g->num_edges(), ds.num_edges());
+  EXPECT_EQ(g->node_feature_dim(), 4);
+}
+
+TEST(SplitFeaturesTest, RoutesByTargetId) {
+  Dataset ds;
+  ds.train_ids = {1, 2};
+  ds.val_ids = {3};
+  ds.test_ids = {4};
+  std::vector<subgraph::GraphFeature> features(5);
+  for (uint64_t i = 0; i < 5; ++i) features[i].target_id = i + 1;
+  FeatureSplits splits = SplitFeatures(std::move(features), ds);
+  EXPECT_EQ(splits.train.size(), 2u);
+  EXPECT_EQ(splits.val.size(), 1u);
+  EXPECT_EQ(splits.test.size(), 1u);  // id 5 dropped
+  EXPECT_EQ(splits.val[0].target_id, 3u);
+}
+
+}  // namespace
+}  // namespace agl::data

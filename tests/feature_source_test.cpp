@@ -1,0 +1,120 @@
+// Tests for the streaming DFS feature source: shard coverage/disjointness
+// and corruption surfacing.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "flat/graphflat.h"
+#include "trainer/feature_source.h"
+
+namespace agl::trainer {
+namespace {
+
+class FeatureSourceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (std::filesystem::temp_directory_path() /
+             ("agl_fsrc_" + std::to_string(::getpid())))
+                .string();
+    auto dfs = mr::LocalDfs::Open(root_);
+    AGL_CHECK(dfs.ok());
+    dfs_ = std::make_unique<mr::LocalDfs>(std::move(dfs).value());
+
+    // A chain graph flattened to 10 features over 4 parts.
+    std::vector<flat::NodeRecord> nodes;
+    std::vector<flat::EdgeRecord> edges;
+    for (int i = 0; i < 10; ++i) {
+      nodes.push_back({static_cast<flat::NodeId>(i),
+                       {static_cast<float>(i)},
+                       i % 2,
+                       {}});
+      if (i > 0) {
+        edges.push_back({static_cast<flat::NodeId>(i - 1),
+                         static_cast<flat::NodeId>(i), 1.f,
+                         {}});
+      }
+    }
+    flat::GraphFlatConfig config;
+    config.hops = 1;
+    config.output_parts = 4;
+    auto stats =
+        flat::RunGraphFlat(config, nodes, edges, dfs_.get(), "features");
+    AGL_CHECK(stats.ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::string root_;
+  std::unique_ptr<mr::LocalDfs> dfs_;
+};
+
+TEST_F(FeatureSourceTest, ReadAllSeesEveryFeature) {
+  auto src = DfsFeatureSource::Open(*dfs_, "features");
+  ASSERT_TRUE(src.ok());
+  EXPECT_EQ(src->num_parts(), 4);
+  auto all = src->ReadAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 10u);
+}
+
+TEST_F(FeatureSourceTest, ShardsPartitionTheDataset) {
+  auto src = DfsFeatureSource::Open(*dfs_, "features");
+  ASSERT_TRUE(src.ok());
+  std::multiset<uint64_t> seen;
+  for (int w = 0; w < 3; ++w) {
+    auto shard = src->ReadShard(w, 3);
+    ASSERT_TRUE(shard.ok());
+    for (const auto& gf : *shard) seen.insert(gf.target_id);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // every feature exactly once
+  std::set<uint64_t> uniq(seen.begin(), seen.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST_F(FeatureSourceTest, MoreWorkersThanPartsGetEmptyShards) {
+  auto src = DfsFeatureSource::Open(*dfs_, "features");
+  ASSERT_TRUE(src.ok());
+  auto shard = src->ReadShard(7, 8);  // only 4 parts exist
+  ASSERT_TRUE(shard.ok());
+  EXPECT_TRUE(shard->empty());
+}
+
+TEST_F(FeatureSourceTest, BadShardSpecRejected) {
+  auto src = DfsFeatureSource::Open(*dfs_, "features");
+  ASSERT_TRUE(src.ok());
+  EXPECT_FALSE(src->ReadShard(-1, 2).ok());
+  EXPECT_FALSE(src->ReadShard(2, 2).ok());
+  EXPECT_FALSE(src->ReadShard(0, 0).ok());
+}
+
+TEST_F(FeatureSourceTest, ScanStopsOnCallbackError) {
+  auto src = DfsFeatureSource::Open(*dfs_, "features");
+  ASSERT_TRUE(src.ok());
+  int count = 0;
+  agl::Status s = src->ScanPart(0, [&](subgraph::GraphFeature) {
+    if (++count >= 2) return agl::Status::Aborted("enough");
+    return agl::Status::OK();
+  });
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(FeatureSourceTest, MissingDatasetIsNotFound) {
+  EXPECT_EQ(DfsFeatureSource::Open(*dfs_, "nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FeatureSourceTest, CorruptPartSurfacesAsError) {
+  auto parts = dfs_->ListParts("features");
+  ASSERT_TRUE(parts.ok());
+  // Truncate one part file mid-record.
+  std::filesystem::resize_file((*parts)[0],
+                               std::filesystem::file_size((*parts)[0]) - 5);
+  auto src = DfsFeatureSource::Open(*dfs_, "features");
+  ASSERT_TRUE(src.ok());
+  EXPECT_FALSE(src->ReadAll().ok());
+}
+
+}  // namespace
+}  // namespace agl::trainer

@@ -1,0 +1,101 @@
+// Tests for the command-line flag parser.
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace agl {
+namespace {
+
+TEST(FlagParserTest, ParsesAllTypes) {
+  std::string s = "default";
+  int64_t i = 1;
+  double d = 0.5;
+  bool b = false;
+  FlagParser parser;
+  parser.AddString("name", &s)
+      .AddInt("count", &i)
+      .AddDouble("rate", &d)
+      .AddBool("flag", &b);
+  ASSERT_TRUE(parser
+                  .Parse({"-name", "hello", "-count", "42", "-rate", "2.5",
+                          "-flag", "true"})
+                  .ok());
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(i, 42);
+  EXPECT_EQ(d, 2.5);
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagParserTest, DoubleDashAndEqualsSyntax) {
+  int64_t i = 0;
+  std::string s;
+  FlagParser parser;
+  parser.AddInt("count", &i).AddString("name", &s);
+  ASSERT_TRUE(parser.Parse({"--count=7", "--name", "x"}).ok());
+  EXPECT_EQ(i, 7);
+  EXPECT_EQ(s, "x");
+}
+
+TEST(FlagParserTest, BareBooleanFlag) {
+  bool verbose = false;
+  int64_t n = 0;
+  FlagParser parser;
+  parser.AddBool("verbose", &verbose).AddInt("n", &n);
+  ASSERT_TRUE(parser.Parse({"--verbose", "-n", "3"}).ok());
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(n, 3);
+}
+
+TEST(FlagParserTest, DefaultsPreservedWhenAbsent) {
+  std::string s = "keep";
+  int64_t i = 99;
+  FlagParser parser;
+  parser.AddString("s", &s).AddInt("i", &i);
+  ASSERT_TRUE(parser.Parse(std::vector<std::string>{}).ok());
+  EXPECT_EQ(s, "keep");
+  EXPECT_EQ(i, 99);
+}
+
+TEST(FlagParserTest, UnknownFlagRejected) {
+  FlagParser parser;
+  EXPECT_EQ(parser.Parse({"-bogus", "1"}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, BadIntRejected) {
+  int64_t i = 0;
+  FlagParser parser;
+  parser.AddInt("i", &i);
+  EXPECT_FALSE(parser.Parse({"-i", "notanint"}).ok());
+  EXPECT_FALSE(parser.Parse({"-i", "12abc"}).ok());
+}
+
+TEST(FlagParserTest, MissingValueRejected) {
+  int64_t i = 0;
+  FlagParser parser;
+  parser.AddInt("i", &i);
+  EXPECT_FALSE(parser.Parse({"-i"}).ok());
+}
+
+TEST(FlagParserTest, PositionalArgumentsCollected) {
+  int64_t i = 0;
+  FlagParser parser;
+  parser.AddInt("i", &i);
+  ASSERT_TRUE(parser.Parse({"first", "-i", "2", "second"}).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(FlagParserTest, HelpListsFlags) {
+  int64_t i = 5;
+  FlagParser parser;
+  parser.AddInt("count", &i, "how many");
+  const std::string help = parser.Help();
+  EXPECT_NE(help.find("count"), std::string::npos);
+  EXPECT_NE(help.find("how many"), std::string::npos);
+  EXPECT_NE(help.find("5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace agl

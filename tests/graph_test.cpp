@@ -1,0 +1,140 @@
+// Tests for the attributed graph container and its builder.
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace agl::graph {
+namespace {
+
+Graph Diamond() {
+  // 1 -> 2, 1 -> 3, 2 -> 4, 3 -> 4 plus features = id value.
+  GraphBuilder b(/*node_feature_dim=*/1, /*edge_feature_dim=*/2);
+  for (NodeId id : {1, 2, 3, 4}) {
+    AGL_CHECK_OK(b.AddNode(id, {static_cast<float>(id)},
+                           static_cast<int64_t>(id % 2)));
+  }
+  b.AddEdge(1, 2, 0.5f, {1.f, 0.f});
+  b.AddEdge(1, 3, 1.0f, {0.f, 1.f});
+  b.AddEdge(2, 4, 2.0f, {1.f, 1.f});
+  b.AddEdge(3, 4, 3.0f, {2.f, 2.f});
+  auto g = b.Build();
+  AGL_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+TEST(GraphBuilderTest, BasicCounts) {
+  Graph g = Diamond();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.node_feature_dim(), 1);
+  EXPECT_EQ(g.edge_feature_dim(), 2);
+}
+
+TEST(GraphBuilderTest, LocalIndexLookup) {
+  Graph g = Diamond();
+  for (NodeId id : {1, 2, 3, 4}) {
+    const int64_t local = g.LocalIndex(id);
+    ASSERT_NE(local, Graph::kNotFound);
+    EXPECT_EQ(g.node_id(local), id);
+  }
+  EXPECT_EQ(g.LocalIndex(99), Graph::kNotFound);
+}
+
+TEST(GraphTest, InEdgesPointAtNode) {
+  Graph g = Diamond();
+  const int64_t n4 = g.LocalIndex(4);
+  auto in = g.InEdges(n4);
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_EQ(g.InDegree(n4), 2);
+  // Sources are nodes 2 and 3; CSR sorts by (dst, src).
+  EXPECT_EQ(g.node_id(in[0].src), 2u);
+  EXPECT_EQ(g.node_id(in[1].src), 3u);
+  EXPECT_EQ(in[0].weight, 2.0f);
+}
+
+TEST(GraphTest, OutEdgesLeaveNode) {
+  Graph g = Diamond();
+  const int64_t n1 = g.LocalIndex(1);
+  auto out_idx = g.OutEdgeIndices(n1);
+  ASSERT_EQ(out_idx.size(), 2u);
+  EXPECT_EQ(g.OutDegree(n1), 2);
+  for (int64_t idx : out_idx) {
+    EXPECT_EQ(g.node_id(g.edge(idx).src), 1u);
+  }
+  EXPECT_EQ(g.InDegree(n1), 0);
+}
+
+TEST(GraphTest, EdgeFeaturesAccessible) {
+  Graph g = Diamond();
+  const int64_t n4 = g.LocalIndex(4);
+  auto in = g.InEdges(n4);
+  const auto& ef = g.edge_features();
+  EXPECT_EQ(ef.at(in[0].feature_offset, 0), 1.f);  // edge 2->4
+  EXPECT_EQ(ef.at(in[1].feature_offset, 0), 2.f);  // edge 3->4
+}
+
+TEST(GraphTest, LabelsStored) {
+  Graph g = Diamond();
+  EXPECT_EQ(g.labels()[g.LocalIndex(1)], 1);
+  EXPECT_EQ(g.labels()[g.LocalIndex(2)], 0);
+}
+
+TEST(GraphBuilderTest, RejectsDuplicateNode) {
+  GraphBuilder b(1);
+  ASSERT_TRUE(b.AddNode(1, {0.f}).ok());
+  EXPECT_EQ(b.AddNode(1, {0.f}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(GraphBuilderTest, RejectsWrongFeatureWidth) {
+  GraphBuilder b(2);
+  EXPECT_EQ(b.AddNode(1, {0.f}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsEdgeToMissingNode) {
+  GraphBuilder b(1);
+  ASSERT_TRUE(b.AddNode(1, {0.f}).ok());
+  b.AddEdge(1, 42);
+  EXPECT_EQ(b.Build().status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphBuilderTest, MultilabelRoundTrip) {
+  GraphBuilder b(1);
+  ASSERT_TRUE(b.AddNode(1, {0.f}).ok());
+  ASSERT_TRUE(b.AddNode(2, {0.f}).ok());
+  ASSERT_TRUE(b.SetMultilabel(1, {1.f, 0.f, 1.f}).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->multilabels().cols(), 3);
+  EXPECT_EQ(g->multilabels().at(g->LocalIndex(1), 2), 1.f);
+  EXPECT_EQ(g->multilabels().at(g->LocalIndex(2), 0), 0.f);
+}
+
+TEST(GraphBuilderTest, MultilabelWidthMismatchRejected) {
+  GraphBuilder b(1);
+  ASSERT_TRUE(b.AddNode(1, {0.f}).ok());
+  ASSERT_TRUE(b.AddNode(2, {0.f}).ok());
+  ASSERT_TRUE(b.SetMultilabel(1, {1.f, 0.f}).ok());
+  EXPECT_EQ(b.SetMultilabel(2, {1.f}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, SelfLoopAllowed) {
+  GraphBuilder b(1);
+  ASSERT_TRUE(b.AddNode(1, {0.f}).ok());
+  b.AddEdge(1, 1, 2.f);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->InDegree(0), 1);
+  EXPECT_EQ(g->OutDegree(0), 1);
+}
+
+TEST(GraphBuilderTest, EmptyGraphBuilds) {
+  GraphBuilder b(3);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 0);
+  EXPECT_EQ(g->num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace agl::graph

@@ -1,0 +1,260 @@
+// Tests for model segmentation and GraphInfer. The central equivalence:
+// sliced MapReduce inference must reproduce the whole-graph forward pass
+// (FullGraphScores) for every model type, and must agree with the Original
+// per-GraphFeature baseline on predictions while doing strictly fewer
+// embedding evaluations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/full_graph.h"
+#include "data/dataset.h"
+#include "infer/graphinfer.h"
+#include "infer/original.h"
+#include "infer/segmentation.h"
+
+namespace agl::infer {
+namespace {
+
+data::Dataset SmallUug(int nodes = 80) {
+  data::UugLikeOptions opts;
+  opts.num_nodes = nodes;
+  opts.feature_dim = 6;
+  opts.attach_edges = 3;
+  opts.train_size = nodes / 2;
+  opts.val_size = nodes / 8;
+  opts.test_size = nodes / 8;
+  return data::MakeUugLike(opts);
+}
+
+gnn::ModelConfig SmallModel(gnn::ModelType type, int layers,
+                            int64_t in_dim) {
+  gnn::ModelConfig config;
+  config.type = type;
+  config.num_layers = layers;
+  config.in_dim = in_dim;
+  config.hidden_dim = 5;
+  config.out_dim = 2;
+  config.seed = 17;
+  return config;
+}
+
+TEST(SegmentationTest, SplitsByLayer) {
+  gnn::GnnModel model(SmallModel(gnn::ModelType::kGat, 3, 6));
+  auto slices = SegmentModel(model.StateDict(), 3);
+  ASSERT_TRUE(slices.ok());
+  ASSERT_EQ(slices->size(), 4u);  // 3 layers + prediction slice
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_FALSE((*slices)[k].params.empty());
+    EXPECT_EQ((*slices)[k].layer, k);
+  }
+  EXPECT_TRUE((*slices)[3].params.empty());  // identity prediction head
+}
+
+TEST(SegmentationTest, SliceParamsCoverWholeModel) {
+  gnn::GnnModel model(SmallModel(gnn::ModelType::kGraphSage, 2, 6));
+  auto slices = SegmentModel(model.StateDict(), 2);
+  ASSERT_TRUE(slices.ok());
+  std::size_t total = 0;
+  for (const auto& s : *slices) total += s.params.size();
+  EXPECT_EQ(total, model.StateDict().size());
+}
+
+TEST(SegmentationTest, RejectsUnknownKeys) {
+  std::map<std::string, tensor::Tensor> state;
+  state.emplace("not_a_layer.weight", tensor::Tensor(1, 1));
+  EXPECT_FALSE(SegmentModel(state, 2).ok());
+}
+
+class InferEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<gnn::ModelType, int>> {};
+
+TEST_P(InferEquivalenceTest, MatchesFullGraphForward) {
+  const auto [type, layers] = GetParam();
+  data::Dataset ds = SmallUug();
+  gnn::ModelConfig mconfig = SmallModel(type, layers, ds.feature_dim);
+  gnn::GnnModel model(mconfig);
+  const auto state = model.StateDict();
+
+  // Ground truth: whole-graph forward (softmax scores per node).
+  auto truth = baseline::FullGraphScores(mconfig, state, ds);
+  ASSERT_TRUE(truth.ok()) << truth.status().ToString();
+
+  InferConfig iconfig;
+  iconfig.model = mconfig;
+  iconfig.job.num_reduce_tasks = 5;
+  auto result = RunGraphInfer(iconfig, state, ds.nodes, ds.edges);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->scores.size(), ds.nodes.size());
+
+  for (std::size_t i = 0; i < result->scores.size(); ++i) {
+    const auto& [id, scores] = result->scores[i];
+    // ds.nodes are ordered by id == row index in `truth`.
+    ASSERT_EQ(id, ds.nodes[i].id);
+    ASSERT_EQ(scores.size(), 2u);
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_NEAR(scores[c], truth->at(static_cast<int64_t>(i), c), 2e-3f)
+          << "node " << id << " class " << c << " ("
+          << gnn::ModelTypeName(type) << ", " << layers << " layers)";
+    }
+  }
+  // Exactly one embedding evaluation per node per layer.
+  EXPECT_EQ(result->costs.embedding_evaluations,
+            static_cast<int64_t>(ds.nodes.size()) * layers);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, InferEquivalenceTest,
+    ::testing::Combine(::testing::Values(gnn::ModelType::kGcn,
+                                         gnn::ModelType::kGraphSage,
+                                         gnn::ModelType::kGat),
+                       ::testing::Values(1, 2)));
+
+TEST(OriginalInferenceTest, AgreesWithGraphInferOnPredictions) {
+  data::Dataset ds = SmallUug(60);
+  gnn::ModelConfig mconfig =
+      SmallModel(gnn::ModelType::kGraphSage, 2, ds.feature_dim);
+  gnn::GnnModel model(mconfig);
+  const auto state = model.StateDict();
+
+  InferConfig iconfig;
+  iconfig.model = mconfig;
+  auto sliced = RunGraphInfer(iconfig, state, ds.nodes, ds.edges);
+  ASSERT_TRUE(sliced.ok());
+
+  OriginalInferenceConfig oconfig;
+  oconfig.model = mconfig;
+  auto original = RunOriginalInference(oconfig, state, ds.nodes, ds.edges);
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+
+  ASSERT_EQ(sliced->scores.size(), original->scores.size());
+  for (std::size_t i = 0; i < sliced->scores.size(); ++i) {
+    EXPECT_EQ(sliced->scores[i].first, original->scores[i].first);
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_NEAR(sliced->scores[i].second[c],
+                  original->scores[i].second[c], 2e-3f)
+          << "node " << sliced->scores[i].first;
+    }
+  }
+}
+
+TEST(OriginalInferenceTest, RepeatsEmbeddingWork) {
+  // The whole point of GraphInfer: the Original baseline evaluates far more
+  // embeddings because overlapping neighborhoods recompute shared nodes.
+  data::Dataset ds = SmallUug(60);
+  gnn::ModelConfig mconfig =
+      SmallModel(gnn::ModelType::kGcn, 2, ds.feature_dim);
+  gnn::GnnModel model(mconfig);
+  const auto state = model.StateDict();
+
+  InferConfig iconfig;
+  iconfig.model = mconfig;
+  auto sliced = RunGraphInfer(iconfig, state, ds.nodes, ds.edges);
+  ASSERT_TRUE(sliced.ok());
+
+  OriginalInferenceConfig oconfig;
+  oconfig.model = mconfig;
+  // Small batches: neighborhoods overlap across batches and the Original
+  // module recomputes the shared nodes (within a batch the merge dedupes).
+  oconfig.batch_size = 4;
+  auto original = RunOriginalInference(oconfig, state, ds.nodes, ds.edges);
+  ASSERT_TRUE(original.ok());
+
+  EXPECT_GT(original->costs.embedding_evaluations,
+            2 * sliced->costs.embedding_evaluations);
+}
+
+TEST(GraphInferTest, SurvivesInjectedFaults) {
+  data::Dataset ds = SmallUug(40);
+  gnn::ModelConfig mconfig =
+      SmallModel(gnn::ModelType::kGcn, 2, ds.feature_dim);
+  gnn::GnnModel model(mconfig);
+  const auto state = model.StateDict();
+
+  InferConfig clean_config;
+  clean_config.model = mconfig;
+  auto clean = RunGraphInfer(clean_config, state, ds.nodes, ds.edges);
+  ASSERT_TRUE(clean.ok());
+
+  InferConfig faulty_config = clean_config;
+  faulty_config.job.fault_injection_rate = 0.3;
+  faulty_config.job.max_task_attempts = 15;
+  auto faulty = RunGraphInfer(faulty_config, state, ds.nodes, ds.edges);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+
+  ASSERT_EQ(clean->scores.size(), faulty->scores.size());
+  for (std::size_t i = 0; i < clean->scores.size(); ++i) {
+    EXPECT_EQ(clean->scores[i].first, faulty->scores[i].first);
+    for (std::size_t c = 0; c < clean->scores[i].second.size(); ++c) {
+      EXPECT_NEAR(clean->scores[i].second[c], faulty->scores[i].second[c],
+                  1e-6f);
+    }
+  }
+}
+
+TEST(GraphInferTest, TargetSubsetMatchesFullRun) {
+  // §3.4: pruned inference over part of the graph. For models whose
+  // normalization depends only on in-edges (SAGE row-norm, GAT attention),
+  // the K-hop neighborhood is information-complete, so subset scores must
+  // equal the full run's scores for those targets.
+  data::Dataset ds = SmallUug(70);
+  for (gnn::ModelType type : {gnn::ModelType::kGraphSage,
+                              gnn::ModelType::kGat}) {
+    gnn::ModelConfig mconfig = SmallModel(type, 2, ds.feature_dim);
+    gnn::GnnModel model(mconfig);
+    const auto state = model.StateDict();
+
+    InferConfig full_config;
+    full_config.model = mconfig;
+    auto full = RunGraphInfer(full_config, state, ds.nodes, ds.edges);
+    ASSERT_TRUE(full.ok());
+
+    InferConfig subset_config = full_config;
+    subset_config.target_ids = {ds.nodes[3].id, ds.nodes[17].id,
+                                ds.nodes[42].id};
+    auto subset = RunGraphInfer(subset_config, state, ds.nodes, ds.edges);
+    ASSERT_TRUE(subset.ok()) << subset.status().ToString();
+    ASSERT_EQ(subset->scores.size(), 3u);
+
+    std::unordered_map<uint64_t, const std::vector<float>*> full_of;
+    for (const auto& [id, s] : full->scores) full_of[id] = &s;
+    for (const auto& [id, s] : subset->scores) {
+      ASSERT_TRUE(full_of.count(id) > 0);
+      for (std::size_t c = 0; c < s.size(); ++c) {
+        EXPECT_NEAR(s[c], (*full_of[id])[c], 1e-5f)
+            << gnn::ModelTypeName(type) << " node " << id;
+      }
+    }
+    // Pruning must reduce the work: fewer embedding evaluations than the
+    // full graph run.
+    EXPECT_LT(subset->costs.embedding_evaluations,
+              full->costs.embedding_evaluations);
+  }
+}
+
+TEST(GraphInferTest, TargetSubsetSingleNodeNoEdges) {
+  data::Dataset ds = SmallUug(30);
+  gnn::ModelConfig mconfig =
+      SmallModel(gnn::ModelType::kGraphSage, 1, ds.feature_dim);
+  gnn::GnnModel model(mconfig);
+  InferConfig config;
+  config.model = mconfig;
+  config.target_ids = {ds.nodes[0].id};
+  auto result =
+      RunGraphInfer(config, model.StateDict(), ds.nodes, ds.edges);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->scores.size(), 1u);
+  EXPECT_EQ(result->scores[0].first, ds.nodes[0].id);
+}
+
+TEST(GraphInferTest, EmptyNodesRejected) {
+  InferConfig config;
+  config.model = SmallModel(gnn::ModelType::kGcn, 1, 4);
+  gnn::GnnModel model(config.model);
+  auto result = RunGraphInfer(config, model.StateDict(), {}, {});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace agl::infer

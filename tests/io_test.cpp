@@ -1,0 +1,195 @@
+// Tests for the varint codec and the checksummed record file format.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+
+#include "io/codec.h"
+#include "io/record_file.h"
+
+namespace agl::io {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CodecTest, VarintRoundTrip) {
+  BufferWriter w;
+  const std::vector<uint64_t> values = {
+      0, 1, 127, 128, 300, 1u << 20, std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) w.PutVarint64(v);
+  BufferReader r(w.data());
+  for (uint64_t expected : values) {
+    uint64_t got;
+    ASSERT_TRUE(r.GetVarint64(&got).ok());
+    EXPECT_EQ(got, expected);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(CodecTest, SignedVarintRoundTrip) {
+  BufferWriter w;
+  const std::vector<int64_t> values = {0, -1, 1, -64, 64, -1000000,
+                                       std::numeric_limits<int64_t>::min(),
+                                       std::numeric_limits<int64_t>::max()};
+  for (int64_t v : values) w.PutVarint64Signed(v);
+  BufferReader r(w.data());
+  for (int64_t expected : values) {
+    int64_t got;
+    ASSERT_TRUE(r.GetVarint64Signed(&got).ok());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(CodecTest, SmallNegativesAreCompact) {
+  BufferWriter w;
+  w.PutVarint64Signed(-1);
+  EXPECT_EQ(w.size(), 1u);  // zig-zag: -1 -> 1
+}
+
+TEST(CodecTest, FixedAndFloatRoundTrip) {
+  BufferWriter w;
+  w.PutFixed32(0xdeadbeef);
+  w.PutFixed64(0x0123456789abcdefULL);
+  w.PutFloat(3.14159f);
+  w.PutDouble(-2.71828);
+  BufferReader r(w.data());
+  uint32_t a;
+  uint64_t b;
+  float f;
+  double d;
+  ASSERT_TRUE(r.GetFixed32(&a).ok());
+  ASSERT_TRUE(r.GetFixed64(&b).ok());
+  ASSERT_TRUE(r.GetFloat(&f).ok());
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  EXPECT_EQ(a, 0xdeadbeef);
+  EXPECT_EQ(b, 0x0123456789abcdefULL);
+  EXPECT_EQ(f, 3.14159f);
+  EXPECT_EQ(d, -2.71828);
+}
+
+TEST(CodecTest, StringAndArrays) {
+  BufferWriter w;
+  w.PutString("hello");
+  w.PutString("");
+  w.PutFloatArray({1.f, 2.f, 3.f});
+  w.PutFloatArray({});
+  w.PutVarintArray({10, 20, 30});
+  BufferReader r(w.data());
+  std::string s1, s2;
+  std::vector<float> f1, f2;
+  std::vector<uint64_t> v1;
+  ASSERT_TRUE(r.GetString(&s1).ok());
+  ASSERT_TRUE(r.GetString(&s2).ok());
+  ASSERT_TRUE(r.GetFloatArray(&f1).ok());
+  ASSERT_TRUE(r.GetFloatArray(&f2).ok());
+  ASSERT_TRUE(r.GetVarintArray(&v1).ok());
+  EXPECT_EQ(s1, "hello");
+  EXPECT_EQ(s2, "");
+  EXPECT_EQ(f1, (std::vector<float>{1.f, 2.f, 3.f}));
+  EXPECT_TRUE(f2.empty());
+  EXPECT_EQ(v1, (std::vector<uint64_t>{10, 20, 30}));
+}
+
+TEST(CodecTest, UnderflowReportsCorruption) {
+  BufferWriter w;
+  w.PutVarint64(1000);  // 2 bytes
+  BufferReader r(w.data().data(), 1);
+  uint64_t v;
+  EXPECT_EQ(r.GetVarint64(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, TruncatedStringReportsCorruption) {
+  BufferWriter w;
+  w.PutString("abcdef");
+  BufferReader r(w.data().data(), 3);
+  std::string s;
+  EXPECT_EQ(r.GetString(&s).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, OverlongVarintRejected) {
+  std::string bad(11, static_cast<char>(0xff));
+  BufferReader r(bad);
+  uint64_t v;
+  EXPECT_EQ(r.GetVarint64(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(Crc32cTest, KnownProperties) {
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  const uint32_t a = Crc32c("hello", 5);
+  const uint32_t b = Crc32c("hellp", 5);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Crc32c("hello", 5));  // deterministic
+}
+
+TEST(RecordFileTest, RoundTrip) {
+  const std::string path = TempPath("agl_record_test.dat");
+  {
+    auto w = RecordWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->Append("first").ok());
+    ASSERT_TRUE(w->Append("").ok());
+    ASSERT_TRUE(w->Append(std::string(100000, 'x')).ok());
+    EXPECT_EQ(w->num_records(), 3u);
+    ASSERT_TRUE(w->Close().ok());
+  }
+  auto r = RecordReader::Open(path);
+  ASSERT_TRUE(r.ok());
+  std::vector<std::string> records;
+  ASSERT_TRUE(r->ReadAll(&records).ok());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], "first");
+  EXPECT_EQ(records[1], "");
+  EXPECT_EQ(records[2].size(), 100000u);
+  std::remove(path.c_str());
+}
+
+TEST(RecordFileTest, NextReportsEndOfFile) {
+  const std::string path = TempPath("agl_record_eof.dat");
+  {
+    auto w = RecordWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->Append("only").ok());
+    ASSERT_TRUE(w->Close().ok());
+  }
+  auto r = RecordReader::Open(path);
+  ASSERT_TRUE(r.ok());
+  std::string rec;
+  EXPECT_TRUE(r->Next(&rec).ok());
+  EXPECT_EQ(r->Next(&rec).code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(RecordFileTest, DetectsCorruption) {
+  const std::string path = TempPath("agl_record_corrupt.dat");
+  {
+    auto w = RecordWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->Append("payload-that-will-be-corrupted").ok());
+    ASSERT_TRUE(w->Close().ok());
+  }
+  // Flip a payload byte.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -3, SEEK_END);
+    std::fputc('Z', f);
+    std::fclose(f);
+  }
+  auto r = RecordReader::Open(path);
+  ASSERT_TRUE(r.ok());
+  std::string rec;
+  EXPECT_EQ(r->Next(&rec).code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(RecordFileTest, MissingFileIsIoError) {
+  auto r = RecordReader::Open("/nonexistent/path/file.dat");
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace agl::io

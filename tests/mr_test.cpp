@@ -1,0 +1,246 @@
+// Tests for the MapReduce engine: map/shuffle/reduce semantics, fault
+// injection + retry, determinism, and the LocalDfs record store.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "mr/local_dfs.h"
+#include "mr/mapreduce.h"
+
+namespace agl::mr {
+namespace {
+
+/// Word-count style mapper: splits value on spaces, emits (word, "1").
+class WordMapper : public Mapper {
+ public:
+  agl::Status Map(const KeyValue& input, Emitter* out) override {
+    std::size_t start = 0;
+    const std::string& s = input.value;
+    while (start < s.size()) {
+      std::size_t end = s.find(' ', start);
+      if (end == std::string::npos) end = s.size();
+      if (end > start) out->Emit(s.substr(start, end - start), "1");
+      start = end + 1;
+    }
+    return agl::Status::OK();
+  }
+};
+
+class CountReducer : public Reducer {
+ public:
+  agl::Status Reduce(const std::string& key,
+                     const std::vector<std::string>& values,
+                     Emitter* out) override {
+    out->Emit(key, std::to_string(values.size()));
+    return agl::Status::OK();
+  }
+};
+
+std::vector<KeyValue> WordInput() {
+  return {{"", "the quick brown fox"},
+          {"", "the lazy dog"},
+          {"", "the quick dog"}};
+}
+
+std::map<std::string, std::string> ToMap(const std::vector<KeyValue>& kvs) {
+  std::map<std::string, std::string> m;
+  for (const auto& kv : kvs) m[kv.key] = kv.value;
+  return m;
+}
+
+TEST(MapReduceTest, WordCount) {
+  JobConfig config;
+  auto result = RunJob(config, WordInput(),
+                       [] { return std::make_unique<WordMapper>(); },
+                       [] { return std::make_unique<CountReducer>(); });
+  ASSERT_TRUE(result.ok());
+  auto counts = ToMap(*result);
+  EXPECT_EQ(counts["the"], "3");
+  EXPECT_EQ(counts["quick"], "2");
+  EXPECT_EQ(counts["fox"], "1");
+  EXPECT_EQ(counts.size(), 6u);
+}
+
+TEST(MapReduceTest, ResultIndependentOfTaskCounts) {
+  std::map<std::string, std::string> reference;
+  for (int workers : {1, 3}) {
+    for (int tasks : {1, 4, 16}) {
+      JobConfig config;
+      config.num_workers = workers;
+      config.num_map_tasks = tasks;
+      config.num_reduce_tasks = tasks;
+      auto result = RunJob(config, WordInput(),
+                           [] { return std::make_unique<WordMapper>(); },
+                           [] { return std::make_unique<CountReducer>(); });
+      ASSERT_TRUE(result.ok());
+      auto counts = ToMap(*result);
+      if (reference.empty()) {
+        reference = counts;
+      } else {
+        EXPECT_EQ(counts, reference)
+            << workers << " workers, " << tasks << " tasks";
+      }
+    }
+  }
+}
+
+TEST(MapReduceTest, FaultInjectionRetriesSucceed) {
+  JobConfig config;
+  config.fault_injection_rate = 0.4;
+  config.max_task_attempts = 12;
+  config.seed = 99;
+  JobStats stats;
+  auto result = RunJob(config, WordInput(),
+                       [] { return std::make_unique<WordMapper>(); },
+                       [] { return std::make_unique<CountReducer>(); },
+                       &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(stats.failed_attempts, 0);  // faults actually fired
+  EXPECT_EQ(ToMap(*result)["the"], "3");
+}
+
+TEST(MapReduceTest, ExhaustedRetriesAbort) {
+  JobConfig config;
+  config.fault_injection_rate = 1.0;  // every attempt dies
+  config.max_task_attempts = 3;
+  auto result = RunJob(config, WordInput(),
+                       [] { return std::make_unique<WordMapper>(); },
+                       [] { return std::make_unique<CountReducer>(); });
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+}
+
+class FailingMapper : public Mapper {
+ public:
+  agl::Status Map(const KeyValue&, Emitter*) override {
+    return agl::Status::Internal("user code bug");
+  }
+};
+
+TEST(MapReduceTest, UserErrorSurfacesAfterRetries) {
+  JobConfig config;
+  config.max_task_attempts = 2;
+  auto result = RunMapPhase(config, WordInput(),
+                            [] { return std::make_unique<FailingMapper>(); });
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(MapReduceTest, ReducerSeesAllValuesForKey) {
+  class CollectReducer : public Reducer {
+   public:
+    agl::Status Reduce(const std::string& key,
+                       const std::vector<std::string>& values,
+                       Emitter* out) override {
+      std::vector<std::string> sorted = values;
+      std::sort(sorted.begin(), sorted.end());
+      std::string joined;
+      for (const auto& v : sorted) joined += v + ",";
+      out->Emit(key, joined);
+      return agl::Status::OK();
+    }
+  };
+  std::vector<KeyValue> input = {
+      {"a", "1"}, {"b", "2"}, {"a", "3"}, {"a", "2"}};
+  JobConfig config;
+  config.num_reduce_tasks = 4;
+  auto result = RunReducePhase(
+      config, input, [] { return std::make_unique<CollectReducer>(); });
+  ASSERT_TRUE(result.ok());
+  auto m = ToMap(*result);
+  EXPECT_EQ(m["a"], "1,2,3,");
+  EXPECT_EQ(m["b"], "2,");
+}
+
+TEST(MapReduceTest, StatsTrackCounts) {
+  JobConfig config;
+  config.num_map_tasks = 2;
+  config.num_reduce_tasks = 3;
+  JobStats stats;
+  auto result = RunJob(config, WordInput(),
+                       [] { return std::make_unique<WordMapper>(); },
+                       [] { return std::make_unique<CountReducer>(); },
+                       &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.map_tasks, 2);
+  EXPECT_EQ(stats.reduce_tasks, 3);
+  EXPECT_EQ(stats.input_records, 3);
+  EXPECT_EQ(stats.shuffled_records, 10);  // total words
+  EXPECT_EQ(stats.output_records, 6);     // distinct words
+  EXPECT_GT(stats.max_reduce_task_records, 0);
+}
+
+TEST(MapReduceTest, EmptyInputProducesEmptyOutput) {
+  JobConfig config;
+  auto result = RunJob(config, std::vector<KeyValue>{},
+                       [] { return std::make_unique<WordMapper>(); },
+                       [] { return std::make_unique<CountReducer>(); });
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+// --- LocalDfs ---
+
+class DfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (std::filesystem::temp_directory_path() /
+             ("agl_dfs_test_" + std::to_string(::getpid())))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+  std::string root_;
+};
+
+TEST_F(DfsTest, WriteReadRoundTrip) {
+  auto dfs = LocalDfs::Open(root_);
+  ASSERT_TRUE(dfs.ok());
+  std::vector<std::string> records = {"alpha", "beta", "gamma", "delta"};
+  ASSERT_TRUE(dfs->WriteDataset("d1", records, /*num_parts=*/3).ok());
+  auto read = dfs->ReadDataset("d1");
+  ASSERT_TRUE(read.ok());
+  std::multiset<std::string> got(read->begin(), read->end());
+  std::multiset<std::string> want(records.begin(), records.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(DfsTest, PartsCreated) {
+  auto dfs = LocalDfs::Open(root_);
+  ASSERT_TRUE(dfs.ok());
+  ASSERT_TRUE(dfs->WriteDataset("d2", {"a", "b", "c"}, 2).ok());
+  auto parts = dfs->ListParts("d2");
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->size(), 2u);
+  auto bytes = dfs->DatasetBytes("d2");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_GT(*bytes, 0u);
+}
+
+TEST_F(DfsTest, OverwriteReplacesDataset) {
+  auto dfs = LocalDfs::Open(root_);
+  ASSERT_TRUE(dfs.ok());
+  ASSERT_TRUE(dfs->WriteDataset("d3", {"old1", "old2"}, 4).ok());
+  ASSERT_TRUE(dfs->WriteDataset("d3", {"new"}, 1).ok());
+  auto read = dfs->ReadDataset("d3");
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 1u);
+  EXPECT_EQ((*read)[0], "new");
+}
+
+TEST_F(DfsTest, MissingDatasetIsNotFound) {
+  auto dfs = LocalDfs::Open(root_);
+  ASSERT_TRUE(dfs.ok());
+  EXPECT_EQ(dfs->ReadDataset("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(dfs->DatasetExists("nope"));
+}
+
+TEST_F(DfsTest, DropDataset) {
+  auto dfs = LocalDfs::Open(root_);
+  ASSERT_TRUE(dfs.ok());
+  ASSERT_TRUE(dfs->WriteDataset("d4", {"x"}, 1).ok());
+  EXPECT_TRUE(dfs->DatasetExists("d4"));
+  ASSERT_TRUE(dfs->DropDataset("d4").ok());
+  EXPECT_FALSE(dfs->DatasetExists("d4"));
+}
+
+}  // namespace
+}  // namespace agl::mr

@@ -1,0 +1,208 @@
+// Tests for the nn layer: module registry, Linear, optimizers, metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "nn/linear.h"
+#include "nn/metrics.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+
+namespace agl::nn {
+namespace {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+class TinyModule : public Module {
+ public:
+  explicit TinyModule(Rng* rng)
+      : lin1_(4, 8, rng), lin2_(8, 2, rng) {
+    RegisterChild("lin1", &lin1_);
+    RegisterChild("lin2", &lin2_);
+    extra_ = RegisterParameter("extra", Tensor(1, 2));
+  }
+
+  Variable Forward(const Variable& x) const {
+    return autograd::AddBias(lin2_.Forward(autograd::Relu(lin1_.Forward(x))),
+                             extra_);
+  }
+
+ private:
+  Linear lin1_;
+  Linear lin2_;
+  Variable extra_;
+};
+
+TEST(ModuleTest, HierarchicalNames) {
+  Rng rng(1);
+  TinyModule m(&rng);
+  auto params = m.Parameters();
+  std::vector<std::string> names;
+  for (const auto& p : params) names.push_back(p.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "lin1.weight"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "lin2.bias"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "extra"), names.end());
+  EXPECT_EQ(params.size(), 5u);
+}
+
+TEST(ModuleTest, NumParametersCountsScalars) {
+  Rng rng(2);
+  TinyModule m(&rng);
+  // 4*8 + 8 + 8*2 + 2 + 2 = 60
+  EXPECT_EQ(m.NumParameters(), 60);
+}
+
+TEST(ModuleTest, StateDictRoundTrip) {
+  Rng rng(3);
+  TinyModule a(&rng);
+  Rng rng2(99);
+  TinyModule b(&rng2);
+  ASSERT_TRUE(b.LoadStateDict(a.StateDict()).ok());
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(
+        pa[i].variable.value().AllClose(pb[i].variable.value(), 0.f));
+  }
+}
+
+TEST(ModuleTest, LoadStateDictRejectsMissingKey) {
+  Rng rng(4);
+  TinyModule m(&rng);
+  auto state = m.StateDict();
+  state.erase("extra");
+  EXPECT_EQ(m.LoadStateDict(state).code(), StatusCode::kNotFound);
+}
+
+TEST(ModuleTest, LoadStateDictRejectsShapeMismatch) {
+  Rng rng(5);
+  TinyModule m(&rng);
+  auto state = m.StateDict();
+  state["extra"] = Tensor(2, 2);
+  EXPECT_EQ(m.LoadStateDict(state).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LinearTest, ForwardShapeAndBias) {
+  Rng rng(6);
+  Linear lin(3, 5, &rng);
+  Variable x = Variable::Constant(Tensor::Full(2, 3, 0.f));
+  Variable y = lin.Forward(x);
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), 5);
+  // Zero input: output equals the (zero-initialized) bias.
+  EXPECT_NEAR(y.value().Sum(), 0.0, 1e-6);
+}
+
+TEST(LinearTest, NoBiasVariantHasOneParameter) {
+  Rng rng(7);
+  Linear lin(3, 5, &rng, /*bias=*/false);
+  EXPECT_EQ(lin.Parameters().size(), 1u);
+}
+
+TEST(SgdTest, StepsDownhillOnQuadratic) {
+  // minimize f(w) = ||w - 3||^2 elementwise.
+  Variable w = Variable::Parameter(Tensor::Full(1, 1, 0.f));
+  Sgd opt({{"w", w}}, /*lr=*/0.1f);
+  for (int i = 0; i < 200; ++i) {
+    Variable diff =
+        autograd::Sub(w, Variable::Constant(Tensor::Full(1, 1, 3.f)));
+    Variable loss = autograd::Sum(autograd::Mul(diff, diff));
+    autograd::Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(w.value().at(0, 0), 3.f, 1e-3f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Variable w = Variable::Parameter(Tensor::Full(1, 3, -2.f));
+  Adam::Options opts;
+  opts.lr = 0.05f;
+  Adam opt({{"w", w}}, opts);
+  for (int i = 0; i < 500; ++i) {
+    Variable diff =
+        autograd::Sub(w, Variable::Constant(Tensor::Full(1, 3, 1.5f)));
+    Variable loss = autograd::Sum(autograd::Mul(diff, diff));
+    autograd::Backward(loss);
+    opt.Step();
+  }
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(w.value().at(0, j), 1.5f, 1e-2f);
+  }
+}
+
+TEST(AdamTest, FunctionalMatchesStateful) {
+  // AdamApply (server-side) must produce the same trajectory as Adam.
+  Rng rng(8);
+  Tensor init = Tensor::RandomNormal(2, 2, 0, 1, &rng);
+  Adam::Options opts;
+  opts.lr = 0.01f;
+
+  Variable w = Variable::Parameter(init);
+  Adam opt({{"w", w}}, opts);
+
+  Tensor server_value = init;
+  AdamState server_state;
+
+  for (int step = 0; step < 10; ++step) {
+    Tensor grad = Tensor::RandomNormal(2, 2, 0, 1, &rng);
+    w.ZeroGrad();
+    w.node()->AccumulateGrad(grad);
+    opt.Step();
+    AdamApply(opts, grad, &server_value, &server_state);
+    EXPECT_TRUE(w.value().AllClose(server_value, 1e-6f)) << "step " << step;
+  }
+}
+
+TEST(MetricsTest, AccuracyBasics) {
+  Tensor logits(3, 2, {0.9f, 0.1f, 0.2f, 0.8f, 0.6f, 0.4f});
+  EXPECT_NEAR(Accuracy(logits, {0, 1, 0}), 1.0, 1e-9);
+  EXPECT_NEAR(Accuracy(logits, {1, 0, 1}), 0.0, 1e-9);
+  EXPECT_NEAR(Accuracy(logits, {0, 0, 0}), 2.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, MicroF1PerfectAndWorst) {
+  Tensor targets(2, 3, {1, 0, 1, 0, 1, 0});
+  Tensor perfect(2, 3, {5, -5, 5, -5, 5, -5});
+  EXPECT_NEAR(MicroF1(perfect, targets), 1.0, 1e-9);
+  Tensor inverted(2, 3, {-5, 5, -5, 5, -5, 5});
+  EXPECT_NEAR(MicroF1(inverted, targets), 0.0, 1e-9);
+}
+
+TEST(MetricsTest, MicroF1PartialKnownValue) {
+  // tp=1 (pred+ truth+), fp=1, fn=1 -> F1 = 2*1/(2+1+1) = 0.5
+  Tensor targets(1, 3, {1, 1, 0});
+  Tensor logits(1, 3, {1, -1, 1});
+  EXPECT_NEAR(MicroF1(logits, targets), 0.5, 1e-9);
+}
+
+TEST(MetricsTest, AucPerfectRankingIsOne) {
+  EXPECT_NEAR(Auc({0.1f, 0.2f, 0.8f, 0.9f}, {0, 0, 1, 1}), 1.0, 1e-9);
+  EXPECT_NEAR(Auc({0.9f, 0.8f, 0.2f, 0.1f}, {0, 0, 1, 1}), 0.0, 1e-9);
+}
+
+TEST(MetricsTest, AucRandomScoresNearHalf) {
+  Rng rng(9);
+  std::vector<float> scores(4000);
+  std::vector<int> labels(4000);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = static_cast<float>(rng.Uniform());
+    labels[i] = rng.Bernoulli(0.5) ? 1 : 0;
+  }
+  EXPECT_NEAR(Auc(scores, labels), 0.5, 0.05);
+}
+
+TEST(MetricsTest, AucHandlesTies) {
+  // All scores equal: AUC must be exactly 0.5 by the tie rule.
+  EXPECT_NEAR(Auc({1.f, 1.f, 1.f, 1.f}, {0, 1, 0, 1}), 0.5, 1e-9);
+}
+
+TEST(MetricsTest, AucDegenerateSingleClass) {
+  EXPECT_NEAR(Auc({0.1f, 0.5f}, {1, 1}), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace agl::nn

@@ -1,0 +1,155 @@
+// Tests for the sharded parameter server: pull/push semantics, server-side
+// Adam equivalence with local training, and concurrent-worker safety.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ps/parameter_server.h"
+
+namespace agl::ps {
+namespace {
+
+using tensor::Tensor;
+
+std::map<std::string, Tensor> TinyState() {
+  std::map<std::string, Tensor> state;
+  state.emplace("layer0.weight", Tensor::Full(2, 3, 1.f));
+  state.emplace("layer0.bias", Tensor::Full(1, 3, 0.f));
+  state.emplace("layer1.weight", Tensor::Full(3, 2, -1.f));
+  return state;
+}
+
+TEST(ParameterServerTest, InitializeAndPull) {
+  ParameterServer server(ServerOptions{});
+  server.Initialize(TinyState());
+  EXPECT_EQ(server.NumParameters(), 3);
+  auto pulled = server.PullAll();
+  ASSERT_EQ(pulled.size(), 3u);
+  EXPECT_TRUE(pulled.at("layer0.weight").AllClose(Tensor::Full(2, 3, 1.f)));
+}
+
+TEST(ParameterServerTest, PushAppliesAdamUpdate) {
+  ServerOptions opts;
+  opts.adam.lr = 0.1f;
+  ParameterServer server(opts);
+  server.Initialize(TinyState());
+  std::map<std::string, Tensor> grads;
+  grads.emplace("layer0.bias", Tensor::Full(1, 3, 1.f));
+  ASSERT_TRUE(server.PushGradients(grads).ok());
+  auto pulled = server.PullAll();
+  // Adam's first step moves by ~lr against the gradient sign.
+  EXPECT_NEAR(pulled.at("layer0.bias").at(0, 0), -0.1f, 1e-4f);
+  // Untouched parameters stay put.
+  EXPECT_TRUE(pulled.at("layer0.weight").AllClose(Tensor::Full(2, 3, 1.f)));
+}
+
+TEST(ParameterServerTest, PushUnknownKeyFails) {
+  ParameterServer server(ServerOptions{});
+  server.Initialize(TinyState());
+  std::map<std::string, Tensor> grads;
+  grads.emplace("bogus", Tensor(1, 1));
+  EXPECT_EQ(server.PushGradients(grads).code(), StatusCode::kNotFound);
+}
+
+TEST(ParameterServerTest, PushShapeMismatchFails) {
+  ParameterServer server(ServerOptions{});
+  server.Initialize(TinyState());
+  std::map<std::string, Tensor> grads;
+  grads.emplace("layer0.bias", Tensor(2, 3));
+  EXPECT_EQ(server.PushGradients(grads).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ParameterServerTest, MatchesLocalAdamTrajectory) {
+  // Sequential pushes through the PS must equal a local Adam loop.
+  ServerOptions opts;
+  opts.adam.lr = 0.05f;
+  opts.num_shards = 3;
+  ParameterServer server(opts);
+  std::map<std::string, Tensor> state;
+  state.emplace("w", Tensor::Full(1, 1, 4.f));
+  server.Initialize(state);
+
+  Tensor local = Tensor::Full(1, 1, 4.f);
+  nn::AdamState local_state;
+  Rng rng(11);
+  for (int step = 0; step < 25; ++step) {
+    Tensor grad(1, 1);
+    grad.at(0, 0) = static_cast<float>(rng.Normal(0, 1));
+    std::map<std::string, Tensor> grads;
+    grads.emplace("w", grad);
+    ASSERT_TRUE(server.PushGradients(grads).ok());
+    nn::AdamApply(opts.adam, grad, &local, &local_state);
+  }
+  EXPECT_TRUE(server.PullAll().at("w").AllClose(local, 1e-6f));
+}
+
+TEST(ParameterServerTest, ShardingSpreadsKeys) {
+  ServerOptions opts;
+  opts.num_shards = 4;
+  ParameterServer server(opts);
+  std::map<std::string, Tensor> state;
+  for (int i = 0; i < 64; ++i) {
+    state.emplace("param_" + std::to_string(i), Tensor(1, 1));
+  }
+  server.Initialize(state);
+  EXPECT_EQ(server.NumParameters(), 64);
+  auto pulled = server.PullAll();
+  EXPECT_EQ(pulled.size(), 64u);
+}
+
+TEST(ParameterServerTest, ConcurrentPushersStayConsistent) {
+  // N threads pushing constant gradients: the value must equal the result
+  // of N*K sequential Adam steps with that gradient (Adam on a constant
+  // gradient is order-independent).
+  ServerOptions opts;
+  opts.adam.lr = 0.01f;
+  ParameterServer server(opts);
+  std::map<std::string, Tensor> state;
+  state.emplace("w", Tensor::Full(1, 1, 1.f));
+  server.Initialize(state);
+
+  constexpr int kThreads = 8, kPushes = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&server] {
+      for (int i = 0; i < kPushes; ++i) {
+        std::map<std::string, Tensor> grads;
+        grads.emplace("w", Tensor::Full(1, 1, 1.f));
+        AGL_CHECK_OK(server.PushGradients(grads));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  Tensor local = Tensor::Full(1, 1, 1.f);
+  nn::AdamState local_state;
+  for (int i = 0; i < kThreads * kPushes; ++i) {
+    nn::AdamApply(opts.adam, Tensor::Full(1, 1, 1.f), &local, &local_state);
+  }
+  EXPECT_TRUE(server.PullAll().at("w").AllClose(local, 1e-4f));
+  EXPECT_EQ(server.stats().pushes, kThreads * kPushes);
+}
+
+TEST(ParameterServerTest, StatsAccounting) {
+  ParameterServer server(ServerOptions{});
+  server.Initialize(TinyState());
+  server.PullAll();
+  auto stats = server.stats();
+  EXPECT_EQ(stats.pulls, 3);
+  EXPECT_EQ(stats.bytes_pulled,
+            static_cast<int64_t>((6 + 3 + 6) * sizeof(float)));
+}
+
+TEST(ParameterServerTest, ReinitializeResets) {
+  ParameterServer server(ServerOptions{});
+  server.Initialize(TinyState());
+  std::map<std::string, Tensor> smaller;
+  smaller.emplace("only", Tensor(1, 1));
+  server.Initialize(smaller);
+  EXPECT_EQ(server.NumParameters(), 1);
+}
+
+}  // namespace
+}  // namespace agl::ps

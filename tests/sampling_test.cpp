@@ -1,0 +1,131 @@
+// Tests for the neighbor sampling framework.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sampling/sampler.h"
+
+namespace agl::sampling {
+namespace {
+
+std::vector<float> Weights(std::initializer_list<float> w) { return w; }
+
+TEST(StrategyTest, ParseRoundTrip) {
+  for (Strategy s : {Strategy::kNone, Strategy::kUniform, Strategy::kWeighted,
+                     Strategy::kTopK}) {
+    auto parsed = ParseStrategy(StrategyName(s));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(ParseStrategy("bogus").ok());
+}
+
+TEST(SamplerTest, NoneKeepsEverything) {
+  auto sampler = MakeSampler({Strategy::kNone, 2});
+  Rng rng(1);
+  auto w = Weights({1, 2, 3, 4, 5});
+  auto kept = sampler->Sample({w.data(), w.size()}, &rng);
+  EXPECT_EQ(kept.size(), 5u);
+}
+
+TEST(SamplerTest, UniformRespectsCap) {
+  auto sampler = MakeSampler({Strategy::kUniform, 3});
+  Rng rng(2);
+  auto w = Weights({1, 1, 1, 1, 1, 1, 1, 1});
+  auto kept = sampler->Sample({w.data(), w.size()}, &rng);
+  EXPECT_EQ(kept.size(), 3u);
+  // Sorted ascending and in range.
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_LT(kept[i], 8u);
+    if (i > 0) EXPECT_LT(kept[i - 1], kept[i]);
+  }
+}
+
+TEST(SamplerTest, UniformKeepsAllWhenUnderCap) {
+  auto sampler = MakeSampler({Strategy::kUniform, 10});
+  Rng rng(3);
+  auto w = Weights({1, 1, 1});
+  EXPECT_EQ(sampler->Sample({w.data(), w.size()}, &rng).size(), 3u);
+}
+
+TEST(SamplerTest, UniformIsApproximatelyUniform) {
+  auto sampler = MakeSampler({Strategy::kUniform, 1});
+  Rng rng(4);
+  std::map<std::size_t, int> counts;
+  auto w = Weights({1, 1, 1, 1});
+  for (int trial = 0; trial < 4000; ++trial) {
+    auto kept = sampler->Sample({w.data(), w.size()}, &rng);
+    ASSERT_EQ(kept.size(), 1u);
+    counts[kept[0]]++;
+  }
+  for (const auto& [idx, c] : counts) {
+    EXPECT_NEAR(c, 1000, 150) << "index " << idx;
+  }
+  EXPECT_EQ(counts.size(), 4u);
+}
+
+TEST(SamplerTest, WeightedPrefersHeavyEdges) {
+  auto sampler = MakeSampler({Strategy::kWeighted, 1});
+  Rng rng(5);
+  auto w = Weights({0.01f, 0.01f, 10.f});
+  int heavy = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    auto kept = sampler->Sample({w.data(), w.size()}, &rng);
+    if (kept[0] == 2) ++heavy;
+  }
+  EXPECT_GT(heavy, 450);  // overwhelmingly the heavy edge
+}
+
+TEST(SamplerTest, WeightedReturnsDistinctIndices) {
+  auto sampler = MakeSampler({Strategy::kWeighted, 4});
+  Rng rng(6);
+  auto w = Weights({1, 2, 3, 4, 5, 6});
+  auto kept = sampler->Sample({w.data(), w.size()}, &rng);
+  EXPECT_EQ(kept.size(), 4u);
+  for (std::size_t i = 1; i < kept.size(); ++i) {
+    EXPECT_LT(kept[i - 1], kept[i]);
+  }
+}
+
+TEST(SamplerTest, TopKDeterministicLargestWeights) {
+  auto sampler = MakeSampler({Strategy::kTopK, 2});
+  Rng rng(7);
+  auto w = Weights({0.5f, 3.f, 1.f, 2.f});
+  auto kept = sampler->Sample({w.data(), w.size()}, &rng);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0], 1u);  // weight 3
+  EXPECT_EQ(kept[1], 3u);  // weight 2
+}
+
+TEST(SamplerTest, TopKTieBreaksOnIndex) {
+  auto sampler = MakeSampler({Strategy::kTopK, 2});
+  Rng rng(8);
+  auto w = Weights({1.f, 1.f, 1.f});
+  auto kept = sampler->Sample({w.data(), w.size()}, &rng);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0], 0u);
+  EXPECT_EQ(kept[1], 1u);
+}
+
+TEST(SamplerTest, EmptyCandidatesEmptyResult) {
+  for (Strategy s : {Strategy::kNone, Strategy::kUniform, Strategy::kWeighted,
+                     Strategy::kTopK}) {
+    auto sampler = MakeSampler({s, 3});
+    Rng rng(9);
+    EXPECT_TRUE(sampler->Sample({}, &rng).empty());
+  }
+}
+
+TEST(SamplerTest, UnlimitedCapKeepsAll) {
+  for (Strategy s : {Strategy::kUniform, Strategy::kWeighted,
+                     Strategy::kTopK}) {
+    auto sampler = MakeSampler({s, 0});
+    Rng rng(10);
+    auto w = Weights({1, 2, 3});
+    EXPECT_EQ(sampler->Sample({w.data(), w.size()}, &rng).size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace agl::sampling

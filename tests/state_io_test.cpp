@@ -1,0 +1,139 @@
+// Tests for state-dict serialization and trainer checkpoint/resume.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "flat/graphflat.h"
+#include "nn/state_io.h"
+#include "trainer/trainer.h"
+
+namespace agl {
+namespace {
+
+using tensor::Tensor;
+
+std::map<std::string, Tensor> RandomState(uint64_t seed) {
+  Rng rng(seed);
+  std::map<std::string, Tensor> state;
+  state.emplace("layer0.weight", Tensor::RandomNormal(4, 8, 0, 1, &rng));
+  state.emplace("layer0.bias", Tensor::RandomNormal(1, 8, 0, 1, &rng));
+  state.emplace("layer1.weight", Tensor::RandomNormal(8, 2, 0, 1, &rng));
+  return state;
+}
+
+TEST(StateIoTest, RoundTrip) {
+  auto state = RandomState(1);
+  auto parsed = nn::ParseStateDict(nn::SerializeStateDict(state));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), state.size());
+  for (const auto& [key, value] : state) {
+    ASSERT_TRUE(parsed->count(key) > 0) << key;
+    EXPECT_TRUE(parsed->at(key).AllClose(value, 0.f));
+  }
+}
+
+TEST(StateIoTest, EmptyState) {
+  auto parsed = nn::ParseStateDict(nn::SerializeStateDict({}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(StateIoTest, RejectsBadMagic) {
+  std::string bytes = nn::SerializeStateDict(RandomState(2));
+  bytes[0] ^= 0x1;
+  EXPECT_EQ(nn::ParseStateDict(bytes).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(StateIoTest, RejectsTruncation) {
+  const std::string bytes = nn::SerializeStateDict(RandomState(3));
+  EXPECT_FALSE(nn::ParseStateDict(bytes.substr(0, bytes.size() / 2)).ok());
+}
+
+TEST(StateIoTest, RejectsTrailingBytes) {
+  std::string bytes = nn::SerializeStateDict(RandomState(4));
+  bytes += "garbage";
+  EXPECT_EQ(nn::ParseStateDict(bytes).status().code(),
+            StatusCode::kCorruption);
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (std::filesystem::temp_directory_path() /
+             ("agl_ckpt_" + std::to_string(::getpid())))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+  std::string root_;
+};
+
+TEST_F(CheckpointTest, SaveAndResume) {
+  data::UugLikeOptions opts;
+  opts.num_nodes = 150;
+  opts.feature_dim = 6;
+  opts.train_size = 80;
+  opts.val_size = 30;
+  opts.test_size = 30;
+  data::Dataset ds = data::MakeUugLike(opts);
+  flat::GraphFlatConfig fc;
+  fc.hops = 1;
+  auto features = flat::RunGraphFlatInMemory(fc, ds.nodes, ds.edges);
+  ASSERT_TRUE(features.ok());
+  auto splits = data::SplitFeatures(std::move(features).value(), ds);
+
+  auto dfs = mr::LocalDfs::Open(root_);
+  ASSERT_TRUE(dfs.ok());
+
+  trainer::TrainerConfig config;
+  config.model.type = gnn::ModelType::kGcn;
+  config.model.num_layers = 1;
+  config.model.in_dim = ds.feature_dim;
+  config.model.hidden_dim = 4;
+  config.model.out_dim = 2;
+  config.task = trainer::TaskKind::kBinaryAuc;
+  config.epochs = 3;
+  config.batch_size = 16;
+  config.checkpoint_dfs = &*dfs;
+  config.checkpoint_prefix = "ckpt";
+  trainer::GraphTrainer trainer(config);
+  auto report = trainer.Train(splits.train, splits.val);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Each epoch left a checkpoint; the last one equals the final state.
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    auto ckpt = trainer::LoadCheckpoint(*dfs, "ckpt", epoch);
+    ASSERT_TRUE(ckpt.ok()) << "epoch " << epoch;
+    EXPECT_EQ(ckpt->size(), report->final_state.size());
+  }
+  auto last = trainer::LoadCheckpoint(*dfs, "ckpt", 2);
+  ASSERT_TRUE(last.ok());
+  for (const auto& [key, value] : report->final_state) {
+    EXPECT_TRUE(last->at(key).AllClose(value, 0.f)) << key;
+  }
+
+  // Resume: warm-starting from epoch-0 must be loadable and trainable.
+  auto warm = trainer::LoadCheckpoint(*dfs, "ckpt", 0);
+  ASSERT_TRUE(warm.ok());
+  trainer::TrainerConfig resume_config = config;
+  resume_config.checkpoint_dfs = nullptr;
+  resume_config.initial_state = *warm;
+  resume_config.epochs = 1;
+  auto resumed =
+      trainer::GraphTrainer(resume_config).Train(splits.train, splits.val);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_FALSE(resumed->epochs.empty());
+}
+
+TEST_F(CheckpointTest, MissingCheckpointIsNotFound) {
+  auto dfs = mr::LocalDfs::Open(root_);
+  ASSERT_TRUE(dfs.ok());
+  EXPECT_EQ(trainer::LoadCheckpoint(*dfs, "nope", 0).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace agl

@@ -1,0 +1,275 @@
+// Tests for GraphFeature serialization, the reference k-hop extractor, and
+// batch merge/vectorize/pruning — including the Theorem 1 property: a
+// K-hop neighborhood yields the same target embedding as the full graph.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/graph.h"
+#include "subgraph/batch.h"
+#include "subgraph/graph_feature.h"
+#include "subgraph/khop.h"
+
+namespace agl::subgraph {
+namespace {
+
+graph::Graph ChainGraph(int n) {
+  // 0 -> 1 -> 2 -> ... -> n-1 (so node i's in-edge neighbor is i-1).
+  graph::GraphBuilder b(/*node_feature_dim=*/2);
+  for (int i = 0; i < n; ++i) {
+    AGL_CHECK_OK(b.AddNode(i, {static_cast<float>(i), 1.f}, i % 2));
+  }
+  for (int i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1, 1.f);
+  auto g = b.Build();
+  AGL_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+GraphFeature SampleFeature() {
+  GraphFeature gf;
+  gf.target_id = 42;
+  gf.target_index = 0;
+  gf.label = 3;
+  gf.multilabel = {1.f, 0.f};
+  gf.node_ids = {42, 7, 9};
+  gf.node_features = tensor::Tensor(3, 2, {1, 2, 3, 4, 5, 6});
+  gf.edges = {{1, 0, 0.5f}, {2, 0, 1.5f}, {2, 1, 2.5f}};
+  gf.edge_features = tensor::Tensor(3, 1, {9, 8, 7});
+  return gf;
+}
+
+TEST(GraphFeatureTest, SerializeParseRoundTrip) {
+  GraphFeature gf = SampleFeature();
+  const std::string bytes = gf.Serialize();
+  auto parsed = GraphFeature::Parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(*parsed == gf);
+}
+
+TEST(GraphFeatureTest, EmptyEdgeFeaturesRoundTrip) {
+  GraphFeature gf = SampleFeature();
+  gf.edge_features = tensor::Tensor();
+  gf.multilabel.clear();
+  auto parsed = GraphFeature::Parse(gf.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(*parsed == gf);
+}
+
+TEST(GraphFeatureTest, RejectsBadMagic) {
+  std::string bytes = SampleFeature().Serialize();
+  bytes[0] ^= 0x55;
+  EXPECT_EQ(GraphFeature::Parse(bytes).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(GraphFeatureTest, RejectsTruncation) {
+  const std::string bytes = SampleFeature().Serialize();
+  for (std::size_t cut : {bytes.size() / 4, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    EXPECT_FALSE(GraphFeature::Parse(bytes.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(GraphFeatureTest, RejectsOutOfRangeEdge) {
+  GraphFeature gf = SampleFeature();
+  gf.edges[0].src = 99;
+  EXPECT_EQ(GraphFeature::Parse(gf.Serialize()).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(KHopTest, ZeroHopIsSelfOnly) {
+  graph::Graph g = ChainGraph(5);
+  KHopOptions opts;
+  opts.k = 0;
+  auto gf = ExtractKHop(g, 3, opts);
+  ASSERT_TRUE(gf.ok());
+  EXPECT_EQ(gf->num_nodes(), 1);
+  EXPECT_EQ(gf->node_ids[0], 3u);
+  EXPECT_EQ(gf->num_edges(), 0);
+  EXPECT_EQ(gf->label, 1);
+}
+
+TEST(KHopTest, ChainDepthMatchesK) {
+  graph::Graph g = ChainGraph(10);
+  for (int k = 1; k <= 3; ++k) {
+    KHopOptions opts;
+    opts.k = k;
+    auto gf = ExtractKHop(g, 5, opts);
+    ASSERT_TRUE(gf.ok());
+    // In-edge BFS from 5 collects {5, 4, ..., 5-k}.
+    EXPECT_EQ(gf->num_nodes(), k + 1) << "k=" << k;
+    std::set<uint64_t> ids(gf->node_ids.begin(), gf->node_ids.end());
+    for (int i = 5 - k; i <= 5; ++i) EXPECT_TRUE(ids.count(i)) << i;
+    EXPECT_EQ(gf->num_edges(), k);
+  }
+}
+
+TEST(KHopTest, MissingTargetIsNotFound) {
+  graph::Graph g = ChainGraph(3);
+  KHopOptions opts;
+  EXPECT_EQ(ExtractKHop(g, 77, opts).status().code(), StatusCode::kNotFound);
+}
+
+TEST(KHopTest, SamplingCapsNeighborCount) {
+  // Star: 20 nodes all pointing at node 0.
+  graph::GraphBuilder b(1);
+  AGL_CHECK_OK(b.AddNode(0, {0.f}, 0));
+  for (int i = 1; i <= 20; ++i) {
+    AGL_CHECK_OK(b.AddNode(i, {static_cast<float>(i)}, 0));
+    b.AddEdge(i, 0, 1.f);
+  }
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  KHopOptions opts;
+  opts.k = 1;
+  opts.sampler = {sampling::Strategy::kUniform, 5};
+  auto gf = ExtractKHop(*g, 0, opts);
+  ASSERT_TRUE(gf.ok());
+  EXPECT_EQ(gf->num_nodes(), 6);  // target + 5 sampled
+}
+
+TEST(KHopTest, DeterministicGivenSeed) {
+  graph::Graph g = ChainGraph(30);
+  KHopOptions opts;
+  opts.k = 2;
+  opts.sampler = {sampling::Strategy::kUniform, 2};
+  opts.seed = 123;
+  auto a = ExtractKHop(g, 20, opts);
+  auto b = ExtractKHop(g, 20, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(*a == *b);
+}
+
+TEST(KHopTest, InducedIncludesCrossEdges) {
+  // Triangle 1->0, 2->0, 2->1: 1-hop of 0 must include edge 2->1 (both
+  // endpoints collected) under induced semantics.
+  graph::GraphBuilder b(1);
+  for (int i = 0; i < 3; ++i) {
+    AGL_CHECK_OK(b.AddNode(i, {static_cast<float>(i)}, 0));
+  }
+  b.AddEdge(1, 0);
+  b.AddEdge(2, 0);
+  b.AddEdge(2, 1);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  KHopOptions opts;
+  opts.k = 1;
+  auto gf = ExtractKHop(*g, 0, opts);
+  ASSERT_TRUE(gf.ok());
+  EXPECT_EQ(gf->num_edges(), 3);
+  opts.induced = false;
+  auto tree = ExtractKHop(*g, 0, opts);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_edges(), 2);  // only BFS tree edges
+}
+
+// --- MergeAndVectorize ---
+
+TEST(BatchTest, MergeDeduplicatesSharedNodes) {
+  graph::Graph g = ChainGraph(6);
+  KHopOptions opts;
+  opts.k = 2;
+  auto f3 = ExtractKHop(g, 3, opts);
+  auto f4 = ExtractKHop(g, 4, opts);
+  ASSERT_TRUE(f3.ok() && f4.ok());
+  std::vector<GraphFeature> fs = {*f3, *f4};
+  VectorizedBatch batch = MergeAndVectorize(fs);
+  // Neighborhoods {1,2,3} and {2,3,4} merge to {1,2,3,4}.
+  EXPECT_EQ(batch.num_nodes(), 4);
+  EXPECT_EQ(batch.adjacency->matrix().nnz(), 3);  // 1->2,2->3,3->4 deduped
+  ASSERT_EQ(batch.target_indices.size(), 2u);
+  EXPECT_EQ(batch.node_ids[batch.target_indices[0]], 3u);
+  EXPECT_EQ(batch.node_ids[batch.target_indices[1]], 4u);
+  EXPECT_EQ(batch.labels[0], 1);
+  EXPECT_EQ(batch.labels[1], 0);
+}
+
+TEST(BatchTest, FeaturesAlignedWithMergedIndices) {
+  graph::Graph g = ChainGraph(6);
+  KHopOptions opts;
+  opts.k = 1;
+  auto f = ExtractKHop(g, 2, opts);
+  ASSERT_TRUE(f.ok());
+  std::vector<GraphFeature> fs = {*f};
+  VectorizedBatch batch = MergeAndVectorize(fs);
+  for (int64_t i = 0; i < batch.num_nodes(); ++i) {
+    EXPECT_EQ(batch.node_features.at(i, 0),
+              static_cast<float>(batch.node_ids[i]));
+  }
+}
+
+TEST(BatchTest, TargetDistancesCorrect) {
+  graph::Graph g = ChainGraph(8);
+  KHopOptions opts;
+  opts.k = 3;
+  auto f = ExtractKHop(g, 6, opts);
+  ASSERT_TRUE(f.ok());
+  std::vector<GraphFeature> fs = {*f};
+  VectorizedBatch batch = MergeAndVectorize(fs);
+  for (int64_t i = 0; i < batch.num_nodes(); ++i) {
+    const int64_t expected = 6 - static_cast<int64_t>(batch.node_ids[i]);
+    EXPECT_EQ(batch.target_distance[i], expected)
+        << "node " << batch.node_ids[i];
+  }
+}
+
+TEST(BatchTest, PrunedAdjacencyShrinksPerLayer) {
+  graph::Graph g = ChainGraph(8);
+  KHopOptions opts;
+  opts.k = 3;
+  auto f = ExtractKHop(g, 6, opts);
+  ASSERT_TRUE(f.ok());
+  std::vector<GraphFeature> fs = {*f};
+  VectorizedBatch batch = MergeAndVectorize(fs);
+  auto pruned = batch.PrunedAdjacencies(3);
+  ASSERT_EQ(pruned.size(), 3u);
+  // Layer 0 keeps rows at distance <= 2 (edges 4->5, 5->6, 3->4);
+  // layer 1 distance <= 1; layer 2 only the target row.
+  EXPECT_EQ(pruned[0]->matrix().nnz(), 3);
+  EXPECT_EQ(pruned[1]->matrix().nnz(), 2);
+  EXPECT_EQ(pruned[2]->matrix().nnz(), 1);
+}
+
+TEST(BatchTest, PrunedLastLayerOnlyTargets) {
+  graph::Graph g = ChainGraph(8);
+  KHopOptions opts;
+  opts.k = 2;
+  auto f5 = ExtractKHop(g, 5, opts);
+  auto f7 = ExtractKHop(g, 7, opts);
+  ASSERT_TRUE(f5.ok() && f7.ok());
+  std::vector<GraphFeature> fs = {*f5, *f7};
+  VectorizedBatch batch = MergeAndVectorize(fs);
+  auto pruned = batch.PrunedAdjacencies(2);
+  const auto& last = pruned[1]->matrix();
+  // Non-empty rows of the last layer's adjacency are exactly the targets.
+  std::set<int64_t> rows_with_edges;
+  for (int64_t r = 0; r < last.rows(); ++r) {
+    if (last.RowNnz(r) > 0) rows_with_edges.insert(r);
+  }
+  std::set<int64_t> targets(batch.target_indices.begin(),
+                            batch.target_indices.end());
+  EXPECT_EQ(rows_with_edges, targets);
+}
+
+TEST(BatchTest, MultilabelCarriedThrough) {
+  GraphFeature gf = SampleFeature();
+  std::vector<GraphFeature> fs = {gf, gf};
+  fs[1].target_id = 43;
+  fs[1].node_ids = {43, 7, 9};
+  VectorizedBatch batch = MergeAndVectorize(fs);
+  ASSERT_EQ(batch.multilabels.rows(), 2);
+  EXPECT_EQ(batch.multilabels.at(0, 0), 1.f);
+  EXPECT_EQ(batch.multilabels.at(1, 1), 0.f);
+}
+
+TEST(BatchTest, EmptyBatch) {
+  VectorizedBatch batch = MergeAndVectorize({});
+  EXPECT_EQ(batch.num_nodes(), 0);
+  EXPECT_TRUE(batch.target_indices.empty());
+}
+
+}  // namespace
+}  // namespace agl::subgraph

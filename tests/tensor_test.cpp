@@ -1,0 +1,324 @@
+// Tests for the dense tensor, CSR sparse matrix, SpMM aggregation and the
+// edge-partitioning strategy. The key property: partitioned aggregation is
+// bit-for-bit identical to the serial loop, because each destination row is
+// owned by exactly one thread.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/edge_partition.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace agl::tensor {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.size(), 12);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.data()[i], 0.f);
+}
+
+TEST(TensorTest, FullEyeAndFill) {
+  Tensor f = Tensor::Full(2, 2, 3.f);
+  EXPECT_EQ(f.Sum(), 12.0);
+  Tensor e = Tensor::Eye(3);
+  EXPECT_EQ(e.Sum(), 3.0);
+  EXPECT_EQ(e.at(1, 1), 1.f);
+  EXPECT_EQ(e.at(0, 1), 0.f);
+  f.Fill(-1.f);
+  EXPECT_EQ(f.Sum(), -4.0);
+}
+
+TEST(TensorTest, AddAxpyScale) {
+  Tensor a = Tensor::Full(2, 2, 1.f);
+  Tensor b = Tensor::Full(2, 2, 2.f);
+  a.Add(b);
+  EXPECT_EQ(a.at(0, 0), 3.f);
+  a.Axpy(0.5f, b);
+  EXPECT_EQ(a.at(1, 1), 4.f);
+  a.Scale(0.25f);
+  EXPECT_EQ(a.at(0, 1), 1.f);
+}
+
+TEST(TensorTest, RowOperations) {
+  Tensor t(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Row(1);
+  EXPECT_EQ(r.rows(), 1);
+  EXPECT_EQ(r.at(0, 0), 3.f);
+  Tensor s = t.RowSlice(1, 3);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s.at(1, 1), 6.f);
+  Tensor g = t.GatherRows({2, 0, 2});
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_EQ(g.at(0, 0), 5.f);
+  EXPECT_EQ(g.at(1, 1), 2.f);
+  EXPECT_EQ(g.at(2, 0), 5.f);
+}
+
+TEST(TensorTest, MatMulKnownValues) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 58.f);
+  EXPECT_EQ(c.at(0, 1), 64.f);
+  EXPECT_EQ(c.at(1, 0), 139.f);
+  EXPECT_EQ(c.at(1, 1), 154.f);
+}
+
+TEST(TensorTest, MatMulTransVariantsAgree) {
+  Rng rng(11);
+  Tensor a = Tensor::RandomNormal(5, 7, 0, 1, &rng);
+  Tensor b = Tensor::RandomNormal(5, 3, 0, 1, &rng);
+  // a^T @ b computed two ways.
+  Tensor direct = MatMulTransA(a, b);
+  Tensor via_transpose = MatMul(Transpose(a), b);
+  EXPECT_TRUE(direct.AllClose(via_transpose, 1e-5f));
+
+  Tensor c = Tensor::RandomNormal(4, 7, 0, 1, &rng);
+  Tensor direct2 = MatMulTransB(a, c);  // a @ c^T : [5x7]@[7x4]
+  Tensor via2 = MatMul(a, Transpose(c));
+  EXPECT_TRUE(direct2.AllClose(via2, 1e-5f));
+}
+
+TEST(TensorTest, LargeMatMulParallelPathMatchesSerial) {
+  Rng rng(12);
+  // Big enough to take the ParallelFor path.
+  Tensor a = Tensor::RandomNormal(64, 64, 0, 1, &rng);
+  Tensor b = Tensor::RandomNormal(64, 64, 0, 1, &rng);
+  Tensor big = MatMul(a, b);
+  // Serial reference.
+  Tensor ref(64, 64);
+  for (int64_t i = 0; i < 64; ++i) {
+    for (int64_t p = 0; p < 64; ++p) {
+      for (int64_t j = 0; j < 64; ++j) {
+        ref.at(i, j) += a.at(i, p) * b.at(p, j);
+      }
+    }
+  }
+  EXPECT_TRUE(big.AllClose(ref, 1e-4f));
+}
+
+TEST(TensorTest, SoftmaxRowsSumToOne) {
+  Rng rng(13);
+  Tensor a = Tensor::RandomNormal(10, 6, 0, 3, &rng);
+  Tensor s = RowSoftmax(a);
+  for (int64_t i = 0; i < s.rows(); ++i) {
+    float sum = 0;
+    for (int64_t j = 0; j < s.cols(); ++j) {
+      EXPECT_GT(s.at(i, j), 0.f);
+      sum += s.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.f, 1e-5f);
+  }
+}
+
+TEST(TensorTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(14);
+  Tensor a = Tensor::RandomNormal(5, 4, 0, 2, &rng);
+  Tensor ls = RowLogSoftmax(a);
+  Tensor s = RowSoftmax(a);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(ls.data()[i], std::log(s.data()[i]), 1e-5f);
+  }
+}
+
+TEST(TensorTest, SoftmaxNumericallyStableForLargeInputs) {
+  Tensor a(1, 3, {1000.f, 1000.f, 1000.f});
+  Tensor s = RowSoftmax(a);
+  for (int64_t j = 0; j < 3; ++j) EXPECT_NEAR(s.at(0, j), 1.f / 3.f, 1e-5f);
+}
+
+TEST(TensorTest, GlorotWithinLimit) {
+  Rng rng(15);
+  Tensor t = Tensor::GlorotUniform(30, 50, &rng);
+  const float limit = std::sqrt(6.f / 80.f);
+  EXPECT_LE(t.AbsMax(), limit + 1e-6f);
+  EXPECT_GT(t.AbsMax(), 0.f);
+}
+
+// --- SparseMatrix ---
+
+SparseMatrix SmallGraph() {
+  // 4 nodes; edges (dst <- src): 0<-1, 0<-2, 1<-2, 2<-3, 3<-0
+  return SparseMatrix::FromCoo(4, 4,
+                               {{0, 1, 1.f},
+                                {0, 2, 2.f},
+                                {1, 2, 3.f},
+                                {2, 3, 4.f},
+                                {3, 0, 5.f}});
+}
+
+TEST(SparseTest, FromCooBuildsSortedCsr) {
+  SparseMatrix m = SmallGraph();
+  EXPECT_EQ(m.rows(), 4);
+  EXPECT_EQ(m.nnz(), 5);
+  EXPECT_EQ(m.RowNnz(0), 2);
+  EXPECT_EQ(m.col_idx()[0], 1);
+  EXPECT_EQ(m.col_idx()[1], 2);
+  EXPECT_EQ(m.values()[1], 2.f);
+}
+
+TEST(SparseTest, DuplicateEntriesCoalesce) {
+  SparseMatrix m = SparseMatrix::FromCoo(
+      2, 2, {{0, 1, 1.f}, {0, 1, 2.f}, {1, 0, 3.f}});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.values()[0], 3.f);  // 1 + 2
+}
+
+TEST(SparseTest, TransposedSwapsDirection) {
+  SparseMatrix m = SmallGraph();
+  SparseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 4);
+  EXPECT_EQ(t.nnz(), 5);
+  // edge 3<-0 becomes 0<-3 in the transpose: row 0 has col 3.
+  bool found = false;
+  for (int64_t p = t.row_ptr()[0]; p < t.row_ptr()[1]; ++p) {
+    if (t.col_idx()[p] == 3) {
+      found = true;
+      EXPECT_EQ(t.values()[p], 5.f);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(t.Transposed() == m);
+}
+
+TEST(SparseTest, RowNormalizedRowsSumToOne) {
+  SparseMatrix m = SmallGraph().RowNormalized();
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    if (m.RowNnz(r) == 0) continue;
+    float sum = 0;
+    for (int64_t p = m.row_ptr()[r]; p < m.row_ptr()[r + 1]; ++p) {
+      sum += m.values()[p];
+    }
+    EXPECT_NEAR(sum, 1.f, 1e-6f);
+  }
+}
+
+TEST(SparseTest, WithSelfLoopsAddsMissingOnly) {
+  SparseMatrix m = SparseMatrix::FromCoo(3, 3, {{0, 0, 2.f}, {1, 0, 1.f}});
+  SparseMatrix s = m.WithSelfLoops();
+  EXPECT_EQ(s.nnz(), 4);  // (0,0) kept with original weight, (1,1),(2,2) new
+  EXPECT_EQ(s.values()[0], 2.f);
+}
+
+TEST(SparseTest, GcnNormalizedSymmetricCase) {
+  // Undirected single edge 0<->1 with self loops: classic GCN norm gives
+  // 1/sqrt(2*2) = 0.5 for the cross terms.
+  SparseMatrix m =
+      SparseMatrix::FromCoo(2, 2, {{0, 1, 1.f}, {1, 0, 1.f}})
+          .WithSelfLoops()
+          .GcnNormalized();
+  for (int64_t p = 0; p < m.nnz(); ++p) {
+    EXPECT_NEAR(m.values()[p], 0.5f, 1e-6f);
+  }
+}
+
+TEST(SpmmTest, MatchesDenseReference) {
+  Rng rng(16);
+  SparseMatrix a = SmallGraph();
+  Tensor h = Tensor::RandomNormal(4, 6, 0, 1, &rng);
+  Tensor out = Spmm(a, h);
+  // Dense reference.
+  Tensor dense(4, 4);
+  dense.at(0, 1) = 1.f;
+  dense.at(0, 2) = 2.f;
+  dense.at(1, 2) = 3.f;
+  dense.at(2, 3) = 4.f;
+  dense.at(3, 0) = 5.f;
+  Tensor ref = MatMul(dense, h);
+  EXPECT_TRUE(out.AllClose(ref, 1e-5f));
+}
+
+TEST(SpmmTest, PartitionedIdenticalToSerial) {
+  Rng rng(17);
+  // Random sparse matrix with skewed rows.
+  std::vector<CooEntry> entries;
+  const int64_t n = 200;
+  for (int64_t r = 0; r < n; ++r) {
+    const int64_t deg = r == 0 ? 150 : rng.UniformInt(0, 6);
+    for (int64_t d = 0; d < deg; ++d) {
+      entries.push_back({r, rng.UniformInt(0, n - 1),
+                         static_cast<float>(rng.Uniform(0.1, 2.0))});
+    }
+  }
+  SparseMatrix a = SparseMatrix::FromCoo(n, n, entries);
+  Tensor h = Tensor::RandomNormal(n, 16, 0, 1, &rng);
+  Tensor serial = Spmm(a, h, {1});
+  for (int threads : {2, 4, 8}) {
+    Tensor parallel = Spmm(a, h, {threads});
+    // Bit-identical: same row is always summed by a single thread in the
+    // same order.
+    EXPECT_TRUE(parallel.AllClose(serial, 0.f)) << threads << " threads";
+  }
+}
+
+TEST(EdgePartitionTest, CoversAllRowsOnce) {
+  std::vector<int64_t> row_ptr = {0, 5, 5, 9, 20, 21, 30};
+  auto spans = PartitionRowsByNnz(row_ptr, 6, 3);
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.front().row_begin, 0);
+  EXPECT_EQ(spans.back().row_end, 6);
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].row_begin, spans[i - 1].row_end);
+  }
+  EXPECT_LE(spans.size(), 3u);
+}
+
+TEST(EdgePartitionTest, SinglePartIsWholeRange) {
+  std::vector<int64_t> row_ptr = {0, 1, 2, 3};
+  auto spans = PartitionRowsByNnz(row_ptr, 3, 1);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].row_begin, 0);
+  EXPECT_EQ(spans[0].row_end, 3);
+}
+
+TEST(EdgePartitionTest, EmptyMatrix) {
+  std::vector<int64_t> row_ptr = {0};
+  EXPECT_TRUE(PartitionRowsByNnz(row_ptr, 0, 4).empty());
+}
+
+TEST(EdgePartitionTest, BalancesSkewedNnz) {
+  // One hub row with 1000 nnz, 99 rows with 1 nnz.
+  std::vector<int64_t> row_ptr(101);
+  row_ptr[0] = 0;
+  row_ptr[1] = 1000;
+  for (int i = 2; i <= 100; ++i) row_ptr[i] = row_ptr[i - 1] + 1;
+  auto spans = PartitionRowsByNnz(row_ptr, 100, 4);
+  // The hub row must sit alone-ish in its span; the light rows share.
+  EXPECT_GE(spans.size(), 2u);
+  EXPECT_EQ(spans.front().row_begin, 0);
+}
+
+// Parameterized sweep: Spmm equivalence across shapes and thread counts.
+class SpmmSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SpmmSweepTest, ParallelMatchesSerial) {
+  const auto [n, f, threads] = GetParam();
+  Rng rng(100 + n * 7 + f * 3 + threads);
+  std::vector<CooEntry> entries;
+  for (int64_t r = 0; r < n; ++r) {
+    const int64_t deg = rng.UniformInt(0, 5);
+    for (int64_t d = 0; d < deg; ++d) {
+      entries.push_back({r, rng.UniformInt(0, n - 1),
+                         static_cast<float>(rng.Uniform(-1, 1))});
+    }
+  }
+  SparseMatrix a = SparseMatrix::FromCoo(n, n, entries);
+  Tensor h = Tensor::RandomNormal(n, f, 0, 1, &rng);
+  EXPECT_TRUE(Spmm(a, h, {threads}).AllClose(Spmm(a, h, {1}), 0.f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpmmSweepTest,
+    ::testing::Combine(::testing::Values(1, 17, 64, 301),
+                       ::testing::Values(1, 8, 33),
+                       ::testing::Values(2, 4, 7)));
+
+}  // namespace
+}  // namespace agl::tensor
