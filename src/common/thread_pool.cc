@@ -27,13 +27,21 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
+      cv_.wait(lock, [this] {
+        return shutdown_ || !queue_.empty() || !chunk_queue_.empty();
+      });
+      // Chunk tasks first: they are short-lived and a ParallelFor caller is
+      // actively blocked on them.
+      if (!chunk_queue_.empty()) {
+        task = std::move(chunk_queue_.front().second);
+        chunk_queue_.pop_front();
+      } else if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else {
         if (shutdown_) return;
         continue;
       }
-      task = std::move(queue_.front());
-      queue_.pop_front();
     }
     task();
   }
@@ -42,23 +50,92 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  const std::size_t workers = std::min(n, threads_.size());
+  // The caller counts as a worker: it runs the first chunk inline and then
+  // helps drain the queue while waiting. This keeps nested ParallelFor
+  // calls from pool workers deadlock-free — previously a worker blocked on
+  // futures that only the (exhausted) pool could run.
+  const std::size_t workers = std::min(n, threads_.size() + 1);
   if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
   const std::size_t chunk = (n + workers - 1) / workers;
-  std::vector<std::future<void>> futs;
-  futs.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t begin = w * chunk;
-    const std::size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    futs.push_back(Submit([begin, end, &fn] {
+  // Chunks past the first are enqueued; the caller runs chunk 0 inline.
+  const std::size_t submitted = (n + chunk - 1) / chunk - 1;
+
+  // All completion state lives in this shared_ptr'd block (not in pool
+  // members): the chunk that performs the final decrement may run on
+  // another thread after this call has already returned and the pool has
+  // been destroyed, so it must only touch memory the lambda keeps alive.
+  struct Shared {
+    std::atomic<std::size_t> remaining;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr eptr;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->remaining.store(submitted, std::memory_order_relaxed);
+
+  auto run_chunk = [&fn, shared](std::size_t begin, std::size_t end) {
+    try {
       for (std::size_t i = begin; i < end; ++i) fn(i);
-    }));
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      if (!shared->eptr) shared->eptr = std::current_exception();
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t w = 1; w <= submitted; ++w) {
+      const std::size_t begin = w * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      chunk_queue_.emplace_back(shared.get(), [run_chunk, shared, begin,
+                                               end] {
+        run_chunk(begin, end);
+        if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          // Final chunk: wake the owning caller. Lock/unlock orders this
+          // decrement before the caller's predicate check so the wakeup
+          // cannot be missed.
+          { std::lock_guard<std::mutex> lock(shared->mu); }
+          shared->done_cv.notify_all();
+        }
+      });
+    }
   }
-  for (auto& f : futs) f.get();
+  cv_.notify_all();
+
+  run_chunk(0, std::min(chunk, n));
+
+  // Help-run our own still-queued chunks. Only chunks tagged with this
+  // call are taken: running arbitrary Submit() tasks — or another call's
+  // chunks — here could reenter locks this caller already holds. Nested
+  // ParallelFor still makes progress because each nested caller drains its
+  // own chunks the same way.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto it = chunk_queue_.begin(); it != chunk_queue_.end(); ++it) {
+        if (it->first == shared.get()) {
+          task = std::move(it->second);
+          chunk_queue_.erase(it);
+          break;
+        }
+      }
+    }
+    if (!task) break;  // remaining chunks are running on other threads
+    task();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(shared->mu);
+    shared->done_cv.wait(lock, [&shared] {
+      return shared->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  if (shared->eptr) std::rethrow_exception(shared->eptr);
 }
 
 ThreadPool& GlobalThreadPool() {

@@ -10,6 +10,7 @@
 #include <future>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace agl {
@@ -45,7 +46,11 @@ class ThreadPool {
   }
 
   /// Runs `fn(i)` for i in [0, n) across the pool and blocks until all
-  /// iterations finish. Iterations are distributed in contiguous chunks.
+  /// iterations finish. Iterations are distributed in contiguous chunks;
+  /// the calling thread runs the first chunk itself and helps execute
+  /// queued tasks while waiting, so nesting ParallelFor inside pool
+  /// workers cannot deadlock. The first exception thrown by `fn` is
+  /// rethrown on the calling thread after all chunks complete.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   std::size_t num_threads() const { return threads_.size(); }
@@ -56,6 +61,11 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
+  // ParallelFor chunk tasks, tagged with their owning call. Kept separate
+  // from queue_ so a waiting caller can help-run its own chunks without
+  // executing arbitrary Submit() tasks — or another call's chunks — on its
+  // stack (which could reenter locks the caller holds).
+  std::deque<std::pair<const void*, std::function<void()>>> chunk_queue_;
   bool shutdown_ = false;
   std::vector<std::thread> threads_;
 };

@@ -137,8 +137,12 @@ agl::Status BufferReader::GetFloatArray(std::vector<float>* out) {
 
 agl::Status BufferReader::GetRaw(void* dst, std::size_t n) {
   AGL_RETURN_IF_ERROR(Need(n));
-  std::memcpy(dst, data_ + pos_, n);
-  pos_ += n;
+  // n == 0 must be a no-op: dst may be null (e.g. data() of an empty
+  // vector) and memcpy's pointer arguments are declared nonnull.
+  if (n > 0) {
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+  }
   return agl::Status::OK();
 }
 

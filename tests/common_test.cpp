@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -130,6 +131,46 @@ TEST(ThreadPoolTest, MinimumOneThread) {
   EXPECT_EQ(pool.num_threads(), 1u);
 }
 
+// Regression: ParallelFor from inside a pool worker used to block on
+// futures that only the exhausted pool could run. With every worker stuck
+// in an outer ParallelFor, the inner ones must still complete because the
+// waiting threads execute queued chunks themselves.
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(8, [&](std::size_t) {
+    pool.ParallelFor(8, [&](std::size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+// Several non-pool threads issuing ParallelFor on one pool concurrently:
+// each caller may only help-run its own chunks, and completion of a call
+// must not touch pool state once the caller can return.
+TEST(ThreadPoolTest, ConcurrentParallelForCallers) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      for (int r = 0; r < 10; ++r) {
+        pool.ParallelFor(64, [&](std::size_t) { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(counter.load(), 4 * 10 * 64);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [](std::size_t i) {
+                                  if (i == 57) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
 TEST(RngTest, DeterministicGivenSeed) {
   Rng a(7), b(7);
   for (int i = 0; i < 100; ++i) {
@@ -177,7 +218,7 @@ TEST(RngTest, DiscreteRespectsWeights) {
 TEST(TimerTest, StopwatchAdvances) {
   Stopwatch w;
   volatile double x = 0;
-  for (int i = 0; i < 100000; ++i) x += i;
+  for (int i = 0; i < 100000; ++i) x = x + i;
   EXPECT_GE(w.Seconds(), 0.0);
   EXPECT_GE(w.Millis(), w.Seconds() * 1000.0 - 1e-6);
 }
