@@ -7,8 +7,14 @@
 #   scripts/run_benchmarks.sh [bench ...]
 #
 # With no arguments, runs the default table/figure set. Environment:
-#   BUILD_DIR  build tree to use (default: build; configured+built if missing)
-#   OUT_DIR    where BENCH_*.json land (default: bench-results)
+#   BUILD_DIR    build tree to use (default: build; configured+built if missing)
+#   OUT_DIR      where BENCH_*.json land (default: bench-results)
+#   BENCH_LABEL  optional tag (e.g. "scalar-baseline"): suffixes the output
+#                file name and is recorded in the JSON, so before/after
+#                pairs of the same bench can sit side by side in OUT_DIR
+#   BENCH_EXTRA_ARGS  optional extra argv passed to every requested bench
+#                (e.g. "--benchmark_repetitions=5" for google-benchmark
+#                drivers on noisy hosts — then read the *_min rows)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -23,6 +29,7 @@ default_benches=(
   bench_fig7_convergence
   bench_fig8_speedup
   bench_graphflat_scale
+  bench_kernels
 )
 
 benches=("${@:-${default_benches[@]}}")
@@ -49,13 +56,16 @@ for bench in "${benches[@]}"; do
   out_file="$(mktemp)"
   start_ns=$(date +%s%N)
   rc=0
-  "$exe" >"$out_file" 2>&1 || rc=$?
+  # shellcheck disable=SC2086 — BENCH_EXTRA_ARGS is intentionally split.
+  "$exe" ${BENCH_EXTRA_ARGS:-} >"$out_file" 2>&1 || rc=$?
   end_ns=$(date +%s%N)
 
   git_rev="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  out_name="BENCH_${bench#bench_}${BENCH_LABEL:+_$BENCH_LABEL}.json"
   BENCH_NAME="$bench" BENCH_RC="$rc" BENCH_NS="$((end_ns - start_ns))" \
   BENCH_OUT="$out_file" BENCH_GIT_REV="$git_rev" \
-  python3 - >"$out_dir/BENCH_${bench#bench_}.json" <<'PY'
+  BENCH_LABEL="${BENCH_LABEL:-}" \
+  python3 - >"$out_dir/$out_name" <<'PY'
 import json, os, subprocess, sys
 
 with open(os.environ["BENCH_OUT"]) as f:
@@ -66,6 +76,7 @@ git_rev = os.environ["BENCH_GIT_REV"]
 json.dump(
     {
         "bench": os.environ["BENCH_NAME"],
+        "label": os.environ.get("BENCH_LABEL") or None,
         "git_rev": git_rev,
         "utc": subprocess.check_output(
             ["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"], text=True).strip(),
@@ -79,7 +90,7 @@ json.dump(
 PY
   rm -f "$out_file"
   ran=$((ran + 1))
-  echo "   -> $out_dir/BENCH_${bench#bench_}.json (rc=$rc)"
+  echo "   -> $out_dir/$out_name (rc=$rc)"
 done
 
 if [[ "$ran" -eq 0 ]]; then

@@ -2,15 +2,39 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "tensor/edge_partition.h"
+#include "tensor/kernels/kernels.h"
 
 namespace agl::autograd {
 
 using tensor::Tensor;
+
+namespace {
+
+// Folds edges [begin, end) into `dst` in 4-way blocks through the kernel
+// layer: dst[0..f) += sum_p weight(p) * src(p)[0..f). `weight` and `src`
+// are evaluated once per edge; the tail shorter than a block goes through
+// axpy_row. Shared by the gated/attention aggregation passes, whose only
+// difference is how the per-edge coefficient and source row are derived.
+template <typename WeightFn, typename SrcFn>
+void AccumulateEdgeBlocks(const tensor::kernels::KernelTable& kt, float* dst,
+                          int64_t begin, int64_t end, int64_t f,
+                          WeightFn weight, SrcFn src) {
+  constexpr int64_t kW = tensor::kernels::kAccumulateWidth;
+  int64_t p = begin;
+  for (; p + kW <= end; p += kW) {
+    const float w[kW] = {weight(p), weight(p + 1), weight(p + 2),
+                         weight(p + 3)};
+    const float* srcs[kW] = {src(p), src(p + 1), src(p + 2), src(p + 3)};
+    kt.scaled_accumulate(dst, srcs, w, f);
+  }
+  for (; p < end; ++p) kt.axpy_row(dst, src(p), weight(p), f);
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Dense algebra
@@ -93,10 +117,10 @@ Variable AddBias(const Variable& a, const Variable& bias) {
         const Tensor& g = self->grad();
         if (an->requires_grad()) an->AccumulateGrad(g);
         if (bn->requires_grad()) {
+          const auto& kt = tensor::kernels::ActiveKernels();
           Tensor col(1, g.cols());
           for (int64_t i = 0; i < g.rows(); ++i) {
-            const float* r = g.row(i);
-            for (int64_t j = 0; j < g.cols(); ++j) col.at(0, j) += r[j];
+            kt.axpy_row(col.row(0), g.row(i), 1.f, g.cols());
           }
           bn->AccumulateGrad(col);
         }
@@ -474,14 +498,13 @@ Variable EdgeGatedAggregate(const AdjacencyPtr& adj, const Variable& h,
   const Tensor& gv = gate.value();
 
   Tensor out(n, f);
+  const auto& kt = tensor::kernels::ActiveKernels();
   auto forward_span = [&](tensor::RowSpan span) {
     for (int64_t i = span.row_begin; i < span.row_end; ++i) {
-      float* out_row = out.row(i);
-      for (int64_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
-        const float w = values[p] * gv.at(p, 0);
-        const float* in_row = hv.row(col_idx[p]);
-        for (int64_t j = 0; j < f; ++j) out_row[j] += w * in_row[j];
-      }
+      AccumulateEdgeBlocks(
+          kt, out.row(i), row_ptr[i], row_ptr[i + 1], f,
+          [&](int64_t p) { return values[p] * gv.at(p, 0); },
+          [&](int64_t p) { return hv.row(col_idx[p]); });
     }
   };
   if (opts.num_threads <= 1 || n < 2) {
@@ -510,16 +533,15 @@ Variable EdgeGatedAggregate(const AdjacencyPtr& adj, const Variable& h,
 
         // dgate_p = w_p * (dout_{dst(p)} . h_{src(p)}) — per-edge slots
         // are exclusive, parallel over destination rows.
+        const auto& kt = tensor::kernels::ActiveKernels();
         if (gn->requires_grad()) {
           Tensor dgate(a.nnz(), 1);
           auto pass = [&](tensor::RowSpan span) {
             for (int64_t i = span.row_begin; i < span.row_end; ++i) {
               const float* grow = g.row(i);
               for (int64_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
-                const float* hrow = hv.row(col_idx[p]);
-                float dot = 0.f;
-                for (int64_t j = 0; j < f; ++j) dot += grow[j] * hrow[j];
-                dgate.at(p, 0) = values[p] * dot;
+                dgate.at(p, 0) =
+                    values[p] * kt.dot(grow, hv.row(col_idx[p]), f);
               }
             }
           };
@@ -543,14 +565,14 @@ Variable EdgeGatedAggregate(const AdjacencyPtr& adj, const Variable& h,
           auto pass = [&](tensor::RowSpan span) {
             for (int64_t jrow = span.row_begin; jrow < span.row_end;
                  ++jrow) {
-              float* dh_row = dh.row(jrow);
-              for (int64_t q = tix.row_ptr[jrow]; q < tix.row_ptr[jrow + 1];
-                   ++q) {
-                const int64_t p = tix.orig_pos[q];
-                const float w = values[p] * gv.at(p, 0);
-                const float* grow = g.row(tix.dst[q]);
-                for (int64_t j = 0; j < f; ++j) dh_row[j] += w * grow[j];
-              }
+              AccumulateEdgeBlocks(
+                  kt, dh.row(jrow), tix.row_ptr[jrow], tix.row_ptr[jrow + 1],
+                  f,
+                  [&](int64_t q) {
+                    const int64_t p = tix.orig_pos[q];
+                    return values[p] * gv.at(p, 0);
+                  },
+                  [&](int64_t q) { return g.row(tix.dst[q]); });
             }
           };
           if (opts.num_threads <= 1 || hv.rows() < 2) {
@@ -584,42 +606,33 @@ Variable GatAggregate(const AdjacencyPtr& adj, const Variable& h,
   const int64_t f = h.cols();
   const int64_t nnz = a.nnz();
 
-  // Per-edge attention weights and LeakyReLU derivative, saved for backward.
-  auto alpha = std::make_shared<std::vector<float>>(nnz, 0.f);
-  auto dz_factor = std::make_shared<std::vector<float>>(nnz, 0.f);
+  // Per-edge attention weights and LeakyReLU derivative, saved for
+  // backward. Deliberately uninitialized: every edge belongs to exactly one
+  // destination row and the forward pass writes all nnz slots.
+  auto alpha = std::shared_ptr<float[]>(new float[static_cast<std::size_t>(nnz)]);
+  auto dz_factor = std::shared_ptr<float[]>(new float[static_cast<std::size_t>(nnz)]);
 
   Tensor out(n, f);
   const Tensor& hv = h.value();
   const Tensor& alv = al.value();
   const Tensor& arv = ar.value();
 
+  // Per row: one gat_edge_softmax call fuses the score / max / exp /
+  // normalize passes, leaving attention weights in the per-edge alpha
+  // slots (contiguous within a CSR row); one spmm_row call then does the
+  // weighted neighbour sum with the output row held in registers.
+  const auto& kt = tensor::kernels::ActiveKernels();
   auto forward_span = [&](tensor::RowSpan span) {
-    std::vector<float> scores;
     for (int64_t i = span.row_begin; i < span.row_end; ++i) {
       const int64_t begin = row_ptr[i], end = row_ptr[i + 1];
       if (begin == end) continue;
-      scores.resize(end - begin);
-      float mx = -std::numeric_limits<float>::infinity();
-      for (int64_t p = begin; p < end; ++p) {
-        const float z = alv.at(i, 0) + arv.at(col_idx[p], 0);
-        (*dz_factor)[p] = z > 0.f ? 1.f : slope;
-        const float s = z > 0.f ? z : slope * z;
-        scores[p - begin] = s;
-        mx = std::max(mx, s);
-      }
-      float denom = 0.f;
-      for (int64_t p = begin; p < end; ++p) {
-        const float e = std::exp(scores[p - begin] - mx);
-        (*alpha)[p] = e;
-        denom += e;
-      }
-      float* out_row = out.row(i);
-      for (int64_t p = begin; p < end; ++p) {
-        (*alpha)[p] /= denom;
-        const float w = (*alpha)[p];
-        const float* in_row = hv.row(col_idx[p]);
-        for (int64_t j = 0; j < f; ++j) out_row[j] += w * in_row[j];
-      }
+      kt.gat_edge_softmax(col_idx.data() + begin, end - begin, alv.at(i, 0),
+                          arv.data(), slope, alpha.get() + begin,
+                          dz_factor.get() + begin);
+      // The attention weights are contiguous per CSR row, so the weighted
+      // neighbour sum is exactly one spmm_row call.
+      kt.spmm_row(out.row(i), hv.data(), col_idx.data() + begin,
+                  alpha.get() + begin, end - begin, f);
     }
   };
 
@@ -647,6 +660,8 @@ Variable GatAggregate(const AdjacencyPtr& adj, const Variable& h,
         const Tensor& g = self->grad();
         const Tensor& hv = hn->value();
 
+        const auto& kt = tensor::kernels::ActiveKernels();
+
         // Pass 1 (parallel over destination rows): per-edge dz and dal.
         std::vector<float> dz(a.nnz(), 0.f);
         Tensor dal(n, 1);
@@ -658,16 +673,14 @@ Variable GatAggregate(const AdjacencyPtr& adj, const Variable& h,
             // dalpha_ij = dout_i . h_j ; r_i = sum_k alpha_ik dalpha_ik
             float r = 0.f;
             for (int64_t p = begin; p < end; ++p) {
-              const float* hrow = hv.row(col_idx[p]);
-              float dot = 0.f;
-              for (int64_t j = 0; j < f; ++j) dot += grow[j] * hrow[j];
+              const float dot = kt.dot(grow, hv.row(col_idx[p]), f);
               dz[p] = dot;  // hold dalpha temporarily
-              r += (*alpha)[p] * dot;
+              r += alpha[p] * dot;
             }
             float dal_i = 0.f;
             for (int64_t p = begin; p < end; ++p) {
-              const float ds = (*alpha)[p] * (dz[p] - r);
-              dz[p] = ds * (*dz_factor)[p];
+              const float ds = alpha[p] * (dz[p] - r);
+              dz[p] = ds * dz_factor[p];
               dal_i += dz[p];
             }
             dal.at(i, 0) = dal_i;
@@ -697,16 +710,15 @@ Variable GatAggregate(const AdjacencyPtr& adj, const Variable& h,
           const auto& tix = adj->transpose_index();
           auto pass2 = [&](tensor::RowSpan span) {
             for (int64_t jrow = span.row_begin; jrow < span.row_end; ++jrow) {
-              float* dh_row = dh.row(jrow);
+              const int64_t qbegin = tix.row_ptr[jrow];
+              const int64_t qend = tix.row_ptr[jrow + 1];
+              AccumulateEdgeBlocks(
+                  kt, dh.row(jrow), qbegin, qend, f,
+                  [&](int64_t q) { return alpha[tix.orig_pos[q]]; },
+                  [&](int64_t q) { return g.row(tix.dst[q]); });
               float dar_j = 0.f;
-              for (int64_t p = tix.row_ptr[jrow]; p < tix.row_ptr[jrow + 1];
-                   ++p) {
-                const int64_t i = tix.dst[p];
-                const int64_t op = tix.orig_pos[p];
-                const float w = (*alpha)[op];
-                const float* grow = g.row(i);
-                for (int64_t j = 0; j < f; ++j) dh_row[j] += w * grow[j];
-                dar_j += dz[op];
+              for (int64_t q = qbegin; q < qend; ++q) {
+                dar_j += dz[tix.orig_pos[q]];
               }
               dar.at(jrow, 0) = dar_j;
             }

@@ -3,8 +3,28 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "tensor/kernels/kernels.h"
 
 namespace agl::nn {
+namespace {
+
+// Both the local Adam and the server-side AdamApply funnel into the fused
+// adam_update kernel; only the bias-correction step count differs (global
+// t for the optimizer, per-parameter t for the PS shards).
+tensor::kernels::AdamConsts MakeAdamConsts(const Adam::Options& opts,
+                                           int64_t t) {
+  tensor::kernels::AdamConsts c;
+  c.beta1 = opts.beta1;
+  c.beta2 = opts.beta2;
+  c.lr = opts.lr;
+  c.eps = opts.eps;
+  c.weight_decay = opts.weight_decay;
+  c.inv_bias1 = 1.f / (1.f - std::pow(opts.beta1, static_cast<float>(t)));
+  c.inv_bias2 = 1.f / (1.f - std::pow(opts.beta2, static_cast<float>(t)));
+  return c;
+}
+
+}  // namespace
 
 void Sgd::Step() {
   for (NamedParameter& p : params_) {
@@ -29,26 +49,14 @@ Adam::Adam(std::vector<NamedParameter> params, Options opts)
 
 void Adam::Step() {
   ++t_;
-  const float bc1 = 1.f - std::pow(opts_.beta1, static_cast<float>(t_));
-  const float bc2 = 1.f - std::pow(opts_.beta2, static_cast<float>(t_));
+  const tensor::kernels::AdamConsts c = MakeAdamConsts(opts_, t_);
+  const auto& kt = tensor::kernels::ActiveKernels();
   for (std::size_t i = 0; i < params_.size(); ++i) {
     autograd::Variable& var = params_[i].variable;
     if (!var.node()->has_grad()) continue;
     tensor::Tensor& value = var.mutable_value();
-    const tensor::Tensor& g = var.grad();
-    tensor::Tensor& m = m_[i];
-    tensor::Tensor& v = v_[i];
-    for (int64_t k = 0; k < value.size(); ++k) {
-      float gk = g.data()[k];
-      if (opts_.weight_decay > 0.f) {
-        gk += opts_.weight_decay * value.data()[k];
-      }
-      m.data()[k] = opts_.beta1 * m.data()[k] + (1.f - opts_.beta1) * gk;
-      v.data()[k] = opts_.beta2 * v.data()[k] + (1.f - opts_.beta2) * gk * gk;
-      const float mhat = m.data()[k] / bc1;
-      const float vhat = v.data()[k] / bc2;
-      value.data()[k] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
-    }
+    kt.adam_update(value.data(), var.grad().data(), m_[i].data(),
+                   v_[i].data(), c, value.size());
   }
 }
 
@@ -60,19 +68,10 @@ void AdamApply(const Adam::Options& opts, const tensor::Tensor& grad,
     state->v = tensor::Tensor(value->rows(), value->cols());
   }
   state->t += 1;
-  const float bc1 = 1.f - std::pow(opts.beta1, static_cast<float>(state->t));
-  const float bc2 = 1.f - std::pow(opts.beta2, static_cast<float>(state->t));
-  for (int64_t k = 0; k < value->size(); ++k) {
-    float gk = grad.data()[k];
-    if (opts.weight_decay > 0.f) gk += opts.weight_decay * value->data()[k];
-    state->m.data()[k] =
-        opts.beta1 * state->m.data()[k] + (1.f - opts.beta1) * gk;
-    state->v.data()[k] =
-        opts.beta2 * state->v.data()[k] + (1.f - opts.beta2) * gk * gk;
-    const float mhat = state->m.data()[k] / bc1;
-    const float vhat = state->v.data()[k] / bc2;
-    value->data()[k] -= opts.lr * mhat / (std::sqrt(vhat) + opts.eps);
-  }
+  const tensor::kernels::AdamConsts c = MakeAdamConsts(opts, state->t);
+  tensor::kernels::ActiveKernels().adam_update(
+      value->data(), grad.data(), state->m.data(), state->v.data(), c,
+      value->size());
 }
 
 }  // namespace agl::nn

@@ -13,19 +13,40 @@ std::vector<RowSpan> PartitionRowsByNnz(const std::vector<int64_t>& row_ptr,
   std::vector<RowSpan> spans;
   if (num_rows == 0) return spans;
 
-  const int64_t total_nnz = row_ptr[num_rows];
-  // Aim each span at total/num_parts nnz; advance the cut greedily. Empty
-  // rows ride along with their neighbours.
-  const int64_t target = std::max<int64_t>(1, total_nnz / num_parts);
+  // Greedy cuts with two refinements over a fixed total/num_parts target:
+  //   1. The target is recomputed per span from the *remaining* nnz and
+  //      parts, so hub rows clustered near the end raise later targets
+  //      instead of silently overloading the final remainder span.
+  //   2. The row that crosses the target joins the span only when the
+  //      overshoot is smaller than the undershoot of cutting before it —
+  //      a hub row encountered mid-span starts a fresh span of its own.
+  // Empty rows ride along with their neighbours.
   int64_t row = 0;
-  while (row < num_rows && static_cast<int>(spans.size()) < num_parts - 1) {
+  int parts_left = num_parts;
+  while (row < num_rows) {
+    if (parts_left <= 1) {
+      spans.push_back({row, num_rows});
+      break;
+    }
     const int64_t span_start = row;
     const int64_t nnz_start = row_ptr[row];
-    while (row < num_rows && row_ptr[row + 1] - nnz_start < target) ++row;
-    if (row < num_rows) ++row;  // include the row that crossed the target
+    const int64_t remaining = row_ptr[num_rows] - nnz_start;
+    const int64_t target =
+        std::max<int64_t>(1, (remaining + parts_left - 1) / parts_left);
+    while (row < num_rows) {
+      const int64_t with_row = row_ptr[row + 1] - nnz_start;
+      if (with_row >= target) {
+        const int64_t without_row = row_ptr[row] - nnz_start;
+        if (row == span_start || with_row - target <= target - without_row) {
+          ++row;  // crossing row belongs here (or the span would be empty)
+        }
+        break;
+      }
+      ++row;
+    }
     spans.push_back({span_start, row});
+    --parts_left;
   }
-  if (row < num_rows) spans.push_back({row, num_rows});
   return spans;
 }
 

@@ -1,0 +1,310 @@
+// AVX2 + FMA backend. Compiled only when AGL_SIMD=ON on an x86-64
+// toolchain (this TU gets -mavx2 -mfma); selected at runtime only when the
+// CPU reports both features, so shipping the binary to an older machine is
+// safe. Vector bodies process 8 floats per lane with unaligned loads and a
+// scalar tail — no read ever crosses the end of an operand, which keeps
+// ASan quiet without padded allocations.
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "tensor/kernels/blocked_loops.h"
+#include "tensor/kernels/kernels.h"
+
+namespace agl::tensor::kernels {
+namespace {
+
+inline float HorizontalSum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+// exp(x) on 8 lanes, cephes-style: range-reduce by log2(e), degree-6
+// polynomial on the remainder, scale by 2^k through the exponent bits.
+// ~2 ulp over the post-max-subtraction softmax domain (x <= 0).
+inline __m256 Exp256(__m256 x) {
+  const __m256 hi = _mm256_set1_ps(88.3762626647950f);
+  const __m256 lo = _mm256_set1_ps(-88.3762626647949f);
+  const __m256 log2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 c1 = _mm256_set1_ps(0.693359375f);
+  const __m256 c2 = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+
+  x = _mm256_max_ps(_mm256_min_ps(x, hi), lo);
+  __m256 fx = _mm256_floor_ps(_mm256_fmadd_ps(x, log2e, half));
+  x = _mm256_fnmadd_ps(fx, c1, x);
+  x = _mm256_fnmadd_ps(fx, c2, x);
+
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, x, half);
+  y = _mm256_fmadd_ps(y, _mm256_mul_ps(x, x), _mm256_add_ps(x, one));
+
+  __m256i k = _mm256_cvttps_epi32(fx);
+  k = _mm256_slli_epi32(_mm256_add_epi32(k, _mm256_set1_epi32(0x7f)), 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(k));
+}
+
+void AxpyRow(float* dst, const float* src, float alpha, int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m256 d0 = _mm256_loadu_ps(dst + j);
+    const __m256 d1 = _mm256_loadu_ps(dst + j + 8);
+    _mm256_storeu_ps(dst + j,
+                     _mm256_fmadd_ps(va, _mm256_loadu_ps(src + j), d0));
+    _mm256_storeu_ps(dst + j + 8,
+                     _mm256_fmadd_ps(va, _mm256_loadu_ps(src + j + 8), d1));
+  }
+  for (; j + 8 <= n; j += 8) {
+    const __m256 d = _mm256_loadu_ps(dst + j);
+    _mm256_storeu_ps(dst + j,
+                     _mm256_fmadd_ps(va, _mm256_loadu_ps(src + j), d));
+  }
+  for (; j < n; ++j) dst[j] += alpha * src[j];
+}
+
+float Dot(const float* a, const float* b, int64_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j + 8),
+                           _mm256_loadu_ps(b + j + 8), acc1);
+  }
+  for (; j + 8 <= n; j += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j),
+                           acc0);
+  }
+  float acc = HorizontalSum(_mm256_add_ps(acc0, acc1));
+  for (; j < n; ++j) acc += a[j] * b[j];
+  return acc;
+}
+
+void ScaledAccumulate(float* dst, const float* const* srcs, const float* w,
+                      int64_t n) {
+  const float* s0 = srcs[0];
+  const float* s1 = srcs[1];
+  const float* s2 = srcs[2];
+  const float* s3 = srcs[3];
+  const __m256 w0 = _mm256_set1_ps(w[0]);
+  const __m256 w1 = _mm256_set1_ps(w[1]);
+  const __m256 w2 = _mm256_set1_ps(w[2]);
+  const __m256 w3 = _mm256_set1_ps(w[3]);
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256 d = _mm256_loadu_ps(dst + j);
+    d = _mm256_fmadd_ps(w0, _mm256_loadu_ps(s0 + j), d);
+    d = _mm256_fmadd_ps(w1, _mm256_loadu_ps(s1 + j), d);
+    d = _mm256_fmadd_ps(w2, _mm256_loadu_ps(s2 + j), d);
+    d = _mm256_fmadd_ps(w3, _mm256_loadu_ps(s3 + j), d);
+    _mm256_storeu_ps(dst + j, d);
+  }
+  for (; j < n; ++j) {
+    dst[j] += w[0] * s0[j] + w[1] * s1[j] + w[2] * s2[j] + w[3] * s3[j];
+  }
+}
+
+void RowSoftmax(float* x, int64_t n) {
+  if (n == 0) return;
+  float mx = -std::numeric_limits<float>::infinity();
+  int64_t j = 0;
+  if (n >= 8) {
+    __m256 vmax = _mm256_loadu_ps(x);
+    for (j = 8; j + 8 <= n; j += 8) {
+      vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(x + j));
+    }
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, vmax);
+    for (float lane : lanes) mx = std::max(mx, lane);
+  } else {
+    j = 0;
+  }
+  for (; j < n; ++j) mx = std::max(mx, x[j]);
+
+  const __m256 vmx = _mm256_set1_ps(mx);
+  __m256 vsum = _mm256_setzero_ps();
+  for (j = 0; j + 8 <= n; j += 8) {
+    const __m256 e = Exp256(_mm256_sub_ps(_mm256_loadu_ps(x + j), vmx));
+    _mm256_storeu_ps(x + j, e);
+    vsum = _mm256_add_ps(vsum, e);
+  }
+  if (j < n) {
+    // Partial final group (also the whole row when n < 8): run Exp256 on a
+    // stack buffer padded with the row max, and zero the pad lanes before
+    // they can touch the sum. Keeps exp vectorized for the short
+    // attention rows that dominate real degree distributions.
+    alignas(32) float buf[8];
+    const int64_t rem = n - j;
+    for (int64_t t = 0; t < rem; ++t) buf[t] = x[j + t];
+    for (int64_t t = rem; t < 8; ++t) buf[t] = mx;
+    __m256 e = Exp256(_mm256_sub_ps(_mm256_load_ps(buf), vmx));
+    alignas(32) static constexpr uint32_t kLaneMask[16] = {
+        ~0u, ~0u, ~0u, ~0u, ~0u, ~0u, ~0u, ~0u, 0, 0, 0, 0, 0, 0, 0, 0};
+    const __m256 keep = _mm256_loadu_ps(reinterpret_cast<const float*>(
+        kLaneMask + (8 - rem)));
+    e = _mm256_and_ps(e, keep);
+    _mm256_store_ps(buf, e);
+    for (int64_t t = 0; t < rem; ++t) x[j + t] = buf[t];
+    vsum = _mm256_add_ps(vsum, e);
+  }
+  float denom = HorizontalSum(vsum);
+
+  const float inv = 1.f / denom;
+  const __m256 vinv = _mm256_set1_ps(inv);
+  for (j = 0; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(x + j, _mm256_mul_ps(_mm256_loadu_ps(x + j), vinv));
+  }
+  for (; j < n; ++j) x[j] *= inv;
+}
+
+void SpmmRow(float* out_row, const float* dense, const int64_t* cols,
+             const float* w, int64_t count, int64_t f) {
+  int64_t j = 0;
+  // 32-float chunks of the output row live in four accumulators across the
+  // whole edge list; each edge contributes four FMAs per chunk. Prefetch
+  // runs a couple dozen edges ahead of the gather to cover DRAM latency.
+  for (; j + 32 <= f; j += 32) {
+    __m256 acc0 = _mm256_loadu_ps(out_row + j);
+    __m256 acc1 = _mm256_loadu_ps(out_row + j + 8);
+    __m256 acc2 = _mm256_loadu_ps(out_row + j + 16);
+    __m256 acc3 = _mm256_loadu_ps(out_row + j + 24);
+    for (int64_t e = 0; e < count; ++e) {
+      // Only the first chunk pass prefetches: later passes re-touch rows
+      // the first pass already pulled in.
+      if (j == 0 && e + 24 < count) {
+        const float* pf = dense + cols[e + 24] * f;
+        for (int64_t o = 0; o < f; o += 16) __builtin_prefetch(pf + o);
+      }
+      const float* src = dense + cols[e] * f + j;
+      const __m256 we = _mm256_set1_ps(w[e]);
+      acc0 = _mm256_fmadd_ps(we, _mm256_loadu_ps(src), acc0);
+      acc1 = _mm256_fmadd_ps(we, _mm256_loadu_ps(src + 8), acc1);
+      acc2 = _mm256_fmadd_ps(we, _mm256_loadu_ps(src + 16), acc2);
+      acc3 = _mm256_fmadd_ps(we, _mm256_loadu_ps(src + 24), acc3);
+    }
+    _mm256_storeu_ps(out_row + j, acc0);
+    _mm256_storeu_ps(out_row + j + 8, acc1);
+    _mm256_storeu_ps(out_row + j + 16, acc2);
+    _mm256_storeu_ps(out_row + j + 24, acc3);
+  }
+  for (; j + 8 <= f; j += 8) {
+    __m256 acc = _mm256_loadu_ps(out_row + j);
+    for (int64_t e = 0; e < count; ++e) {
+      if (j == 0 && e + 24 < count) {
+        __builtin_prefetch(dense + cols[e + 24] * f);
+      }
+      acc = _mm256_fmadd_ps(_mm256_set1_ps(w[e]),
+                            _mm256_loadu_ps(dense + cols[e] * f + j), acc);
+    }
+    _mm256_storeu_ps(out_row + j, acc);
+  }
+  for (; j < f; ++j) {
+    float acc = out_row[j];
+    for (int64_t e = 0; e < count; ++e) {
+      acc += w[e] * dense[cols[e] * f + j];
+    }
+    out_row[j] = acc;
+  }
+}
+
+void GatEdgeSoftmax(const int64_t* cols, int64_t count, float al_i,
+                    const float* ar, float slope, float* alpha,
+                    float* dz_factor) {
+  const __m128 vz0 = _mm_setzero_ps();
+  const __m128 vone = _mm_set1_ps(1.f);
+  const __m128 vslope = _mm_set1_ps(slope);
+  const __m128 vali = _mm_set1_ps(al_i);
+  int64_t e = 0;
+  for (; e + 4 <= count; e += 4) {
+    // 4 edges at a time: 64-bit index gather out of ar, LeakyReLU and its
+    // derivative via blends on the sign mask.
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + e));
+    const __m128 z = _mm_add_ps(vali, _mm256_i64gather_ps(ar, idx, 4));
+    const __m128 pos = _mm_cmpgt_ps(z, vz0);
+    _mm_storeu_ps(alpha + e, _mm_blendv_ps(_mm_mul_ps(vslope, z), z, pos));
+    _mm_storeu_ps(dz_factor + e, _mm_blendv_ps(vslope, vone, pos));
+  }
+  for (; e < count; ++e) {
+    const float z = al_i + ar[cols[e]];
+    dz_factor[e] = z > 0.f ? 1.f : slope;
+    alpha[e] = z > 0.f ? z : slope * z;
+  }
+  RowSoftmax(alpha, count);
+}
+
+void AdamUpdate(float* value, const float* grad, float* m, float* v,
+                const AdamConsts& c, int64_t n) {
+  const __m256 b1 = _mm256_set1_ps(c.beta1);
+  const __m256 omb1 = _mm256_set1_ps(1.f - c.beta1);
+  const __m256 b2 = _mm256_set1_ps(c.beta2);
+  const __m256 omb2 = _mm256_set1_ps(1.f - c.beta2);
+  const __m256 wd = _mm256_set1_ps(c.weight_decay);
+  const __m256 ib1 = _mm256_set1_ps(c.inv_bias1);
+  const __m256 ib2 = _mm256_set1_ps(c.inv_bias2);
+  const __m256 lr = _mm256_set1_ps(c.lr);
+  const __m256 eps = _mm256_set1_ps(c.eps);
+  const bool decay = c.weight_decay > 0.f;
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256 g = _mm256_loadu_ps(grad + j);
+    __m256 val = _mm256_loadu_ps(value + j);
+    if (decay) g = _mm256_fmadd_ps(wd, val, g);
+    const __m256 vm =
+        _mm256_fmadd_ps(b1, _mm256_loadu_ps(m + j), _mm256_mul_ps(omb1, g));
+    const __m256 vv = _mm256_fmadd_ps(
+        b2, _mm256_loadu_ps(v + j), _mm256_mul_ps(omb2, _mm256_mul_ps(g, g)));
+    _mm256_storeu_ps(m + j, vm);
+    _mm256_storeu_ps(v + j, vv);
+    const __m256 mhat = _mm256_mul_ps(vm, ib1);
+    const __m256 denom =
+        _mm256_add_ps(_mm256_sqrt_ps(_mm256_mul_ps(vv, ib2)), eps);
+    val = _mm256_sub_ps(val,
+                        _mm256_div_ps(_mm256_mul_ps(lr, mhat), denom));
+    _mm256_storeu_ps(value + j, val);
+  }
+  for (; j < n; ++j) {
+    float g = grad[j];
+    if (decay) g += c.weight_decay * value[j];
+    m[j] = c.beta1 * m[j] + (1.f - c.beta1) * g;
+    v[j] = c.beta2 * v[j] + (1.f - c.beta2) * g * g;
+    value[j] -= c.lr * (m[j] * c.inv_bias1) /
+                (std::sqrt(v[j] * c.inv_bias2) + c.eps);
+  }
+}
+
+}  // namespace
+
+const KernelTable& Avx2Kernels() {
+  static const KernelTable table = {
+      "avx2",
+      AxpyRow,
+      Dot,
+      ScaledAccumulate,
+      RowSoftmax,
+      detail::GemmBlocked<AxpyRow, ScaledAccumulate>,
+      detail::GemmTransABlocked<AxpyRow, ScaledAccumulate>,
+      detail::GemmTransBBlocked<Dot>,
+      SpmmRow,
+      GatEdgeSoftmax,
+      AdamUpdate,
+  };
+  return table;
+}
+
+}  // namespace agl::tensor::kernels

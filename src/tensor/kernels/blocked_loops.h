@@ -1,0 +1,98 @@
+// Internal to the kernel layer: the cache-blocked gemm loop nests, written
+// once and instantiated per backend over its axpy_row / dot /
+// scaled_accumulate primitives (passed as non-type template parameters so
+// the calls inline). Backends own only the innermost vector arithmetic;
+// the blocking strategy is shared and identical, which keeps scalar and
+// SIMD numerics in the same accumulation order per primitive call.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "tensor/kernels/kernels.h"
+
+namespace agl::tensor::kernels::detail {
+
+using AxpyFn = void (*)(float*, const float*, float, int64_t);
+using DotFn = float (*)(const float*, const float*, int64_t);
+using SaccFn = void (*)(float*, const float* const*, const float*, int64_t);
+
+// Rows of b per tile in gemm / columns of out per tile in gemm_trans_b.
+// 64 rows x 256 float columns = 64 KiB: comfortably L2-resident while the
+// row loop streams over it.
+inline constexpr int64_t kTileRows = 64;
+
+template <AxpyFn Axpy, SaccFn Sacc>
+void GemmBlocked(const float* a, const float* b, float* out,
+                 int64_t row_begin, int64_t row_end, int64_t k, int64_t m) {
+  for (int64_t p0 = 0; p0 < k; p0 += kTileRows) {
+    const int64_t p_end = std::min(k, p0 + kTileRows);
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      const float* a_row = a + r * k;
+      float* out_row = out + r * m;
+      int64_t p = p0;
+      for (; p + kAccumulateWidth <= p_end; p += kAccumulateWidth) {
+        const float w[kAccumulateWidth] = {a_row[p], a_row[p + 1],
+                                           a_row[p + 2], a_row[p + 3]};
+        if (w[0] == 0.f && w[1] == 0.f && w[2] == 0.f && w[3] == 0.f) {
+          continue;  // ReLU-sparse activations make whole groups vanish
+        }
+        const float* srcs[kAccumulateWidth] = {b + p * m, b + (p + 1) * m,
+                                               b + (p + 2) * m,
+                                               b + (p + 3) * m};
+        Sacc(out_row, srcs, w, m);
+      }
+      for (; p < p_end; ++p) {
+        if (a_row[p] != 0.f) Axpy(out_row, b + p * m, a_row[p], m);
+      }
+    }
+  }
+}
+
+template <AxpyFn Axpy, SaccFn Sacc>
+void GemmTransABlocked(const float* a, const float* b, float* out,
+                       int64_t i_begin, int64_t i_end, int64_t k, int64_t m) {
+  // out[p, :] += a[i, p] * b[i, :] — i is the contraction axis. Peeling i
+  // in groups of 4 turns the update of each out row into one
+  // scaled_accumulate, quartering the out-row traffic.
+  int64_t i = i_begin;
+  for (; i + kAccumulateWidth <= i_end; i += kAccumulateWidth) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    const float* srcs[kAccumulateWidth] = {b + i * m, b + (i + 1) * m,
+                                           b + (i + 2) * m, b + (i + 3) * m};
+    for (int64_t p = 0; p < k; ++p) {
+      const float w[kAccumulateWidth] = {a0[p], a1[p], a2[p], a3[p]};
+      if (w[0] == 0.f && w[1] == 0.f && w[2] == 0.f && w[3] == 0.f) continue;
+      Sacc(out + p * m, srcs, w, m);
+    }
+  }
+  for (; i < i_end; ++i) {
+    const float* a_row = a + i * k;
+    const float* b_row = b + i * m;
+    for (int64_t p = 0; p < k; ++p) {
+      if (a_row[p] != 0.f) Axpy(out + p * m, b_row, a_row[p], m);
+    }
+  }
+}
+
+template <DotFn Dot>
+void GemmTransBBlocked(const float* a, const float* b, float* out,
+                       int64_t row_begin, int64_t row_end, int64_t k,
+                       int64_t m) {
+  for (int64_t j0 = 0; j0 < m; j0 += kTileRows) {
+    const int64_t j_end = std::min(m, j0 + kTileRows);
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      const float* a_row = a + r * k;
+      float* out_row = out + r * m;
+      for (int64_t j = j0; j < j_end; ++j) {
+        out_row[j] += Dot(a_row, b + j * k, k);
+      }
+    }
+  }
+}
+
+}  // namespace agl::tensor::kernels::detail

@@ -1,0 +1,69 @@
+// Backend selection. Resolved once per process: CPU feature probe, then
+// the AGL_KERNEL_BACKEND env override ("scalar" | "avx2" | "auto"). An
+// override naming a backend this build or CPU lacks degrades to scalar
+// with a log line rather than failing, so one config file can cover a
+// heterogeneous fleet.
+
+#include "tensor/kernels/kernels.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+
+namespace agl::tensor::kernels {
+
+#if defined(AGL_KERNELS_HAVE_AVX2)
+const KernelTable& Avx2Kernels();  // defined in avx2.cc
+
+namespace {
+bool CpuSupportsAvx2Fma() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+}  // namespace
+#endif  // AGL_KERNELS_HAVE_AVX2
+
+namespace {
+
+const KernelTable* Resolve() {
+  const char* env = std::getenv("AGL_KERNEL_BACKEND");
+  const std::string want = env != nullptr ? env : "auto";
+  if (want == "scalar") return &ScalarKernels();
+#if defined(AGL_KERNELS_HAVE_AVX2)
+  if (want == "avx2" || want == "auto") {
+    if (CpuSupportsAvx2Fma()) return &Avx2Kernels();
+    if (want == "avx2") {
+      AGL_LOG(Warning) << "AGL_KERNEL_BACKEND=avx2 requested but the CPU "
+                          "lacks AVX2+FMA; using scalar kernels";
+    }
+    return &ScalarKernels();
+  }
+#else
+  if (want == "avx2") {
+    AGL_LOG(Warning) << "AGL_KERNEL_BACKEND=avx2 requested but this build "
+                        "has no AVX2 backend (AGL_SIMD=OFF or non-x86); "
+                        "using scalar kernels";
+    return &ScalarKernels();
+  }
+#endif
+  if (want != "auto") {
+    AGL_LOG(Warning) << "Unknown AGL_KERNEL_BACKEND '" << want
+                     << "'; using scalar kernels";
+  }
+  return &ScalarKernels();
+}
+
+}  // namespace
+
+const KernelTable& ActiveKernels() {
+  static const KernelTable* const table = Resolve();
+  return *table;
+}
+
+const char* ActiveBackendName() { return ActiveKernels().name; }
+
+}  // namespace agl::tensor::kernels

@@ -1,0 +1,132 @@
+// SIMD-dispatched tensor kernel layer: the narrow, C-ABI-style contract
+// between the algebra in tensor/ & autograd/ and the machine. Every hot
+// loop (SpMM aggregation, the MatMul family, edge softmax, optimizer
+// updates) funnels through one of these entry points, so a backend is a
+// single table of function pointers and the rest of the system never
+// mentions an ISA.
+//
+// Backends:
+//   scalar — plain C++, always compiled, the golden baseline the parity
+//            tests compare against.
+//   avx2   — AVX2 + FMA (x86-64), compiled when AGL_SIMD=ON and the
+//            compiler targets x86; chosen at runtime only if the CPU
+//            reports both features.
+//
+// Selection happens once, at first use, via ActiveKernels(). The env var
+// AGL_KERNEL_BACKEND (= "scalar" | "avx2" | "auto") overrides the choice;
+// an unavailable request logs a warning and degrades to scalar so a
+// pinned config never crashes on older hardware.
+
+#pragma once
+
+#include <cstdint>
+
+namespace agl::tensor::kernels {
+
+/// Portable best-effort cache prefetch hint; a no-op on toolchains
+/// without __builtin_prefetch (the same ones the build keeps scalar-only).
+inline void PrefetchHint(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p);
+#else
+  (void)p;
+#endif
+}
+
+/// Number of source rows a scaled_accumulate call folds into `dst` at once.
+/// Callers peel edges/columns in groups of this size and finish the tail
+/// with axpy_row.
+inline constexpr int kAccumulateWidth = 4;
+
+/// Scalar constants for one fused Adam update over a parameter buffer.
+/// `inv_bias1/2` are the precomputed 1/(1-beta^t) bias corrections.
+struct AdamConsts {
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float lr = 1e-3f;
+  float eps = 1e-8f;
+  float weight_decay = 0.f;
+  float inv_bias1 = 1.f;
+  float inv_bias2 = 1.f;
+};
+
+/// One backend. All row pointers are contiguous float spans; `dst`/`out`
+/// never aliases a source operand. Matrix kernels use += semantics into a
+/// caller-zeroed output and take a row range so callers own threading —
+/// the kernels themselves never spawn work.
+struct KernelTable {
+  const char* name;
+
+  /// dst[0..n) += alpha * src[0..n).
+  void (*axpy_row)(float* dst, const float* src, float alpha, int64_t n);
+
+  /// Returns sum_i a[i] * b[i].
+  float (*dot)(const float* a, const float* b, int64_t n);
+
+  /// Register-blocked 4-way accumulate:
+  /// dst[j] += w[0]*srcs[0][j] + w[1]*srcs[1][j] + w[2]*srcs[2][j] +
+  ///           w[3]*srcs[3][j], for j in [0, n). Exactly kAccumulateWidth
+  /// sources; the output row is loaded and stored once per vector lane
+  /// instead of once per source.
+  void (*scaled_accumulate)(float* dst, const float* const* srcs,
+                            const float* w, int64_t n);
+
+  /// In-place numerically-stable softmax over x[0..n): fused
+  /// max / exp / normalize passes. n == 0 is a no-op.
+  void (*row_softmax)(float* x, int64_t n);
+
+  /// out[r, 0..m) += sum_p a[r, p] * b[p, 0..m) for r in [row_begin,
+  /// row_end). a is [rows x k], b is [k x m], out is [rows x m], all
+  /// row-major. Cache-blocked over p so the active b tile stays hot.
+  void (*gemm)(const float* a, const float* b, float* out, int64_t row_begin,
+               int64_t row_end, int64_t k, int64_t m);
+
+  /// out[p, 0..m) += sum_{i in [i_begin, i_end)} a[i, p] * b[i, 0..m).
+  /// a is [n x k], b is [n x m], out is [k x m]. The i range lets callers
+  /// run disjoint chunks into private partial outputs and reduce.
+  void (*gemm_trans_a)(const float* a, const float* b, float* out,
+                       int64_t i_begin, int64_t i_end, int64_t k, int64_t m);
+
+  /// out[r, j] += sum_p a[r, p] * b[j, p] for r in [row_begin, row_end),
+  /// j in [0, m). a is [rows x k], b is [m x k], out is [rows x m].
+  /// Tiled over j so the active b tile is reused across rows.
+  void (*gemm_trans_b)(const float* a, const float* b, float* out,
+                       int64_t row_begin, int64_t row_end, int64_t k,
+                       int64_t m);
+
+  /// Weighted gather-accumulate for one SpMM output row:
+  /// out_row[0..f) += sum_e w[e] * dense[cols[e] * f .. +f). The feature
+  /// dimension is processed in register-resident chunks held across ALL
+  /// edges, so the output row is loaded and stored once per chunk instead
+  /// of once per edge group, and upcoming gathered rows are prefetched.
+  void (*spmm_row)(float* out_row, const float* dense, const int64_t* cols,
+                   const float* w, int64_t count, int64_t f);
+
+  /// Fused GAT edge softmax for one destination row with `count` in-edges:
+  /// scores z_e = al_i + ar[cols[e]] go through LeakyReLU(slope) (the
+  /// derivative lands in dz_factor[e]) and a numerically-stable softmax,
+  /// leaving the attention weights in alpha[0..count). One call replaces
+  /// the separate score / max / exp / normalize passes.
+  void (*gat_edge_softmax)(const int64_t* cols, int64_t count, float al_i,
+                           const float* ar, float slope, float* alpha,
+                           float* dz_factor);
+
+  /// Fused Adam step over n elements: applies weight decay, updates the
+  /// first/second moments m and v in place, and writes the bias-corrected
+  /// update into value. One pass over four streams.
+  void (*adam_update)(float* value, const float* grad, float* m, float* v,
+                      const AdamConsts& c, int64_t n);
+};
+
+/// The always-available scalar baseline.
+const KernelTable& ScalarKernels();
+
+/// The table picked for this process: best compiled-in backend the CPU
+/// supports, unless AGL_KERNEL_BACKEND pins one. Resolved once; cheap to
+/// call afterwards.
+const KernelTable& ActiveKernels();
+
+/// Name of the active backend ("scalar", "avx2") — for logs and tests.
+const char* ActiveBackendName();
+
+}  // namespace agl::tensor::kernels

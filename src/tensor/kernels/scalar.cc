@@ -1,0 +1,100 @@
+// Scalar backend: the always-compiled baseline every other backend must
+// match within tolerance (tests/kernel_test.cpp). Plain loops, no
+// intrinsics — also what AGL_SIMD=OFF builds ship.
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/kernels/blocked_loops.h"
+#include "tensor/kernels/kernels.h"
+
+namespace agl::tensor::kernels {
+namespace {
+
+void AxpyRow(float* dst, const float* src, float alpha, int64_t n) {
+  for (int64_t j = 0; j < n; ++j) dst[j] += alpha * src[j];
+}
+
+float Dot(const float* a, const float* b, int64_t n) {
+  float acc = 0.f;
+  for (int64_t j = 0; j < n; ++j) acc += a[j] * b[j];
+  return acc;
+}
+
+void ScaledAccumulate(float* dst, const float* const* srcs, const float* w,
+                      int64_t n) {
+  const float* s0 = srcs[0];
+  const float* s1 = srcs[1];
+  const float* s2 = srcs[2];
+  const float* s3 = srcs[3];
+  const float w0 = w[0], w1 = w[1], w2 = w[2], w3 = w[3];
+  for (int64_t j = 0; j < n; ++j) {
+    dst[j] += w0 * s0[j] + w1 * s1[j] + w2 * s2[j] + w3 * s3[j];
+  }
+}
+
+void RowSoftmax(float* x, int64_t n) {
+  if (n == 0) return;
+  float mx = -std::numeric_limits<float>::infinity();
+  for (int64_t j = 0; j < n; ++j) mx = std::max(mx, x[j]);
+  float denom = 0.f;
+  for (int64_t j = 0; j < n; ++j) {
+    x[j] = std::exp(x[j] - mx);
+    denom += x[j];
+  }
+  const float inv = 1.f / denom;
+  for (int64_t j = 0; j < n; ++j) x[j] *= inv;
+}
+
+void SpmmRow(float* out_row, const float* dense, const int64_t* cols,
+             const float* w, int64_t count, int64_t f) {
+  for (int64_t e = 0; e < count; ++e) {
+    if (e + 8 < count) PrefetchHint(dense + cols[e + 8] * f);
+    AxpyRow(out_row, dense + cols[e] * f, w[e], f);
+  }
+}
+
+void GatEdgeSoftmax(const int64_t* cols, int64_t count, float al_i,
+                    const float* ar, float slope, float* alpha,
+                    float* dz_factor) {
+  for (int64_t e = 0; e < count; ++e) {
+    const float z = al_i + ar[cols[e]];
+    dz_factor[e] = z > 0.f ? 1.f : slope;
+    alpha[e] = z > 0.f ? z : slope * z;
+  }
+  RowSoftmax(alpha, count);
+}
+
+void AdamUpdate(float* value, const float* grad, float* m, float* v,
+                const AdamConsts& c, int64_t n) {
+  for (int64_t j = 0; j < n; ++j) {
+    float g = grad[j];
+    if (c.weight_decay > 0.f) g += c.weight_decay * value[j];
+    m[j] = c.beta1 * m[j] + (1.f - c.beta1) * g;
+    v[j] = c.beta2 * v[j] + (1.f - c.beta2) * g * g;
+    const float mhat = m[j] * c.inv_bias1;
+    const float vhat = v[j] * c.inv_bias2;
+    value[j] -= c.lr * mhat / (std::sqrt(vhat) + c.eps);
+  }
+}
+
+}  // namespace
+
+const KernelTable& ScalarKernels() {
+  static const KernelTable table = {
+      "scalar",
+      AxpyRow,
+      Dot,
+      ScaledAccumulate,
+      RowSoftmax,
+      detail::GemmBlocked<AxpyRow, ScaledAccumulate>,
+      detail::GemmTransABlocked<AxpyRow, ScaledAccumulate>,
+      detail::GemmTransBBlocked<Dot>,
+      SpmmRow,
+      GatEdgeSoftmax,
+      AdamUpdate,
+  };
+  return table;
+}
+
+}  // namespace agl::tensor::kernels

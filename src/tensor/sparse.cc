@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "tensor/kernels/kernels.h"
 
 namespace agl::tensor {
 
@@ -57,14 +58,27 @@ SparseMatrix SparseMatrix::FromCsr(int64_t rows, int64_t cols,
 }
 
 SparseMatrix SparseMatrix::Transposed() const {
-  std::vector<CooEntry> entries;
-  entries.reserve(nnz());
+  // Counting-sort transpose, O(nnz + rows + cols): histogram the column
+  // indices, prefix-sum into the transposed row_ptr, then scatter. Scanning
+  // source rows in ascending order lands each transposed row's columns
+  // already sorted, so no per-row sort (and no COO round-trip) is needed.
+  SparseMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(cols_ + 1, 0);
+  t.col_idx_.resize(nnz());
+  t.values_.resize(nnz());
+  for (const int64_t c : col_idx_) t.row_ptr_[c + 1]++;
+  for (int64_t c = 0; c < cols_; ++c) t.row_ptr_[c + 1] += t.row_ptr_[c];
+  std::vector<int64_t> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
   for (int64_t r = 0; r < rows_; ++r) {
     for (int64_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
-      entries.push_back({col_idx_[p], r, values_[p]});
+      const int64_t slot = cursor[col_idx_[p]]++;
+      t.col_idx_[slot] = r;
+      t.values_[slot] = values_[p];
     }
   }
-  return FromCoo(cols_, rows_, std::move(entries));
+  return t;
 }
 
 SparseMatrix SparseMatrix::RowNormalized() const {
@@ -145,14 +159,17 @@ Tensor Spmm(const SparseMatrix& a, const Tensor& dense,
   const auto& values = a.values();
   const int64_t f = dense.cols();
 
+  // Each output row is produced by one spmm_row call: the kernel keeps the
+  // row in registers across all of its edges (blocked over the feature
+  // dimension) and prefetches upcoming gathered rows itself. The same
+  // kernel runs per row regardless of the partitioning, keeping thread
+  // counts bit-for-bit identical.
+  const auto& kt = kernels::ActiveKernels();
   auto aggregate_span = [&](RowSpan span) {
     for (int64_t r = span.row_begin; r < span.row_end; ++r) {
-      float* out_row = out.row(r);
-      for (int64_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
-        const float w = values[p];
-        const float* in_row = dense.row(col_idx[p]);
-        for (int64_t j = 0; j < f; ++j) out_row[j] += w * in_row[j];
-      }
+      const int64_t begin = row_ptr[r];
+      kt.spmm_row(out.row(r), dense.data(), col_idx.data() + begin,
+                  values.data() + begin, row_ptr[r + 1] - begin, f);
     }
   };
 

@@ -6,8 +6,24 @@
 #include <sstream>
 
 #include "common/thread_pool.h"
+#include "tensor/kernels/kernels.h"
 
 namespace agl::tensor {
+
+namespace {
+
+// Below this flop count a kernel call on the caller's thread beats the
+// fork/join overhead of the pool.
+constexpr int64_t kParallelFlopThreshold = 1 << 16;
+
+// Number of contiguous row chunks to hand the pool: a few per worker so
+// uneven rows still balance.
+int64_t NumRowChunks(int64_t rows) {
+  const auto workers = static_cast<int64_t>(GlobalThreadPool().num_threads());
+  return std::min<int64_t>(rows, 4 * workers);
+}
+
+}  // namespace
 
 Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
   Tensor t(rows, cols);
@@ -51,15 +67,15 @@ void Tensor::Fill(float value) {
 void Tensor::Add(const Tensor& other) {
   AGL_CHECK_EQ(rows_, other.rows_);
   AGL_CHECK_EQ(cols_, other.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  kernels::ActiveKernels().axpy_row(data_.data(), other.data_.data(), 1.f,
+                                    static_cast<int64_t>(data_.size()));
 }
 
 void Tensor::Axpy(float alpha, const Tensor& other) {
   AGL_CHECK_EQ(rows_, other.rows_);
   AGL_CHECK_EQ(cols_, other.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += alpha * other.data_[i];
-  }
+  kernels::ActiveKernels().axpy_row(data_.data(), other.data_.data(), alpha,
+                                    static_cast<int64_t>(data_.size()));
 }
 
 void Tensor::Scale(float alpha) {
@@ -125,22 +141,26 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                                    << " @ " << b.ShapeString();
   Tensor out(a.rows(), b.cols());
   const int64_t n = a.rows(), k = a.cols(), m = b.cols();
-  auto body = [&](std::size_t i) {
-    float* out_row = out.row(static_cast<int64_t>(i));
-    const float* a_row = a.row(static_cast<int64_t>(i));
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = a_row[p];
-      if (av == 0.f) continue;
-      const float* b_row = b.row(p);
-      for (int64_t j = 0; j < m; ++j) out_row[j] += av * b_row[j];
-    }
-  };
-  // Parallelism only pays off for reasonably sized products.
-  if (n * k * m > (1 << 16)) {
-    GlobalThreadPool().ParallelFor(static_cast<std::size_t>(n), body);
-  } else {
-    for (int64_t i = 0; i < n; ++i) body(static_cast<std::size_t>(i));
+  const auto& kt = kernels::ActiveKernels();
+  // Parallelism only pays off for reasonably sized products (and the
+  // threshold check must come first: NumRowChunks spins up the global
+  // pool). Chunks cover disjoint output rows, so the split is race- and
+  // reduction-free.
+  if (n * k * m <= kParallelFlopThreshold) {
+    kt.gemm(a.data(), b.data(), out.data(), 0, n, k, m);
+    return out;
   }
+  const int64_t chunks = NumRowChunks(n);
+  if (chunks <= 1) {
+    kt.gemm(a.data(), b.data(), out.data(), 0, n, k, m);
+    return out;
+  }
+  GlobalThreadPool().ParallelFor(
+      static_cast<std::size_t>(chunks), [&](std::size_t c) {
+        const auto i = static_cast<int64_t>(c);
+        kt.gemm(a.data(), b.data(), out.data(), n * i / chunks,
+                n * (i + 1) / chunks, k, m);
+      });
   return out;
 }
 
@@ -148,18 +168,31 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   AGL_CHECK_EQ(a.rows(), b.rows());
   Tensor out(a.cols(), b.cols());
   const int64_t n = a.rows(), k = a.cols(), m = b.cols();
-  // out[p, j] = sum_i a[i, p] * b[i, j]; serial accumulation to stay
-  // deterministic (gradient path).
-  for (int64_t i = 0; i < n; ++i) {
-    const float* a_row = a.row(i);
-    const float* b_row = b.row(i);
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = a_row[p];
-      if (av == 0.f) continue;
-      float* out_row = out.row(p);
-      for (int64_t j = 0; j < m; ++j) out_row[j] += av * b_row[j];
-    }
+  const auto& kt = kernels::ActiveKernels();
+  // The contraction runs over rows of a, so parallel chunks would collide
+  // on the output. Each chunk therefore contracts a disjoint i-range into
+  // its own [k x m] partial; partials are reduced in fixed chunk order,
+  // keeping the gradient path deterministic for a given pool size.
+  if (n * k * m <= kParallelFlopThreshold) {
+    kt.gemm_trans_a(a.data(), b.data(), out.data(), 0, n, k, m);
+    return out;
   }
+  const auto chunks = std::min<int64_t>(
+      n, static_cast<int64_t>(GlobalThreadPool().num_threads()));
+  if (chunks <= 1) {
+    kt.gemm_trans_a(a.data(), b.data(), out.data(), 0, n, k, m);
+    return out;
+  }
+  std::vector<Tensor> partials;
+  partials.reserve(chunks);
+  for (int64_t c = 0; c < chunks; ++c) partials.emplace_back(k, m);
+  GlobalThreadPool().ParallelFor(
+      static_cast<std::size_t>(chunks), [&](std::size_t c) {
+        const auto i = static_cast<int64_t>(c);
+        kt.gemm_trans_a(a.data(), b.data(), partials[c].data(),
+                        n * i / chunks, n * (i + 1) / chunks, k, m);
+      });
+  for (const Tensor& p : partials) out.Add(p);
   return out;
 }
 
@@ -167,21 +200,22 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   AGL_CHECK_EQ(a.cols(), b.cols());
   Tensor out(a.rows(), b.rows());
   const int64_t n = a.rows(), k = a.cols(), m = b.rows();
-  auto body = [&](std::size_t i) {
-    float* out_row = out.row(static_cast<int64_t>(i));
-    const float* a_row = a.row(static_cast<int64_t>(i));
-    for (int64_t j = 0; j < m; ++j) {
-      const float* b_row = b.row(j);
-      float acc = 0.f;
-      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      out_row[j] = acc;
-    }
-  };
-  if (n * k * m > (1 << 16)) {
-    GlobalThreadPool().ParallelFor(static_cast<std::size_t>(n), body);
-  } else {
-    for (int64_t i = 0; i < n; ++i) body(static_cast<std::size_t>(i));
+  const auto& kt = kernels::ActiveKernels();
+  if (n * k * m <= kParallelFlopThreshold) {
+    kt.gemm_trans_b(a.data(), b.data(), out.data(), 0, n, k, m);
+    return out;
   }
+  const int64_t chunks = NumRowChunks(n);
+  if (chunks <= 1) {
+    kt.gemm_trans_b(a.data(), b.data(), out.data(), 0, n, k, m);
+    return out;
+  }
+  GlobalThreadPool().ParallelFor(
+      static_cast<std::size_t>(chunks), [&](std::size_t c) {
+        const auto i = static_cast<int64_t>(c);
+        kt.gemm_trans_b(a.data(), b.data(), out.data(), n * i / chunks,
+                        n * (i + 1) / chunks, k, m);
+      });
   return out;
 }
 
@@ -235,19 +269,9 @@ Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
 }
 
 Tensor RowSoftmax(const Tensor& a) {
-  Tensor out(a.rows(), a.cols());
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    const float* in = a.row(i);
-    float* o = out.row(i);
-    float mx = -std::numeric_limits<float>::infinity();
-    for (int64_t j = 0; j < a.cols(); ++j) mx = std::max(mx, in[j]);
-    float denom = 0.f;
-    for (int64_t j = 0; j < a.cols(); ++j) {
-      o[j] = std::exp(in[j] - mx);
-      denom += o[j];
-    }
-    for (int64_t j = 0; j < a.cols(); ++j) o[j] /= denom;
-  }
+  Tensor out = a;
+  const auto& kt = kernels::ActiveKernels();
+  for (int64_t i = 0; i < a.rows(); ++i) kt.row_softmax(out.row(i), a.cols());
   return out;
 }
 

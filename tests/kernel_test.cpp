@@ -1,0 +1,288 @@
+// Parity tests for the SIMD-dispatched kernel layer: every entry of the
+// active (runtime-dispatched) table must match the scalar baseline within
+// float-reassociation tolerance, and the scalar baseline itself must match
+// naive golden references. Sizes sweep odd lengths (1, 3, 7, 17, 64) so
+// every vector-width remainder path is exercised, plus empty/zero-row
+// edge cases. The same suite runs under AGL_SIMD=ON and =OFF (where the
+// active table IS the scalar table) and under ASan/UBSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/kernels/kernels.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace agl::tensor::kernels {
+namespace {
+
+constexpr int64_t kSizes[] = {1, 3, 7, 17, 64};
+constexpr float kTol = 2e-4f;
+
+std::vector<float> RandomVec(int64_t n, Rng* rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng->Normal(0, 1));
+  return v;
+}
+
+void ExpectClose(const std::vector<float>& a, const std::vector<float>& b,
+                 float tol = kTol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], tol) << "index " << i;
+  }
+}
+
+TEST(KernelParityTest, BackendReportsName) {
+  EXPECT_STREQ(ScalarKernels().name, "scalar");
+  EXPECT_STREQ(ActiveKernels().name, ActiveBackendName());
+}
+
+TEST(KernelParityTest, AxpyRowMatchesScalarAndGolden) {
+  Rng rng(1);
+  for (int64_t n : kSizes) {
+    const std::vector<float> src = RandomVec(n, &rng);
+    const std::vector<float> base = RandomVec(n, &rng);
+    const float alpha = 0.37f;
+    std::vector<float> golden = base;
+    for (int64_t j = 0; j < n; ++j) golden[j] += alpha * src[j];
+
+    std::vector<float> scalar = base;
+    ScalarKernels().axpy_row(scalar.data(), src.data(), alpha, n);
+    ExpectClose(scalar, golden);
+
+    std::vector<float> active = base;
+    ActiveKernels().axpy_row(active.data(), src.data(), alpha, n);
+    ExpectClose(active, scalar);
+  }
+  // n == 0 must be a no-op on a null-ish span.
+  float dummy = 5.f;
+  ActiveKernels().axpy_row(&dummy, &dummy, 2.f, 0);
+  EXPECT_EQ(dummy, 5.f);
+}
+
+TEST(KernelParityTest, DotMatchesScalarAndGolden) {
+  Rng rng(2);
+  for (int64_t n : kSizes) {
+    const std::vector<float> a = RandomVec(n, &rng);
+    const std::vector<float> b = RandomVec(n, &rng);
+    double golden = 0;
+    for (int64_t j = 0; j < n; ++j) {
+      golden += static_cast<double>(a[j]) * b[j];
+    }
+    const float s = ScalarKernels().dot(a.data(), b.data(), n);
+    const float v = ActiveKernels().dot(a.data(), b.data(), n);
+    EXPECT_NEAR(s, golden, kTol) << n;
+    EXPECT_NEAR(v, s, kTol) << n;
+  }
+  EXPECT_EQ(ActiveKernels().dot(nullptr, nullptr, 0), 0.f);
+}
+
+TEST(KernelParityTest, ScaledAccumulateMatchesScalarAndGolden) {
+  Rng rng(3);
+  for (int64_t n : kSizes) {
+    const std::vector<float> s0 = RandomVec(n, &rng);
+    const std::vector<float> s1 = RandomVec(n, &rng);
+    const std::vector<float> s2 = RandomVec(n, &rng);
+    const std::vector<float> s3 = RandomVec(n, &rng);
+    const std::vector<float> base = RandomVec(n, &rng);
+    const float w[kAccumulateWidth] = {0.5f, -1.25f, 0.f, 2.f};
+    const float* srcs[kAccumulateWidth] = {s0.data(), s1.data(), s2.data(),
+                                           s3.data()};
+    std::vector<float> golden = base;
+    for (int64_t j = 0; j < n; ++j) {
+      golden[j] += w[0] * s0[j] + w[1] * s1[j] + w[2] * s2[j] + w[3] * s3[j];
+    }
+    std::vector<float> scalar = base;
+    ScalarKernels().scaled_accumulate(scalar.data(), srcs, w, n);
+    ExpectClose(scalar, golden);
+    std::vector<float> active = base;
+    ActiveKernels().scaled_accumulate(active.data(), srcs, w, n);
+    ExpectClose(active, scalar);
+  }
+}
+
+TEST(KernelParityTest, RowSoftmaxMatchesScalarSumsToOne) {
+  Rng rng(4);
+  for (int64_t n : kSizes) {
+    const std::vector<float> in = RandomVec(n, &rng);
+    std::vector<float> scalar = in;
+    ScalarKernels().row_softmax(scalar.data(), n);
+    std::vector<float> active = in;
+    ActiveKernels().row_softmax(active.data(), n);
+    float sum = 0.f;
+    for (float x : active) sum += x;
+    EXPECT_NEAR(sum, 1.f, 1e-4f) << n;
+    ExpectClose(active, scalar, 1e-5f);
+  }
+  // Large magnitudes must not overflow (max subtraction).
+  std::vector<float> big = {1000.f, 1000.f, 1000.f};
+  ActiveKernels().row_softmax(big.data(), 3);
+  for (float x : big) EXPECT_NEAR(x, 1.f / 3.f, 1e-5f);
+  // Empty row is a no-op.
+  ActiveKernels().row_softmax(nullptr, 0);
+}
+
+TEST(KernelParityTest, SpmmRowMatchesScalarAndGolden) {
+  Rng rng(9);
+  const int64_t num_src = 37;
+  for (int64_t f : kSizes) {
+    const std::vector<float> dense = RandomVec(num_src * f, &rng);
+    for (int64_t count : {int64_t{0}, int64_t{1}, int64_t{4}, int64_t{11}}) {
+      std::vector<int64_t> cols(count);
+      std::vector<float> w(count);
+      for (int64_t e = 0; e < count; ++e) {
+        cols[e] = rng.UniformInt(0, num_src - 1);
+        w[e] = static_cast<float>(rng.Normal(0, 1));
+      }
+      const std::vector<float> base = RandomVec(f, &rng);
+      std::vector<float> golden = base;
+      for (int64_t e = 0; e < count; ++e) {
+        for (int64_t j = 0; j < f; ++j) {
+          golden[j] += w[e] * dense[cols[e] * f + j];
+        }
+      }
+      std::vector<float> scalar = base;
+      ScalarKernels().spmm_row(scalar.data(), dense.data(), cols.data(),
+                               w.data(), count, f);
+      ExpectClose(scalar, golden);
+      std::vector<float> active = base;
+      ActiveKernels().spmm_row(active.data(), dense.data(), cols.data(),
+                               w.data(), count, f);
+      ExpectClose(active, scalar);
+    }
+  }
+}
+
+TEST(KernelParityTest, GatEdgeSoftmaxMatchesScalar) {
+  Rng rng(5);
+  const int64_t num_nodes = 40;
+  const std::vector<float> ar = RandomVec(num_nodes, &rng);
+  for (int64_t count : {int64_t{0}, int64_t{1}, int64_t{3}, int64_t{5},
+                        int64_t{8}, int64_t{13}}) {
+    std::vector<int64_t> cols(count);
+    for (int64_t& c : cols) c = rng.UniformInt(0, num_nodes - 1);
+    std::vector<float> alpha_s(count), dzf_s(count);
+    std::vector<float> alpha_v(count), dzf_v(count);
+    ScalarKernels().gat_edge_softmax(cols.data(), count, 0.21f, ar.data(),
+                                     0.2f, alpha_s.data(), dzf_s.data());
+    ActiveKernels().gat_edge_softmax(cols.data(), count, 0.21f, ar.data(),
+                                     0.2f, alpha_v.data(), dzf_v.data());
+    ExpectClose(alpha_v, alpha_s, 1e-5f);
+    ExpectClose(dzf_v, dzf_s, 0.f);  // derivative factor is exact
+    if (count > 0) {
+      float sum = 0.f;
+      for (float x : alpha_v) sum += x;
+      EXPECT_NEAR(sum, 1.f, 1e-4f);
+    }
+  }
+}
+
+TEST(KernelParityTest, AdamUpdateMatchesScalar) {
+  Rng rng(6);
+  AdamConsts c;
+  c.weight_decay = 0.01f;
+  c.inv_bias1 = 1.f / (1.f - 0.9f);
+  c.inv_bias2 = 1.f / (1.f - 0.999f);
+  for (int64_t n : kSizes) {
+    const std::vector<float> grad = RandomVec(n, &rng);
+    const std::vector<float> value = RandomVec(n, &rng);
+    const std::vector<float> m0 = RandomVec(n, &rng);
+    std::vector<float> v0(n, 0.f);
+    for (int64_t j = 0; j < n; ++j) {
+      v0[j] = std::fabs(static_cast<float>(rng.Normal(0, 1)));
+    }
+    std::vector<float> vs = value, ms = m0, vvs = v0;
+    ScalarKernels().adam_update(vs.data(), grad.data(), ms.data(), vvs.data(),
+                                c, n);
+    std::vector<float> va = value, ma = m0, vva = v0;
+    ActiveKernels().adam_update(va.data(), grad.data(), ma.data(), vva.data(),
+                                c, n);
+    ExpectClose(va, vs, 1e-5f);
+    ExpectClose(ma, ms, 1e-5f);
+    ExpectClose(vva, vvs, 1e-5f);
+  }
+}
+
+// Naive reference: out[r, j] = sum_p a[r, p] * b_eff[p, j].
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  Tensor out(a.rows(), b.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t p = 0; p < a.cols(); ++p) {
+      for (int64_t j = 0; j < b.cols(); ++j) {
+        out.at(r, j) += a.at(r, p) * b.at(p, j);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(KernelParityTest, GemmFamilyMatchesScalarAndGolden) {
+  Rng rng(7);
+  for (int64_t n : {1, 5, 17}) {
+    for (int64_t k : kSizes) {
+      for (int64_t m : {1, 7, 64}) {
+        const Tensor a = Tensor::RandomNormal(n, k, 0, 1, &rng);
+        const Tensor b = Tensor::RandomNormal(k, m, 0, 1, &rng);
+        const Tensor golden = NaiveMatMul(a, b);
+
+        for (const KernelTable* kt : {&ScalarKernels(), &ActiveKernels()}) {
+          Tensor out(n, m);
+          kt->gemm(a.data(), b.data(), out.data(), 0, n, k, m);
+          EXPECT_TRUE(out.AllClose(golden, kTol))
+              << kt->name << " gemm " << n << "x" << k << "x" << m;
+
+          const Tensor b_ta = Tensor::RandomNormal(n, m, 0, 1, &rng);
+          Tensor out_ta(k, m);
+          kt->gemm_trans_a(a.data(), b_ta.data(), out_ta.data(), 0, 0, k, m);
+          EXPECT_TRUE(out_ta.AllClose(Tensor(k, m), 0.f))
+              << "empty i-range must be a no-op";
+          kt->gemm_trans_a(a.data(), b_ta.data(), out_ta.data(), 0, n, k, m);
+          EXPECT_TRUE(out_ta.AllClose(NaiveMatMul(Transpose(a), b_ta), kTol))
+              << kt->name << " gemm_trans_a " << n << "x" << k << "x" << m;
+
+          const Tensor bt = Transpose(b);  // [m x k]
+          Tensor out_tb(n, m);
+          kt->gemm_trans_b(a.data(), bt.data(), out_tb.data(), 0, n, k, m);
+          EXPECT_TRUE(out_tb.AllClose(golden, kTol))
+              << kt->name << " gemm_trans_b " << n << "x" << k << "x" << m;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelParityTest, GemmZeroDimensionsAreNoOps) {
+  for (const KernelTable* kt : {&ScalarKernels(), &ActiveKernels()}) {
+    Tensor a(0, 5), b(5, 3), out(0, 3);
+    kt->gemm(a.data(), b.data(), out.data(), 0, 0, 5, 3);
+    Tensor a2(4, 0), b2(0, 3), out2(4, 3);
+    kt->gemm(a2.data(), b2.data(), out2.data(), 0, 4, 0, 3);
+    EXPECT_TRUE(out2.AllClose(Tensor(4, 3), 0.f)) << kt->name;
+    Tensor out3(0, 3);
+    kt->gemm_trans_a(a.data(), b.data(), out3.data(), 0, 0, 0, 3);
+  }
+}
+
+// The high-level entry points must agree with the kernels they dispatch to
+// across the parallel/serial threshold, including zero-size feature dims.
+TEST(KernelParityTest, SpmmZeroFeatureAndEmptyRows) {
+  Rng rng(8);
+  SparseMatrix adj = SparseMatrix::FromCoo(
+      5, 5, {{0, 1, 1.f}, {0, 2, 2.f}, {4, 0, 3.f}});  // rows 1-3 empty
+  for (int64_t f : {int64_t{0}, int64_t{1}, int64_t{3}, int64_t{17}}) {
+    const Tensor h = Tensor::RandomNormal(5, f, 0, 1, &rng);
+    const Tensor out = Spmm(adj, h, {4});
+    const Tensor serial = Spmm(adj, h, {1});
+    EXPECT_TRUE(out.AllClose(serial, 0.f)) << f;
+    for (int64_t j = 0; j < f; ++j) {
+      EXPECT_EQ(out.at(2, j), 0.f);  // empty row stays zero
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agl::tensor::kernels

@@ -187,6 +187,30 @@ TEST(SparseTest, TransposedSwapsDirection) {
   EXPECT_TRUE(t.Transposed() == m);
 }
 
+TEST(SparseTest, TransposedRandomRoundTripAndSorted) {
+  // The counting-sort transpose must produce column-sorted rows and be an
+  // exact involution, including empty rows/columns and rectangular shapes.
+  Rng rng(21);
+  std::vector<CooEntry> entries;
+  const int64_t rows = 57, cols = 91;
+  for (int i = 0; i < 400; ++i) {
+    entries.push_back({rng.UniformInt(0, rows - 1),
+                       rng.UniformInt(0, cols - 1),
+                       static_cast<float>(rng.Uniform(-2, 2))});
+  }
+  SparseMatrix m = SparseMatrix::FromCoo(rows, cols, entries);
+  SparseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), cols);
+  EXPECT_EQ(t.cols(), rows);
+  EXPECT_EQ(t.nnz(), m.nnz());
+  for (int64_t r = 0; r < t.rows(); ++r) {
+    for (int64_t p = t.row_ptr()[r] + 1; p < t.row_ptr()[r + 1]; ++p) {
+      EXPECT_LT(t.col_idx()[p - 1], t.col_idx()[p]) << "row " << r;
+    }
+  }
+  EXPECT_TRUE(t.Transposed() == m);
+}
+
 TEST(SparseTest, RowNormalizedRowsSumToOne) {
   SparseMatrix m = SmallGraph().RowNormalized();
   for (int64_t r = 0; r < m.rows(); ++r) {
@@ -280,6 +304,42 @@ TEST(EdgePartitionTest, SinglePartIsWholeRange) {
 TEST(EdgePartitionTest, EmptyMatrix) {
   std::vector<int64_t> row_ptr = {0};
   EXPECT_TRUE(PartitionRowsByNnz(row_ptr, 0, 4).empty());
+}
+
+TEST(EdgePartitionTest, HubRowsAtTailDoNotOverloadLastSpan) {
+  // 99 light rows (1 nnz each) followed by one hub row with 1000 nnz. The
+  // per-span target must adapt as rows are consumed: the hub ends up in
+  // its own span instead of being swallowed by the first span (which is
+  // what a fixed global target produces when hubs cluster near the end).
+  std::vector<int64_t> row_ptr(101);
+  for (int i = 0; i <= 99; ++i) row_ptr[i] = i;
+  row_ptr[100] = 99 + 1000;
+  auto spans = PartitionRowsByNnz(row_ptr, 100, 4);
+  ASSERT_GE(spans.size(), 2u);
+  EXPECT_EQ(spans.back().row_begin, 99);
+  EXPECT_EQ(spans.back().row_end, 100);
+  for (std::size_t i = 0; i + 1 < spans.size(); ++i) {
+    const int64_t span_nnz =
+        row_ptr[spans[i].row_end] - row_ptr[spans[i].row_begin];
+    EXPECT_LE(span_nnz, 99) << "span " << i;
+  }
+}
+
+TEST(EdgePartitionTest, ClusteredTailHubsStayBalanced) {
+  // 196 light rows then 4 hub rows of 250 nnz each, 4 parts: no span may
+  // end up with more than two hubs' worth of work (the old greedy cut put
+  // all four hubs plus the remainder in the final span).
+  std::vector<int64_t> row_ptr(201);
+  for (int i = 0; i <= 196; ++i) row_ptr[i] = i;
+  for (int i = 197; i <= 200; ++i) row_ptr[i] = row_ptr[i - 1] + 250;
+  auto spans = PartitionRowsByNnz(row_ptr, 200, 4);
+  ASSERT_GE(spans.size(), 3u);
+  EXPECT_EQ(spans.back().row_end, 200);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const int64_t span_nnz =
+        row_ptr[spans[i].row_end] - row_ptr[spans[i].row_begin];
+    EXPECT_LE(span_nnz, 500) << "span " << i;
+  }
 }
 
 TEST(EdgePartitionTest, BalancesSkewedNnz) {
