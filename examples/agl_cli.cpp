@@ -44,7 +44,8 @@ int Fail(const agl::Status& status) {
 
 int RunGraphFlatCmd(const std::vector<std::string>& args) {
   std::string node_csv, edge_csv, sampling = "none", output;
-  int64_t hops = 2, max_neighbors = 0, hub_threshold = 10000, workers = 4;
+  int64_t hops = 2, max_neighbors = 0, hub_threshold = 10000, workers = 4,
+          shards = 1;
   FlagParser parser;
   parser.AddString("n", &node_csv, "node table CSV")
       .AddString("e", &edge_csv, "edge table CSV")
@@ -53,6 +54,7 @@ int RunGraphFlatCmd(const std::vector<std::string>& args) {
       .AddInt("max-neighbors", &max_neighbors, "sampling cap per node")
       .AddInt("hub-threshold", &hub_threshold, "re-indexing threshold")
       .AddInt("workers", &workers, "MapReduce workers")
+      .AddInt("shards", &shards, "GraphFlat shards (merged output)")
       .AddString("o", &output, "output <dfs-root>:<dataset>");
   if (agl::Status s = parser.Parse(args); !s.ok()) return Fail(s);
   if (node_csv.empty() || edge_csv.empty() || output.empty()) {
@@ -77,6 +79,7 @@ int RunGraphFlatCmd(const std::vector<std::string>& args) {
   config.sampler = {*strategy, max_neighbors};
   config.hub_threshold = hub_threshold;
   config.job.num_workers = static_cast<int>(workers);
+  config.num_shards = static_cast<int>(shards);
   auto stats = GraphFlat(config, *nodes, *edges, &*dfs, loc->dataset);
   if (!stats.ok()) return Fail(stats.status());
   std::printf("GraphFlat: %lld features (avg %.1f nodes) -> %s:%s in %.2fs\n",
@@ -175,7 +178,8 @@ int RunTrainCmd(const std::vector<std::string>& args) {
 
 int RunInferCmd(const std::vector<std::string>& args) {
   std::string model_loc_str, node_csv, edge_csv, output, model_name = "gcn";
-  int64_t layers = 2, hidden = 16, classes = 2, heads = 1, workers = 4;
+  int64_t layers = 2, hidden = 16, classes = 2, heads = 1, workers = 4,
+          shards = 1;
   FlagParser parser;
   parser.AddString("m", &model_loc_str, "trained model <dfs-root>:<dataset>")
       .AddString("model-type", &model_name, "model (gcn|graphsage|gat)")
@@ -186,6 +190,7 @@ int RunInferCmd(const std::vector<std::string>& args) {
       .AddInt("classes", &classes, "output width")
       .AddInt("heads", &heads, "GAT attention heads")
       .AddInt("workers", &workers, "MapReduce workers")
+      .AddInt("shards", &shards, "inference shards")
       .AddString("o", &output, "scores CSV output path");
   if (agl::Status s = parser.Parse(args); !s.ok()) return Fail(s);
   if (model_loc_str.empty() || node_csv.empty() || edge_csv.empty() ||
@@ -222,6 +227,7 @@ int RunInferCmd(const std::vector<std::string>& args) {
   config.model.out_dim = classes;
   config.model.gat_heads = static_cast<int>(heads);
   config.job.num_workers = static_cast<int>(workers);
+  config.num_shards = static_cast<int>(shards);
   auto result = GraphInfer(config, *state, *nodes, *edges);
   if (!result.ok()) return Fail(result.status());
 

@@ -29,6 +29,7 @@ default_benches=(
   bench_fig7_convergence
   bench_fig8_speedup
   bench_graphflat_scale
+  bench_graphflat_shards
   bench_kernels
 )
 

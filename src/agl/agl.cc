@@ -1,6 +1,7 @@
 #include "agl/agl.h"
 
 #include "nn/state_io.h"
+#include "trainer/feature_source.h"
 
 namespace agl {
 
@@ -14,16 +15,12 @@ agl::Result<flat::GraphFlatStats> GraphFlat(
 
 agl::Result<std::vector<subgraph::GraphFeature>> LoadGraphFeatures(
     const mr::LocalDfs& dfs, const std::string& dataset) {
-  AGL_ASSIGN_OR_RETURN(std::vector<std::string> records,
-                       dfs.ReadDataset(dataset));
-  std::vector<subgraph::GraphFeature> features;
-  features.reserve(records.size());
-  for (const std::string& bytes : records) {
-    AGL_ASSIGN_OR_RETURN(subgraph::GraphFeature gf,
-                         subgraph::GraphFeature::Parse(bytes));
-    features.push_back(std::move(gf));
-  }
-  return features;
+  // DfsFeatureSource resolves merged datasets and unmerged shard families
+  // alike, so every consumer of this facade reads sharded GraphFlat output
+  // transparently.
+  AGL_ASSIGN_OR_RETURN(trainer::DfsFeatureSource source,
+                       trainer::DfsFeatureSource::Open(dfs, dataset));
+  return source.ReadAll();
 }
 
 agl::Result<trainer::TrainReport> GraphTrainer(

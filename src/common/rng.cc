@@ -20,6 +20,15 @@ std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
   return idx;
 }
 
+uint64_t Fnv1aHash(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 uint64_t DeriveSeed(uint64_t parent, uint64_t stream) {
   uint64_t z = parent + 0x9e3779b97f4a7c15ULL * (stream + 1);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;

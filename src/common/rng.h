@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace agl {
@@ -66,5 +67,12 @@ class Rng {
 /// Derives a child seed from a parent seed and a stream id (splitmix64 mix),
 /// so parallel workers get decorrelated deterministic streams.
 uint64_t DeriveSeed(uint64_t parent, uint64_t stream);
+
+/// FNV-1a over a byte string. The one definition shared by the MapReduce
+/// shuffle partitioner, GraphFlat's per-key seeds, and the shard plan
+/// (which salts it through DeriveSeed precisely to stay decorrelated from
+/// the unsalted partitioner — an assumption that holds only while everyone
+/// uses this same hash).
+uint64_t Fnv1aHash(const std::string& bytes);
 
 }  // namespace agl

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "flat/shard.h"
 #include "flat/state.h"
 
 namespace agl::flat {
@@ -24,15 +25,6 @@ std::string Tagged(char tag, const std::string& payload) {
   out.push_back(tag);
   out.append(payload);
   return out;
-}
-
-uint64_t HashString(const std::string& s) {
-  uint64_t h = 1469598103934665603ULL;
-  for (char c : s) {
-    h ^= static_cast<uint8_t>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
 }
 
 // --- Map phase ------------------------------------------------------------
@@ -72,7 +64,32 @@ struct RoundContext {
   GraphFlatConfig::Targets targets = GraphFlatConfig::Targets::kLabeledNodes;
   int64_t node_feature_dim = 0;
   int64_t edge_feature_dim = 0;
+  /// Sharded mode: the last round emits the merged SubgraphState instead of
+  /// flattening, deferring the Storing step to the shard-merge stage.
+  bool emit_state_at_last = false;
 };
+
+/// Does `self` receive a GraphFeature under the configured target policy?
+bool IsTarget(const RoundContext& ctx, const NodeRecord& self) {
+  return ctx.targets == GraphFlatConfig::Targets::kAllNodes ||
+         self.label >= 0 || !self.multilabel.empty();
+}
+
+/// The Storing step (§3.2.1): flattens `state` to a GraphFeature record iff
+/// the node is a requested target. Shared by the single-shard last round
+/// and the shard-merge reducer so both paths emit identical bytes.
+agl::Status EmitFinalIfTarget(const RoundContext& ctx, const std::string& key,
+                              NodeId self_id, const SubgraphState& state,
+                              mr::Emitter* out) {
+  if (!state.HasNode(self_id)) return agl::Status::OK();
+  if (IsTarget(ctx, state.nodes().at(self_id))) {
+    AGL_ASSIGN_OR_RETURN(
+        subgraph::GraphFeature gf,
+        state.ToGraphFeature(ctx.node_feature_dim, ctx.edge_feature_dim));
+    out->Emit(key, Tagged(kTagFinal, gf.Serialize()));
+  }
+  return agl::Status::OK();
+}
 
 /// One merging/propagation round (Figure 2). See header for the schedule.
 class FlatReducer : public mr::Reducer {
@@ -140,7 +157,7 @@ class FlatReducer : public mr::Reducer {
 
     // Deterministic per (key, round): retried task attempts sample
     // identically.
-    Rng rng(DeriveSeed(ctx_.seed, HashString(key) * 31 +
+    Rng rng(DeriveSeed(ctx_.seed, Fnv1aHash(key) * 31 +
                                       static_cast<uint64_t>(ctx_.round)));
 
     // Merge via in-edges (round 0: raw stubs; later rounds: neighbor
@@ -173,20 +190,18 @@ class FlatReducer : public mr::Reducer {
     }
 
     if (ctx_.round == ctx_.last_round) {
-      // Storing step: flatten targets to GraphFeatures.
-      if (!state.HasNode(self_id)) return agl::Status::OK();
-      const NodeRecord& self = state.nodes().at(self_id);
-      const bool is_target =
-          ctx_.targets == GraphFlatConfig::Targets::kAllNodes ||
-          self.label >= 0 || !self.multilabel.empty();
-      if (is_target) {
-        AGL_ASSIGN_OR_RETURN(
-            subgraph::GraphFeature gf,
-            state.ToGraphFeature(ctx_.node_feature_dim,
-                                 ctx_.edge_feature_dim));
-        out->Emit(key, Tagged(kTagFinal, gf.Serialize()));
+      if (ctx_.emit_state_at_last) {
+        // Sharded mode: hand the merged state to the merge stage, which
+        // reconciles per-node states (see MergeReducer) and then performs
+        // the Storing step. Non-targets can never produce a final record,
+        // so their (large) states are not worth serializing and shuffling.
+        if (state.HasNode(self_id) &&
+            IsTarget(ctx_, state.nodes().at(self_id))) {
+          out->Emit(key, Tagged(kTagState, state.Serialize()));
+        }
+        return agl::Status::OK();
       }
-      return agl::Status::OK();
+      return EmitFinalIfTarget(ctx_, key, self_id, state, out);
     }
 
     // Propagation via out-edges: the merged self info becomes the new
@@ -251,7 +266,7 @@ class ReindexCombiner : public mr::Reducer {
         out->Emit(original_key, v);
       }
     }
-    Rng rng(DeriveSeed(seed_, HashString(key)));
+    Rng rng(DeriveSeed(seed_, Fnv1aHash(key)));
     for (std::size_t pos :
          sampler_->Sample({weights.data(), weights.size()}, &rng)) {
       out->Emit(original_key, *sampleable[pos]);
@@ -304,7 +319,7 @@ agl::Result<std::vector<mr::KeyValue>> ReindexAndSampleHubKeys(
     if (it == in_count.end() || it->second <= config.hub_threshold) continue;
     const uint64_t shard =
         DeriveSeed(config.job.seed + static_cast<uint64_t>(round),
-                   HashString(kv.value)) %
+                   Fnv1aHash(kv.value)) %
         static_cast<uint64_t>(fanout);
     kv.key += "#" + std::to_string(shard);
   }
@@ -321,22 +336,46 @@ agl::Result<std::vector<mr::KeyValue>> ReindexAndSampleHubKeys(
 
 namespace {
 
-agl::Result<std::vector<mr::KeyValue>> RunPipeline(
-    const GraphFlatConfig& config, const std::vector<NodeRecord>& nodes,
-    const std::vector<EdgeRecord>& edges, GraphFlatStats* stats) {
-  Stopwatch watch;
-  if (nodes.empty()) {
-    return agl::Status::InvalidArgument("GraphFlat: empty node table");
-  }
-  RoundContext ctx;
-  ctx.last_round = config.hops;
-  ctx.sampler_config = config.sampler;
-  ctx.seed = config.job.seed;
-  ctx.targets = config.targets;
-  ctx.node_feature_dim = static_cast<int64_t>(nodes[0].features.size());
-  ctx.edge_feature_dim =
-      edges.empty() ? 0 : static_cast<int64_t>(edges[0].features.size());
+/// Shard-merge stage: reconciles per-node states before Store. With the
+/// exact home-shard routing above, each node normally arrives with exactly
+/// one state; the set-union here (sound and order-free because
+/// SubgraphState::Merge is a set union over nodes and edges) is the
+/// reconcile-before-Store contract that keeps the Storing step correct
+/// under looser routing — e.g. the planned multi-process exchange through
+/// the DFS, where at-least-once delivery can duplicate a node's state.
+class MergeReducer : public mr::Reducer {
+ public:
+  explicit MergeReducer(const RoundContext& ctx) : ctx_(ctx) {}
 
+  agl::Status Reduce(const std::string& key,
+                     const std::vector<std::string>& values,
+                     mr::Emitter* out) override {
+    SubgraphState merged;
+    bool have = false;
+    for (const std::string& v : values) {
+      if (v.empty() || v[0] != kTagState) {
+        return agl::Status::Corruption("non-state record in shard merge");
+      }
+      AGL_ASSIGN_OR_RETURN(SubgraphState s, SubgraphState::Parse(v.substr(1)));
+      if (have) {
+        merged.Merge(s);
+      } else {
+        merged = std::move(s);
+        have = true;
+      }
+    }
+    if (!have) return agl::Status::OK();
+    const NodeId self_id = static_cast<NodeId>(std::stoull(key));
+    return EmitFinalIfTarget(ctx_, key, self_id, merged, out);
+  }
+
+ private:
+  RoundContext ctx_;
+};
+
+/// Raw-table rows tagged as map input, shared by both pipelines.
+std::vector<mr::KeyValue> BuildMapInput(const std::vector<NodeRecord>& nodes,
+                                        const std::vector<EdgeRecord>& edges) {
   std::vector<mr::KeyValue> input;
   input.reserve(nodes.size() + edges.size());
   for (const NodeRecord& n : nodes) {
@@ -345,11 +384,125 @@ agl::Result<std::vector<mr::KeyValue>> RunPipeline(
   for (const EdgeRecord& e : edges) {
     input.push_back({"", Tagged(kTagInEdge, e.Serialize())});
   }
+  return input;
+}
+
+RoundContext MakeContext(const GraphFlatConfig& config,
+                         const std::vector<NodeRecord>& nodes,
+                         const std::vector<EdgeRecord>& edges) {
+  RoundContext ctx;
+  ctx.last_round = config.hops;
+  ctx.sampler_config = config.sampler;
+  ctx.seed = config.job.seed;
+  ctx.targets = config.targets;
+  ctx.node_feature_dim = static_cast<int64_t>(nodes[0].features.size());
+  ctx.edge_feature_dim =
+      edges.empty() ? 0 : static_cast<int64_t>(edges[0].features.size());
+  return ctx;
+}
+
+/// The sharded pipeline: one GraphFlat job per shard with the boundary
+/// exchange between rounds, then the merge stage. Produces the same final
+/// records as the single-shard pipeline (tests/sharding_test.cpp holds the
+/// byte-identity property over shard counts).
+agl::Result<std::vector<mr::KeyValue>> RunShardedPipeline(
+    const GraphFlatConfig& config, const std::vector<NodeRecord>& nodes,
+    const std::vector<EdgeRecord>& edges, GraphFlatStats* stats) {
+  Stopwatch watch;
+  if (nodes.empty()) {
+    return agl::Status::InvalidArgument("GraphFlat: empty node table");
+  }
+  RoundContext ctx = MakeContext(config, nodes, edges);
+  ctx.emit_state_at_last = true;
+
+  const int num_shards = std::max(1, config.num_shards);
+  ShardRouter router{ShardPlan(num_shards)};
+  const ShardedTables tables =
+      router.PartitionTables(nodes, edges);
+
+  std::vector<std::vector<mr::KeyValue>> shard_records(num_shards);
+  std::vector<mr::JobStats> shard_stats(num_shards);
+
+  // Map phase: local per shard; the home filter drops the duplicate stubs
+  // of edges mapped on both endpoint shards.
+  AGL_RETURN_IF_ERROR(ParallelOverShards(num_shards, [&](int s) {
+    AGL_ASSIGN_OR_RETURN(
+        shard_records[s],
+        mr::RunMapPhase(config.job,
+                        BuildMapInput(tables.nodes[s], tables.edges[s]),
+                        [] { return std::make_unique<FlatMapper>(); },
+                        &shard_stats[s]));
+    router.FilterToShard(s, &shard_records[s]);
+    return agl::Status::OK();
+  }));
+
+  for (int round = 0; round <= config.hops; ++round) {
+    ctx.round = round;
+    const RoundContext round_ctx = ctx;
+    AGL_RETURN_IF_ERROR(ParallelOverShards(num_shards, [&](int s) {
+      // Every record of a key sits on its home shard here, so the hub
+      // counts (and the suffix-shard sampling) match the single-shard run.
+      AGL_ASSIGN_OR_RETURN(
+          shard_records[s],
+          ReindexAndSampleHubKeys(config, std::move(shard_records[s]),
+                                  round));
+      AGL_ASSIGN_OR_RETURN(
+          shard_records[s],
+          mr::RunReducePhase(config.job, std::move(shard_records[s]),
+                             [round_ctx] {
+                               return std::make_unique<FlatReducer>(round_ctx);
+                             },
+                             &shard_stats[s]));
+      return agl::Status::OK();
+    }));
+    if (round < config.hops) {
+      // Boundary exchange: neighbor states propagated along cross-shard
+      // edges move to their destination's home shard.
+      shard_records = router.Exchange(std::move(shard_records));
+    }
+  }
+
+  // Merge stage (its own fault-tolerant job per shard): set-union the
+  // states per node, then Store. See MergeReducer for why this stays a
+  // separate stage even though exact routing leaves one state per node.
+  AGL_RETURN_IF_ERROR(ParallelOverShards(num_shards, [&](int s) {
+    AGL_ASSIGN_OR_RETURN(
+        shard_records[s],
+        MergeShardStates(config, ctx.node_feature_dim, ctx.edge_feature_dim,
+                         std::move(shard_records[s]), &shard_stats[s]));
+    return agl::Status::OK();
+  }));
+
+  std::vector<mr::KeyValue> records;
+  std::size_t total = 0;
+  for (const auto& recs : shard_records) total += recs.size();
+  records.reserve(total);
+  for (auto& recs : shard_records) {
+    for (mr::KeyValue& kv : recs) records.push_back(std::move(kv));
+  }
+  if (stats != nullptr) {
+    for (const mr::JobStats& js : shard_stats) stats->job_stats.Accumulate(js);
+    stats->elapsed_seconds = watch.Seconds();
+  }
+  return records;
+}
+
+agl::Result<std::vector<mr::KeyValue>> RunPipeline(
+    const GraphFlatConfig& config, const std::vector<NodeRecord>& nodes,
+    const std::vector<EdgeRecord>& edges, GraphFlatStats* stats) {
+  if (config.num_shards > 1) {
+    return RunShardedPipeline(config, nodes, edges, stats);
+  }
+  Stopwatch watch;
+  if (nodes.empty()) {
+    return agl::Status::InvalidArgument("GraphFlat: empty node table");
+  }
+  RoundContext ctx = MakeContext(config, nodes, edges);
 
   mr::JobStats job_stats;
   AGL_ASSIGN_OR_RETURN(
       std::vector<mr::KeyValue> records,
-      mr::RunMapPhase(config.job, input,
+      mr::RunMapPhase(config.job, BuildMapInput(nodes, edges),
                       [] { return std::make_unique<FlatMapper>(); },
                       &job_stats));
 
@@ -375,6 +528,19 @@ agl::Result<std::vector<mr::KeyValue>> RunPipeline(
 }
 
 }  // namespace
+
+agl::Result<std::vector<mr::KeyValue>> MergeShardStates(
+    const GraphFlatConfig& config, int64_t node_feature_dim,
+    int64_t edge_feature_dim, std::vector<mr::KeyValue> records,
+    mr::JobStats* stats) {
+  RoundContext ctx;
+  ctx.targets = config.targets;
+  ctx.node_feature_dim = node_feature_dim;
+  ctx.edge_feature_dim = edge_feature_dim;
+  return mr::RunReducePhase(
+      config.job, std::move(records),
+      [ctx] { return std::make_unique<MergeReducer>(ctx); }, stats);
+}
 
 agl::Result<std::vector<subgraph::GraphFeature>> RunGraphFlatInMemory(
     const GraphFlatConfig& config, const std::vector<NodeRecord>& nodes,
@@ -430,8 +596,28 @@ agl::Result<GraphFlatStats> RunGraphFlat(const GraphFlatConfig& config,
     stats.max_nodes = std::max(stats.max_nodes, gf.num_nodes());
     payloads.push_back(std::move(bytes));
   }
-  AGL_RETURN_IF_ERROR(
-      dfs->WriteDataset(dataset, payloads, config.output_parts));
+  if (config.num_shards > 1) {
+    // Each shard stores its own slice (id-sorted within the shard), then
+    // the part files of every shard are unified under the one logical
+    // dataset with stable part numbering: shard s's local part j becomes
+    // global part s * output_parts + j.
+    ShardPlan plan(config.num_shards);
+    std::vector<std::vector<std::string>> by_shard(plan.num_shards());
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      by_shard[plan.HomeShardOf(finals[i].first)].push_back(
+          std::move(payloads[i]));
+    }
+    std::vector<std::string> staging;
+    for (int s = 0; s < plan.num_shards(); ++s) {
+      staging.push_back(mr::ShardDatasetName(dataset, s));
+      AGL_RETURN_IF_ERROR(
+          dfs->WriteDataset(staging.back(), by_shard[s], config.output_parts));
+    }
+    AGL_RETURN_IF_ERROR(dfs->UnifyDatasets(dataset, staging));
+  } else {
+    AGL_RETURN_IF_ERROR(
+        dfs->WriteDataset(dataset, payloads, config.output_parts));
+  }
   return stats;
 }
 

@@ -20,6 +20,11 @@
 // key exceeds `hub_threshold` are re-indexed with random suffixes, partially
 // sampled+merged per suffix shard (sound because state merge is a set
 // union), and inverted back to the original key.
+//
+// Sharding (`num_shards` > 1): the tables are hash-partitioned across S
+// logical shards, one job runs per shard with boundary states exchanged
+// between rounds, and a merge stage set-unions per-node states before
+// Store. Output is byte-identical for every shard count; see shard.h.
 
 #pragma once
 
@@ -50,8 +55,15 @@ struct GraphFlatConfig {
   /// Which nodes receive a GraphFeature.
   enum class Targets { kLabeledNodes, kAllNodes };
   Targets targets = Targets::kLabeledNodes;
-  /// Part files written to the DFS dataset.
+  /// Part files written to the DFS dataset (per shard when sharded).
   int output_parts = 4;
+  /// Logical MapReduce shards. The tables are hash-partitioned (nodes to
+  /// their home shard, edges to both endpoint shards so the round-0 join
+  /// stays local), one GraphFlat job runs per shard with boundary states
+  /// exchanged between rounds, and a merge stage set-unions the states of
+  /// nodes touched by multiple shards before the Storing step. Output is
+  /// invariant to this value; see src/flat/shard.h.
+  int num_shards = 1;
   mr::JobConfig job;
 };
 
@@ -85,5 +97,15 @@ agl::Result<std::vector<subgraph::GraphFeature>> RunGraphFlatInMemory(
 agl::Result<std::vector<mr::KeyValue>> ReindexAndSampleHubKeys(
     const GraphFlatConfig& config, std::vector<mr::KeyValue> records,
     int round);
+
+/// Exposed for tests: the shard-merge stage over one shard's last-round
+/// state records ('S'-tagged SubgraphState bytes keyed by node id). States
+/// sharing a key are set-unioned — the reconcile-before-Store contract
+/// that looser routing (e.g. at-least-once delivery) relies on — and the
+/// Storing step emits the 'F'-tagged GraphFeature records for targets.
+agl::Result<std::vector<mr::KeyValue>> MergeShardStates(
+    const GraphFlatConfig& config, int64_t node_feature_dim,
+    int64_t edge_feature_dim, std::vector<mr::KeyValue> records,
+    mr::JobStats* stats = nullptr);
 
 }  // namespace agl::flat

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "flat/shard.h"
 #include "infer/segmentation.h"
 #include "io/codec.h"
 #include "tensor/sparse.h"
@@ -304,33 +305,55 @@ agl::Result<InferResult> RunGraphInfer(
   ctx.embedding_evals = &embedding_evals;
 
   InferResult result;
-  mr::JobStats job_stats;
+  // Sharded execution mirrors GraphFlat: records live on their key's home
+  // shard, one reduce job runs per shard per round, and propagated
+  // neighbor embeddings are exchanged across the partition between rounds.
+  // num_shards == 1 degenerates to the single global job.
+  const int num_shards = std::max(1, config.num_shards);
+  flat::ShardRouter router{flat::ShardPlan(num_shards)};
+  std::vector<std::vector<mr::KeyValue>> seeded;
+  seeded.push_back(std::move(records));
+  std::vector<std::vector<mr::KeyValue>> shard_records =
+      router.Exchange(std::move(seeded));
+  std::vector<mr::JobStats> shard_stats(num_shards);
   for (int round = 0; round <= config.model.num_layers + 1; ++round) {
     Stopwatch round_watch;
     ctx.round = round;
-    RoundContext round_ctx = ctx;
-    for (const mr::KeyValue& kv : records) {
-      live_bytes += static_cast<int64_t>(kv.key.size() + kv.value.size());
+    const RoundContext round_ctx = ctx;
+    for (const auto& recs : shard_records) {
+      for (const mr::KeyValue& kv : recs) {
+        live_bytes += static_cast<int64_t>(kv.key.size() + kv.value.size());
+      }
     }
-    AGL_ASSIGN_OR_RETURN(
-        records,
-        mr::RunReducePhase(config.job, std::move(records),
-                           [round_ctx] {
-                             return std::make_unique<InferReducer>(round_ctx);
-                           },
-                           &job_stats));
+    AGL_RETURN_IF_ERROR(flat::ParallelOverShards(num_shards, [&](int s) {
+      AGL_ASSIGN_OR_RETURN(
+          shard_records[s],
+          mr::RunReducePhase(config.job, std::move(shard_records[s]),
+                             [round_ctx] {
+                               return std::make_unique<InferReducer>(round_ctx);
+                             },
+                             &shard_stats[s]));
+      return agl::Status::OK();
+    }));
+    // Cross-key (neighbor) records exist only while rounds still
+    // propagate; afterwards everything is self-keyed and already home.
+    if (round < config.model.num_layers) {
+      shard_records = router.Exchange(std::move(shard_records));
+    }
     result.costs.memory_gb_minutes +=
         static_cast<double>(live_bytes) / (1024.0 * 1024.0 * 1024.0) *
         (round_watch.Seconds() / 60.0);
     live_bytes = 0;
   }
 
-  for (const mr::KeyValue& kv : records) {
-    if (kv.value.empty() || kv.value[0] != kTagScore) continue;
-    NodeId id;
-    std::vector<float> scores;
-    AGL_RETURN_IF_ERROR(DecodeEmbedding(kv.value.substr(1), &id, &scores));
-    result.scores.emplace_back(id, std::move(scores));
+  for (const auto& recs : shard_records) {
+    for (const mr::KeyValue& kv : recs) {
+      if (kv.value.empty() || kv.value[0] != kTagScore) continue;
+      NodeId id;
+      std::vector<float> scores;
+      AGL_RETURN_IF_ERROR(DecodeEmbedding(kv.value.substr(1), &id, &scores));
+      result.scores.emplace_back(id, std::move(scores));
+    }
   }
   std::sort(result.scores.begin(), result.scores.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });

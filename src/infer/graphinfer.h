@@ -26,6 +26,12 @@ namespace agl::infer {
 struct InferConfig {
   gnn::ModelConfig model;
   mr::JobConfig job;
+  /// Logical MapReduce shards, mirroring GraphFlat's sharding: records are
+  /// hash-partitioned by node key, one job runs per shard per round, and
+  /// boundary embeddings are exchanged between rounds. Scores are invariant
+  /// to this value (bit-exact: the engine's canonical value ordering fixes
+  /// the float accumulation order).
+  int num_shards = 1;
   /// When non-empty, inference runs only for these target nodes and the
   /// pipeline is pruned to their K-hop in-neighborhoods (§3.4: "the
   /// pruning strategy similar to that in GraphTrainer also works in this

@@ -96,6 +96,45 @@ agl::Status LocalDfs::DropDataset(const std::string& name) {
   return agl::Status::OK();
 }
 
+agl::Status LocalDfs::UnifyDatasets(const std::string& dest,
+                                    const std::vector<std::string>& sources) {
+  // Assemble in a scratch dataset and publish with one directory rename at
+  // the end, so `dest` is never observable half-unified: a mid-unify
+  // failure leaves the old dest (or none) plus the remaining staging
+  // sources, which family-aware readers still resolve.
+  const std::string scratch = dest + ".unify-tmp";
+  AGL_RETURN_IF_ERROR(DropDataset(scratch));
+  const std::string scratch_dir = DatasetDir(scratch);
+  std::error_code ec;
+  fs::create_directories(scratch_dir, ec);
+  if (ec) {
+    return agl::Status::IoError("cannot create dataset dir: " + ec.message());
+  }
+  int part = 0;
+  for (const std::string& source : sources) {
+    AGL_ASSIGN_OR_RETURN(std::vector<std::string> parts, ListParts(source));
+    for (const std::string& src_path : parts) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "/part-%05d", part++);
+      fs::rename(src_path, scratch_dir + buf, ec);
+      if (ec) {
+        return agl::Status::IoError("cannot move part " + src_path + ": " +
+                                    ec.message());
+      }
+    }
+  }
+  AGL_RETURN_IF_ERROR(DropDataset(dest));
+  fs::rename(scratch_dir, DatasetDir(dest), ec);
+  if (ec) {
+    return agl::Status::IoError("cannot publish dataset " + dest + ": " +
+                                ec.message());
+  }
+  for (const std::string& source : sources) {
+    AGL_RETURN_IF_ERROR(DropDataset(source));
+  }
+  return agl::Status::OK();
+}
+
 agl::Result<uint64_t> LocalDfs::DatasetBytes(const std::string& name) const {
   AGL_ASSIGN_OR_RETURN(std::vector<std::string> parts, ListParts(name));
   uint64_t total = 0;
@@ -104,6 +143,12 @@ agl::Result<uint64_t> LocalDfs::DatasetBytes(const std::string& name) const {
     total += fs::file_size(p, ec);
   }
   return total;
+}
+
+std::string ShardDatasetName(const std::string& base, int shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ".shard-%02d", shard);
+  return base + buf;
 }
 
 }  // namespace agl::mr

@@ -38,6 +38,15 @@ class LocalDfs {
   /// Removes a dataset and its part files.
   agl::Status DropDataset(const std::string& name);
 
+  /// Unifies the part files of `sources` (in order) under a single dataset
+  /// `dest` with stable part numbering: source i's parts keep their relative
+  /// order and are renamed part-<offset+j> where offset counts all parts of
+  /// earlier sources. The sources are consumed (their directories removed);
+  /// an existing `dest` is replaced. Sharded GraphFlat uses this to merge
+  /// per-shard outputs into one logical dataset.
+  agl::Status UnifyDatasets(const std::string& dest,
+                            const std::vector<std::string>& sources);
+
   /// Total bytes across the dataset's part files.
   agl::Result<uint64_t> DatasetBytes(const std::string& name) const;
 
@@ -50,5 +59,11 @@ class LocalDfs {
 
   std::string root_;
 };
+
+/// Canonical name of shard `shard`'s slice of dataset `base`
+/// ("<base>.shard-NN"): the staging layout sharded writers produce before
+/// UnifyDatasets, and the family readers fall back to when the merge has
+/// not run.
+std::string ShardDatasetName(const std::string& base, int shard);
 
 }  // namespace agl::mr

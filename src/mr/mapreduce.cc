@@ -11,16 +11,6 @@
 namespace agl::mr {
 namespace {
 
-uint64_t HashKey(const std::string& key) {
-  // FNV-1a.
-  uint64_t h = 1469598103934665603ULL;
-  for (char c : key) {
-    h ^= static_cast<uint8_t>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
 /// Runs `task(attempt)` with retry and deterministic fault injection.
 /// `task_uid` decorrelates the injection stream across tasks and rounds.
 agl::Status RunWithRetry(const JobConfig& config, uint64_t task_uid,
@@ -113,7 +103,7 @@ agl::Result<std::vector<KeyValue>> RunReducePhase(
   // Shuffle: hash-partition records by key.
   std::vector<std::vector<KeyValue>> partitions(num_parts);
   for (KeyValue& kv : input) {
-    partitions[HashKey(kv.key) % num_parts].push_back(std::move(kv));
+    partitions[Fnv1aHash(kv.key) % num_parts].push_back(std::move(kv));
   }
   const int64_t shuffled = static_cast<int64_t>(input.size());
   input.clear();
@@ -134,13 +124,18 @@ agl::Result<std::vector<KeyValue>> RunReducePhase(
     futs.push_back(pool.Submit([&, t] {
       task_status[t] = RunWithRetry(
           config, 100000 + static_cast<uint64_t>(t), &failed_attempts, [&]() {
-            // Group by key: sort the partition (stable for deterministic
-            // value order), then walk runs of equal keys.
+            // Group by key and sort each group's values byte-wise. The
+            // canonical (key, value) order makes every reduce call see the
+            // same value sequence for a given input multiset, no matter how
+            // the records were partitioned upstream — the invariant the
+            // sharded GraphFlat pipeline relies on for shard-count-
+            // invariant output.
             std::vector<KeyValue> part = partitions[t];  // copy per attempt
-            std::stable_sort(part.begin(), part.end(),
-                             [](const KeyValue& a, const KeyValue& b) {
-                               return a.key < b.key;
-                             });
+            std::sort(part.begin(), part.end(),
+                      [](const KeyValue& a, const KeyValue& b) {
+                        return a.key != b.key ? a.key < b.key
+                                              : a.value < b.value;
+                      });
             auto r = reducer();
             Emitter emitter;
             std::size_t i = 0;

@@ -108,6 +108,12 @@ agl::Result<std::vector<KeyValue>> RunMapPhase(const JobConfig& config,
 
 /// Shuffles by key and runs the reduce phase. This is the unit GraphFlat
 /// and GraphInfer iterate K times.
+///
+/// Determinism guarantee: values are delivered to each Reduce call in
+/// canonical byte order, so the phase's output depends only on the input
+/// *multiset* — not on input record order, `num_reduce_tasks`, or how the
+/// records were partitioned across upstream jobs (the property the sharded
+/// GraphFlat pipeline builds on).
 agl::Result<std::vector<KeyValue>> RunReducePhase(
     const JobConfig& config, std::vector<KeyValue> input,
     const ReducerFactory& reducer, JobStats* stats = nullptr);

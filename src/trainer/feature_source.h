@@ -21,7 +21,10 @@ namespace agl::trainer {
 /// A handle on one GraphFeature dataset.
 class DfsFeatureSource {
  public:
-  /// Binds to `dataset` inside `dfs`; fails if the dataset is missing.
+  /// Binds to `dataset` inside `dfs`. A dataset produced by a sharded
+  /// GraphFlat reads transparently: the merged dataset when it exists,
+  /// otherwise the unmerged "<dataset>.shard-NN" family as one logical
+  /// dataset. Fails if neither is present.
   static agl::Result<DfsFeatureSource> Open(const mr::LocalDfs& dfs,
                                             const std::string& dataset);
 

@@ -105,6 +105,31 @@ TEST_F(FeatureSourceTest, MissingDatasetIsNotFound) {
             StatusCode::kNotFound);
 }
 
+TEST_F(FeatureSourceTest, ReadsUnmergedShardFamilyTransparently) {
+  // An unmerged "<dataset>.shard-NN" family (sharded GraphFlat staging
+  // layout) reads as one logical dataset with all parts bound in shard
+  // order.
+  auto records = dfs_->ReadDataset("features");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 10u);
+  std::vector<std::string> a(records->begin(), records->begin() + 6);
+  std::vector<std::string> b(records->begin() + 6, records->end());
+  ASSERT_TRUE(
+      dfs_->WriteDataset(mr::ShardDatasetName("fam", 0), a, 2).ok());
+  ASSERT_TRUE(
+      dfs_->WriteDataset(mr::ShardDatasetName("fam", 1), b, 2).ok());
+
+  auto src = DfsFeatureSource::Open(*dfs_, "fam");
+  ASSERT_TRUE(src.ok());
+  EXPECT_EQ(src->num_parts(), 4);
+  auto all = src->ReadAll();
+  ASSERT_TRUE(all.ok());
+  std::multiset<uint64_t> ids;
+  for (const auto& gf : *all) ids.insert(gf.target_id);
+  EXPECT_EQ(ids.size(), 10u);
+  EXPECT_EQ(std::set<uint64_t>(ids.begin(), ids.end()).size(), 10u);
+}
+
 TEST_F(FeatureSourceTest, CorruptPartSurfacesAsError) {
   auto parts = dfs_->ListParts("features");
   ASSERT_TRUE(parts.ok());

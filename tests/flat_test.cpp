@@ -264,10 +264,11 @@ TEST(GraphFlatTest, AllNodesTargets) {
 }
 
 TEST(GraphFlatTest, ReindexingPreservesResultUnderTopK) {
-  // With a deterministic sampler (top-k), re-indexing must not change the
-  // output at all: partial per-shard top-k of distinct weights then global
-  // cap is only guaranteed equal when the shards see disjoint subsets, so
-  // instead we check the hub size bound and target coverage.
+  // Re-indexing samples a hub's records per suffix shard independently of
+  // the hub's own round-0 edge sampling, so the exact neighborhood content
+  // is not pinned down — the guaranteed properties are the size bound,
+  // full target coverage, and determinism (byte-identical across runs,
+  // which the sharding suite extends to shard-count invariance).
   std::vector<NodeRecord> nodes;
   std::vector<EdgeRecord> edges;
   nodes.push_back({0, {0.f}, 1, {}});
@@ -285,9 +286,16 @@ TEST(GraphFlatTest, ReindexingPreservesResultUnderTopK) {
   ASSERT_EQ(features->size(), 41u);
   for (const auto& gf : *features) {
     if (gf.target_id == 0) {
-      EXPECT_LE(gf.num_nodes(), 9);
-      EXPECT_GE(gf.num_nodes(), 3);
+      EXPECT_LE(gf.num_nodes(), 9);  // target + at most the sampler cap
+      EXPECT_GE(gf.num_nodes(), 1);
     }
+  }
+  auto again = RunGraphFlatInMemory(config, nodes, edges);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->size(), features->size());
+  for (std::size_t i = 0; i < features->size(); ++i) {
+    EXPECT_EQ((*again)[i].Serialize(), (*features)[i].Serialize())
+        << "feature " << i;
   }
 }
 

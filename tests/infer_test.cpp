@@ -111,6 +111,38 @@ INSTANTIATE_TEST_SUITE_P(
                                          gnn::ModelType::kGat),
                        ::testing::Values(1, 2)));
 
+TEST(GraphInferTest, ShardedInferenceIsBitExact) {
+  // num_shards partitions the rounds the same way sharded GraphFlat does;
+  // with the engine's canonical value ordering the float accumulation
+  // order is fixed, so scores must be bit-exact across shard counts.
+  data::Dataset ds = SmallUug(70);
+  gnn::ModelConfig mconfig =
+      SmallModel(gnn::ModelType::kGcn, 2, ds.feature_dim);
+  gnn::GnnModel model(mconfig);
+  const auto state = model.StateDict();
+
+  InferConfig iconfig;
+  iconfig.model = mconfig;
+  iconfig.job.num_reduce_tasks = 5;
+  auto single = RunGraphInfer(iconfig, state, ds.nodes, ds.edges);
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+
+  for (int num_shards : {2, 4, 7}) {
+    iconfig.num_shards = num_shards;
+    auto sharded = RunGraphInfer(iconfig, state, ds.nodes, ds.edges);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    ASSERT_EQ(sharded->scores.size(), single->scores.size());
+    for (std::size_t i = 0; i < sharded->scores.size(); ++i) {
+      EXPECT_EQ(sharded->scores[i].first, single->scores[i].first);
+      EXPECT_EQ(sharded->scores[i].second, single->scores[i].second)
+          << "node " << single->scores[i].first << " with " << num_shards
+          << " shards";
+    }
+    EXPECT_EQ(sharded->costs.embedding_evaluations,
+              single->costs.embedding_evaluations);
+  }
+}
+
 TEST(OriginalInferenceTest, AgreesWithGraphInferOnPredictions) {
   data::Dataset ds = SmallUug(60);
   gnn::ModelConfig mconfig =

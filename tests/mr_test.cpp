@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <map>
 
 #include "mr/local_dfs.h"
 #include "mr/mapreduce.h"
@@ -149,6 +151,46 @@ TEST(MapReduceTest, ReducerSeesAllValuesForKey) {
   auto m = ToMap(*result);
   EXPECT_EQ(m["a"], "1,2,3,");
   EXPECT_EQ(m["b"], "2,");
+}
+
+TEST(MapReduceTest, ReduceValuesArriveInCanonicalOrder) {
+  // The engine guarantees byte-sorted value delivery, so an order-sensitive
+  // reducer produces output that depends only on the input multiset — not
+  // on input record order or how records were partitioned upstream. The
+  // sharded GraphFlat pipeline's byte-identity rests on this.
+  class JoinInOrderReducer : public Reducer {
+   public:
+    agl::Status Reduce(const std::string& key,
+                       const std::vector<std::string>& values,
+                       Emitter* out) override {
+      std::string joined;
+      for (const auto& v : values) joined += v + ",";  // arrival order
+      out->Emit(key, joined);
+      return agl::Status::OK();
+    }
+  };
+  std::vector<KeyValue> input = {{"a", "3"}, {"b", "9"}, {"a", "1"},
+                                 {"a", "2"}, {"b", "4"}, {"a", "1"}};
+  std::map<std::string, std::string> reference;
+  for (int tasks : {1, 2, 5}) {
+    for (int rotate : {0, 3}) {
+      std::vector<KeyValue> perm = input;
+      std::rotate(perm.begin(), perm.begin() + rotate, perm.end());
+      JobConfig config;
+      config.num_reduce_tasks = tasks;
+      auto result = RunReducePhase(
+          config, perm, [] { return std::make_unique<JoinInOrderReducer>(); });
+      ASSERT_TRUE(result.ok());
+      auto m = ToMap(*result);
+      EXPECT_EQ(m["a"], "1,1,2,3,");
+      EXPECT_EQ(m["b"], "4,9,");
+      if (reference.empty()) {
+        reference = m;
+      } else {
+        EXPECT_EQ(m, reference) << tasks << " tasks, rotate " << rotate;
+      }
+    }
+  }
 }
 
 TEST(MapReduceTest, StatsTrackCounts) {

@@ -1,0 +1,84 @@
+#include "testing/graph_gen.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace agl::testing {
+
+using flat::EdgeRecord;
+using flat::NodeId;
+using flat::NodeRecord;
+
+GeneratedGraph MakeGraph(const GraphGenOptions& options) {
+  Rng rng(options.seed);
+  const int64_t n = std::max<int64_t>(1, options.num_nodes);
+  GeneratedGraph out;
+  out.nodes.reserve(n);
+
+  for (int64_t i = 0; i < n; ++i) {
+    NodeRecord node;
+    node.id = static_cast<NodeId>(i);
+    node.features.reserve(options.node_feature_dim);
+    for (int64_t f = 0; f < options.node_feature_dim; ++f) {
+      node.features.push_back(static_cast<float>(rng.Normal()));
+    }
+    node.label = rng.Bernoulli(options.unlabeled_fraction)
+                     ? -1
+                     : rng.UniformInt(0, options.num_classes - 1);
+    out.nodes.push_back(std::move(node));
+  }
+
+  auto make_edge = [&](NodeId src, NodeId dst) {
+    EdgeRecord e;
+    e.src = src;
+    e.dst = dst;
+    e.weight = static_cast<float>(rng.Uniform(0.1, 1.0));
+    e.features.reserve(options.edge_feature_dim);
+    for (int64_t f = 0; f < options.edge_feature_dim; ++f) {
+      e.features.push_back(static_cast<float>(rng.Normal()));
+    }
+    out.edges.push_back(std::move(e));
+  };
+
+  std::set<std::pair<NodeId, NodeId>> seen;
+  if (options.topology == GraphGenOptions::Topology::kPowerLaw) {
+    // Preferential attachment: node i wires `attach_edges` directed edges
+    // toward earlier nodes drawn proportionally to (degree + 1), so early
+    // nodes become hubs.
+    std::vector<double> degree(n, 0.0);
+    for (int64_t i = 1; i < n; ++i) {
+      const int64_t m = std::min<int64_t>(options.attach_edges, i);
+      for (int64_t a = 0; a < m; ++a) {
+        std::vector<double> weights(i);
+        for (int64_t j = 0; j < i; ++j) weights[j] = degree[j] + 1.0;
+        const auto j = static_cast<int64_t>(rng.Discrete(weights));
+        if (!seen.insert({static_cast<NodeId>(i), static_cast<NodeId>(j)})
+                 .second) {
+          continue;
+        }
+        make_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+        degree[i] += 1.0;
+        degree[j] += 1.0;
+      }
+    }
+  } else {
+    for (int64_t src = 0; src < n; ++src) {
+      for (int64_t dst = 0; dst < n; ++dst) {
+        if (src == dst) continue;
+        if (rng.Bernoulli(options.edge_prob)) {
+          make_edge(static_cast<NodeId>(src), static_cast<NodeId>(dst));
+        }
+      }
+    }
+  }
+
+  std::vector<int64_t> in_degree(n, 0);
+  for (const EdgeRecord& e : out.edges) in_degree[e.dst]++;
+  for (int64_t d : in_degree) out.max_in_degree = std::max(out.max_in_degree, d);
+  return out;
+}
+
+}  // namespace agl::testing

@@ -1,0 +1,52 @@
+// Deterministic random-graph generator for the test suites.
+//
+// Two topologies cover the regimes the pipeline must be exercised in:
+// power-law graphs (preferential attachment — produces the hubs that
+// trigger GraphFlat's re-indexing) and Erdős–Rényi G(n, p) (homogeneous
+// degrees). Every node carries features and a label (a configurable
+// fraction unlabeled), and edges carry weights plus optional edge
+// features, so the generated tables drive every GraphFlat code path.
+// Identical options (including seed) always produce the identical graph.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flat/tables.h"
+
+namespace agl::testing {
+
+struct GraphGenOptions {
+  enum class Topology {
+    kPowerLaw,    // preferential attachment; hubs emerge
+    kErdosRenyi,  // independent edge coin-flips
+  };
+  Topology topology = Topology::kPowerLaw;
+  int64_t num_nodes = 60;
+  /// Power-law: directed edges attached from each new node to existing
+  /// nodes drawn by degree.
+  int64_t attach_edges = 3;
+  /// Erdős–Rényi: probability of each directed edge (self-loops excluded).
+  double edge_prob = 0.05;
+  int64_t node_feature_dim = 4;
+  /// 0 omits edge features entirely (exercises the no-edge-feature path).
+  int64_t edge_feature_dim = 0;
+  int64_t num_classes = 3;
+  /// Fraction of nodes left unlabeled (label = -1).
+  double unlabeled_fraction = 0.25;
+  uint64_t seed = 1;
+};
+
+struct GeneratedGraph {
+  std::vector<flat::NodeRecord> nodes;
+  std::vector<flat::EdgeRecord> edges;
+  /// Largest in-degree — handy for picking hub thresholds that do / don't
+  /// trigger re-indexing.
+  int64_t max_in_degree = 0;
+};
+
+/// Generates a graph per `options`; deterministic in all fields.
+GeneratedGraph MakeGraph(const GraphGenOptions& options);
+
+}  // namespace agl::testing
