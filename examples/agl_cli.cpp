@@ -10,6 +10,7 @@
 // command at a time, as in production.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <unordered_set>
 
@@ -93,10 +94,11 @@ int RunGraphFlatCmd(const std::vector<std::string>& args) {
 
 int RunTrainCmd(const std::vector<std::string>& args) {
   std::string model_name = "gcn", input, output, task = "single",
-              val_input;
+              val_input, sync = "async";
   int64_t layers = 2, hidden = 16, classes = 2, workers = 2, epochs = 10,
-          batch = 32, heads = 1;
+          batch = 32, heads = 1, staleness = 1, prefetch = 2;
   double lr = 0.01, dropout = 0.0;
+  bool stream = false, no_pipeline = false;
   FlagParser parser;
   parser.AddString("m", &model_name, "model (gcn|graphsage|gat)")
       .AddString("i", &input, "training features <dfs-root>:<dataset>")
@@ -109,6 +111,14 @@ int RunTrainCmd(const std::vector<std::string>& args) {
       .AddInt("workers", &workers, "trainer workers")
       .AddInt("epochs", &epochs, "training epochs")
       .AddInt("batch", &batch, "batch size")
+      .AddString("sync", &sync, "consistency (async|bsp|ssp)")
+      .AddInt("staleness", &staleness,
+              "SSP clock slack in batches (-1 = unbounded, 0 = BSP-exact)")
+      .AddInt("prefetch", &prefetch, "pipeline reader queue depth")
+      .AddBool("stream", &stream,
+               "stream features off the DFS (O(prefetch x batch) memory)")
+      .AddBool("no-pipeline", &no_pipeline,
+               "run the stages inline (disables the training pipeline)")
       .AddDouble("lr", &lr, "Adam learning rate")
       .AddDouble("dropout", &dropout, "dropout probability")
       .AddString("o", &output, "model output <dfs-root>:<dataset>");
@@ -123,10 +133,39 @@ int RunTrainCmd(const std::vector<std::string>& args) {
   if (!in_loc.ok()) return Fail(in_loc.status());
   auto dfs = mr::LocalDfs::Open(in_loc->root);
   if (!dfs.ok()) return Fail(dfs.status());
-  auto features = LoadGraphFeatures(*dfs, in_loc->dataset);
-  if (!features.ok()) return Fail(features.status());
-  if (features->empty()) {
-    return Fail(agl::Status::InvalidArgument("no training features"));
+
+  // Streaming keeps memory bounded: only the first feature is read up
+  // front (the input width is needed to shape the model).
+  std::vector<subgraph::GraphFeature> features;
+  std::unique_ptr<trainer::DfsFeatureSource> source;
+  int64_t in_dim = 0;
+  if (stream) {
+    auto src = trainer::DfsFeatureSource::Open(*dfs, in_loc->dataset);
+    if (!src.ok()) return Fail(src.status());
+    source = std::make_unique<trainer::DfsFeatureSource>(std::move(*src));
+    // Probe part files until the first record (leading parts may be
+    // empty); read errors surface as themselves, not as "empty dataset".
+    for (int64_t part = 0; part < source->num_parts() && !in_dim; ++part) {
+      agl::Status probe = source->ScanPart(
+          part, [&in_dim](subgraph::GraphFeature gf) {
+            in_dim = gf.node_features.cols();
+            return agl::Status::Aborted("first record read");
+          });
+      if (!probe.ok() && probe.code() != agl::StatusCode::kAborted) {
+        return Fail(probe);
+      }
+    }
+    if (!in_dim) {
+      return Fail(agl::Status::InvalidArgument("no training features"));
+    }
+  } else {
+    auto loaded = LoadGraphFeatures(*dfs, in_loc->dataset);
+    if (!loaded.ok()) return Fail(loaded.status());
+    features = std::move(loaded).value();
+    if (features.empty()) {
+      return Fail(agl::Status::InvalidArgument("no training features"));
+    }
+    in_dim = features[0].node_features.cols();
   }
 
   std::vector<subgraph::GraphFeature> val;
@@ -145,7 +184,7 @@ int RunTrainCmd(const std::vector<std::string>& args) {
   if (!type.ok()) return Fail(type.status());
   config.model.type = *type;
   config.model.num_layers = static_cast<int>(layers);
-  config.model.in_dim = (*features)[0].node_features.cols();
+  config.model.in_dim = in_dim;
   config.model.hidden_dim = hidden;
   config.model.out_dim = classes;
   config.model.gat_heads = static_cast<int>(heads);
@@ -153,12 +192,31 @@ int RunTrainCmd(const std::vector<std::string>& args) {
   config.task = task == "multi"  ? trainer::TaskKind::kMultiLabel
                 : task == "auc" ? trainer::TaskKind::kBinaryAuc
                                 : trainer::TaskKind::kSingleLabel;
+  if (sync == "async") {
+    config.sync_mode = trainer::SyncMode::kAsync;
+  } else if (sync == "bsp") {
+    config.sync_mode = trainer::SyncMode::kBsp;
+  } else if (sync == "ssp") {
+    config.sync_mode = trainer::SyncMode::kSsp;
+  } else {
+    return Fail(agl::Status::InvalidArgument(
+        "unknown --sync '" + sync + "' (async|bsp|ssp)"));
+  }
+  config.staleness_bound =
+      staleness < 0 ? ps::kUnboundedStaleness : staleness;
+  config.prefetch_batches = static_cast<int>(prefetch);
+  config.use_pipeline = !no_pipeline;
   config.num_workers = static_cast<int>(workers);
   config.epochs = static_cast<int>(epochs);
   config.batch_size = static_cast<int>(batch);
   config.adam.lr = static_cast<float>(lr);
   config.verbose = true;
-  auto report = GraphTrainer(config, *features, val);
+  // The probe already opened the source; reuse it instead of letting the
+  // facade list the dataset a second time.
+  auto report = stream
+                    ? trainer::GraphTrainer(config).TrainStreaming(*source,
+                                                                   val)
+                    : GraphTrainer(config, features, val);
   if (!report.ok()) return Fail(report.status());
 
   auto out_loc = ParseDfsLocation(output);

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over BENCH_*.json files.
+
+Compares freshly recorded benchmark results against the committed
+baselines in bench-results/ and fails (exit 1) when a benchmark's median
+slowdown exceeds the threshold (default: >25%).
+
+Metric extraction per BENCH_<name>.json, most-specific first:
+  1. google-benchmark table rows in "output"
+       BM_Foo/1    12345 ns    12340 ns    56  -> entry per BM_ name
+  2. stable "RESULT <entry> <seconds>" lines emitted by our hand-rolled
+     drivers (e.g. bench_trainer_ssp)
+  3. fallback: the whole-run "wall_seconds" as a single entry (only when
+     it is at least --min-seconds; shorter runs are pure noise)
+
+Per benchmark the gate compares entries present in both files and takes
+the MEDIAN ratio fresh/baseline, so a single noisy entry cannot fail the
+build. Benchmarks matching an --allow pattern (fnmatch, also matchable
+against individual entry names) only warn. Labeled result files
+(BENCH_<name>_<label>.json, e.g. the *_scalar-baseline snapshots) are
+historical pins, not baselines, and are skipped.
+
+To refresh a baseline intentionally (after an accepted perf change):
+    OUT_DIR=bench-results scripts/run_benchmarks.sh bench_<name>
+and commit the updated JSON alongside the change that explains it.
+
+Usage:
+    scripts/check_bench_regression.py --fresh bench-fresh \
+        [--baseline bench-results] [--threshold 1.25] [--allow PATTERN]...
+"""
+
+import argparse
+import fnmatch
+import json
+import pathlib
+import re
+import statistics
+import sys
+
+# Benchmarks whose headline number measures machine parallelism or is
+# otherwise dominated by scheduler noise; they report but never fail.
+DEFAULT_ALLOWLIST = [
+    "fig8_speedup",   # measures thread-level speedup of the host
+]
+
+GBENCH_ROW = re.compile(
+    r"^(BM_\S+)\s+([0-9.]+)\s+(ns|us|ms|s)\b")
+RESULT_ROW = re.compile(r"^RESULT\s+(\S+)\s+([0-9.eE+-]+)\s*$")
+UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def extract_entries(doc, min_seconds):
+    """Returns ({entry_name: seconds}, kind)."""
+    entries = {}
+    kind = "wall"
+    for line in doc.get("output", []):
+        m = GBENCH_ROW.match(line.strip())
+        if m:
+            # Keep the first occurrence (report order: mean before
+            # median/stddev rows, which carry _mean/_median suffixes and
+            # thus distinct names anyway).
+            entries.setdefault(m.group(1),
+                              float(m.group(2)) * UNIT_SECONDS[m.group(3)])
+            kind = "gbench"
+            continue
+        m = RESULT_ROW.match(line.strip())
+        if m:
+            entries.setdefault(m.group(1), float(m.group(2)))
+            kind = "result"
+    if not entries:
+        wall = float(doc.get("wall_seconds", 0.0))
+        if wall >= min_seconds:
+            entries["wall_seconds"] = wall
+    return entries, kind
+
+
+def is_labeled(path):
+    """BENCH_<name>_<label>.json pins; their 'label' field is non-null."""
+    try:
+        return bool(load(path).get("label"))
+    except (OSError, ValueError):
+        return False
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh", required=True,
+                    help="directory with freshly recorded BENCH_*.json")
+    ap.add_argument("--baseline", default="bench-results",
+                    help="directory with committed baseline BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=1.25,
+                    help="max allowed median fresh/baseline ratio")
+    ap.add_argument("--min-seconds", type=float, default=0.05,
+                    help="ignore wall-clock-only benches shorter than this")
+    ap.add_argument("--allow", action="append", default=[],
+                    help="fnmatch pattern (bench or entry name) that only "
+                         "warns; repeatable")
+    args = ap.parse_args()
+
+    allow = DEFAULT_ALLOWLIST + args.allow
+
+    def allowed(name):
+        return any(fnmatch.fnmatch(name, pat) for pat in allow)
+
+    fresh_dir = pathlib.Path(args.fresh)
+    base_dir = pathlib.Path(args.baseline)
+    fresh_files = sorted(fresh_dir.glob("BENCH_*.json"))
+    if not fresh_files:
+        print(f"error: no BENCH_*.json under {fresh_dir}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for fresh_path in fresh_files:
+        name = fresh_path.stem.removeprefix("BENCH_")
+        fresh = load(fresh_path)
+        if fresh.get("label"):
+            print(f"-- {name}: labeled snapshot, skipped")
+            continue
+        # A crashed bench fails regardless of whether it is gated yet.
+        if fresh.get("exit_code", 0) != 0:
+            msg = f"{name}: fresh run exited {fresh['exit_code']}"
+            if allowed(name):
+                print(f"!! {msg} (allowlisted, warning only)")
+            else:
+                failures.append(msg)
+            continue
+        base_path = base_dir / fresh_path.name
+        if not base_path.exists() or is_labeled(base_path):
+            print(f"-- {name}: no committed baseline (new benchmark?) — "
+                  f"passing; commit {base_path} to start gating it")
+            continue
+        base = load(base_path)
+
+        fresh_entries, kind = extract_entries(fresh, args.min_seconds)
+        base_entries, _ = extract_entries(base, args.min_seconds)
+        shared = sorted(set(fresh_entries) & set(base_entries))
+        ratios = []
+        worst = None
+        for entry in shared:
+            if base_entries[entry] <= 0:
+                continue
+            ratio = fresh_entries[entry] / base_entries[entry]
+            if allowed(entry):
+                print(f"   {name}/{entry}: x{ratio:.3f} (allowlisted entry)")
+                continue
+            ratios.append(ratio)
+            if worst is None or ratio > worst[1]:
+                worst = (entry, ratio)
+        if not ratios:
+            print(f"-- {name}: no comparable entries, skipped")
+            continue
+        median = statistics.median(ratios)
+        verdict = "OK" if median <= args.threshold else "REGRESSION"
+        print(f"{'ok' if verdict == 'OK' else '!!'} {name} [{kind}]: "
+              f"median x{median:.3f} over {len(ratios)} entries "
+              f"(worst {worst[0]} x{worst[1]:.3f}) -> {verdict}")
+        if verdict != "OK":
+            msg = (f"{name}: median slowdown x{median:.3f} "
+                   f"> x{args.threshold:.2f}")
+            if allowed(name):
+                print(f"!! {msg} (allowlisted, warning only)")
+            else:
+                failures.append(msg)
+
+    if failures:
+        print("\nperf-regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        print("  (intentional? refresh the baseline: OUT_DIR=bench-results "
+              "scripts/run_benchmarks.sh <bench> and commit)",
+              file=sys.stderr)
+        return 1
+    print("\nperf-regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

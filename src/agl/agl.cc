@@ -31,6 +31,16 @@ agl::Result<trainer::TrainReport> GraphTrainer(
   return t.Train(train, val);
 }
 
+agl::Result<trainer::TrainReport> GraphTrainerStreaming(
+    const trainer::TrainerConfig& config, const mr::LocalDfs& dfs,
+    const std::string& dataset,
+    std::span<const subgraph::GraphFeature> val) {
+  AGL_ASSIGN_OR_RETURN(trainer::DfsFeatureSource source,
+                       trainer::DfsFeatureSource::Open(dfs, dataset));
+  trainer::GraphTrainer t(config);
+  return t.TrainStreaming(source, val);
+}
+
 agl::Result<infer::InferResult> GraphInfer(
     const infer::InferConfig& config,
     const std::map<std::string, tensor::Tensor>& trained_state,

@@ -41,6 +41,14 @@ agl::Result<trainer::TrainReport> GraphTrainer(
     std::span<const subgraph::GraphFeature> train,
     std::span<const subgraph::GraphFeature> val);
 
+/// Stage 2, streaming: trains straight off a DFS feature dataset without
+/// materializing it (each worker's pipeline reader stage deserializes its
+/// share of the part files on the fly; kAsync/kSsp only).
+agl::Result<trainer::TrainReport> GraphTrainerStreaming(
+    const trainer::TrainerConfig& config, const mr::LocalDfs& dfs,
+    const std::string& dataset,
+    std::span<const subgraph::GraphFeature> val);
+
 /// Stage 3 — GraphInfer: distributed sliced inference over the full graph.
 agl::Result<infer::InferResult> GraphInfer(
     const infer::InferConfig& config,

@@ -1,0 +1,127 @@
+// Bounded multi-producer/multi-consumer queue — the backbone of the
+// trainer's staged pipeline (reader -> compute -> push/pull, §3.3.2).
+//
+// The capacity bound is what keeps pipeline memory O(depth x batch): a
+// fast producer blocks instead of buffering an unbounded backlog. Two
+// distinct shutdown signals keep teardown deadlock-free:
+//   * Close()  — normal end-of-stream: producers are done; consumers
+//     drain the remaining items and then see end-of-queue;
+//   * Cancel() — error teardown: pending items are dropped and every
+//     blocked or future Push/Pop returns immediately, so stage threads
+//     can always be joined no matter where the failure happened.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace agl {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Creates a queue holding at most `capacity` items (minimum 1).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (dropping `value`) when
+  /// the queue was closed or cancelled.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return items_.size() < capacity_ || closed_ || cancelled_;
+    });
+    if (closed_ || cancelled_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and still open. Returns false when the
+  /// queue is cancelled, or closed and fully drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] {
+      return !items_.empty() || closed_ || cancelled_;
+    });
+    if (cancelled_ || items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  enum class TryPopResult {
+    kItem,   // *out was filled
+    kEmpty,  // nothing queued right now, but producers may still push
+    kDone,   // closed-and-drained or cancelled: nothing will ever arrive
+  };
+
+  /// Non-blocking Pop; lets a consumer distinguish "not yet" from "never"
+  /// (e.g. the trainer's compute stage peeking whether the batch it just
+  /// processed was the epoch's last).
+  TryPopResult TryPop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (cancelled_) return TryPopResult::kDone;
+    if (items_.empty()) {
+      return closed_ ? TryPopResult::kDone : TryPopResult::kEmpty;
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return TryPopResult::kItem;
+  }
+
+  /// End-of-stream: no further pushes succeed; queued items remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Error teardown: drops queued items and releases all waiters.
+  void Cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cancelled_ = true;
+      items_.clear();
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool cancelled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cancelled_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  bool cancelled_ = false;
+};
+
+}  // namespace agl

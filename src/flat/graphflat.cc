@@ -321,7 +321,8 @@ agl::Result<std::vector<mr::KeyValue>> ReindexAndSampleHubKeys(
         DeriveSeed(config.job.seed + static_cast<uint64_t>(round),
                    Fnv1aHash(kv.value)) %
         static_cast<uint64_t>(fanout);
-    kv.key += "#" + std::to_string(shard);
+    kv.key += '#';
+    kv.key += std::to_string(shard);
   }
 
   const uint64_t seed = DeriveSeed(config.job.seed, 777 + round);

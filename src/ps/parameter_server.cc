@@ -1,5 +1,7 @@
 #include "ps/parameter_server.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace agl::ps {
@@ -47,8 +49,8 @@ std::map<std::string, tensor::Tensor> ParameterServer::PullAll() const {
   return out;
 }
 
-agl::Status ParameterServer::PushGradients(
-    const std::map<std::string, tensor::Tensor>& grads) {
+agl::Status ParameterServer::ValidateGradients(
+    const std::map<std::string, tensor::Tensor>& grads) const {
   for (const auto& [key, grad] : grads) {
     Shard& shard = *shards_[ShardOf(key)];
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -61,12 +63,208 @@ agl::Status ParameterServer::PushGradients(
       return agl::Status::InvalidArgument("gradient shape mismatch for " +
                                           key);
     }
+  }
+  return agl::Status::OK();
+}
+
+void ParameterServer::ApplyUpdate(
+    const std::map<std::string, tensor::Tensor>& grads) {
+  for (const auto& [key, grad] : grads) {
+    Shard& shard = *shards_[ShardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    AGL_CHECK(it != shard.entries.end()) << "unvalidated gradient " << key;
     nn::AdamApply(options_.adam, grad, &it->second.value,
                   &it->second.opt_state);
+  }
+}
+
+agl::Status ParameterServer::PushGradients(
+    const std::map<std::string, tensor::Tensor>& grads) {
+  // Validate-then-apply (all-or-nothing on bad input, same contract as
+  // PushSsp): a rejected push never leaves the PS half-updated.
+  AGL_RETURN_IF_ERROR(ValidateGradients(grads));
+  ApplyUpdate(grads);
+  for (const auto& [key, grad] : grads) {
+    Shard& shard = *shards_[ShardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
     shard.pushes++;
     shard.bytes_pushed += grad.size() * static_cast<int64_t>(sizeof(float));
   }
   return agl::Status::OK();
+}
+
+// --- SSP coordination ------------------------------------------------------
+
+void ParameterServer::BeginSspEpoch(int num_workers,
+                                    int64_t staleness_bound) {
+  std::lock_guard<std::mutex> lock(ssp_mu_);
+  AGL_CHECK_GT(num_workers, 0);
+  AGL_CHECK_GE(staleness_bound, 0);
+  ssp_.active = true;
+  ssp_.cancelled = false;
+  ssp_.bound = staleness_bound;
+  ssp_.clock.assign(num_workers, 0);
+  ssp_.finished.assign(num_workers, false);
+  ssp_.committed = 0;
+  ssp_.pending.clear();
+}
+
+int64_t ParameterServer::MinActiveClockLocked() const {
+  int64_t min_clock = std::numeric_limits<int64_t>::max();
+  int64_t max_clock = 0;
+  bool any_active = false;
+  for (std::size_t w = 0; w < ssp_.clock.size(); ++w) {
+    max_clock = std::max(max_clock, ssp_.clock[w]);
+    if (!ssp_.finished[w]) {
+      any_active = true;
+      min_clock = std::min(min_clock, ssp_.clock[w]);
+    }
+  }
+  return any_active ? min_clock : max_clock;
+}
+
+void ParameterServer::CommitReadyLocked() {
+  const int64_t target = MinActiveClockLocked();
+  while (ssp_.committed < target) {
+    auto it = ssp_.pending.find(ssp_.committed);
+    if (it != ssp_.pending.end()) {
+      // Average the tick's gradients exactly like the BSP round reducer:
+      // contributions summed in worker order, scaled by 1/contributors,
+      // then one optimizer step per key. This is what makes bound 0
+      // reproduce kBsp bit-for-bit.
+      std::map<std::string, tensor::Tensor> avg;
+      int contributors = 0;
+      for (auto& [worker, grads] : it->second) {
+        if (grads.empty()) continue;
+        ++contributors;
+        for (auto& [key, g] : grads) {
+          auto slot = avg.find(key);
+          if (slot == avg.end()) {
+            // The pending buffer dies with the erase below, so the first
+            // contribution can be moved rather than copied.
+            avg.emplace(key, std::move(g));
+          } else {
+            slot->second.Add(g);
+          }
+        }
+      }
+      ssp_.pending.erase(it);
+      if (contributors > 0) {
+        for (auto& [key, g] : avg) {
+          g.Scale(1.f / static_cast<float>(contributors));
+        }
+        ApplyUpdate(avg);
+        ssp_commits_++;
+      }
+    }
+    ssp_.committed++;
+  }
+}
+
+agl::Result<std::map<std::string, tensor::Tensor>> ParameterServer::PullSsp(
+    int worker) {
+  {
+    std::unique_lock<std::mutex> lock(ssp_mu_);
+    if (!ssp_.active) {
+      return agl::Status::FailedPrecondition("no SSP epoch in progress");
+    }
+    if (worker < 0 || worker >= static_cast<int>(ssp_.clock.size())) {
+      return agl::Status::InvalidArgument("bad SSP worker id");
+    }
+    bool counted_wait = false;
+    while (true) {
+      if (ssp_.cancelled) {
+        return agl::Status::Aborted("SSP epoch cancelled");
+      }
+      if (!ssp_.active) {
+        // EndSspEpoch disarmed the layer while we were parked.
+        return agl::Status::FailedPrecondition("SSP epoch ended");
+      }
+      // A finished worker (excluded from the minimum) can sit below it;
+      // clamp so the histogram never sees a negative bucket.
+      const int64_t skew =
+          std::max<int64_t>(0, ssp_.clock[worker] - MinActiveClockLocked());
+      if (skew <= ssp_.bound) {
+        ssp_pulls_++;
+        ssp_max_staleness_ = std::max(ssp_max_staleness_, skew);
+        ssp_hist_[std::min<int64_t>(skew, kStalenessBuckets - 1)]++;
+        break;
+      }
+      if (!counted_wait) {
+        // Counted when the wait engages so watchers can observe a worker
+        // parked at the gate.
+        counted_wait = true;
+        ssp_waits_++;
+      }
+      ssp_cv_.wait(lock);
+    }
+  }
+  return PullAll();
+}
+
+agl::Status ParameterServer::PushSsp(
+    int worker, std::map<std::string, tensor::Tensor> grads) {
+  {
+    std::lock_guard<std::mutex> lock(ssp_mu_);
+    if (!ssp_.active) {
+      return agl::Status::FailedPrecondition("no SSP epoch in progress");
+    }
+    if (worker < 0 || worker >= static_cast<int>(ssp_.clock.size())) {
+      return agl::Status::InvalidArgument("bad SSP worker id");
+    }
+    if (ssp_.cancelled) return agl::Status::Aborted("SSP epoch cancelled");
+    if (ssp_.finished[worker]) {
+      return agl::Status::FailedPrecondition("push from finished worker");
+    }
+    AGL_RETURN_IF_ERROR(ValidateGradients(grads));
+    // Traffic is accounted at receipt; the optimizer applies at commit.
+    ssp_pushes_ += static_cast<int64_t>(grads.size());
+    for (const auto& [key, g] : grads) {
+      ssp_bytes_pushed_ += g.size() * static_cast<int64_t>(sizeof(float));
+    }
+    const int64_t tick = ssp_.clock[worker];
+    ssp_.pending[tick].emplace(worker, std::move(grads));
+    ssp_.clock[worker]++;
+    CommitReadyLocked();
+  }
+  ssp_cv_.notify_all();
+  return agl::Status::OK();
+}
+
+void ParameterServer::FinishSspWorker(int worker) {
+  {
+    std::lock_guard<std::mutex> lock(ssp_mu_);
+    if (!ssp_.active || worker < 0 ||
+        worker >= static_cast<int>(ssp_.finished.size())) {
+      return;
+    }
+    if (ssp_.finished[worker]) return;
+    ssp_.finished[worker] = true;
+    if (!ssp_.cancelled) CommitReadyLocked();
+  }
+  ssp_cv_.notify_all();
+}
+
+void ParameterServer::CancelSsp() {
+  {
+    std::lock_guard<std::mutex> lock(ssp_mu_);
+    if (!ssp_.active) return;
+    ssp_.cancelled = true;
+    ssp_.pending.clear();
+  }
+  ssp_cv_.notify_all();
+}
+
+void ParameterServer::EndSspEpoch() {
+  {
+    std::lock_guard<std::mutex> lock(ssp_mu_);
+    ssp_.active = false;
+    ssp_.pending.clear();
+  }
+  // A pull still parked at the gate must fail out, not hang: the clocks
+  // it is waiting on are gone.
+  ssp_cv_.notify_all();
 }
 
 int64_t ParameterServer::NumParameters() const {
@@ -87,6 +285,14 @@ ServerStats ParameterServer::stats() const {
     s.bytes_pulled += shard->bytes_pulled;
     s.bytes_pushed += shard->bytes_pushed;
   }
+  std::lock_guard<std::mutex> lock(ssp_mu_);
+  s.pushes += ssp_pushes_;
+  s.bytes_pushed += ssp_bytes_pushed_;
+  s.ssp_pulls = ssp_pulls_;
+  s.ssp_waits = ssp_waits_;
+  s.ssp_commits = ssp_commits_;
+  s.max_staleness = ssp_max_staleness_;
+  s.staleness_hist = ssp_hist_;
   return s;
 }
 

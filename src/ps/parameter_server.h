@@ -7,10 +7,30 @@
 // are applied as they arrive (asynchronous / eventual consistency), which
 // is what produces the paper's Figure 7 behaviour: more workers need a few
 // more epochs but converge to the same AUC.
+//
+// "Flexible model consistency" (§3.1/§3.3) is realised by an optional
+// bounded-staleness (SSP) coordination layer on top of the same shards:
+// each worker owns a logical clock that ticks once per pushed batch, and
+//   * PullSsp(w) admits worker w only while it is at most
+//     `staleness_bound` ticks ahead of the slowest unfinished worker
+//     (blocking otherwise — the SSP read fence);
+//   * gradients pushed for the same tick are buffered and committed as ONE
+//     averaged optimizer update the moment every unfinished worker has
+//     contributed that tick (summed in worker order, so the arithmetic is
+//     deterministic).
+// Bound 0 therefore reproduces bulk-synchronous training bit-for-bit.
+// An unbounded staleness never blocks anybody — the schedule and PS
+// traffic match the asynchronous mode — but updates still commit in tick
+// order, so gradients a run-ahead worker pushes stay buffered (memory
+// O(skew x model size)) and invisible until the slowest worker passes
+// their tick; true eager application is what SyncMode::kAsync is for.
+// (ROADMAP: spill pending ticks to the DFS for very large bounds.)
 
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,12 +50,27 @@ struct ServerOptions {
   nn::Adam::Options adam;
 };
 
+/// Staleness value meaning "never block" (SSP degenerates to async).
+inline constexpr int64_t kUnboundedStaleness =
+    std::numeric_limits<int64_t>::max();
+
+/// Buckets of the observed-staleness histogram (last bucket = overflow).
+inline constexpr int kStalenessBuckets = 65;
+
 /// Counters for traffic accounting (exposed to the scalability benches).
 struct ServerStats {
   int64_t pulls = 0;
   int64_t pushes = 0;
   int64_t bytes_pulled = 0;
   int64_t bytes_pushed = 0;
+  /// SSP coordination counters (zero unless BeginSspEpoch was used).
+  int64_t ssp_pulls = 0;    // pulls admitted through the staleness gate
+  int64_t ssp_waits = 0;    // pulls that had to block at the gate
+  int64_t ssp_commits = 0;  // clock ticks committed (averaged updates)
+  int64_t max_staleness = 0;
+  /// staleness_hist[s] = pulls admitted while s ticks ahead of the
+  /// slowest worker; the final bucket absorbs larger skews.
+  std::vector<int64_t> staleness_hist;
 };
 
 /// In-process sharded parameter server.
@@ -56,6 +91,37 @@ class ParameterServer {
   agl::Status PushGradients(
       const std::map<std::string, tensor::Tensor>& grads);
 
+  // --- Bounded-staleness (SSP) coordination -------------------------------
+
+  /// Arms the SSP clock layer for one epoch: `num_workers` clocks at 0,
+  /// staleness bound as given (0 = BSP-exact, kUnboundedStaleness = async).
+  void BeginSspEpoch(int num_workers, int64_t staleness_bound);
+
+  /// Blocking SSP pull for `worker`: waits until the worker is within the
+  /// staleness bound of the slowest unfinished worker, then snapshots the
+  /// parameters. Fails with kAborted after CancelSsp() (teardown) and with
+  /// kFailedPrecondition outside an SSP epoch.
+  agl::Result<std::map<std::string, tensor::Tensor>> PullSsp(int worker);
+
+  /// Buffers `worker`'s gradient for its current tick, advances the
+  /// worker's clock, and commits every tick that all unfinished workers
+  /// have now contributed (one averaged update per tick, summed in worker
+  /// order). Traffic is accounted here; the optimizer applies at commit.
+  agl::Status PushSsp(int worker,
+                      std::map<std::string, tensor::Tensor> grads);
+
+  /// Marks `worker` done for this epoch (its partition is exhausted): it
+  /// stops holding back the minimum clock and later ticks commit with the
+  /// remaining contributors only.
+  void FinishSspWorker(int worker);
+
+  /// Error teardown: every blocked or future PullSsp/PushSsp returns
+  /// kAborted so pipeline threads can always be joined.
+  void CancelSsp();
+
+  /// Disarms the SSP layer (stats survive; clocks/pending are dropped).
+  void EndSspEpoch();
+
   /// Number of distinct parameters.
   int64_t NumParameters() const;
 
@@ -74,11 +140,46 @@ class ParameterServer {
     mutable int64_t bytes_pulled = 0;
     int64_t bytes_pushed = 0;
   };
+  struct SspState {
+    bool active = false;
+    bool cancelled = false;
+    int64_t bound = 0;
+    std::vector<int64_t> clock;  // ticks completed per worker
+    std::vector<bool> finished;
+    int64_t committed = 0;  // ticks [0, committed) applied to the shards
+    // tick -> (worker -> gradient set); worker order fixes the sum order.
+    std::map<int64_t, std::map<int, std::map<std::string, tensor::Tensor>>>
+        pending;
+  };
 
   std::size_t ShardOf(const std::string& key) const;
+  /// Applies one optimizer step per gradient without stats accounting;
+  /// caller guarantees keys/shapes were validated.
+  void ApplyUpdate(const std::map<std::string, tensor::Tensor>& grads);
+  /// Validates that every gradient matches a registered parameter.
+  agl::Status ValidateGradients(
+      const std::map<std::string, tensor::Tensor>& grads) const;
+  /// Smallest clock among unfinished workers (or the largest clock when
+  /// everyone finished — everything pending becomes committable).
+  int64_t MinActiveClockLocked() const;
+  /// Commits every tick below the minimum active clock.
+  void CommitReadyLocked();
 
   ServerOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex ssp_mu_;
+  std::condition_variable ssp_cv_;
+  SspState ssp_;
+  // Cumulative across epochs (merged into stats()).
+  int64_t ssp_pulls_ = 0;
+  int64_t ssp_waits_ = 0;
+  int64_t ssp_commits_ = 0;
+  int64_t ssp_pushes_ = 0;
+  int64_t ssp_bytes_pushed_ = 0;
+  int64_t ssp_max_staleness_ = 0;
+  std::vector<int64_t> ssp_hist_ =
+      std::vector<int64_t>(kStalenessBuckets, 0);
 };
 
 }  // namespace agl::ps

@@ -1,5 +1,6 @@
 #include "trainer/feature_source.h"
 
+#include <algorithm>
 #include <iterator>
 
 #include "common/logging.h"
@@ -67,5 +68,82 @@ agl::Result<std::vector<subgraph::GraphFeature>> DfsFeatureSource::ReadAll()
     const {
   return ReadShard(0, 1);
 }
+
+agl::Result<std::unique_ptr<StreamingShardReader>> StreamingShardReader::Open(
+    const DfsFeatureSource& source, int worker, int num_workers,
+    const Options& options) {
+  if (worker < 0 || num_workers <= 0 || worker >= num_workers) {
+    return agl::Status::InvalidArgument("bad shard spec");
+  }
+  if (options.batch_size <= 0) {
+    return agl::Status::InvalidArgument("batch_size must be positive");
+  }
+  std::unique_ptr<StreamingShardReader> reader(
+      new StreamingShardReader(source, options));
+  reader->thread_ = std::thread(
+      [r = reader.get(), worker, num_workers] {
+        r->ReaderLoop(worker, num_workers);
+      });
+  return reader;
+}
+
+StreamingShardReader::StreamingShardReader(DfsFeatureSource source,
+                                           const Options& options)
+    : source_(std::move(source)),
+      batch_size_(options.batch_size),
+      queue_(static_cast<std::size_t>(std::max(1, options.prefetch_batches))) {
+}
+
+StreamingShardReader::~StreamingShardReader() {
+  queue_.Cancel();
+  if (thread_.joinable()) thread_.join();
+}
+
+void StreamingShardReader::ReaderLoop(int worker, int num_workers) {
+  std::vector<subgraph::GraphFeature> batch;
+  batch.reserve(static_cast<std::size_t>(batch_size_));
+  for (int64_t part = worker; part < source_.num_parts();
+       part += num_workers) {
+    agl::Status s =
+        source_.ScanPart(part, [&](subgraph::GraphFeature gf) {
+          batch.push_back(std::move(gf));
+          if (static_cast<int64_t>(batch.size()) == batch_size_) {
+            if (!queue_.Push(std::move(batch))) {
+              // Consumer cancelled; stop the scan without recording an
+              // error of our own.
+              return agl::Status::Aborted("stream cancelled");
+            }
+            batch.clear();
+            batch.reserve(static_cast<std::size_t>(batch_size_));
+          }
+          return agl::Status::OK();
+        });
+    if (!s.ok()) {
+      if (!queue_.cancelled()) {
+        std::lock_guard<std::mutex> lock(status_mu_);
+        reader_status_ = s;
+        queue_.Cancel();
+      }
+      return;
+    }
+  }
+  if (!batch.empty()) {
+    if (!queue_.Push(std::move(batch))) return;
+  }
+  queue_.Close();
+}
+
+agl::Result<std::vector<subgraph::GraphFeature>> StreamingShardReader::Next() {
+  std::vector<subgraph::GraphFeature> batch;
+  if (queue_.Pop(&batch)) return batch;
+  if (queue_.cancelled()) {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    if (!reader_status_.ok()) return reader_status_;
+    return agl::Status::Aborted("stream cancelled");
+  }
+  return std::vector<subgraph::GraphFeature>{};  // cleanly exhausted
+}
+
+void StreamingShardReader::Cancel() { queue_.Cancel(); }
 
 }  // namespace agl::trainer

@@ -9,9 +9,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/bounded_queue.h"
 #include "common/status.h"
 #include "mr/local_dfs.h"
 #include "subgraph/graph_feature.h"
@@ -52,6 +56,56 @@ class DfsFeatureSource {
       : parts_(std::move(parts)) {}
 
   std::vector<std::string> parts_;  // absolute part-file paths, sorted
+};
+
+/// Streaming prefetch over one worker's shard of a feature dataset.
+///
+/// Unlike ReadShard (which materializes the whole shard up front), a
+/// background reader thread scans the assigned part files one record at a
+/// time and batches them into a bounded queue, so resident memory stays
+/// O(prefetch_batches x batch_size) regardless of shard size. This is the
+/// DFS reader stage of the trainer's pipeline.
+class StreamingShardReader {
+ public:
+  struct Options {
+    int64_t batch_size = 32;
+    /// Queue depth: how many batches the reader may run ahead.
+    int prefetch_batches = 2;
+  };
+
+  /// Starts prefetching the parts of `source` assigned to `worker` out of
+  /// `num_workers` (round-robin, exactly ReadShard's assignment, so the
+  /// record order matches the materialized path). The source's parts list
+  /// is copied; the source itself need not outlive the reader.
+  static agl::Result<std::unique_ptr<StreamingShardReader>> Open(
+      const DfsFeatureSource& source, int worker, int num_workers,
+      const Options& options);
+
+  /// Joins the reader thread (cancelling it first if still running).
+  ~StreamingShardReader();
+
+  StreamingShardReader(const StreamingShardReader&) = delete;
+  StreamingShardReader& operator=(const StreamingShardReader&) = delete;
+
+  /// Pops the next batch (up to batch_size features, in shard order). An
+  /// empty vector signals a cleanly exhausted shard; read/parse errors and
+  /// Cancel() surface as statuses.
+  agl::Result<std::vector<subgraph::GraphFeature>> Next();
+
+  /// Early teardown: unblocks the reader thread and pending Next() calls,
+  /// which then fail with kAborted.
+  void Cancel();
+
+ private:
+  StreamingShardReader(DfsFeatureSource source, const Options& options);
+  void ReaderLoop(int worker, int num_workers);
+
+  const DfsFeatureSource source_;
+  const int64_t batch_size_;
+  BoundedQueue<std::vector<subgraph::GraphFeature>> queue_;
+  std::mutex status_mu_;
+  agl::Status reader_status_;  // first reader-side error, if any
+  std::thread thread_;
 };
 
 }  // namespace agl::trainer

@@ -1,12 +1,14 @@
 #include "trainer/trainer.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <future>
 #include <limits>
+#include <optional>
+#include <thread>
 
 #include "autograd/ops.h"
+#include "common/bounded_queue.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -55,6 +57,8 @@ double TaskMetric(TaskKind task, const tensor::Tensor& logits,
 
 namespace {
 
+using internal::WorkerResult;
+
 /// Splits [0, n) into `parts` nearly equal contiguous ranges.
 std::vector<std::pair<std::size_t, std::size_t>> SplitRanges(std::size_t n,
                                                              int parts) {
@@ -79,9 +83,331 @@ gnn::PreparedBatch PrepareSlice(const gnn::GnnModel& model,
   return model.Prepare(vec);
 }
 
-}  // namespace
+/// Source of prepared batches for one worker's reader stage. Prepare() is
+/// weight-independent, so the stage runs it on its own model replica.
+class BatchProducer {
+ public:
+  virtual ~BatchProducer() = default;
+  /// Returns the next prepared batch, or nullopt once the worker's
+  /// partition is exhausted for this epoch.
+  virtual agl::Result<std::optional<gnn::PreparedBatch>> Next(
+      const gnn::GnnModel& prep_model) = 0;
+  /// Total batches this producer will yield, when known up front (span
+  /// mode); nullopt for open-ended streams. Lets the compute stage mark
+  /// the final gradient push so the comm stage skips the dead pull after
+  /// it. Must be safe to call concurrently with Next().
+  virtual std::optional<int64_t> TotalBatches() const { return {}; }
+};
 
-using internal::WorkerResult;
+/// Contiguous slices of an in-memory span (the Train() path).
+class SpanBatchProducer : public BatchProducer {
+ public:
+  SpanBatchProducer(std::span<const GraphFeature> features,
+                    std::size_t begin, std::size_t end, std::size_t bs)
+      : features_(features), begin_(begin), next_(begin), end_(end),
+        bs_(bs) {}
+
+  agl::Result<std::optional<gnn::PreparedBatch>> Next(
+      const gnn::GnnModel& prep_model) override {
+    if (next_ >= end_) return std::optional<gnn::PreparedBatch>();
+    const std::size_t s = next_;
+    const std::size_t e = std::min(end_, s + bs_);
+    next_ = e;
+    return std::optional<gnn::PreparedBatch>(
+        PrepareSlice(prep_model, features_, s, e));
+  }
+
+  std::optional<int64_t> TotalBatches() const override {
+    return static_cast<int64_t>((end_ - begin_ + bs_ - 1) / bs_);
+  }
+
+ private:
+  std::span<const GraphFeature> features_;
+  const std::size_t begin_;
+  std::size_t next_;
+  const std::size_t end_;
+  const std::size_t bs_;
+};
+
+/// Batches deserialized straight off the DFS part files (TrainStreaming):
+/// the shard reader keeps memory bounded; this stage vectorizes them.
+class StreamBatchProducer : public BatchProducer {
+ public:
+  explicit StreamBatchProducer(std::unique_ptr<StreamingShardReader> reader)
+      : reader_(std::move(reader)) {}
+
+  agl::Result<std::optional<gnn::PreparedBatch>> Next(
+      const gnn::GnnModel& prep_model) override {
+    AGL_ASSIGN_OR_RETURN(std::vector<GraphFeature> features,
+                         reader_->Next());
+    if (features.empty()) return std::optional<gnn::PreparedBatch>();
+    return std::optional<gnn::PreparedBatch>(
+        PrepareSlice(prep_model, features, 0, features.size()));
+  }
+
+ private:
+  std::unique_ptr<StreamingShardReader> reader_;
+};
+
+/// One gradient set travelling from the compute stage to the push/pull
+/// stage. `last` tells the comm stage not to pull a snapshot nobody will
+/// consume (and, under SSP, not to park at the gate for it).
+struct GradMsg {
+  std::map<std::string, tensor::Tensor> grads;
+  bool last = false;
+};
+
+using Snapshot = std::map<std::string, tensor::Tensor>;
+
+/// Everything one worker's pipeline stages share for one epoch.
+struct WorkerEpochContext {
+  const TrainerConfig* config;
+  ps::ParameterServer* server;
+  int worker;
+  int epoch;
+  bool ssp;
+};
+
+/// Pulls a parameter snapshot through the mode-appropriate path.
+agl::Result<Snapshot> PullSnapshot(const WorkerEpochContext& ctx) {
+  if (ctx.ssp) return ctx.server->PullSsp(ctx.worker);
+  return ctx.server->PullAll();
+}
+
+/// Pushes one gradient set through the mode-appropriate path.
+agl::Status PushGrads(const WorkerEpochContext& ctx, GradMsg msg) {
+  if (ctx.ssp) return ctx.server->PushSsp(ctx.worker, std::move(msg.grads));
+  return ctx.server->PushGradients(msg.grads);
+}
+
+/// Forward/backward for one batch on the worker's replica; fills `out`
+/// with the named gradients.
+agl::Status ComputeBatch(const WorkerEpochContext& ctx, gnn::GnnModel* model,
+                         Rng* rng, const Snapshot& snapshot,
+                         const gnn::PreparedBatch& batch, WorkerResult* res,
+                         GradMsg* out) {
+  AGL_RETURN_IF_ERROR(model->LoadStateDict(snapshot));
+  Variable logits = model->Forward(batch, /*training=*/true, rng);
+  Variable loss = TaskLoss(ctx.config->task, logits, batch);
+  autograd::Backward(loss);
+  res->loss_sum += loss.value().at(0, 0);
+  res->batches++;
+  for (const nn::NamedParameter& p : model->Parameters()) {
+    if (p.variable.node()->has_grad()) {
+      out->grads.emplace(p.name, p.variable.grad());
+    }
+  }
+  if (ctx.config->fault_injector) {
+    AGL_RETURN_IF_ERROR(ctx.config->fault_injector(
+        ctx.epoch, ctx.worker, res->batches - 1));
+  }
+  return agl::Status::OK();
+}
+
+/// The staged pipeline for one worker-epoch:
+///
+///   [prep thread] --PreparedBatch--> [compute] --GradMsg--> [comm thread]
+///                     bounded queue              bounded queue
+///                                    <--Snapshot--
+///                                      bounded queue (double buffer)
+///
+/// The comm thread owns every PS interaction: it pre-pulls the snapshot
+/// for step t+1 right after pushing step t's gradients, so PS traffic
+/// (including SSP gate waits) overlaps the reader stage's run-ahead. The
+/// compute stage consumes snapshots in step order, which keeps the
+/// schedule's arithmetic identical to the inline (use_pipeline=false)
+/// execution — and, at staleness bound 0, identical to kBsp.
+///
+/// Teardown invariant: every exit path (end-of-data, injected fault, PS
+/// error, SSP cancellation) cancels all three queues and, under SSP, the
+/// server's clock gate, so each stage thread is always joinable.
+void RunPipelinedWorker(const WorkerEpochContext& ctx,
+                        BatchProducer* producer, WorkerResult* res) {
+  const TrainerConfig& config = *ctx.config;
+  gnn::GnnModel model(config.model);
+  gnn::GnnModel prep_model(config.model);
+  Rng rng(DeriveSeed(config.seed,
+                     static_cast<uint64_t>(ctx.epoch) * 1000 + ctx.worker));
+
+  agl::Status status;  // first failure from any stage of this worker
+
+  if (!config.use_pipeline) {
+    // Inline execution of the same schedule: prep, pull, compute, push.
+    while (status.ok()) {
+      Stopwatch prep_watch;
+      auto next = producer->Next(prep_model);
+      res->prep_seconds += prep_watch.Seconds();
+      if (!next.ok()) {
+        status = next.status();
+        break;
+      }
+      if (!next->has_value()) break;
+      Stopwatch comm_watch;
+      auto snapshot = PullSnapshot(ctx);
+      res->comm_seconds += comm_watch.Seconds();
+      if (!snapshot.ok()) {
+        status = snapshot.status();
+        break;
+      }
+      Stopwatch compute_watch;
+      GradMsg msg;
+      status = ComputeBatch(ctx, &model, &rng, *snapshot, **next, res, &msg);
+      res->compute_seconds += compute_watch.Seconds();
+      if (!status.ok()) break;
+      Stopwatch push_watch;
+      status = PushGrads(ctx, std::move(msg));
+      res->comm_seconds += push_watch.Seconds();
+    }
+  } else {
+    BoundedQueue<gnn::PreparedBatch> prep_q(
+        static_cast<std::size_t>(std::max(1, config.prefetch_batches)));
+    BoundedQueue<GradMsg> grad_q(1);
+    BoundedQueue<Snapshot> snap_q(1);
+    agl::Status prep_status;  // written by prep thread, read after join
+    agl::Status comm_status;  // written by comm thread, read after join
+    const auto cancel_all = [&] {
+      prep_q.Cancel();
+      grad_q.Cancel();
+      snap_q.Cancel();
+    };
+
+    std::thread prep_thread([&] {
+      while (true) {
+        Stopwatch prep_watch;
+        auto next = producer->Next(prep_model);
+        res->prep_seconds += prep_watch.Seconds();
+        if (!next.ok()) {
+          prep_status = next.status();
+          cancel_all();
+          return;
+        }
+        if (!next->has_value()) {
+          prep_q.Close();
+          return;
+        }
+        if (!prep_q.Push(std::move(**next))) return;  // torn down
+      }
+    });
+
+    std::thread comm_thread([&] {
+      // Times PS interactions only (incl. SSP gate waits), not the idle
+      // time spent waiting for the compute stage's gradients.
+      const auto timed_pull = [&] {
+        Stopwatch watch;
+        auto snapshot = PullSnapshot(ctx);
+        res->comm_seconds += watch.Seconds();
+        return snapshot;
+      };
+      auto first = timed_pull();
+      if (!first.ok()) {
+        comm_status = first.status();
+        cancel_all();
+        return;
+      }
+      if (!snap_q.Push(std::move(*first))) return;
+      GradMsg msg;
+      while (grad_q.Pop(&msg)) {
+        const bool last = msg.last;
+        Stopwatch push_watch;
+        agl::Status s = PushGrads(ctx, std::move(msg));
+        res->comm_seconds += push_watch.Seconds();
+        if (s.ok()) {
+          if (last) return;  // nobody will consume another snapshot
+          // Double buffer: pre-pull the next step's snapshot while the
+          // compute stage chews on the batch it already holds.
+          auto snapshot = timed_pull();
+          if (snapshot.ok()) {
+            if (!snap_q.Push(std::move(*snapshot))) break;
+            continue;
+          }
+          s = snapshot.status();
+        }
+        comm_status = s;
+        cancel_all();
+        return;
+      }
+    });
+
+    const std::optional<int64_t> total_batches = producer->TotalBatches();
+    int64_t tick = 0;
+    gnn::PreparedBatch batch;
+    bool have = prep_q.Pop(&batch);
+    while (have) {
+      Snapshot snapshot;
+      if (!snap_q.Pop(&snapshot)) break;  // comm stage failed
+      Stopwatch compute_watch;
+      GradMsg msg;
+      status = ComputeBatch(ctx, &model, &rng, snapshot, batch, res, &msg);
+      res->compute_seconds += compute_watch.Seconds();
+      if (!status.ok()) break;
+      ++tick;
+      // Mark the epoch's final push: exactly when the batch count is
+      // known up front, best-effort (non-blocking peek at the reader
+      // stage) for open-ended streams. A false negative only costs the
+      // one spare pull the marker exists to avoid.
+      gnn::PreparedBatch next;
+      bool have_next = false;
+      if (total_batches.has_value()) {
+        msg.last = tick == *total_batches;
+      } else {
+        switch (prep_q.TryPop(&next)) {
+          case BoundedQueue<gnn::PreparedBatch>::TryPopResult::kItem:
+            have_next = true;
+            break;
+          case BoundedQueue<gnn::PreparedBatch>::TryPopResult::kDone:
+            msg.last = true;
+            break;
+          case BoundedQueue<gnn::PreparedBatch>::TryPopResult::kEmpty:
+            break;
+        }
+      }
+      const bool last = msg.last;
+      if (!grad_q.Push(std::move(msg))) break;
+      if (last) break;
+      if (have_next) {
+        batch = std::move(next);
+      } else {
+        have = prep_q.Pop(&batch);
+      }
+    }
+    grad_q.Close();
+    if (!status.ok()) {
+      // Injected fault / compute failure: release every stage, including
+      // peers blocked at the SSP gate on other workers.
+      cancel_all();
+      if (ctx.ssp) ctx.server->CancelSsp();
+    }
+    prep_thread.join();
+    comm_thread.join();
+    if (status.ok() && !prep_status.ok()) status = prep_status;
+    if (status.ok() && !comm_status.ok()) status = comm_status;
+  }
+
+  if (!status.ok() && ctx.ssp &&
+      status.code() != agl::StatusCode::kAborted) {
+    // A primary failure (not the echo of someone else's cancellation)
+    // must release peers blocked at the clock gate.
+    ctx.server->CancelSsp();
+  }
+  if (ctx.ssp) ctx.server->FinishSspWorker(ctx.worker);
+  res->status = status;
+}
+
+/// Surfaces the most informative status: a primary error beats the
+/// kAborted echoes that cancellation spreads to the other workers.
+agl::Status CollectWorkerStatuses(const std::vector<WorkerResult>& results) {
+  for (const WorkerResult& r : results) {
+    if (!r.status.ok() && r.status.code() != agl::StatusCode::kAborted) {
+      return r.status;
+    }
+  }
+  for (const WorkerResult& r : results) {
+    AGL_RETURN_IF_ERROR(r.status);
+  }
+  return agl::Status::OK();
+}
+
+}  // namespace
 
 GraphTrainer::GraphTrainer(const TrainerConfig& config) : config_(config) {}
 
@@ -96,11 +422,13 @@ agl::Result<std::map<std::string, tensor::Tensor>> LoadCheckpoint(
   return nn::ParseStateDict(records[0]);
 }
 
-agl::Result<TrainReport> GraphTrainer::Train(
-    std::span<const GraphFeature> train,
-    std::span<const GraphFeature> val) const {
-  if (train.empty()) {
-    return agl::Status::InvalidArgument("empty training set");
+agl::Result<TrainReport> GraphTrainer::TrainLoop(
+    const std::function<agl::Status(
+        int epoch, ps::ParameterServer* server, ThreadPool* pool,
+        std::vector<WorkerResult>* results)>& run_epoch,
+    int active_workers, std::span<const GraphFeature> val) const {
+  if (config_.staleness_bound < 0) {
+    return agl::Status::InvalidArgument("staleness_bound must be >= 0");
   }
   Stopwatch total_watch;
 
@@ -119,11 +447,6 @@ agl::Result<TrainReport> GraphTrainer::Train(
     server.Initialize(config_.initial_state);
   }
 
-  // Static partition of the training data across workers (the paper's
-  // workers each own a partition of GraphFeatures on the DFS).
-  const auto partitions = SplitRanges(train.size(), config_.num_workers);
-  const int active_workers = static_cast<int>(partitions.size());
-
   TrainReport report;
   report.best_val_metric = -std::numeric_limits<double>::infinity();
   int bad_evals = 0;
@@ -132,13 +455,7 @@ agl::Result<TrainReport> GraphTrainer::Train(
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     Stopwatch epoch_watch;
     std::vector<WorkerResult> results(active_workers);
-    if (config_.sync_mode == SyncMode::kBsp) {
-      AGL_RETURN_IF_ERROR(RunBspEpoch(train, epoch, &server, &pool,
-                                      partitions, &results));
-    } else {
-      AGL_RETURN_IF_ERROR(RunAsyncEpoch(train, epoch, &server, &pool,
-                                        partitions, &results));
-    }
+    AGL_RETURN_IF_ERROR(run_epoch(epoch, &server, &pool, &results));
 
     EpochRecord rec;
     rec.epoch = epoch;
@@ -149,6 +466,7 @@ agl::Result<TrainReport> GraphTrainer::Train(
       batches += r.batches;
       rec.prep_seconds += r.prep_seconds;
       rec.compute_seconds += r.compute_seconds;
+      rec.comm_seconds += r.comm_seconds;
     }
     rec.mean_train_loss = batches > 0 ? loss_sum / batches : 0;
     rec.seconds = epoch_watch.Seconds();
@@ -180,89 +498,115 @@ agl::Result<TrainReport> GraphTrainer::Train(
   }
 
   report.final_state = server.PullAll();
+  report.ps_stats = server.stats();
   report.total_seconds = total_watch.Seconds();
   return report;
 }
 
-agl::Status GraphTrainer::RunAsyncEpoch(
+agl::Result<TrainReport> GraphTrainer::Train(
+    std::span<const GraphFeature> train,
+    std::span<const GraphFeature> val) const {
+  if (train.empty()) {
+    return agl::Status::InvalidArgument("empty training set");
+  }
+  // Static partition of the training data across workers (the paper's
+  // workers each own a partition of GraphFeatures on the DFS).
+  const auto partitions = SplitRanges(train.size(), config_.num_workers);
+  const int active_workers = static_cast<int>(partitions.size());
+
+  return TrainLoop(
+      [&](int epoch, ps::ParameterServer* server, ThreadPool* pool,
+          std::vector<WorkerResult>* results) {
+        if (config_.sync_mode == SyncMode::kBsp) {
+          return RunBspEpoch(train, epoch, server, pool, partitions,
+                             results);
+        }
+        return RunPipelinedEpoch(train, epoch, server, pool, partitions,
+                                 results);
+      },
+      active_workers, val);
+}
+
+agl::Result<TrainReport> GraphTrainer::TrainStreaming(
+    const DfsFeatureSource& source,
+    std::span<const GraphFeature> val) const {
+  if (config_.sync_mode == SyncMode::kBsp) {
+    return agl::Status::InvalidArgument(
+        "kBsp needs random access; use Train()");
+  }
+  if (source.num_parts() == 0) {
+    return agl::Status::InvalidArgument("empty feature source");
+  }
+  // More workers than part files would only idle: parts are the
+  // round-robin granularity of the stream.
+  const int active_workers = static_cast<int>(
+      std::min<int64_t>(std::max(1, config_.num_workers),
+                        source.num_parts()));
+
+  return TrainLoop(
+      [&](int epoch, ps::ParameterServer* server, ThreadPool* pool,
+          std::vector<WorkerResult>* results) {
+        return RunStreamingEpoch(source, epoch, server, pool,
+                                 active_workers, results);
+      },
+      active_workers, val);
+}
+
+agl::Status GraphTrainer::RunPipelinedEpoch(
     std::span<const GraphFeature> train, int epoch,
     ps::ParameterServer* server, ThreadPool* pool,
     const std::vector<std::pair<std::size_t, std::size_t>>& partitions,
     std::vector<WorkerResult>* results) const {
   const int active_workers = static_cast<int>(partitions.size());
-  ps::ParameterServer& srv = *server;
+  const bool ssp = config_.sync_mode == SyncMode::kSsp;
+  if (ssp) server->BeginSspEpoch(active_workers, config_.staleness_bound);
+  const std::size_t bs =
+      static_cast<std::size_t>(std::max(1, config_.batch_size));
   std::vector<std::future<void>> futs;
   for (int w = 0; w < active_workers; ++w) {
     futs.push_back(pool->Submit([&, w] {
-        const auto [begin, end] = partitions[w];
-        // Each worker owns a model replica and a deterministic RNG stream.
-        gnn::GnnModel model(config_.model);
-        Rng rng(DeriveSeed(config_.seed,
-                           static_cast<uint64_t>(epoch) * 1000 + w));
-        WorkerResult& res = (*results)[w];
-
-        const std::size_t bs =
-            static_cast<std::size_t>(std::max(1, config_.batch_size));
-        std::vector<std::size_t> starts;
-        for (std::size_t s = begin; s < end; s += bs) starts.push_back(s);
-
-        // Training pipeline: preprocessing of batch i+1 overlaps the model
-        // computation of batch i via an async prefetch.
-        std::future<gnn::PreparedBatch> prefetch;
-        auto launch_prefetch = [&](std::size_t idx) {
-          const std::size_t s = starts[idx];
-          const std::size_t e = std::min(end, s + bs);
-          prefetch = std::async(std::launch::async,
-                                [&model, &res, train, s, e] {
-            Stopwatch prep_watch;
-            gnn::PreparedBatch out = PrepareSlice(model, train, s, e);
-            res.prep_seconds += prep_watch.Seconds();
-            return out;
-          });
-        };
-        if (config_.use_pipeline && !starts.empty()) launch_prefetch(0);
-
-        for (std::size_t bi = 0; bi < starts.size(); ++bi) {
-          gnn::PreparedBatch batch;
-          if (config_.use_pipeline) {
-            batch = prefetch.get();
-            if (bi + 1 < starts.size()) launch_prefetch(bi + 1);
-          } else {
-            const std::size_t s = starts[bi];
-            const std::size_t e = std::min(end, s + bs);
-            Stopwatch prep_watch;
-            batch = PrepareSlice(model, train, s, e);
-            res.prep_seconds += prep_watch.Seconds();
-          }
-          Stopwatch compute_watch;
-
-          // Pull fresh parameters, compute, push gradients.
-          res.status = model.LoadStateDict(srv.PullAll());
-          if (!res.status.ok()) return;
-          Variable logits = model.Forward(batch, /*training=*/true, &rng);
-          Variable loss = TaskLoss(config_.task, logits, batch);
-          autograd::Backward(loss);
-          res.loss_sum += loss.value().at(0, 0);
-          res.batches++;
-
-          std::map<std::string, tensor::Tensor> grads;
-          for (const nn::NamedParameter& p : model.Parameters()) {
-            if (p.variable.node()->has_grad()) {
-              grads.emplace(p.name, p.variable.grad());
-            }
-          }
-          res.status = srv.PushGradients(grads);
-          if (!res.status.ok()) return;
-          res.compute_seconds += compute_watch.Seconds();
-        }
-        res.status = agl::Status::OK();
-      }));
+      const auto [begin, end] = partitions[w];
+      SpanBatchProducer producer(train, begin, end, bs);
+      WorkerEpochContext ctx{&config_, server, w, epoch, ssp};
+      RunPipelinedWorker(ctx, &producer, &(*results)[w]);
+    }));
   }
   for (auto& f : futs) f.get();
-  for (const WorkerResult& r : *results) {
-    AGL_RETURN_IF_ERROR(r.status);
+  if (ssp) server->EndSspEpoch();
+  return CollectWorkerStatuses(*results);
+}
+
+agl::Status GraphTrainer::RunStreamingEpoch(
+    const DfsFeatureSource& source, int epoch, ps::ParameterServer* server,
+    ThreadPool* pool, int active_workers,
+    std::vector<WorkerResult>* results) const {
+  const bool ssp = config_.sync_mode == SyncMode::kSsp;
+  if (ssp) server->BeginSspEpoch(active_workers, config_.staleness_bound);
+  StreamingShardReader::Options opts;
+  opts.batch_size = std::max(1, config_.batch_size);
+  opts.prefetch_batches = std::max(1, config_.prefetch_batches);
+  std::vector<std::future<void>> futs;
+  for (int w = 0; w < active_workers; ++w) {
+    futs.push_back(pool->Submit([&, w] {
+      WorkerResult& res = (*results)[w];
+      auto reader =
+          StreamingShardReader::Open(source, w, active_workers, opts);
+      if (!reader.ok()) {
+        res.status = reader.status();
+        if (ssp) {
+          server->CancelSsp();
+          server->FinishSspWorker(w);
+        }
+        return;
+      }
+      StreamBatchProducer producer(std::move(*reader));
+      WorkerEpochContext ctx{&config_, server, w, epoch, ssp};
+      RunPipelinedWorker(ctx, &producer, &res);
+    }));
   }
-  return agl::Status::OK();
+  for (auto& f : futs) f.get();
+  if (ssp) server->EndSspEpoch();
+  return CollectWorkerStatuses(*results);
 }
 
 agl::Status GraphTrainer::RunBspEpoch(

@@ -3,14 +3,23 @@
 //
 // Because every GraphFeature carries its whole receptive field, workers are
 // independent: each processes its own partition of the training data with
-// no cross-worker communication — only pull/push against the PS. Three
-// optimizations from the paper are implemented and individually togglable
-// so Table 4 can ablate them:
-//   * training pipeline  — batch preprocessing (vectorize + prune +
-//     normalize) runs one batch ahead of model computation;
-//   * graph pruning      — per-layer adjacency A^(k) (model config);
-//   * edge partitioning  — multi-threaded conflict-free aggregation
-//     (model config aggregation_threads).
+// no cross-worker communication — only pull/push against the PS. The inner
+// loop is a staged pipeline per worker (§3.3.2 "training pipeline"):
+//
+//   reader/prep stage   — reads + vectorizes + prunes + normalizes batches
+//                         one queue-depth ahead of the model computation
+//                         (a dedicated thread feeding a bounded queue; in
+//                         streaming mode it deserializes GraphFeatures
+//                         straight off the DFS part files);
+//   compute stage       — forward/backward on the worker's model replica;
+//   push/pull stage     — a dedicated thread owns all PS traffic, so the
+//                         gradient push and the next parameter snapshot
+//                         (double-buffered through a queue) overlap the
+//                         compute stage's batch handling.
+//
+// Consistency is a tunable ("flexible model consistency", §3.1): fully
+// asynchronous, bulk-synchronous, or stale-synchronous with a bounded
+// clock skew — see SyncMode.
 
 #pragma once
 
@@ -26,6 +35,7 @@
 #include "mr/local_dfs.h"
 #include "ps/parameter_server.h"
 #include "subgraph/graph_feature.h"
+#include "trainer/feature_source.h"
 
 namespace agl::trainer {
 
@@ -47,6 +57,12 @@ enum class SyncMode {
   /// Deterministic for a fixed partition, at the cost of lock-step
   /// barriers.
   kBsp,
+  /// Stale-synchronous parallel: every worker owns a clock that ticks once
+  /// per batch; a worker may run at most `staleness_bound` ticks ahead of
+  /// the slowest, and a tick's gradients commit as one averaged update the
+  /// moment every worker has contributed it. Bound 0 reproduces kBsp
+  /// bit-for-bit; ps::kUnboundedStaleness never blocks (async progress).
+  kSsp,
 };
 
 struct TrainerConfig {
@@ -58,8 +74,16 @@ struct TrainerConfig {
   nn::Adam::Options adam;
   int batch_size = 32;
   int epochs = 10;
-  /// Training pipeline optimization (batch-level, §3.3.2).
+  /// Training pipeline optimization (§3.3.2): stage threads + bounded
+  /// queues. Off = the same schedule executed inline (no overlap).
   bool use_pipeline = true;
+  /// Depth of the per-worker prepared-batch queue (reader stage run-ahead;
+  /// pipeline memory is O(prefetch_batches x batch)).
+  int prefetch_batches = 2;
+  /// SSP clock slack (kSsp only): how many batches any worker may run
+  /// ahead of the slowest. 0 = BSP-exact lockstep;
+  /// ps::kUnboundedStaleness = never block.
+  int64_t staleness_bound = 1;
   uint64_t seed = 2024;
   /// Evaluate on the validation set every `eval_every` epochs (0 = never).
   int eval_every = 1;
@@ -75,6 +99,11 @@ struct TrainerConfig {
   /// long jobs; restore with LoadCheckpoint + initial_state).
   mr::LocalDfs* checkpoint_dfs = nullptr;
   std::string checkpoint_prefix = "checkpoint";
+  /// Test-only fault hook: when set, it runs before each batch's gradient
+  /// push as (epoch, worker, tick); a non-OK return aborts training and
+  /// must tear the pipeline down without deadlocking.
+  std::function<agl::Status(int epoch, int worker, int64_t tick)>
+      fault_injector;
 };
 
 struct EpochRecord {
@@ -82,13 +111,14 @@ struct EpochRecord {
   double mean_train_loss = 0;
   double val_metric = 0;  // NaN when not evaluated
   double seconds = 0;
-  /// Time split per stage (summed across workers): preprocessing (read +
-  /// subgraph vectorization + pruning + normalization) vs model
-  /// computation (forward/backward/push/pull). With the training pipeline
-  /// on hardware with spare cores, the epoch cost approaches
-  /// max(prep, compute) — the §3.3.2 claim.
+  /// Time split per pipeline stage (summed across workers): preprocessing
+  /// (read + subgraph vectorization + pruning + normalization), model
+  /// computation (forward/backward), and PS traffic (push/pull incl. SSP
+  /// gate waits). With the pipeline on hardware with spare cores, the
+  /// epoch cost approaches max over stages — the §3.3.2 claim.
   double prep_seconds = 0;
   double compute_seconds = 0;
+  double comm_seconds = 0;
 };
 
 struct TrainReport {
@@ -97,15 +127,20 @@ struct TrainReport {
   double best_val_metric = 0;
   /// Final parameters (PS snapshot after the last epoch).
   std::map<std::string, tensor::Tensor> final_state;
+  /// PS traffic + SSP staleness accounting for the whole run.
+  ps::ServerStats ps_stats;
 };
 
 namespace internal {
 /// Per-worker accumulation for one epoch (exposed for the epoch runners).
+/// The three stage timers are written by different pipeline threads and
+/// must stay distinct members.
 struct WorkerResult {
   double loss_sum = 0;
   int64_t batches = 0;
   double prep_seconds = 0;
   double compute_seconds = 0;
+  double comm_seconds = 0;
   agl::Status status;
 };
 }  // namespace internal
@@ -120,6 +155,14 @@ class GraphTrainer {
       std::span<const subgraph::GraphFeature> train,
       std::span<const subgraph::GraphFeature> val) const;
 
+  /// Trains directly off a DFS feature dataset: each worker's reader stage
+  /// streams and deserializes its round-robin share of the part files one
+  /// record at a time (memory O(prefetch_batches x batch), not O(shard)).
+  /// kBsp needs random access and is rejected here; use Train().
+  agl::Result<TrainReport> TrainStreaming(
+      const DfsFeatureSource& source,
+      std::span<const subgraph::GraphFeature> val) const;
+
   /// Evaluates `state` on a dataset; returns the task metric.
   agl::Result<double> Evaluate(
       const std::map<std::string, tensor::Tensor>& state,
@@ -128,10 +171,20 @@ class GraphTrainer {
   const TrainerConfig& config() const { return config_; }
 
  private:
-  agl::Status RunAsyncEpoch(
+  agl::Result<TrainReport> TrainLoop(
+      const std::function<agl::Status(
+          int epoch, ps::ParameterServer* server, ThreadPool* pool,
+          std::vector<internal::WorkerResult>* results)>& run_epoch,
+      int active_workers,
+      std::span<const subgraph::GraphFeature> val) const;
+  agl::Status RunPipelinedEpoch(
       std::span<const subgraph::GraphFeature> train, int epoch,
       ps::ParameterServer* server, ThreadPool* pool,
       const std::vector<std::pair<std::size_t, std::size_t>>& partitions,
+      std::vector<internal::WorkerResult>* results) const;
+  agl::Status RunStreamingEpoch(
+      const DfsFeatureSource& source, int epoch,
+      ps::ParameterServer* server, ThreadPool* pool, int active_workers,
       std::vector<internal::WorkerResult>* results) const;
   agl::Status RunBspEpoch(
       std::span<const subgraph::GraphFeature> train, int epoch,

@@ -6,7 +6,10 @@
 #include <atomic>
 #include <set>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
+#include "common/bounded_queue.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -236,6 +239,125 @@ TEST(TimerTest, ResourceMeterAccumulates) {
 TEST(TimerTest, ProcessStatsAvailable) {
   EXPECT_GT(CurrentRssBytes(), 0u);
   EXPECT_GT(ProcessCpuSeconds(), 0.0);
+}
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.Push(i));
+  EXPECT_EQ(q.size(), 4u);
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.Pop(&v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilPop) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    q.Push(2);  // blocks: capacity 1
+    second_pushed = true;
+  });
+  EXPECT_FALSE(second_pushed.load());
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenEnds) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.Push(7));
+  ASSERT_TRUE(q.Push(8));
+  q.Close();
+  EXPECT_FALSE(q.Push(9));  // closed to producers
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));  // but queued items still drain
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 8);
+  EXPECT_FALSE(q.Pop(&v));  // drained + closed = end of stream
+}
+
+TEST(BoundedQueueTest, CancelDropsItemsAndReleasesWaiters) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<int> released{0};
+  std::thread blocked_producer([&] {
+    EXPECT_FALSE(q.Push(2));  // blocked full, then cancelled
+    released++;
+  });
+  std::thread blocked_consumer([&] {
+    int v;
+    // May consume the queued item before the cancel lands; either way the
+    // call must return (not hang).
+    q.Pop(&v);
+    released++;
+  });
+  q.Cancel();
+  blocked_producer.join();
+  blocked_consumer.join();
+  EXPECT_EQ(released.load(), 2);
+  EXPECT_TRUE(q.cancelled());
+  int v;
+  EXPECT_FALSE(q.Pop(&v));   // cancelled queue stays dead
+  EXPECT_FALSE(q.Push(3));
+}
+
+TEST(BoundedQueueTest, TryPopDistinguishesNotYetFromNever) {
+  using Result = BoundedQueue<int>::TryPopResult;
+  BoundedQueue<int> q(2);
+  int v = 0;
+  EXPECT_EQ(q.TryPop(&v), Result::kEmpty);  // open, nothing queued
+  ASSERT_TRUE(q.Push(5));
+  EXPECT_EQ(q.TryPop(&v), Result::kItem);
+  EXPECT_EQ(v, 5);
+  ASSERT_TRUE(q.Push(6));
+  q.Close();
+  EXPECT_EQ(q.TryPop(&v), Result::kItem);  // drains after close
+  EXPECT_EQ(v, 6);
+  EXPECT_EQ(q.TryPop(&v), Result::kDone);  // closed + drained
+  BoundedQueue<int> cancelled(2);
+  ASSERT_TRUE(cancelled.Push(1));
+  cancelled.Cancel();
+  EXPECT_EQ(cancelled.TryPop(&v), Result::kDone);
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumers) {
+  constexpr int kProducers = 4, kConsumers = 3, kPerProducer = 250;
+  BoundedQueue<int> q(8);
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      int v;
+      while (q.Pop(&v)) {
+        sum += v;
+        popped++;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  const int n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), static_cast<long>(n) * (n - 1) / 2);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include "flat/graphflat.h"
 #include "trainer/feature_source.h"
+#include "trainer/trainer.h"
 
 namespace agl::trainer {
 namespace {
@@ -139,6 +140,172 @@ TEST_F(FeatureSourceTest, CorruptPartSurfacesAsError) {
   auto src = DfsFeatureSource::Open(*dfs_, "features");
   ASSERT_TRUE(src.ok());
   EXPECT_FALSE(src->ReadAll().ok());
+}
+
+// --- StreamingShardReader --------------------------------------------------
+
+TEST_F(FeatureSourceTest, StreamingMatchesMaterializedShardOrder) {
+  // The prefetching stream must yield exactly ReadShard's records in
+  // exactly ReadShard's order (parts round-robin, records in file order) —
+  // the trainer relies on this for pipeline/inline equivalence.
+  auto src = DfsFeatureSource::Open(*dfs_, "features");
+  ASSERT_TRUE(src.ok());
+  for (int workers : {1, 2, 3}) {
+    for (int w = 0; w < workers; ++w) {
+      auto materialized = src->ReadShard(w, workers);
+      ASSERT_TRUE(materialized.ok());
+      StreamingShardReader::Options opts;
+      opts.batch_size = 3;
+      auto reader = StreamingShardReader::Open(*src, w, workers, opts);
+      ASSERT_TRUE(reader.ok());
+      std::vector<uint64_t> streamed;
+      while (true) {
+        auto batch = (*reader)->Next();
+        ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+        if (batch->empty()) break;
+        EXPECT_LE(batch->size(), 3u);
+        for (const auto& gf : *batch) streamed.push_back(gf.target_id);
+      }
+      ASSERT_EQ(streamed.size(), materialized->size());
+      for (std::size_t i = 0; i < streamed.size(); ++i) {
+        EXPECT_EQ(streamed[i], (*materialized)[i].target_id) << i;
+      }
+    }
+  }
+}
+
+TEST_F(FeatureSourceTest, StreamingReaderEndIsSticky) {
+  auto src = DfsFeatureSource::Open(*dfs_, "features");
+  ASSERT_TRUE(src.ok());
+  auto reader =
+      StreamingShardReader::Open(*src, 0, 1, {.batch_size = 100});
+  ASSERT_TRUE(reader.ok());
+  auto batch = (*reader)->Next();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->size(), 10u);  // whole dataset in one batch
+  for (int i = 0; i < 3; ++i) {
+    auto end = (*reader)->Next();
+    ASSERT_TRUE(end.ok());
+    EXPECT_TRUE(end->empty());
+  }
+}
+
+TEST_F(FeatureSourceTest, StreamingReaderBadSpecRejected) {
+  auto src = DfsFeatureSource::Open(*dfs_, "features");
+  ASSERT_TRUE(src.ok());
+  EXPECT_FALSE(StreamingShardReader::Open(*src, -1, 2, {}).ok());
+  EXPECT_FALSE(StreamingShardReader::Open(*src, 2, 2, {}).ok());
+  EXPECT_FALSE(
+      StreamingShardReader::Open(*src, 0, 1, {.batch_size = 0}).ok());
+}
+
+TEST_F(FeatureSourceTest, StreamingReaderCancelUnblocks) {
+  // With a depth-1 queue and batch_size 1 the reader parks on the queue
+  // almost immediately; Cancel() must release it and poison Next().
+  auto src = DfsFeatureSource::Open(*dfs_, "features");
+  ASSERT_TRUE(src.ok());
+  auto reader = StreamingShardReader::Open(
+      *src, 0, 1, {.batch_size = 1, .prefetch_batches = 1});
+  ASSERT_TRUE(reader.ok());
+  auto first = (*reader)->Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->size(), 1u);
+  (*reader)->Cancel();
+  auto after = (*reader)->Next();
+  EXPECT_EQ(after.status().code(), StatusCode::kAborted);
+  // Destructor must join cleanly (implicitly tested by scope exit).
+}
+
+TEST_F(FeatureSourceTest, StreamingReaderSurfacesCorruption) {
+  auto parts = dfs_->ListParts("features");
+  ASSERT_TRUE(parts.ok());
+  std::filesystem::resize_file((*parts)[0],
+                               std::filesystem::file_size((*parts)[0]) - 5);
+  auto src = DfsFeatureSource::Open(*dfs_, "features");
+  ASSERT_TRUE(src.ok());
+  auto reader =
+      StreamingShardReader::Open(*src, 0, 1, {.batch_size = 2});
+  ASSERT_TRUE(reader.ok());
+  agl::Status last = agl::Status::OK();
+  for (int i = 0; i < 32 && last.ok(); ++i) {
+    auto batch = (*reader)->Next();
+    if (!batch.ok()) {
+      last = batch.status();
+      break;
+    }
+    ASSERT_FALSE(batch->empty()) << "stream ended without surfacing error";
+  }
+  EXPECT_FALSE(last.ok());
+  EXPECT_NE(last.code(), StatusCode::kAborted);  // the real read error
+}
+
+TEST_F(FeatureSourceTest, TrainStreamingMatchesMaterializedTraining) {
+  // One worker, async: the stream yields the same batches in the same
+  // order as training over ReadAll()'s span, so the trajectories agree.
+  auto src = DfsFeatureSource::Open(*dfs_, "features");
+  ASSERT_TRUE(src.ok());
+  auto all = src->ReadAll();
+  ASSERT_TRUE(all.ok());
+
+  TrainerConfig config;
+  config.model.type = gnn::ModelType::kGcn;
+  config.model.num_layers = 1;
+  config.model.in_dim = 1;
+  config.model.hidden_dim = 4;
+  config.model.out_dim = 2;
+  config.model.dropout = 0.f;
+  config.task = TaskKind::kBinaryAuc;
+  config.num_workers = 1;
+  config.batch_size = 4;
+  config.epochs = 3;
+  config.eval_every = 0;
+
+  auto streamed = GraphTrainer(config).TrainStreaming(*src, {});
+  auto materialized = GraphTrainer(config).Train(*all, {});
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  ASSERT_TRUE(materialized.ok());
+  ASSERT_EQ(streamed->epochs.size(), materialized->epochs.size());
+  for (std::size_t i = 0; i < streamed->epochs.size(); ++i) {
+    EXPECT_EQ(streamed->epochs[i].mean_train_loss,
+              materialized->epochs[i].mean_train_loss)
+        << "epoch " << i;
+  }
+  for (const auto& [key, value] : materialized->final_state) {
+    EXPECT_TRUE(streamed->final_state.at(key).AllClose(value, 0.f)) << key;
+  }
+}
+
+TEST_F(FeatureSourceTest, TrainStreamingRejectsBsp) {
+  auto src = DfsFeatureSource::Open(*dfs_, "features");
+  ASSERT_TRUE(src.ok());
+  TrainerConfig config;
+  config.sync_mode = SyncMode::kBsp;
+  auto report = GraphTrainer(config).TrainStreaming(*src, {});
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FeatureSourceTest, TrainStreamingSspLockstep) {
+  // Multi-worker SSP straight off the DFS: bound 0 lockstep must finish
+  // and never admit a pull beyond the bound.
+  auto src = DfsFeatureSource::Open(*dfs_, "features");
+  ASSERT_TRUE(src.ok());
+  TrainerConfig config;
+  config.model.type = gnn::ModelType::kGcn;
+  config.model.num_layers = 1;
+  config.model.in_dim = 1;
+  config.model.hidden_dim = 4;
+  config.model.out_dim = 2;
+  config.task = TaskKind::kBinaryAuc;
+  config.sync_mode = SyncMode::kSsp;
+  config.staleness_bound = 0;
+  config.num_workers = 3;
+  config.batch_size = 2;
+  config.epochs = 2;
+  config.eval_every = 0;
+  auto report = GraphTrainer(config).TrainStreaming(*src, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->ps_stats.max_staleness, 0);
+  EXPECT_GT(report->ps_stats.ssp_commits, 0);
 }
 
 }  // namespace

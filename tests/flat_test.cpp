@@ -307,13 +307,18 @@ TEST(ReindexTest, HubKeysSplitAndRestored) {
   config.job.num_reduce_tasks = 4;
   std::vector<mr::KeyValue> records;
   // 20 in-edge records for hub key "7", 2 for key "8".
+  const auto in_edge = [](const EdgeRecord& e) {
+    std::string value("I");
+    value += e.Serialize();
+    return value;
+  };
   for (int i = 0; i < 20; ++i) {
     EdgeRecord e{static_cast<NodeId>(100 + i), 7, 1.f, {}};
-    records.push_back({"7", "I" + e.Serialize()});
+    records.push_back({"7", in_edge(e)});
   }
   for (int i = 0; i < 2; ++i) {
     EdgeRecord e{static_cast<NodeId>(200 + i), 8, 1.f, {}};
-    records.push_back({"8", "I" + e.Serialize()});
+    records.push_back({"8", in_edge(e)});
   }
   auto result = ReindexAndSampleHubKeys(config, std::move(records), 0);
   ASSERT_TRUE(result.ok());

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "ps/parameter_server.h"
@@ -149,6 +150,203 @@ TEST(ParameterServerTest, ReinitializeResets) {
   smaller.emplace("only", Tensor(1, 1));
   server.Initialize(smaller);
   EXPECT_EQ(server.NumParameters(), 1);
+}
+
+// --- SSP clock layer -------------------------------------------------------
+
+std::map<std::string, Tensor> UnitGrads() {
+  std::map<std::string, Tensor> grads;
+  grads.emplace("w", Tensor::Full(1, 1, 1.f));
+  return grads;
+}
+
+TEST(SspClockTest, PullOutsideEpochFails) {
+  ParameterServer server(ServerOptions{});
+  server.Initialize(TinyState());
+  EXPECT_EQ(server.PullSsp(0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(server.PushSsp(0, UnitGrads()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SspClockTest, TickCommitsWhenAllWorkersContributed) {
+  // Two workers, bound 0: worker 0's push alone must NOT move the value;
+  // worker 1's push completes the tick and commits the averaged update.
+  ServerOptions opts;
+  opts.adam.lr = 0.1f;
+  ParameterServer server(opts);
+  std::map<std::string, Tensor> state;
+  state.emplace("w", Tensor::Full(1, 1, 1.f));
+  server.Initialize(state);
+  server.BeginSspEpoch(2, 0);
+
+  ASSERT_TRUE(server.PushSsp(0, UnitGrads()).ok());
+  EXPECT_TRUE(server.PullAll().at("w").AllClose(Tensor::Full(1, 1, 1.f)));
+  ASSERT_TRUE(server.PushSsp(1, UnitGrads()).ok());
+
+  Tensor local = Tensor::Full(1, 1, 1.f);
+  nn::AdamState local_state;
+  nn::AdamApply(opts.adam, Tensor::Full(1, 1, 1.f), &local, &local_state);
+  EXPECT_TRUE(server.PullAll().at("w").AllClose(local, 0.f));
+  EXPECT_EQ(server.stats().ssp_commits, 1);
+  server.EndSspEpoch();
+}
+
+TEST(SspClockTest, FinishedWorkerStopsHoldingTheClock) {
+  ServerOptions opts;
+  ParameterServer server(opts);
+  std::map<std::string, Tensor> state;
+  state.emplace("w", Tensor::Full(1, 1, 1.f));
+  server.Initialize(state);
+  server.BeginSspEpoch(2, 0);
+
+  ASSERT_TRUE(server.PushSsp(0, UnitGrads()).ok());
+  EXPECT_EQ(server.stats().ssp_commits, 0);  // tick 0 still open
+  server.FinishSspWorker(1);                 // worker 1 had no batches
+  EXPECT_EQ(server.stats().ssp_commits, 1);  // tick 0 commits without it
+  // Worker 0 now runs alone; its next tick commits on push.
+  ASSERT_TRUE(server.PushSsp(0, UnitGrads()).ok());
+  EXPECT_EQ(server.stats().ssp_commits, 2);
+  server.EndSspEpoch();
+}
+
+TEST(SspClockTest, GateBlocksRunaheadUntilSlowestCatchesUp) {
+  ParameterServer server(ServerOptions{});
+  std::map<std::string, Tensor> state;
+  state.emplace("w", Tensor::Full(1, 1, 1.f));
+  server.Initialize(state);
+  server.BeginSspEpoch(2, /*staleness_bound=*/1);
+
+  // Worker 0 completes one tick; at clock 1 vs min 0 (skew 1 == bound) it
+  // may still pull, but after a second tick (skew 2) it must block.
+  ASSERT_TRUE(server.PushSsp(0, UnitGrads()).ok());
+  ASSERT_TRUE(server.PullSsp(0).ok());
+  ASSERT_TRUE(server.PushSsp(0, UnitGrads()).ok());
+
+  std::atomic<bool> admitted{false};
+  std::thread runahead([&] {
+    auto r = server.PullSsp(0);  // skew 2 > bound 1: blocks
+    EXPECT_TRUE(r.ok());
+    admitted = true;
+  });
+  // Give the wait a moment to engage, then release it via worker 1.
+  while (server.stats().ssp_waits == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(admitted.load());
+  ASSERT_TRUE(server.PushSsp(1, UnitGrads()).ok());  // min clock -> 1
+  runahead.join();
+  EXPECT_TRUE(admitted.load());
+  auto stats = server.stats();
+  EXPECT_EQ(stats.ssp_waits, 1);
+  EXPECT_EQ(stats.max_staleness, 1);  // skew observed at admit time
+  server.EndSspEpoch();
+}
+
+TEST(SspClockTest, CancelReleasesBlockedPullAsAborted) {
+  ParameterServer server(ServerOptions{});
+  std::map<std::string, Tensor> state;
+  state.emplace("w", Tensor::Full(1, 1, 1.f));
+  server.Initialize(state);
+  server.BeginSspEpoch(2, 0);
+
+  ASSERT_TRUE(server.PushSsp(0, UnitGrads()).ok());
+  std::atomic<bool> released{false};
+  std::thread blocked([&] {
+    auto r = server.PullSsp(0);  // skew 1 > bound 0 (worker 1 at clock 0)
+    EXPECT_EQ(r.status().code(), StatusCode::kAborted);
+    released = true;
+  });
+  while (server.stats().ssp_waits == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(released.load());
+  server.CancelSsp();
+  blocked.join();
+  EXPECT_TRUE(released.load());
+  EXPECT_EQ(server.PushSsp(1, UnitGrads()).code(), StatusCode::kAborted);
+  server.EndSspEpoch();
+}
+
+TEST(SspClockTest, EndEpochReleasesParkedPull) {
+  // Ending (not cancelling) the epoch while a worker is parked at the
+  // gate must fail that pull out rather than leave it waiting on clocks
+  // that no longer exist.
+  ParameterServer server(ServerOptions{});
+  std::map<std::string, Tensor> state;
+  state.emplace("w", Tensor::Full(1, 1, 1.f));
+  server.Initialize(state);
+  server.BeginSspEpoch(2, 0);
+  ASSERT_TRUE(server.PushSsp(0, UnitGrads()).ok());
+  std::atomic<bool> released{false};
+  std::thread blocked([&] {
+    auto r = server.PullSsp(0);  // skew 1 > bound 0
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+    released = true;
+  });
+  while (server.stats().ssp_waits == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(released.load());
+  server.EndSspEpoch();
+  blocked.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(SspClockTest, PushValidatesKeysAndShapes) {
+  ParameterServer server(ServerOptions{});
+  server.Initialize(TinyState());
+  server.BeginSspEpoch(1, 0);
+  std::map<std::string, Tensor> unknown;
+  unknown.emplace("nope", Tensor::Full(1, 1, 1.f));
+  EXPECT_EQ(server.PushSsp(0, unknown).code(), StatusCode::kNotFound);
+  std::map<std::string, Tensor> bad_shape;
+  bad_shape.emplace("layer0.bias", Tensor::Full(2, 2, 1.f));
+  EXPECT_EQ(server.PushSsp(0, bad_shape).code(),
+            StatusCode::kInvalidArgument);
+  server.EndSspEpoch();
+}
+
+TEST(SspClockTest, FinishedWorkerPullObservesZeroSkew) {
+  // A finished worker's clock can sit BELOW the minimum of the unfinished
+  // workers; a late pull from it must clamp to bucket 0, not index the
+  // histogram negatively.
+  ParameterServer server(ServerOptions{});
+  std::map<std::string, Tensor> state;
+  state.emplace("w", Tensor::Full(1, 1, 1.f));
+  server.Initialize(state);
+  server.BeginSspEpoch(2, 1);
+  ASSERT_TRUE(server.PushSsp(1, UnitGrads()).ok());
+  ASSERT_TRUE(server.PushSsp(1, UnitGrads()).ok());  // clock 2
+  server.FinishSspWorker(0);                         // clock 0, excluded
+  auto r = server.PullSsp(0);
+  ASSERT_TRUE(r.ok());
+  auto stats = server.stats();
+  EXPECT_EQ(stats.staleness_hist[0], 1);
+  EXPECT_EQ(stats.max_staleness, 0);
+  server.EndSspEpoch();
+}
+
+TEST(SspClockTest, StalenessHistogramCountsAdmits) {
+  ParameterServer server(ServerOptions{});
+  std::map<std::string, Tensor> state;
+  state.emplace("w", Tensor::Full(1, 1, 1.f));
+  server.Initialize(state);
+  server.BeginSspEpoch(2, 3);
+  ASSERT_TRUE(server.PullSsp(0).ok());                // skew 0
+  ASSERT_TRUE(server.PushSsp(0, UnitGrads()).ok());
+  ASSERT_TRUE(server.PullSsp(0).ok());                // skew 1
+  ASSERT_TRUE(server.PushSsp(0, UnitGrads()).ok());
+  ASSERT_TRUE(server.PullSsp(0).ok());                // skew 2
+  auto stats = server.stats();
+  ASSERT_EQ(static_cast<int>(stats.staleness_hist.size()),
+            kStalenessBuckets);
+  EXPECT_EQ(stats.staleness_hist[0], 1);
+  EXPECT_EQ(stats.staleness_hist[1], 1);
+  EXPECT_EQ(stats.staleness_hist[2], 1);
+  EXPECT_EQ(stats.ssp_pulls, 3);
+  EXPECT_EQ(stats.max_staleness, 2);
+  server.EndSspEpoch();
 }
 
 }  // namespace

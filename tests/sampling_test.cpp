@@ -38,7 +38,9 @@ TEST(SamplerTest, UniformRespectsCap) {
   // Sorted ascending and in range.
   for (std::size_t i = 0; i < kept.size(); ++i) {
     EXPECT_LT(kept[i], 8u);
-    if (i > 0) EXPECT_LT(kept[i - 1], kept[i]);
+    if (i > 0) {
+      EXPECT_LT(kept[i - 1], kept[i]);
+    }
   }
 }
 

@@ -128,7 +128,9 @@ TEST(ShardRouterTest, ExchangeRoutesEveryRecordHome) {
   ShardRouter router(plan);
   std::vector<std::vector<mr::KeyValue>> scattered(4);
   for (int i = 0; i < 100; ++i) {
-    scattered[i % 4].push_back({std::to_string(i), "v" + std::to_string(i)});
+    std::string value("v");
+    value += std::to_string(i);
+    scattered[i % 4].push_back({std::to_string(i), std::move(value)});
   }
   auto routed = router.Exchange(std::move(scattered));
   ASSERT_EQ(routed.size(), 4u);
@@ -154,9 +156,14 @@ TEST(ShardMergeTest, OverlappingStatesAreSetUnioned) {
   b.AddNode({3, {3.f}, -1, {}});
   b.AddEdge({3, 1, 1.f, {}});
   b.AddEdge({2, 1, 1.f, {}});  // overlap with `a`
-  std::vector<mr::KeyValue> records = {{"1", "S" + a.Serialize()},
-                                       {"1", "S" + b.Serialize()},
-                                       {"1", "S" + a.Serialize()}};  // dup
+  const auto state_record = [](const SubgraphState& s) {
+    std::string value("S");
+    value += s.Serialize();
+    return value;
+  };
+  std::vector<mr::KeyValue> records = {{"1", state_record(a)},
+                                       {"1", state_record(b)},
+                                       {"1", state_record(a)}};  // dup
 
   GraphFlatConfig config;
   auto merged = MergeShardStates(config, /*node_feature_dim=*/1,

@@ -1,0 +1,263 @@
+// Property tests for SyncMode::kSsp and the staged training pipeline:
+//   * staleness bound 0 reproduces kBsp bit-for-bit on a fixed partition;
+//   * unbounded staleness matches kAsync's PS traffic stats and never
+//     blocks at the clock gate;
+//   * with bound k, no admitted pull ever observes a clock skew > k
+//     (asserted through the ServerStats staleness histogram);
+//   * an injected mid-epoch fault tears the pipeline down cleanly (no
+//     deadlock on the bounded queues or the SSP gate).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "flat/graphflat.h"
+#include "trainer/trainer.h"
+
+namespace agl::trainer {
+namespace {
+
+struct Prepared {
+  data::Dataset dataset;
+  data::FeatureSplits splits;
+};
+
+Prepared MakeCase(int train_size = 128) {
+  data::UugLikeOptions opts;
+  opts.num_nodes = 240;
+  opts.feature_dim = 8;
+  opts.train_size = train_size;
+  opts.val_size = 40;
+  opts.test_size = 40;
+  Prepared p;
+  p.dataset = data::MakeUugLike(opts);
+  flat::GraphFlatConfig fc;
+  fc.hops = 1;
+  auto features =
+      flat::RunGraphFlatInMemory(fc, p.dataset.nodes, p.dataset.edges);
+  AGL_CHECK(features.ok());
+  p.splits = data::SplitFeatures(std::move(features).value(), p.dataset);
+  return p;
+}
+
+TrainerConfig BaseConfig(const Prepared& p, int workers) {
+  TrainerConfig config;
+  config.model.type = gnn::ModelType::kGcn;
+  config.model.num_layers = 1;
+  config.model.in_dim = p.dataset.feature_dim;
+  config.model.hidden_dim = 8;
+  config.model.out_dim = 2;
+  config.model.dropout = 0.f;
+  config.task = TaskKind::kBinaryAuc;
+  config.num_workers = workers;
+  config.batch_size = 16;
+  config.epochs = 4;
+  config.sync_mode = SyncMode::kSsp;
+  config.staleness_bound = 1;
+  return config;
+}
+
+void ExpectBitIdentical(const TrainReport& a, const TrainReport& b) {
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    EXPECT_EQ(a.epochs[i].mean_train_loss, b.epochs[i].mean_train_loss)
+        << "epoch " << i;
+  }
+  ASSERT_EQ(a.final_state.size(), b.final_state.size());
+  for (const auto& [key, value] : a.final_state) {
+    EXPECT_TRUE(b.final_state.at(key).AllClose(value, 0.f)) << key;
+  }
+}
+
+TEST(SspTrainerTest, BoundZeroMatchesBspBitExact) {
+  // At bound 0 every worker runs in lockstep and each tick commits as one
+  // averaged update, summed in worker order — exactly the BSP round
+  // reducer. The trajectories must be bit-identical, not merely close.
+  Prepared p = MakeCase();
+  for (int workers : {1, 3, 4}) {
+    TrainerConfig ssp = BaseConfig(p, workers);
+    ssp.staleness_bound = 0;
+    TrainerConfig bsp = BaseConfig(p, workers);
+    bsp.sync_mode = SyncMode::kBsp;
+    auto a = GraphTrainer(ssp).Train(p.splits.train, p.splits.val);
+    auto b = GraphTrainer(bsp).Train(p.splits.train, p.splits.val);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ExpectBitIdentical(*a, *b);
+  }
+}
+
+TEST(SspTrainerTest, BoundZeroBitExactWithRaggedPartitions) {
+  // 5 workers over 128 features -> uneven tick counts; early-finishing
+  // workers must stop holding the clock and later ticks must average over
+  // the remaining contributors only (mirroring BSP's idle workers).
+  Prepared p = MakeCase();
+  TrainerConfig ssp = BaseConfig(p, 5);
+  ssp.batch_size = 10;
+  ssp.staleness_bound = 0;
+  TrainerConfig bsp = ssp;
+  bsp.sync_mode = SyncMode::kBsp;
+  auto a = GraphTrainer(ssp).Train(p.splits.train, p.splits.val);
+  auto b = GraphTrainer(bsp).Train(p.splits.train, p.splits.val);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectBitIdentical(*a, *b);
+}
+
+TEST(SspTrainerTest, BoundZeroPipelineOffMatchesPipelineOn) {
+  // The stage threads reorder execution, never arithmetic: inline and
+  // pipelined runs of the same SSP schedule are bit-identical.
+  Prepared p = MakeCase();
+  TrainerConfig on = BaseConfig(p, 3);
+  on.staleness_bound = 0;
+  on.use_pipeline = true;
+  TrainerConfig off = on;
+  off.use_pipeline = false;
+  auto a = GraphTrainer(on).Train(p.splits.train, p.splits.val);
+  auto b = GraphTrainer(off).Train(p.splits.train, p.splits.val);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectBitIdentical(*a, *b);
+}
+
+TEST(SspTrainerTest, UnboundedStalenessMatchesAsyncStats) {
+  // With an unbounded clock the gate never blocks and the PS traffic is
+  // the async schedule's: same pull/push/byte counters, zero gate waits.
+  Prepared p = MakeCase();
+  TrainerConfig ssp = BaseConfig(p, 4);
+  ssp.staleness_bound = ps::kUnboundedStaleness;
+  TrainerConfig async = BaseConfig(p, 4);
+  async.sync_mode = SyncMode::kAsync;
+  auto a = GraphTrainer(ssp).Train(p.splits.train, p.splits.val);
+  auto b = GraphTrainer(async).Train(p.splits.train, p.splits.val);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->ps_stats.pulls, b->ps_stats.pulls);
+  EXPECT_EQ(a->ps_stats.pushes, b->ps_stats.pushes);
+  EXPECT_EQ(a->ps_stats.bytes_pulled, b->ps_stats.bytes_pulled);
+  EXPECT_EQ(a->ps_stats.bytes_pushed, b->ps_stats.bytes_pushed);
+  EXPECT_EQ(a->ps_stats.ssp_waits, 0);
+  EXPECT_GT(a->ps_stats.ssp_pulls, 0);
+  // And it still learns.
+  EXPECT_GT(a->best_val_metric, 0.6);
+}
+
+TEST(SspTrainerTest, StalenessNeverExceedsBound) {
+  Prepared p = MakeCase();
+  for (int64_t bound : {0, 1, 2, 4}) {
+    TrainerConfig config = BaseConfig(p, 4);
+    config.staleness_bound = bound;
+    config.batch_size = 8;  // more ticks -> more chances to race ahead
+    auto report = GraphTrainer(config).Train(p.splits.train, p.splits.val);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const ps::ServerStats& stats = report->ps_stats;
+    EXPECT_LE(stats.max_staleness, bound) << "bound " << bound;
+    ASSERT_EQ(static_cast<int>(stats.staleness_hist.size()),
+              ps::kStalenessBuckets);
+    int64_t admitted = 0;
+    for (int s = 0; s < ps::kStalenessBuckets; ++s) {
+      if (s > bound) {
+        EXPECT_EQ(stats.staleness_hist[s], 0)
+            << "bound " << bound << " bucket " << s;
+      }
+      admitted += stats.staleness_hist[s];
+    }
+    EXPECT_EQ(admitted, stats.ssp_pulls);
+  }
+}
+
+TEST(SspTrainerTest, SspLearnsAboveChance) {
+  Prepared p = MakeCase();
+  TrainerConfig config = BaseConfig(p, 3);
+  config.staleness_bound = 2;
+  auto report = GraphTrainer(config).Train(p.splits.train, p.splits.val);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->best_val_metric, 0.6);
+}
+
+TEST(SspTrainerTest, DeterministicAcrossRunsAtBoundZero) {
+  Prepared p = MakeCase();
+  TrainerConfig config = BaseConfig(p, 4);
+  config.staleness_bound = 0;
+  auto a = GraphTrainer(config).Train(p.splits.train, p.splits.val);
+  auto b = GraphTrainer(config).Train(p.splits.train, p.splits.val);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectBitIdentical(*a, *b);
+}
+
+TEST(SspTrainerTest, NegativeBoundRejected) {
+  Prepared p = MakeCase();
+  TrainerConfig config = BaseConfig(p, 2);
+  config.staleness_bound = -1;
+  auto report = GraphTrainer(config).Train(p.splits.train, p.splits.val);
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Fault-injected teardown ----------------------------------------------
+//
+// The dangerous configuration: lockstep (bound 0) so every other worker is
+// blocked at the SSP gate when one worker dies mid-epoch. The trainer must
+// cancel the gate and the bounded queues, join every stage thread, and
+// surface the injected error — under the 300 s ctest timeout, a deadlock
+// IS the failure mode.
+
+TEST(SspTrainerTest, PipelineTeardownCleanUnderInjectedFault) {
+  Prepared p = MakeCase();
+  TrainerConfig config = BaseConfig(p, 4);
+  config.staleness_bound = 0;
+  config.epochs = 3;
+  config.fault_injector = [](int epoch, int worker, int64_t tick) {
+    if (epoch == 1 && worker == 2 && tick == 1) {
+      return agl::Status::Internal("injected fault");
+    }
+    return agl::Status::OK();
+  };
+  auto report = GraphTrainer(config).Train(p.splits.train, p.splits.val);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+  EXPECT_NE(report.status().ToString().find("injected fault"),
+            std::string::npos);
+}
+
+TEST(SspTrainerTest, TeardownCleanAcrossModesAndFaultSites) {
+  // Sweep the fault across workers and both pipeline settings; every
+  // combination must terminate with the injected error, never hang.
+  Prepared p = MakeCase(64);
+  for (bool pipelined : {true, false}) {
+    for (int fault_worker = 0; fault_worker < 3; ++fault_worker) {
+      TrainerConfig config = BaseConfig(p, 3);
+      config.staleness_bound = 0;
+      config.epochs = 2;
+      config.use_pipeline = pipelined;
+      config.fault_injector = [fault_worker](int, int worker, int64_t) {
+        if (worker == fault_worker) {
+          return agl::Status::Internal("injected fault");
+        }
+        return agl::Status::OK();
+      };
+      auto report = GraphTrainer(config).Train(p.splits.train, {});
+      ASSERT_FALSE(report.ok())
+          << "pipelined=" << pipelined << " worker=" << fault_worker;
+      EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+    }
+  }
+}
+
+TEST(SspTrainerTest, AsyncPipelineTeardownCleanUnderInjectedFault) {
+  // Same property for the async pipeline (no gate to cancel, but the
+  // bounded queues still must unwind).
+  Prepared p = MakeCase(64);
+  TrainerConfig config = BaseConfig(p, 3);
+  config.sync_mode = SyncMode::kAsync;
+  config.epochs = 2;
+  config.fault_injector = [](int, int worker, int64_t tick) {
+    if (worker == 1 && tick == 0) {
+      return agl::Status::Internal("injected fault");
+    }
+    return agl::Status::OK();
+  };
+  auto report = GraphTrainer(config).Train(p.splits.train, {});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace agl::trainer
