@@ -9,7 +9,9 @@
 // through CSV tables and the LocalDfs so the pipeline can be driven one
 // command at a time, as in production.
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -18,6 +20,7 @@
 #include "common/flags.h"
 #include "data/dataset.h"
 #include "flat/csv_io.h"
+#include "infer/segmentation.h"
 
 namespace {
 
@@ -234,10 +237,36 @@ int RunTrainCmd(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// The in_dim a trained state dict was built for, read off its layer-0
+/// parameters (rows of the input-side weight of the given model type).
+agl::Result<int64_t> ModelStateInDim(
+    const std::map<std::string, tensor::Tensor>& state,
+    gnn::ModelType type) {
+  const char* key = nullptr;
+  switch (type) {
+    case gnn::ModelType::kGcn:
+      key = "layer0.linear.weight";
+      break;
+    case gnn::ModelType::kGraphSage:
+      key = "layer0.self.weight";
+      break;
+    case gnn::ModelType::kGat:
+      key = "layer0.weight_0";
+      break;
+  }
+  auto it = state.find(key);
+  if (it == state.end()) {
+    return agl::Status::InvalidArgument(
+        std::string("model state has no '") + key +
+        "' parameter — was the model trained with a different --model-type?");
+  }
+  return it->second.rows();
+}
+
 int RunInferCmd(const std::vector<std::string>& args) {
   std::string model_loc_str, node_csv, edge_csv, output, model_name = "gcn";
   int64_t layers = 2, hidden = 16, classes = 2, heads = 1, workers = 4,
-          shards = 1;
+          shards = 1, batch_slices = 1, cache_mb = 0;
   FlagParser parser;
   parser.AddString("m", &model_loc_str, "trained model <dfs-root>:<dataset>")
       .AddString("model-type", &model_name, "model (gcn|graphsage|gat)")
@@ -249,6 +278,12 @@ int RunInferCmd(const std::vector<std::string>& args) {
       .AddInt("heads", &heads, "GAT attention heads")
       .AddInt("workers", &workers, "MapReduce workers")
       .AddInt("shards", &shards, "inference shards")
+      .AddInt("batch-slices", &batch_slices,
+              "target slices batched through the pipeline (>1 enables the "
+              "cross-slice embedding cache path)")
+      .AddInt("cache-mb", &cache_mb,
+              "embedding-cache budget in MiB (0 = off, -1 = unbounded); "
+              "evictions spill to <dfs-root>/infer_cache.spill")
       .AddString("o", &output, "scores CSV output path");
   if (agl::Status s = parser.Parse(args); !s.ok()) return Fail(s);
   if (model_loc_str.empty() || node_csv.empty() || edge_csv.empty() ||
@@ -258,35 +293,101 @@ int RunInferCmd(const std::vector<std::string>& args) {
     return 1;
   }
 
+  // Validate every input artifact up front, so a broken pipeline names the
+  // artifact that is wrong instead of failing deep inside the rounds.
   auto model_loc = ParseDfsLocation(model_loc_str);
   if (!model_loc.ok()) return Fail(model_loc.status());
   auto dfs = mr::LocalDfs::Open(model_loc->root);
   if (!dfs.ok()) return Fail(dfs.status());
+  if (!dfs->DatasetExists(model_loc->dataset)) {
+    return Fail(agl::Status::NotFound(
+        "model dataset '" + model_loc->dataset + "' not found under DFS "
+        "root '" + model_loc->root + "' — train one first: agl_cli train "
+        "... -o " + model_loc_str));
+  }
   auto records = dfs->ReadDataset(model_loc->dataset);
   if (!records.ok()) return Fail(records.status());
   if (records->size() != 1) {
-    return Fail(agl::Status::Corruption("model dataset must hold 1 record"));
+    return Fail(agl::Status::Corruption(
+        "model dataset '" + model_loc_str + "' must hold exactly 1 record, "
+        "found " + std::to_string(records->size()) +
+        " — is it a GraphFeature dataset instead of a trained model?"));
   }
   auto state = ParseState((*records)[0]);
-  if (!state.ok()) return Fail(state.status());
+  if (!state.ok()) {
+    return Fail(agl::Status(state.status().code(),
+                            "model dataset '" + model_loc_str +
+                                "' does not parse as a trained state "
+                                "dict: " + state.status().message()));
+  }
+
+  auto type = gnn::ParseModelType(model_name);
+  if (!type.ok()) return Fail(type.status());
+  auto model_in_dim = ModelStateInDim(*state, *type);
+  if (!model_in_dim.ok()) return Fail(model_in_dim.status());
+  const int state_layers = infer::CountStateLayers(*state);
+  if (state_layers != static_cast<int>(layers)) {
+    return Fail(agl::Status::InvalidArgument(
+        "model dataset '" + model_loc_str + "' holds " +
+        std::to_string(state_layers) + " layers but --layers is " +
+        std::to_string(layers)));
+  }
 
   auto nodes = flat::ReadNodeCsv(node_csv);
   if (!nodes.ok()) return Fail(nodes.status());
   auto edges = flat::ReadEdgeCsv(edge_csv);
   if (!edges.ok()) return Fail(edges.status());
+  if (nodes->empty()) {
+    return Fail(agl::Status::InvalidArgument("node table '" + node_csv +
+                                             "' has no rows"));
+  }
+  const int64_t feature_dim =
+      static_cast<int64_t>((*nodes)[0].features.size());
+  for (const flat::NodeRecord& n : *nodes) {
+    if (static_cast<int64_t>(n.features.size()) != feature_dim) {
+      return Fail(agl::Status::InvalidArgument(
+          "node table '" + node_csv + "' has inconsistent feature widths: "
+          "node " + std::to_string(n.id) + " has " +
+          std::to_string(n.features.size()) + ", node " +
+          std::to_string((*nodes)[0].id) + " has " +
+          std::to_string(feature_dim)));
+    }
+  }
+  if (feature_dim != *model_in_dim) {
+    return Fail(agl::Status::InvalidArgument(
+        "model dataset '" + model_loc_str + "' was trained for in_dim=" +
+        std::to_string(*model_in_dim) + " but node table '" + node_csv +
+        "' has " + std::to_string(feature_dim) +
+        "-dim features — wrong model or wrong node table"));
+  }
 
   infer::InferConfig config;
-  auto type = gnn::ParseModelType(model_name);
-  if (!type.ok()) return Fail(type.status());
   config.model.type = *type;
   config.model.num_layers = static_cast<int>(layers);
-  config.model.in_dim = static_cast<int64_t>((*nodes)[0].features.size());
+  config.model.in_dim = feature_dim;
   config.model.hidden_dim = hidden;
   config.model.out_dim = classes;
   config.model.gat_heads = static_cast<int>(heads);
   config.job.num_workers = static_cast<int>(workers);
   config.num_shards = static_cast<int>(shards);
-  auto result = GraphInfer(config, *state, *nodes, *edges);
+  config.batch_slices = static_cast<int>(batch_slices);
+  // With a single slice every (node, round) is reduced exactly once, so a
+  // cache could never hit — don't pay its bookkeeping for nothing.
+  const bool batched = batch_slices > 1;
+  if (!batched && cache_mb != 0) {
+    std::fprintf(stderr,
+                 "note: --cache-mb only takes effect with --batch-slices > "
+                 "1; running unbatched without a cache\n");
+  }
+  if (batched) {
+    config.cache_budget_bytes =
+        cache_mb < 0 ? int64_t{-1} : cache_mb * (int64_t{1} << 20);
+    if (config.cache_budget_bytes > 0) {
+      config.cache_spill_path = dfs->root() + "/infer_cache.spill";
+    }
+  }
+  auto result = batched ? GraphInferBatched(config, *state, *nodes, *edges)
+                        : GraphInfer(config, *state, *nodes, *edges);
   if (!result.ok()) return Fail(result.status());
 
   std::FILE* f = std::fopen(output.c_str(), "w");
@@ -302,6 +403,17 @@ int RunInferCmd(const std::vector<std::string>& args) {
   std::fclose(f);
   std::printf("inferred %zu nodes in %.2fs -> %s\n", result->scores.size(),
               result->costs.time_seconds, output.c_str());
+  if (batched) {
+    std::printf(
+        "batched: %d slices, %lld embedding evals, cache %lld hits / "
+        "%lld misses (%lld spilled, %lld spill hits)\n",
+        result->num_slices,
+        static_cast<long long>(result->costs.embedding_evaluations),
+        static_cast<long long>(result->costs.cache_hits),
+        static_cast<long long>(result->costs.cache_misses),
+        static_cast<long long>(result->costs.cache_spilled),
+        static_cast<long long>(result->costs.cache_spill_hits));
+  }
   return 0;
 }
 

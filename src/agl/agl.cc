@@ -49,6 +49,15 @@ agl::Result<infer::InferResult> GraphInfer(
   return infer::RunGraphInfer(config, trained_state, node_table, edge_table);
 }
 
+agl::Result<infer::InferResult> GraphInferBatched(
+    const infer::InferConfig& config,
+    const std::map<std::string, tensor::Tensor>& trained_state,
+    const std::vector<flat::NodeRecord>& node_table,
+    const std::vector<flat::EdgeRecord>& edge_table) {
+  return infer::RunGraphInferBatched(config, trained_state, node_table,
+                                     edge_table);
+}
+
 std::string SerializeState(
     const std::map<std::string, tensor::Tensor>& state) {
   return nn::SerializeStateDict(state);

@@ -56,6 +56,17 @@ agl::Result<infer::InferResult> GraphInfer(
     const std::vector<flat::NodeRecord>& node_table,
     const std::vector<flat::EdgeRecord>& edge_table);
 
+/// Stage 3, batched: runs the targets in `config.batch_slices` slices that
+/// share a cross-slice segment-embedding cache
+/// (`config.cache_budget_bytes`), so overlapping neighborhood embeddings
+/// are evaluated once instead of once per slice. Bit-identical scores to
+/// per-slice GraphInfer calls.
+agl::Result<infer::InferResult> GraphInferBatched(
+    const infer::InferConfig& config,
+    const std::map<std::string, tensor::Tensor>& trained_state,
+    const std::vector<flat::NodeRecord>& node_table,
+    const std::vector<flat::EdgeRecord>& edge_table);
+
 /// Serializes a trained state dict for storage on the DFS.
 std::string SerializeState(const std::map<std::string, tensor::Tensor>& state);
 agl::Result<std::map<std::string, tensor::Tensor>> ParseState(

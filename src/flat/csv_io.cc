@@ -1,8 +1,12 @@
 #include "flat/csv_io.h"
 
+#include <cctype>
+#include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <unordered_set>
 
 namespace agl::flat {
 namespace {
@@ -42,12 +46,24 @@ agl::Result<int64_t> ParseI64(const std::string& s, const char* what) {
 }
 
 agl::Result<float> ParseF32(const std::string& s, const char* what) {
-  // std::from_chars<float> is not universally available; strtof suffices.
-  char* end = nullptr;
-  const float v = std::strtof(s.c_str(), &end);
-  if (end != s.c_str() + s.size() || s.empty()) {
+  // std::from_chars<float> is not universally available; strtof suffices —
+  // but strtof silently skips leading whitespace and saturates on
+  // overflow, so both are rejected explicitly (from_chars-parity with the
+  // integer columns).
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
     return agl::Status::InvalidArgument(std::string("bad ") + what + ": '" +
                                         s + "'");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const float v = std::strtof(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    return agl::Status::InvalidArgument(std::string("bad ") + what + ": '" +
+                                        s + "'");
+  }
+  if (errno == ERANGE && std::isinf(v)) {
+    return agl::Status::InvalidArgument(std::string("out-of-range ") + what +
+                                        ": '" + s + "'");
   }
   return v;
 }
@@ -61,6 +77,15 @@ agl::Result<std::vector<float>> ParseFloatList(const std::string& s,
     out.push_back(v);
   }
   return out;
+}
+
+/// Trailing empty columns (spreadsheet exports pad rows, and a CRLF file
+/// stripped of its '\r' can leave one) are treated as absent optional
+/// columns rather than mis-parsed as empty values. `min_cols` protects the
+/// required columns, whose emptiness must stay visible to validation.
+void DropTrailingEmptyColumns(std::vector<std::string>* cols,
+                              std::size_t min_cols) {
+  while (cols->size() > min_cols && cols->back().empty()) cols->pop_back();
 }
 
 std::string JoinFloats(const std::vector<float>& v) {
@@ -111,16 +136,25 @@ agl::Result<std::string> ReadFile(const std::string& path) {
 
 agl::Result<std::vector<NodeRecord>> ParseNodeCsv(const std::string& text) {
   std::vector<NodeRecord> nodes;
+  std::unordered_set<NodeId> seen_ids;
   AGL_RETURN_IF_ERROR(ForEachLine(text, [&](const std::string& line) {
-    const std::vector<std::string> cols = Split(line, ',');
+    std::vector<std::string> cols = Split(line, ',');
+    DropTrailingEmptyColumns(&cols, 3);
     if (cols.size() < 3 || cols.size() > 4) {
       return agl::Status::InvalidArgument(
           "node row needs 3-4 columns (id,label,features[,multilabel])");
     }
     NodeRecord node;
     AGL_ASSIGN_OR_RETURN(node.id, ParseU64(cols[0], "node id"));
+    if (!seen_ids.insert(node.id).second) {
+      return agl::Status::InvalidArgument("duplicate node id " + cols[0]);
+    }
     if (!cols[1].empty()) {
       AGL_ASSIGN_OR_RETURN(node.label, ParseI64(cols[1], "label"));
+    }
+    if (cols[2].empty()) {
+      return agl::Status::InvalidArgument(
+          "node row has an empty feature column");
     }
     AGL_ASSIGN_OR_RETURN(node.features,
                          ParseFloatList(cols[2], "node feature"));
@@ -137,7 +171,8 @@ agl::Result<std::vector<NodeRecord>> ParseNodeCsv(const std::string& text) {
 agl::Result<std::vector<EdgeRecord>> ParseEdgeCsv(const std::string& text) {
   std::vector<EdgeRecord> edges;
   AGL_RETURN_IF_ERROR(ForEachLine(text, [&](const std::string& line) {
-    const std::vector<std::string> cols = Split(line, ',');
+    std::vector<std::string> cols = Split(line, ',');
+    DropTrailingEmptyColumns(&cols, 2);
     if (cols.size() < 2 || cols.size() > 4) {
       return agl::Status::InvalidArgument(
           "edge row needs 2-4 columns (src,dst[,weight[,features]])");

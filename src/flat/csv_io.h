@@ -21,7 +21,10 @@
 namespace agl::flat {
 
 /// Parses a node table from CSV text (one record per line, '#' comments
-/// and blank lines skipped).
+/// and blank lines skipped; CRLF endings and trailing empty optional
+/// columns tolerated). Malformed rows — non-numeric or duplicate ids, bad
+/// or empty feature lists, out-of-range values — are kInvalidArgument
+/// errors carrying the line number, never silent mis-parses.
 agl::Result<std::vector<NodeRecord>> ParseNodeCsv(const std::string& text);
 
 /// Parses an edge table from CSV text.

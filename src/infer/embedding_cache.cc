@@ -1,0 +1,170 @@
+#include "infer/embedding_cache.h"
+
+#include "io/codec.h"
+
+namespace agl::infer {
+namespace {
+
+std::string EncodeSpillRecord(const CacheKey& key,
+                              const std::vector<float>& embedding) {
+  io::BufferWriter w;
+  w.PutVarint64(key.node);
+  w.PutVarint64(static_cast<uint64_t>(static_cast<uint32_t>(key.round)));
+  w.PutVarint64(key.version);
+  w.PutFloatArray(embedding);
+  return w.Release();
+}
+
+agl::Status DecodeSpillRecord(const std::string& bytes, CacheKey* key,
+                              std::vector<float>* embedding) {
+  io::BufferReader r(bytes);
+  uint64_t node, round, version;
+  AGL_RETURN_IF_ERROR(r.GetVarint64(&node));
+  AGL_RETURN_IF_ERROR(r.GetVarint64(&round));
+  AGL_RETURN_IF_ERROR(r.GetVarint64(&version));
+  AGL_RETURN_IF_ERROR(r.GetFloatArray(embedding));
+  key->node = node;
+  key->round = static_cast<int32_t>(static_cast<uint32_t>(round));
+  key->version = version;
+  return agl::Status::OK();
+}
+
+}  // namespace
+
+agl::Status EmbeddingCache::EnableSpill(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AGL_ASSIGN_OR_RETURN(io::RecordWriter writer, io::RecordWriter::Open(path));
+  spill_writer_.emplace(std::move(writer));
+  spill_reader_.reset();
+  spill_offset_.clear();
+  spill_path_ = path;
+  return agl::Status::OK();
+}
+
+void EmbeddingCache::SetSpillFaultHook(std::function<agl::Status()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spill_fault_hook_ = std::move(hook);
+}
+
+bool EmbeddingCache::Lookup(const CacheKey& key, std::vector<float>* out) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    *out = it->second->embedding;
+    ++stats_.hits;
+    return true;
+  }
+  if (SpillLookupLocked(key, out)) {
+    ++stats_.hits;
+    ++stats_.spill_hits;
+    // Re-admit: the entry is hot again. Its spill offset stays valid, so a
+    // later re-eviction is free.
+    AdmitLocked(key, *out);
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void EmbeddingCache::Insert(const CacheKey& key,
+                            const std::vector<float>& embedding) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Values are immutable per key: only refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  AdmitLocked(key, embedding);
+}
+
+EmbeddingCacheStats EmbeddingCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EmbeddingCacheStats out = stats_;
+  out.resident_entries = static_cast<int64_t>(lru_.size());
+  return out;
+}
+
+void EmbeddingCache::AdmitLocked(const CacheKey& key,
+                                 std::vector<float> embedding) {
+  stats_.resident_bytes += EntryBytes(embedding);
+  lru_.push_front(Entry{key, std::move(embedding)});
+  index_[key] = lru_.begin();
+  ++stats_.inserts;
+  if (bounded()) {
+    while (stats_.resident_bytes > budget_bytes_ && !lru_.empty()) {
+      EvictOneLocked();
+    }
+  }
+}
+
+void EmbeddingCache::EvictOneLocked() {
+  Entry& victim = lru_.back();
+  if (spill_writer_.has_value() &&
+      spill_offset_.find(victim.key) == spill_offset_.end()) {
+    agl::Status s =
+        spill_fault_hook_ ? spill_fault_hook_() : agl::Status::OK();
+    if (s.ok()) {
+      const uint64_t offset = spill_writer_->bytes_written();
+      s = spill_writer_->Append(
+          EncodeSpillRecord(victim.key, victim.embedding));
+      // Eager flush: the reader shares the file, and an entry whose bytes
+      // only live in the stdio buffer would read back torn.
+      if (s.ok()) s = spill_writer_->Flush();
+      if (s.ok()) {
+        spill_offset_[victim.key] = offset;
+        ++stats_.spilled;
+      }
+    }
+    if (!s.ok()) ++stats_.spill_failures;  // degraded to a plain drop
+  }
+  stats_.resident_bytes -= EntryBytes(victim.embedding);
+  index_.erase(victim.key);
+  lru_.pop_back();
+  ++stats_.evictions;
+}
+
+bool EmbeddingCache::SpillLookupLocked(const CacheKey& key,
+                                       std::vector<float>* out) {
+  auto it = spill_offset_.find(key);
+  if (it == spill_offset_.end() || !spill_writer_.has_value()) return false;
+  if (spill_fault_hook_) {
+    // An injected fault is transient: count it and miss, but keep the
+    // offset so a later lookup can still be served.
+    agl::Status injected = spill_fault_hook_();
+    if (!injected.ok()) {
+      ++stats_.spill_failures;
+      return false;
+    }
+  }
+  agl::Status s = agl::Status::OK();
+  if (!spill_reader_.has_value()) {
+    auto reader = io::RecordReader::Open(spill_path_);
+    if (reader.ok()) {
+      spill_reader_.emplace(std::move(*reader));
+    } else {
+      s = reader.status();
+    }
+  }
+  std::string bytes;
+  if (s.ok()) s = spill_reader_->SeekTo(it->second);
+  if (s.ok()) s = spill_reader_->Next(&bytes);
+  CacheKey stored;
+  if (s.ok()) s = DecodeSpillRecord(bytes, &stored, out);
+  if (s.ok() && !(stored == key)) {
+    s = agl::Status::Corruption("spill entry key mismatch");
+  }
+  if (!s.ok()) {
+    // A failed read (injected fault, torn write, bad offset) is just a
+    // miss; drop the offset so we stop consulting a bad slot.
+    spill_offset_.erase(it);
+    ++stats_.spill_failures;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace agl::infer

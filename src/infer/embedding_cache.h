@@ -1,0 +1,152 @@
+// Cross-slice segment-embedding cache for batched GraphInfer.
+//
+// The paper's GraphInfer computes every segment (per-round) embedding
+// exactly once *within* one pipeline run, but a production serving flow runs
+// many inference slices over the same graph and re-derives the shared
+// neighborhood embeddings per slice. This cache keeps those intermediates
+// resident between slices (the Polynesia co-design lesson: hot intermediate
+// state stays put instead of being recomputed across stages): entries are
+// keyed by (node, round, model_version), kept LRU under a byte budget, and
+// — when a spill file is configured — evicted entries spill to a
+// record_file on the DFS instead of being dropped, so budgets smaller than
+// the working set still serve hits.
+//
+// The cache is a pure optimization layer: every entry holds a value that is
+// bit-identical to what the reducer would recompute, and any failure on the
+// spill path (fault-injected or real) degrades to a miss, never to a wrong
+// answer.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "io/record_file.h"
+
+namespace agl::infer {
+
+/// Identity of one cached segment embedding. `version` fingerprints the
+/// trained state dict, so a cache shared across model pushes can never
+/// serve embeddings from stale weights.
+struct CacheKey {
+  uint64_t node = 0;
+  int32_t round = 0;
+  uint64_t version = 0;
+
+  bool operator==(const CacheKey& o) const {
+    return node == o.node && round == o.round && version == o.version;
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    // splitmix-style mix of the three fields.
+    uint64_t h = k.node * 0x9e3779b97f4a7c15ULL;
+    h ^= (static_cast<uint64_t>(static_cast<uint32_t>(k.round)) + 0x7f4a7c15ULL)
+         << 17;
+    h ^= k.version;
+    h ^= h >> 31;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Counters surfaced into InferCosts by the batched driver.
+struct EmbeddingCacheStats {
+  int64_t hits = 0;          // lookups served (RAM or spill)
+  int64_t misses = 0;        // lookups that found nothing
+  int64_t inserts = 0;       // distinct entries admitted
+  int64_t evictions = 0;     // entries pushed out of RAM by the budget
+  int64_t spilled = 0;       // evictions written to the spill file
+  int64_t spill_hits = 0;    // hits served by reading the spill file back
+  int64_t spill_failures = 0;  // spill writes/reads that failed (degraded
+                               // to drop/miss; injected faults land here)
+  int64_t resident_bytes = 0;
+  int64_t resident_entries = 0;
+};
+
+/// Thread-safe LRU embedding cache with optional record_file spill.
+///
+/// Budget semantics: negative = unbounded, 0 = disabled (lookups fail and
+/// inserts are dropped without touching the counters), positive = resident
+/// byte budget (approximate: payload + fixed per-entry overhead).
+class EmbeddingCache {
+ public:
+  explicit EmbeddingCache(int64_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  bool enabled() const { return budget_bytes_ != 0; }
+  bool bounded() const { return budget_bytes_ > 0; }
+  int64_t budget_bytes() const { return budget_bytes_; }
+
+  /// Routes future evictions to a record_file at `path` (created/truncated
+  /// now) instead of dropping them. The file uses the LocalDfs part-file
+  /// format, so a spill parked under a DFS root is readable with the
+  /// ordinary record tooling.
+  agl::Status EnableSpill(const std::string& path);
+
+  /// Test hook: invoked before every spill write and spill read. A non-OK
+  /// return fails that spill operation only — the write drops the entry,
+  /// the read degrades to a miss; correctness is unaffected either way.
+  void SetSpillFaultHook(std::function<agl::Status()> hook);
+
+  /// Returns true and fills `*out` when `key` is resident (in RAM or in the
+  /// spill file). A spill hit is re-admitted to RAM.
+  bool Lookup(const CacheKey& key, std::vector<float>* out);
+
+  /// Admits `embedding` under `key` (no-op when disabled or already
+  /// present; an existing entry is only refreshed in LRU order — values are
+  /// immutable per (node, round, version)).
+  void Insert(const CacheKey& key, const std::vector<float>& embedding);
+
+  EmbeddingCacheStats stats() const;
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::vector<float> embedding;
+  };
+
+  static int64_t EntryBytes(const std::vector<float>& embedding) {
+    // Payload + approximate list/index node overhead.
+    return static_cast<int64_t>(embedding.size() * sizeof(float)) + 64;
+  }
+
+  /// Inserts at the LRU front and evicts (spilling when configured) until
+  /// the budget holds again. Caller holds mu_.
+  void AdmitLocked(const CacheKey& key, std::vector<float> embedding);
+  void EvictOneLocked();
+  /// Attempts to serve `key` from the spill file. Caller holds mu_.
+  bool SpillLookupLocked(const CacheKey& key, std::vector<float>* out);
+
+  const int64_t budget_bytes_;
+
+  // One mutex guards everything, including spill I/O: evictions and spill
+  // reads are rare next to RAM hits, and the offset map stays trivially
+  // consistent. If spill traffic ever dominates a profile, stage the
+  // encode/IO outside the lock (collect victims under it, write after
+  // release, re-check the offset map on re-entry).
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+      index_;
+  // Spill state: append-only writer plus a byte-offset index into the file.
+  // Entries are immutable, so an offset written once stays valid and a
+  // re-evicted entry is never rewritten.
+  std::string spill_path_;
+  std::optional<io::RecordWriter> spill_writer_;
+  std::optional<io::RecordReader> spill_reader_;
+  std::unordered_map<CacheKey, uint64_t, CacheKeyHash> spill_offset_;
+  std::function<agl::Status()> spill_fault_hook_;
+  EmbeddingCacheStats stats_;
+};
+
+}  // namespace agl::infer

@@ -6,7 +6,9 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "flat/shard.h"
+#include "infer/embedding_cache.h"
 #include "infer/segmentation.h"
 #include "io/codec.h"
 #include "tensor/sparse.h"
@@ -67,6 +69,16 @@ struct RoundContext {
   gnn::ModelConfig model;
   const std::vector<ModelSlice>* slices = nullptr;
   std::atomic<int64_t>* embedding_evals = nullptr;
+
+  // Cross-slice embedding cache (batched driver only; nullptr otherwise).
+  EmbeddingCache* cache = nullptr;
+  /// In-BFS depth of each pruned-graph node from the slice targets;
+  /// nullptr means the run is unpruned.
+  const std::unordered_map<NodeId, int>* depth = nullptr;
+  /// True when the slice graph kept the whole input graph (no frontier
+  /// truncation): every round of every node is then exact.
+  bool cache_all_rounds = false;
+  uint64_t model_version = 0;
 };
 
 /// One GraphInfer Reduce round. Round 0 only bootstraps propagation (our
@@ -127,24 +139,34 @@ class InferReducer : public mr::Reducer {
     if (ctx_.round == 0) {
       new_emb = self_emb;  // bootstrap: propagate raw features
     } else if (ctx_.round <= ctx_.num_layers) {
-      // Join arrived neighbor embeddings with the normalized in-edge
-      // weights; the self-loop stub (src == self) uses the self embedding.
-      std::unordered_map<NodeId, const std::vector<float>*> by_src;
-      by_src.reserve(arrived.size());
-      for (const auto& [aid, h] : arrived) by_src.emplace(aid, &h);
-      neighbors.reserve(in_stubs.size());
-      for (const auto& [src, w] : in_stubs) {
-        if (src == self_id) {
-          neighbors.push_back({src, w, self_emb});
-          continue;
+      const bool cacheable = Cacheable(self_id);
+      const CacheKey cache_key{self_id, ctx_.round, ctx_.model_version};
+      if (cacheable && ctx_.cache->Lookup(cache_key, &new_emb)) {
+        // Cross-slice hit: an earlier slice already materialized this
+        // segment embedding (possibly via the spill file). Skip the
+        // neighbor join and the slice application entirely.
+      } else {
+        // Join arrived neighbor embeddings with the normalized in-edge
+        // weights; the self-loop stub (src == self) uses the self
+        // embedding.
+        std::unordered_map<NodeId, const std::vector<float>*> by_src;
+        by_src.reserve(arrived.size());
+        for (const auto& [aid, h] : arrived) by_src.emplace(aid, &h);
+        neighbors.reserve(in_stubs.size());
+        for (const auto& [src, w] : in_stubs) {
+          if (src == self_id) {
+            neighbors.push_back({src, w, self_emb});
+            continue;
+          }
+          auto it = by_src.find(src);
+          if (it != by_src.end()) neighbors.push_back({src, w, *it->second});
         }
-        auto it = by_src.find(src);
-        if (it != by_src.end()) neighbors.push_back({src, w, *it->second});
+        AGL_ASSIGN_OR_RETURN(
+            new_emb, ApplySlice(ctx_.model, (*ctx_.slices)[ctx_.round - 1],
+                                self_emb, neighbors));
+        ctx_.embedding_evals->fetch_add(1, std::memory_order_relaxed);
+        if (cacheable) ctx_.cache->Insert(cache_key, new_emb);
       }
-      AGL_ASSIGN_OR_RETURN(
-          new_emb, ApplySlice(ctx_.model, (*ctx_.slices)[ctx_.round - 1],
-                              self_emb, neighbors));
-      ctx_.embedding_evals->fetch_add(1, std::memory_order_relaxed);
     } else {
       // Prediction round: output scores, nothing else.
       const std::vector<float> scores =
@@ -176,76 +198,102 @@ class InferReducer : public mr::Reducer {
   }
 
  private:
+  /// Whether node `id`'s embedding for the current round may be cached and
+  /// served from the cache. Requires the value to be *slice-independent*:
+  /// a node at in-BFS depth d from the slice targets carries its complete
+  /// r-hop in-neighborhood (and hence a bit-exact, slice-invariant round-r
+  /// value) only while round + d <= K — beyond that horizon the truncated
+  /// frontier makes the locally computed value depend on the slice, so it
+  /// is neither stored nor substituted.
+  bool Cacheable(NodeId id) const {
+    if (ctx_.cache == nullptr || !ctx_.cache->enabled()) return false;
+    if (ctx_.cache_all_rounds) return true;
+    if (ctx_.depth == nullptr) return false;
+    auto it = ctx_.depth->find(id);
+    if (it == ctx_.depth->end()) return false;
+    return ctx_.round + it->second <= ctx_.num_layers;
+  }
+
   RoundContext ctx_;
 };
 
-}  // namespace
+/// A pruned per-slice input graph plus the BFS metadata the cache horizon
+/// needs.
+struct SliceGraph {
+  std::vector<NodeRecord> nodes;
+  std::vector<EdgeRecord> edges;
+  /// In-BFS hop at which each kept node was first reached from the targets
+  /// (targets have depth 0).
+  std::unordered_map<NodeId, int> depth;
+  /// The pruning kept every node and edge — the slice covers the graph.
+  bool complete = false;
+};
 
-agl::Result<InferResult> RunGraphInfer(
-    const InferConfig& config,
-    const std::map<std::string, tensor::Tensor>& state,
-    const std::vector<NodeRecord>& nodes,
-    const std::vector<EdgeRecord>& edges) {
+using InEdgeIndex = std::unordered_map<NodeId, std::vector<NodeId>>;
+
+InEdgeIndex BuildInEdgeIndex(const std::vector<EdgeRecord>& edges) {
+  InEdgeIndex in_edges_of;
+  for (const EdgeRecord& e : edges) in_edges_of[e.dst].push_back(e.src);
+  return in_edges_of;
+}
+
+/// Target-subset pruning: restrict the pipeline to the union of the
+/// targets' K-hop in-neighborhoods. Nodes outside can never influence a
+/// target's embedding (Theorem 1), so dropping them up front is the
+/// inference-side analogue of the trainer's graph pruning.
+SliceGraph PruneToTargets(const std::vector<NodeRecord>& nodes,
+                          const std::vector<EdgeRecord>& edges,
+                          const InEdgeIndex& in_edges_of,
+                          const std::vector<NodeId>& targets, int hops) {
+  SliceGraph g;
+  g.depth.reserve(targets.size());
+  std::vector<NodeId> frontier;
+  for (NodeId t : targets) {
+    if (g.depth.emplace(t, 0).second) frontier.push_back(t);
+  }
+  for (int hop = 0; hop < hops; ++hop) {
+    std::vector<NodeId> next;
+    for (NodeId v : frontier) {
+      auto it = in_edges_of.find(v);
+      if (it == in_edges_of.end()) continue;
+      for (NodeId src : it->second) {
+        if (g.depth.emplace(src, hop + 1).second) next.push_back(src);
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (const NodeRecord& n : nodes) {
+    if (g.depth.count(n.id) > 0) g.nodes.push_back(n);
+  }
+  for (const EdgeRecord& e : edges) {
+    if (g.depth.count(e.src) > 0 && g.depth.count(e.dst) > 0) {
+      g.edges.push_back(e);
+    }
+  }
+  g.complete =
+      g.nodes.size() == nodes.size() && g.edges.size() == edges.size();
+  return g;
+}
+
+struct CoreOptions {
+  const std::vector<ModelSlice>* slices = nullptr;
+  EmbeddingCache* cache = nullptr;
+  const std::unordered_map<NodeId, int>* depth = nullptr;
+  bool cache_all_rounds = false;
+  uint64_t model_version = 0;
+};
+
+/// The MapReduce round schedule over one (possibly pruned) input graph —
+/// the body both RunGraphInfer and the batched driver share.
+agl::Result<InferResult> RunInferCore(const InferConfig& config,
+                                      const std::vector<NodeRecord>& nodes,
+                                      const std::vector<EdgeRecord>& edges,
+                                      const CoreOptions& opts) {
   if (nodes.empty()) {
     return agl::Status::InvalidArgument("GraphInfer: empty node table");
   }
   Stopwatch watch;
   const double cpu_start = ProcessCpuSeconds();
-
-  // Target-subset pruning: restrict the pipeline to the union of the
-  // targets' K-hop in-neighborhoods. Nodes outside can never influence a
-  // target's embedding (Theorem 1), so dropping them up front is the
-  // inference-side analogue of the trainer's graph pruning.
-  if (!config.target_ids.empty()) {
-    std::unordered_map<NodeId, std::vector<std::pair<NodeId, float>>>
-        in_edges_of;
-    for (const EdgeRecord& e : edges) {
-      in_edges_of[e.dst].emplace_back(e.src, e.weight);
-    }
-    std::unordered_set<NodeId> keep(config.target_ids.begin(),
-                                    config.target_ids.end());
-    std::vector<NodeId> frontier(keep.begin(), keep.end());
-    for (int hop = 0; hop < config.model.num_layers; ++hop) {
-      std::vector<NodeId> next;
-      for (NodeId v : frontier) {
-        auto it = in_edges_of.find(v);
-        if (it == in_edges_of.end()) continue;
-        for (const auto& [src, w] : it->second) {
-          if (keep.insert(src).second) next.push_back(src);
-        }
-      }
-      frontier = std::move(next);
-    }
-    std::vector<NodeRecord> pruned_nodes;
-    for (const NodeRecord& n : nodes) {
-      if (keep.count(n.id) > 0) pruned_nodes.push_back(n);
-    }
-    std::vector<EdgeRecord> pruned_edges;
-    for (const EdgeRecord& e : edges) {
-      if (keep.count(e.src) > 0 && keep.count(e.dst) > 0) {
-        pruned_edges.push_back(e);
-      }
-    }
-    InferConfig sub_config = config;
-    sub_config.target_ids.clear();
-    AGL_ASSIGN_OR_RETURN(
-        InferResult sub,
-        RunGraphInfer(sub_config, state, pruned_nodes, pruned_edges));
-    // Keep only the requested targets (neighborhood nodes were computed
-    // with possibly pruned in-neighborhoods of their own).
-    std::unordered_set<NodeId> wanted(config.target_ids.begin(),
-                                      config.target_ids.end());
-    InferResult out;
-    out.costs = sub.costs;
-    for (auto& entry : sub.scores) {
-      if (wanted.count(entry.first) > 0) out.scores.push_back(std::move(entry));
-    }
-    out.costs.time_seconds = watch.Seconds();
-    return out;
-  }
-
-  AGL_ASSIGN_OR_RETURN(std::vector<ModelSlice> slices,
-                       SegmentModel(state, config.model.num_layers));
 
   // Pre-normalize the adjacency exactly as the trainer does (our stand-in
   // for the paper's degree-joining preprocessing): each in-edge stub carries
@@ -300,9 +348,13 @@ agl::Result<InferResult> RunGraphInfer(
   RoundContext ctx;
   ctx.num_layers = config.model.num_layers;
   ctx.model = config.model;
-  ctx.slices = &slices;
+  ctx.slices = opts.slices;
   std::atomic<int64_t> embedding_evals{0};
   ctx.embedding_evals = &embedding_evals;
+  ctx.cache = opts.cache;
+  ctx.depth = opts.depth;
+  ctx.cache_all_rounds = opts.cache_all_rounds;
+  ctx.model_version = opts.model_version;
 
   InferResult result;
   // Sharded execution mirrors GraphFlat: records live on their key's home
@@ -362,6 +414,168 @@ agl::Result<InferResult> RunGraphInfer(
   result.costs.cpu_core_minutes = (ProcessCpuSeconds() - cpu_start) / 60.0;
   result.costs.embedding_evaluations = embedding_evals.load();
   return result;
+}
+
+/// Keeps only the scores of `targets` (neighborhood nodes were computed
+/// with possibly pruned in-neighborhoods of their own).
+void FilterScoresToTargets(const std::vector<NodeId>& targets,
+                           InferResult* result) {
+  std::unordered_set<NodeId> wanted(targets.begin(), targets.end());
+  std::vector<std::pair<NodeId, std::vector<float>>> kept;
+  kept.reserve(std::min(result->scores.size(), wanted.size()));
+  for (auto& entry : result->scores) {
+    if (wanted.count(entry.first) > 0) kept.push_back(std::move(entry));
+  }
+  result->scores = std::move(kept);
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> PartitionTargets(
+    const std::vector<NodeId>& targets, int batch_slices) {
+  std::vector<NodeId> unique;
+  unique.reserve(targets.size());
+  std::unordered_set<NodeId> seen;
+  seen.reserve(targets.size());
+  for (NodeId t : targets) {
+    if (seen.insert(t).second) unique.push_back(t);
+  }
+  std::vector<std::vector<NodeId>> slices;
+  if (unique.empty()) return slices;
+  const std::size_t n = unique.size();
+  const std::size_t count =
+      std::min<std::size_t>(n, static_cast<std::size_t>(
+                                   std::max(1, batch_slices)));
+  slices.reserve(count);
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::size_t size = n / count + (s < n % count ? 1 : 0);
+    slices.emplace_back(unique.begin() + begin, unique.begin() + begin + size);
+    begin += size;
+  }
+  return slices;
+}
+
+uint64_t StateFingerprint(
+    const std::map<std::string, tensor::Tensor>& state) {
+  io::BufferWriter w;
+  for (const auto& [key, value] : state) {
+    w.PutString(key);
+    w.PutVarint64(static_cast<uint64_t>(value.rows()));
+    w.PutVarint64(static_cast<uint64_t>(value.cols()));
+    w.PutBytes(value.data(),
+               static_cast<std::size_t>(value.rows() * value.cols()) *
+                   sizeof(float));
+  }
+  return agl::Fnv1aHash(w.data());
+}
+
+agl::Result<InferResult> RunGraphInfer(
+    const InferConfig& config,
+    const std::map<std::string, tensor::Tensor>& state,
+    const std::vector<NodeRecord>& nodes,
+    const std::vector<EdgeRecord>& edges) {
+  if (nodes.empty()) {
+    return agl::Status::InvalidArgument("GraphInfer: empty node table");
+  }
+  AGL_ASSIGN_OR_RETURN(std::vector<ModelSlice> slices,
+                       SegmentModel(state, config.model.num_layers));
+  CoreOptions opts;
+  opts.slices = &slices;
+  if (config.target_ids.empty()) {
+    return RunInferCore(config, nodes, edges, opts);
+  }
+
+  Stopwatch watch;
+  const InEdgeIndex in_edges_of = BuildInEdgeIndex(edges);
+  const SliceGraph g = PruneToTargets(nodes, edges, in_edges_of,
+                                      config.target_ids,
+                                      config.model.num_layers);
+  InferConfig sub_config = config;
+  sub_config.target_ids.clear();
+  AGL_ASSIGN_OR_RETURN(InferResult out,
+                       RunInferCore(sub_config, g.nodes, g.edges, opts));
+  FilterScoresToTargets(config.target_ids, &out);
+  out.costs.time_seconds = watch.Seconds();
+  return out;
+}
+
+agl::Result<InferResult> RunGraphInferBatched(
+    const InferConfig& config,
+    const std::map<std::string, tensor::Tensor>& state,
+    const std::vector<NodeRecord>& nodes,
+    const std::vector<EdgeRecord>& edges) {
+  if (nodes.empty()) {
+    return agl::Status::InvalidArgument("GraphInfer: empty node table");
+  }
+  Stopwatch watch;
+  const double cpu_start = ProcessCpuSeconds();
+
+  AGL_ASSIGN_OR_RETURN(std::vector<ModelSlice> slices,
+                       SegmentModel(state, config.model.num_layers));
+
+  std::vector<NodeId> targets = config.target_ids;
+  if (targets.empty()) {
+    targets.reserve(nodes.size());
+    for (const NodeRecord& n : nodes) targets.push_back(n.id);
+  }
+  const std::vector<std::vector<NodeId>> target_slices =
+      PartitionTargets(targets, config.batch_slices);
+
+  EmbeddingCache cache(config.cache_budget_bytes);
+  if (cache.enabled() && !config.cache_spill_path.empty()) {
+    AGL_RETURN_IF_ERROR(cache.EnableSpill(config.cache_spill_path));
+  }
+  if (config.cache_fault_hook) {
+    cache.SetSpillFaultHook(config.cache_fault_hook);
+  }
+  const uint64_t version = StateFingerprint(state);
+
+  const InEdgeIndex in_edges_of = BuildInEdgeIndex(edges);
+
+  InferResult out;
+  out.num_slices = static_cast<int>(target_slices.size());
+  for (const std::vector<NodeId>& slice_targets : target_slices) {
+    const SliceGraph g = PruneToTargets(nodes, edges, in_edges_of,
+                                        slice_targets,
+                                        config.model.num_layers);
+    InferConfig sub_config = config;
+    sub_config.target_ids.clear();
+    CoreOptions opts;
+    opts.slices = &slices;
+    opts.depth = &g.depth;
+    opts.cache_all_rounds = g.complete;
+    opts.model_version = version;
+    // GCN's symmetric normalization folds in *out*-degrees, which frontier
+    // truncation changes, so a pruned GCN slice has no slice-invariant
+    // embeddings to share — the cache stays out of the loop there (the
+    // complete-graph case is still safe and still cached).
+    const bool gcn_pruned =
+        config.model.type == gnn::ModelType::kGcn && !g.complete;
+    opts.cache = gcn_pruned ? nullptr : &cache;
+    AGL_ASSIGN_OR_RETURN(InferResult slice_result,
+                         RunInferCore(sub_config, g.nodes, g.edges, opts));
+    FilterScoresToTargets(slice_targets, &slice_result);
+    out.costs.embedding_evaluations +=
+        slice_result.costs.embedding_evaluations;
+    out.costs.memory_gb_minutes += slice_result.costs.memory_gb_minutes;
+    out.scores.insert(out.scores.end(),
+                      std::make_move_iterator(slice_result.scores.begin()),
+                      std::make_move_iterator(slice_result.scores.end()));
+  }
+  std::sort(out.scores.begin(), out.scores.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  const EmbeddingCacheStats cache_stats = cache.stats();
+  out.costs.cache_hits = cache_stats.hits;
+  out.costs.cache_misses = cache_stats.misses;
+  out.costs.cache_evictions = cache_stats.evictions;
+  out.costs.cache_spilled = cache_stats.spilled;
+  out.costs.cache_spill_hits = cache_stats.spill_hits;
+  out.costs.cache_spill_failures = cache_stats.spill_failures;
+  out.costs.time_seconds = watch.Seconds();
+  out.costs.cpu_core_minutes = (ProcessCpuSeconds() - cpu_start) / 60.0;
+  return out;
 }
 
 }  // namespace agl::infer

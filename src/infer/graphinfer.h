@@ -7,10 +7,17 @@
 // Every node's layer-k embedding is computed exactly once — this is the
 // source of the Table 5 win over per-GraphFeature ("Original") inference,
 // whose overlapping neighborhoods recompute shared embeddings many times.
+//
+// RunGraphInferBatched extends the win *across* pipeline runs: the target
+// nodes are partitioned into slices that flow through the rounds one after
+// another, and a cross-slice EmbeddingCache lets round r of a later slice
+// reuse any segment embedding an earlier slice already materialized,
+// instead of re-deriving the overlapping K-hop halos from scratch.
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -38,6 +45,25 @@ struct InferConfig {
   /// pipeline in the case the inference task is performed over a part of
   /// the entire graph"). Scores are returned for exactly these ids.
   std::vector<flat::NodeId> target_ids;
+
+  // --- Batched driver (RunGraphInferBatched) only -----------------------
+  /// Number of slices the targets are partitioned into; each slice runs
+  /// the full MapReduce round schedule over its pruned K-hop neighborhood.
+  /// Scores are bit-identical to running the slices independently through
+  /// RunGraphInfer, for every (batch_slices, num_shards, cache budget)
+  /// combination.
+  int batch_slices = 1;
+  /// Resident byte budget of the cross-slice segment-embedding cache:
+  /// 0 disables the cache entirely, negative means unbounded.
+  int64_t cache_budget_bytes = 0;
+  /// When non-empty and the cache is enabled, budget evictions spill to
+  /// this record_file (park it under a LocalDfs root to emulate the
+  /// paper's DFS) instead of being dropped, so a budget smaller than the
+  /// working set still serves cross-slice hits.
+  std::string cache_spill_path;
+  /// Test hook forwarded to EmbeddingCache::SetSpillFaultHook: a non-OK
+  /// return fails that one spill write/read, which degrades to a drop/miss.
+  std::function<agl::Status()> cache_fault_hook;
 };
 
 /// Cost accounting in the paper's Table 5 units.
@@ -47,14 +73,25 @@ struct InferCosts {
   /// Integral of live record bytes over round durations.
   double memory_gb_minutes = 0;
   /// Embedding evaluations performed (layer applications per node); the
-  /// Original baseline repeats these across overlapping neighborhoods.
+  /// Original baseline repeats these across overlapping neighborhoods, and
+  /// the batched driver's cache hits skip them entirely.
   int64_t embedding_evaluations = 0;
+
+  // Cross-slice EmbeddingCache counters (zero outside the batched driver).
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_spilled = 0;
+  int64_t cache_spill_hits = 0;
+  int64_t cache_spill_failures = 0;
 };
 
 struct InferResult {
   /// Predicted score vector per node, sorted by node id.
   std::vector<std::pair<flat::NodeId, std::vector<float>>> scores;
   InferCosts costs;
+  /// Target slices the batched driver actually ran (1 for RunGraphInfer).
+  int num_slices = 1;
 };
 
 /// Runs distributed inference over the full node/edge tables with a trained
@@ -64,5 +101,27 @@ agl::Result<InferResult> RunGraphInfer(
     const std::map<std::string, tensor::Tensor>& state,
     const std::vector<flat::NodeRecord>& nodes,
     const std::vector<flat::EdgeRecord>& edges);
+
+/// Batched inference: partitions `config.target_ids` (or every node id when
+/// empty) into `config.batch_slices` slices via PartitionTargets, runs the
+/// sliced pipeline per slice, and shares one EmbeddingCache across the
+/// slices so overlapping neighborhood embeddings are evaluated once.
+/// Scores are bit-identical to per-slice RunGraphInfer runs.
+agl::Result<InferResult> RunGraphInferBatched(
+    const InferConfig& config,
+    const std::map<std::string, tensor::Tensor>& state,
+    const std::vector<flat::NodeRecord>& nodes,
+    const std::vector<flat::EdgeRecord>& edges);
+
+/// Deterministic contiguous partition of `targets` into at most
+/// `batch_slices` non-empty slices (duplicates dropped, first occurrence
+/// kept, caller order preserved). Shared by the batched driver and the
+/// batched-vs-unbatched equivalence tests.
+std::vector<std::vector<flat::NodeId>> PartitionTargets(
+    const std::vector<flat::NodeId>& targets, int batch_slices);
+
+/// FNV-1a fingerprint of a trained state dict (keys, shapes, raw values) —
+/// the model_version component of the embedding-cache key.
+uint64_t StateFingerprint(const std::map<std::string, tensor::Tensor>& state);
 
 }  // namespace agl::infer

@@ -1,6 +1,7 @@
 #include "infer/segmentation.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <limits>
 
@@ -8,6 +9,21 @@
 
 namespace agl::infer {
 namespace {
+
+/// Strict layer index of a "layer<k>.<...>" state-dict key, or -1 when the
+/// key does not match the convention exactly (e.g. "layer1x.w" is malformed,
+/// not layer 1).
+int ParseLayerIndex(const std::string& key) {
+  if (key.rfind("layer", 0) != 0) return -1;
+  const std::size_t dot = key.find('.');
+  if (dot == std::string::npos || dot <= 5) return -1;
+  int layer = -1;
+  const char* begin = key.data() + 5;
+  const char* end = key.data() + dot;
+  const auto [ptr, ec] = std::from_chars(begin, end, layer);
+  if (ec != std::errc() || ptr != end || layer < 0) return -1;
+  return layer;
+}
 
 /// y += x @ W (x is [1 x in], W is [in x out], y is [1 x out]).
 void AddVecMat(const std::vector<float>& x, const tensor::Tensor& w,
@@ -51,24 +67,28 @@ agl::Result<std::vector<ModelSlice>> SegmentModel(
   std::vector<ModelSlice> slices(num_layers + 1);
   for (int k = 0; k <= num_layers; ++k) slices[k].layer = k;
   for (const auto& [key, value] : state) {
-    if (key.rfind("layer", 0) != 0) {
+    const int layer = ParseLayerIndex(key);
+    if (layer < 0) {
       return agl::Status::InvalidArgument("unrecognized parameter key: " +
                                           key);
     }
-    const std::size_t dot = key.find('.');
-    if (dot == std::string::npos) {
-      return agl::Status::InvalidArgument("malformed parameter key: " + key);
-    }
-    const int layer = std::stoi(key.substr(5, dot - 5));
-    if (layer < 0 || layer >= num_layers) {
+    if (layer >= num_layers) {
       return agl::Status::InvalidArgument("layer index out of range in key " +
                                           key);
     }
-    slices[layer].params.emplace(key.substr(dot + 1), value);
+    slices[layer].params.emplace(key.substr(key.find('.') + 1), value);
   }
   // slices[num_layers] (the prediction slice) stays empty: the models end
   // in an identity head; kept so the pipeline shape matches the paper.
   return slices;
+}
+
+int CountStateLayers(const std::map<std::string, tensor::Tensor>& state) {
+  int max_layer = -1;
+  for (const auto& [key, value] : state) {
+    max_layer = std::max(max_layer, ParseLayerIndex(key));
+  }
+  return max_layer + 1;
 }
 
 agl::Result<std::vector<float>> ApplySlice(

@@ -29,6 +29,11 @@ struct ModelSlice {
 agl::Result<std::vector<ModelSlice>> SegmentModel(
     const std::map<std::string, tensor::Tensor>& state, int num_layers);
 
+/// Number of GNN layers a state dict holds (max "layer<k>." index + 1,
+/// strictly parsed; malformed keys are ignored). Lets callers validate a
+/// --layers flag against a trained artifact before running the pipeline.
+int CountStateLayers(const std::map<std::string, tensor::Tensor>& state);
+
 /// In-edge neighbor of a node during one inference round.
 struct NeighborEmbedding {
   uint64_t id = 0;

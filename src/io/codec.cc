@@ -126,7 +126,14 @@ agl::Status BufferReader::GetString(std::string* out) {
 agl::Status BufferReader::GetFloatArray(std::vector<float>* out) {
   uint64_t n;
   AGL_RETURN_IF_ERROR(GetVarint64(&n));
-  AGL_RETURN_IF_ERROR(Need(n * sizeof(float)));
+  // Validate the element count against the remaining bytes BEFORE the
+  // multiply (which could wrap) and the resize (which could throw trying
+  // to honor a corrupt multi-exabyte length).
+  if (n > remaining() / sizeof(float)) {
+    return agl::Status::Corruption(
+        "float array length " + std::to_string(n) + " exceeds remaining " +
+        std::to_string(remaining()) + " bytes");
+  }
   out->resize(n);
   if (n > 0) {
     std::memcpy(out->data(), data_ + pos_, n * sizeof(float));
@@ -149,6 +156,13 @@ agl::Status BufferReader::GetRaw(void* dst, std::size_t n) {
 agl::Status BufferReader::GetVarintArray(std::vector<uint64_t>* out) {
   uint64_t n;
   AGL_RETURN_IF_ERROR(GetVarint64(&n));
+  // Every element takes at least one byte, so a count beyond the remaining
+  // bytes is corrupt — reject it before reserving memory for it.
+  if (n > remaining()) {
+    return agl::Status::Corruption(
+        "varint array length " + std::to_string(n) + " exceeds remaining " +
+        std::to_string(remaining()) + " bytes");
+  }
   out->clear();
   out->reserve(n);
   for (uint64_t i = 0; i < n; ++i) {

@@ -70,8 +70,10 @@ class BufferReader {
   std::size_t position() const { return pos_; }
 
  private:
-  agl::Status Need(std::size_t n) const {
-    if (pos_ + n > size_) {
+  agl::Status Need(uint64_t n) const {
+    // Compared against the remainder (never `pos_ + n`): a hostile length
+    // prefix near UINT64_MAX must not wrap around and pass the check.
+    if (n > size_ - pos_) {
       return agl::Status::Corruption("buffer underflow: need " +
                                      std::to_string(n) + " bytes, have " +
                                      std::to_string(size_ - pos_));

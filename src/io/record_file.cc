@@ -157,6 +157,22 @@ agl::Status RecordReader::Next(std::string* out) {
   return agl::Status::OK();
 }
 
+agl::Status RecordReader::SeekTo(uint64_t offset) {
+  if (file_ == nullptr) return agl::Status::FailedPrecondition("reader closed");
+  // fseek takes a long, which is 32-bit on some ABIs — use the 64-bit
+  // variants so offsets into spill files past 2 GiB don't wrap.
+#if defined(_WIN32)
+  const int rc = _fseeki64(file_, static_cast<long long>(offset), SEEK_SET);
+#else
+  const int rc = fseeko(file_, static_cast<off_t>(offset), SEEK_SET);
+#endif
+  if (rc != 0) {
+    return agl::Status::IoError("seek to " + std::to_string(offset) +
+                                " failed");
+  }
+  return agl::Status::OK();
+}
+
 agl::Status RecordReader::ReadAll(std::vector<std::string>* out) {
   while (true) {
     std::string rec;

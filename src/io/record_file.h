@@ -60,6 +60,12 @@ class RecordReader {
   /// and kCorruption on checksum mismatch or truncated payload.
   agl::Status Next(std::string* out);
 
+  /// Repositions the reader at byte `offset` (a record boundary, e.g. the
+  /// RecordWriter::bytes_written() value observed before the Append). The
+  /// next Next() call reads the record starting there. GraphInfer's
+  /// embedding-cache spill uses this for random access into its spill file.
+  agl::Status SeekTo(uint64_t offset);
+
   /// Reads every remaining record.
   agl::Status ReadAll(std::vector<std::string>* out);
 

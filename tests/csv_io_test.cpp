@@ -111,5 +111,70 @@ TEST(CsvCrLfTest, WindowsLineEndingsAccepted) {
   EXPECT_EQ((*nodes)[1].features, (std::vector<float>{3.f, 4.f}));
 }
 
+TEST(CsvCrLfTest, CrLfWithTrailingColumnAndNoFinalNewline) {
+  auto nodes = ParseNodeCsv("1,0,1;2,\r\n2,1,3;4");
+  ASSERT_TRUE(nodes.ok()) << nodes.status().ToString();
+  ASSERT_EQ(nodes->size(), 2u);
+  EXPECT_TRUE((*nodes)[0].multilabel.empty());
+  // A line that is only a carriage return is a blank line.
+  auto edges = ParseEdgeCsv("1,2\r\n\r\n2,3\r\n");
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->size(), 2u);
+}
+
+TEST(NodeCsvHardeningTest, TrailingEmptyOptionalColumnsAreAbsent) {
+  // Spreadsheet-style padded rows: the empty 4th column is not an (empty)
+  // multilabel, and an edge row's empty weight/features columns fall back
+  // to the defaults.
+  auto nodes = ParseNodeCsv("1,0,1;2,\n");
+  ASSERT_TRUE(nodes.ok()) << nodes.status().ToString();
+  EXPECT_TRUE((*nodes)[0].multilabel.empty());
+  auto edges = ParseEdgeCsv("1,2,\n2,3,,\n");
+  ASSERT_TRUE(edges.ok()) << edges.status().ToString();
+  EXPECT_EQ((*edges)[0].weight, 1.f);
+  EXPECT_EQ((*edges)[1].weight, 1.f);
+  EXPECT_TRUE((*edges)[1].features.empty());
+}
+
+TEST(NodeCsvHardeningTest, EmptyFeatureColumnRejected) {
+  // The feature column is required: an all-empty tail must not silently
+  // produce a featureless node.
+  auto nodes = ParseNodeCsv("1,0,\n");
+  ASSERT_FALSE(nodes.ok());
+  EXPECT_EQ(nodes.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(nodes.status().message().find("feature"), std::string::npos);
+}
+
+TEST(NodeCsvHardeningTest, DuplicateNodeIdsRejectedWithLine) {
+  auto nodes = ParseNodeCsv("1,0,1;2\n2,0,3;4\n1,1,5;6\n");
+  ASSERT_FALSE(nodes.ok());
+  EXPECT_EQ(nodes.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(nodes.status().message().find("duplicate node id 1"),
+            std::string::npos);
+  EXPECT_NE(nodes.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(NodeCsvHardeningTest, NonNumericIdsRejected) {
+  for (const char* row : {"x,0,1;2\n", "+1,0,1;2\n", " 1,0,1;2\n",
+                          "1x,0,1;2\n", "0x10,0,1;2\n", "-1,0,1;2\n"}) {
+    auto nodes = ParseNodeCsv(row);
+    EXPECT_FALSE(nodes.ok()) << "row accepted: " << row;
+    EXPECT_EQ(nodes.status().code(), StatusCode::kInvalidArgument) << row;
+  }
+  // Ids beyond uint64 are out of range, not wrapped.
+  EXPECT_FALSE(ParseNodeCsv("99999999999999999999999,0,1;2\n").ok());
+}
+
+TEST(NodeCsvHardeningTest, FloatEdgeCasesRejected) {
+  EXPECT_FALSE(ParseNodeCsv("1,0,1e999\n").ok());    // overflow -> inf
+  EXPECT_FALSE(ParseNodeCsv("1,0, 1.5\n").ok());     // leading whitespace
+  EXPECT_FALSE(ParseNodeCsv("1,0,1;;2\n").ok());     // empty list element
+  EXPECT_FALSE(ParseEdgeCsv("1,2,1e999\n").ok());    // weight overflow
+  // Tiny-but-representable values still parse (denormal underflow is not
+  // an error).
+  auto nodes = ParseNodeCsv("1,0,1e-44\n");
+  ASSERT_TRUE(nodes.ok()) << nodes.status().ToString();
+}
+
 }  // namespace
 }  // namespace agl::flat

@@ -1,0 +1,422 @@
+// Batched GraphInfer + cross-slice EmbeddingCache properties.
+//
+// The central property (ctest -L infer_batch): RunGraphInferBatched must
+// produce *bit-identical* scores to running its target slices one by one
+// through RunGraphInfer — for every (batch_slices, num_shards,
+// cache_budget) combination, including budget 0 (cache disabled entirely)
+// and unbounded, with the spill path engaged and with faults injected into
+// it. The cache only ever substitutes a value the reducer would have
+// recomputed byte-for-byte, so any divergence here is a real bug.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "data/dataset.h"
+#include "infer/embedding_cache.h"
+#include "infer/graphinfer.h"
+
+namespace agl::infer {
+namespace {
+
+data::Dataset SmallUug(int nodes, int attach_edges = 3) {
+  data::UugLikeOptions opts;
+  opts.num_nodes = nodes;
+  opts.feature_dim = 6;
+  opts.attach_edges = attach_edges;
+  opts.train_size = nodes / 2;
+  opts.val_size = nodes / 8;
+  opts.test_size = nodes / 8;
+  return data::MakeUugLike(opts);
+}
+
+gnn::ModelConfig SmallModel(gnn::ModelType type, int layers, int64_t in_dim) {
+  gnn::ModelConfig config;
+  config.type = type;
+  config.num_layers = layers;
+  config.in_dim = in_dim;
+  config.hidden_dim = 5;
+  config.out_dim = 2;
+  config.seed = 17;
+  return config;
+}
+
+std::vector<flat::NodeId> AllIds(const data::Dataset& ds) {
+  std::vector<flat::NodeId> ids;
+  ids.reserve(ds.nodes.size());
+  for (const auto& n : ds.nodes) ids.push_back(n.id);
+  return ids;
+}
+
+/// The unbatched reference: each slice through its own RunGraphInfer call
+/// (no cache exists on this path), results concatenated and sorted.
+agl::Result<InferResult> RunSliceBySlice(
+    InferConfig config, const std::map<std::string, tensor::Tensor>& state,
+    const data::Dataset& ds, const std::vector<flat::NodeId>& targets,
+    int batch_slices) {
+  InferResult combined;
+  combined.num_slices = 0;
+  for (const auto& slice : PartitionTargets(targets, batch_slices)) {
+    config.target_ids = slice;
+    AGL_ASSIGN_OR_RETURN(InferResult r,
+                         RunGraphInfer(config, state, ds.nodes, ds.edges));
+    combined.costs.embedding_evaluations += r.costs.embedding_evaluations;
+    combined.scores.insert(combined.scores.end(),
+                           std::make_move_iterator(r.scores.begin()),
+                           std::make_move_iterator(r.scores.end()));
+    ++combined.num_slices;
+  }
+  std::sort(combined.scores.begin(), combined.scores.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return combined;
+}
+
+void ExpectScoresIdentical(const InferResult& batched,
+                           const InferResult& reference,
+                           const std::string& what) {
+  ASSERT_EQ(batched.scores.size(), reference.scores.size()) << what;
+  for (std::size_t i = 0; i < batched.scores.size(); ++i) {
+    EXPECT_EQ(batched.scores[i].first, reference.scores[i].first) << what;
+    EXPECT_EQ(batched.scores[i].second, reference.scores[i].second)
+        << what << " node " << reference.scores[i].first;
+  }
+}
+
+TEST(PartitionTargetsTest, ContiguousDedupedBalanced) {
+  const std::vector<flat::NodeId> targets = {5, 3, 5, 9, 1, 3, 7};
+  auto slices = PartitionTargets(targets, 2);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0], (std::vector<flat::NodeId>{5, 3, 9}));
+  EXPECT_EQ(slices[1], (std::vector<flat::NodeId>{1, 7}));
+  // More slices than (unique) targets: one singleton slice each.
+  slices = PartitionTargets(targets, 50);
+  EXPECT_EQ(slices.size(), 5u);
+  for (const auto& s : slices) EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(PartitionTargets({}, 4).empty());
+  // Non-positive slice counts clamp to one slice.
+  EXPECT_EQ(PartitionTargets(targets, 0).size(), 1u);
+}
+
+class BatchedSweepTest
+    : public ::testing::TestWithParam<std::tuple<gnn::ModelType, int>> {};
+
+TEST_P(BatchedSweepTest, BitExactAcrossSlicesShardsAndBudgets) {
+  const auto [type, layers] = GetParam();
+  data::Dataset ds = SmallUug(60);
+  gnn::ModelConfig mconfig = SmallModel(type, layers, ds.feature_dim);
+  gnn::GnnModel model(mconfig);
+  const auto state = model.StateDict();
+  const std::vector<flat::NodeId> targets = AllIds(ds);
+
+  for (int batch_slices : {1, 3, 5}) {
+    InferConfig base;
+    base.model = mconfig;
+    base.job.num_reduce_tasks = 5;
+    auto reference =
+        RunSliceBySlice(base, state, ds, targets, batch_slices);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    for (int num_shards : {1, 3}) {
+      // Budgets: disabled, eviction-heavy tiny, unbounded.
+      for (int64_t budget : {int64_t{0}, int64_t{1024}, int64_t{-1}}) {
+        InferConfig config = base;
+        config.num_shards = num_shards;
+        config.batch_slices = batch_slices;
+        config.cache_budget_bytes = budget;
+        auto batched =
+            RunGraphInferBatched(config, state, ds.nodes, ds.edges);
+        ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+        const std::string what =
+            std::string(gnn::ModelTypeName(type)) + " layers=" +
+            std::to_string(layers) + " B=" + std::to_string(batch_slices) +
+            " S=" + std::to_string(num_shards) +
+            " budget=" + std::to_string(budget);
+        EXPECT_EQ(batched->num_slices, reference->num_slices) << what;
+        ExpectScoresIdentical(*batched, *reference, what);
+        if (budget == 0) {
+          // Cache disabled: identical work to the slice-by-slice runs.
+          EXPECT_EQ(batched->costs.embedding_evaluations,
+                    reference->costs.embedding_evaluations)
+              << what;
+          EXPECT_EQ(batched->costs.cache_hits, 0) << what;
+          EXPECT_EQ(batched->costs.cache_misses, 0) << what;
+        } else {
+          // Cached: never MORE work, and every hit is a skipped eval.
+          EXPECT_EQ(batched->costs.embedding_evaluations +
+                        batched->costs.cache_hits,
+                    reference->costs.embedding_evaluations)
+              << what;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, BatchedSweepTest,
+    ::testing::Combine(::testing::Values(gnn::ModelType::kGraphSage,
+                                         gnn::ModelType::kGat,
+                                         gnn::ModelType::kGcn),
+                       ::testing::Values(1, 2)));
+
+TEST(BatchedInferTest, CacheSavesEvaluationsOnOverlappingSlices) {
+  data::Dataset ds = SmallUug(80, 4);
+  gnn::ModelConfig mconfig =
+      SmallModel(gnn::ModelType::kGraphSage, 2, ds.feature_dim);
+  gnn::GnnModel model(mconfig);
+  const auto state = model.StateDict();
+
+  InferConfig config;
+  config.model = mconfig;
+  config.batch_slices = 4;
+
+  config.cache_budget_bytes = 0;
+  auto independent = RunGraphInferBatched(config, state, ds.nodes, ds.edges);
+  ASSERT_TRUE(independent.ok()) << independent.status().ToString();
+
+  config.cache_budget_bytes = -1;  // unbounded
+  auto cached = RunGraphInferBatched(config, state, ds.nodes, ds.edges);
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+
+  ExpectScoresIdentical(*cached, *independent, "cached vs independent");
+  EXPECT_GT(cached->costs.cache_hits, 0);
+  EXPECT_GT(cached->costs.cache_misses, 0);
+  EXPECT_LT(cached->costs.embedding_evaluations,
+            independent->costs.embedding_evaluations);
+  EXPECT_EQ(cached->costs.embedding_evaluations + cached->costs.cache_hits,
+            independent->costs.embedding_evaluations);
+}
+
+TEST(BatchedInferTest, ExplicitTargetSubsetWithDuplicates) {
+  data::Dataset ds = SmallUug(70);
+  gnn::ModelConfig mconfig =
+      SmallModel(gnn::ModelType::kGat, 2, ds.feature_dim);
+  gnn::GnnModel model(mconfig);
+  const auto state = model.StateDict();
+
+  std::vector<flat::NodeId> targets = {ds.nodes[3].id,  ds.nodes[17].id,
+                                       ds.nodes[3].id,  ds.nodes[42].id,
+                                       ds.nodes[55].id, ds.nodes[17].id};
+  InferConfig config;
+  config.model = mconfig;
+  config.target_ids = targets;
+  config.batch_slices = 2;
+  config.cache_budget_bytes = -1;
+  auto batched = RunGraphInferBatched(config, state, ds.nodes, ds.edges);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_EQ(batched->scores.size(), 4u);  // deduplicated targets
+
+  InferConfig unbatched = config;
+  unbatched.batch_slices = 1;
+  unbatched.cache_budget_bytes = 0;
+  auto reference = RunSliceBySlice(unbatched, state, ds, targets, 2);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ExpectScoresIdentical(*batched, *reference, "subset targets");
+}
+
+TEST(BatchedInferTest, SpillServesHitsUnderTinyBudget) {
+  data::Dataset ds = SmallUug(80, 4);
+  gnn::ModelConfig mconfig =
+      SmallModel(gnn::ModelType::kGraphSage, 2, ds.feature_dim);
+  gnn::GnnModel model(mconfig);
+  const auto state = model.StateDict();
+
+  InferConfig config;
+  config.model = mconfig;
+  config.batch_slices = 6;
+
+  config.cache_budget_bytes = 0;
+  auto independent = RunGraphInferBatched(config, state, ds.nodes, ds.edges);
+  ASSERT_TRUE(independent.ok());
+
+  // A budget far below the working set (one entry is ~84 bytes) with a
+  // spill file: evictions spill, later slices read them back.
+  config.cache_budget_bytes = 512;
+  config.cache_spill_path =
+      ::testing::TempDir() + "/infer_batch_spill.records";
+  auto spilled = RunGraphInferBatched(config, state, ds.nodes, ds.edges);
+  ASSERT_TRUE(spilled.ok()) << spilled.status().ToString();
+
+  ExpectScoresIdentical(*spilled, *independent, "spill vs independent");
+  EXPECT_GT(spilled->costs.cache_evictions, 0);
+  EXPECT_GT(spilled->costs.cache_spilled, 0);
+  EXPECT_GT(spilled->costs.cache_spill_hits, 0);
+  EXPECT_LT(spilled->costs.embedding_evaluations,
+            independent->costs.embedding_evaluations);
+}
+
+TEST(BatchedInferTest, SpillFaultInjectionDegradesToRecompute) {
+  data::Dataset ds = SmallUug(70, 4);
+  gnn::ModelConfig mconfig =
+      SmallModel(gnn::ModelType::kGat, 2, ds.feature_dim);
+  gnn::GnnModel model(mconfig);
+  const auto state = model.StateDict();
+
+  InferConfig config;
+  config.model = mconfig;
+  config.batch_slices = 5;
+
+  config.cache_budget_bytes = 0;
+  auto independent = RunGraphInferBatched(config, state, ds.nodes, ds.edges);
+  ASSERT_TRUE(independent.ok());
+
+  // Tiny budget + spill, with every third spill write/read failing, plus
+  // MapReduce task-level fault injection on top: the cache must degrade to
+  // recomputation, never to a different score.
+  config.cache_budget_bytes = 768;
+  config.cache_spill_path =
+      ::testing::TempDir() + "/infer_batch_spill_faulty.records";
+  auto faults = std::make_shared<std::atomic<int>>(0);
+  config.cache_fault_hook = [faults] {
+    return faults->fetch_add(1) % 3 == 2
+               ? agl::Status::IoError("injected spill fault")
+               : agl::Status::OK();
+  };
+  config.job.fault_injection_rate = 0.2;
+  config.job.max_task_attempts = 15;
+  auto faulty = RunGraphInferBatched(config, state, ds.nodes, ds.edges);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+
+  ExpectScoresIdentical(*faulty, *independent, "faulty spill");
+  EXPECT_GT(faulty->costs.cache_spill_failures, 0);
+}
+
+TEST(EmbeddingCacheTest, LruEvictsLeastRecentlyUsed) {
+  // Budget fits exactly two entries (2 floats = 8 bytes payload + 64
+  // overhead each).
+  EmbeddingCache cache(2 * (8 + 64));
+  const std::vector<float> emb{1.f, 2.f};
+  cache.Insert({1, 1, 7}, emb);
+  cache.Insert({2, 1, 7}, emb);
+  std::vector<float> out;
+  ASSERT_TRUE(cache.Lookup({1, 1, 7}, &out));  // touch 1: now 2 is LRU
+  cache.Insert({3, 1, 7}, emb);                // evicts 2
+  EXPECT_TRUE(cache.Lookup({1, 1, 7}, &out));
+  EXPECT_FALSE(cache.Lookup({2, 1, 7}, &out));
+  EXPECT_TRUE(cache.Lookup({3, 1, 7}, &out));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.resident_entries, 2);
+}
+
+TEST(EmbeddingCacheTest, VersionAndRoundArePartOfTheKey) {
+  EmbeddingCache cache(-1);
+  cache.Insert({1, 1, 7}, {1.f});
+  std::vector<float> out;
+  EXPECT_FALSE(cache.Lookup({1, 1, 8}, &out));  // other model version
+  EXPECT_FALSE(cache.Lookup({1, 2, 7}, &out));  // other round
+  EXPECT_TRUE(cache.Lookup({1, 1, 7}, &out));
+  EXPECT_EQ(out, (std::vector<float>{1.f}));
+}
+
+TEST(EmbeddingCacheTest, DisabledCacheDoesNothing) {
+  EmbeddingCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert({1, 1, 7}, {1.f});
+  std::vector<float> out;
+  EXPECT_FALSE(cache.Lookup({1, 1, 7}, &out));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.inserts, 0);
+  EXPECT_EQ(stats.misses, 0);
+}
+
+TEST(EmbeddingCacheTest, SpillRoundTripsEvictedEntries) {
+  EmbeddingCache cache(8 + 64);  // budget: a single one-float entry
+  ASSERT_TRUE(
+      cache.EnableSpill(::testing::TempDir() + "/cache_spill_unit.records")
+          .ok());
+  cache.Insert({1, 1, 7}, {1.5f, -2.5f});  // oversized: spills immediately
+  cache.Insert({2, 1, 7}, {3.f});
+  std::vector<float> out;
+  ASSERT_TRUE(cache.Lookup({1, 1, 7}, &out));  // served from the spill file
+  EXPECT_EQ(out, (std::vector<float>{1.5f, -2.5f}));
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.spilled, 0);
+  EXPECT_EQ(stats.spill_hits, 1);
+  EXPECT_EQ(stats.spill_failures, 0);
+}
+
+TEST(EmbeddingCacheTest, TruncatedSpillFileDegradesToMiss) {
+  const std::string path =
+      ::testing::TempDir() + "/cache_spill_truncated.records";
+  EmbeddingCache cache(8 + 64);
+  ASSERT_TRUE(cache.EnableSpill(path).ok());
+  cache.Insert({1, 1, 7}, {1.f, 2.f, 3.f});  // evicted + spilled
+  cache.Insert({2, 1, 7}, {4.f});
+  ASSERT_GT(cache.stats().spilled, 0);
+  // Corrupt the spill file: keep only its first 3 bytes (mid-record).
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+#if defined(_WIN32)
+    ASSERT_EQ(_chsize(_fileno(f), 3), 0);
+#else
+    ASSERT_EQ(ftruncate(fileno(f), 3), 0);
+#endif
+    std::fclose(f);
+  }
+  std::vector<float> out;
+  EXPECT_FALSE(cache.Lookup({1, 1, 7}, &out));  // corruption -> plain miss
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.spill_failures, 0);
+  EXPECT_EQ(stats.spill_hits, 0);
+}
+
+// Heavier nightly-style sweep, enabled via AGL_INFER_BATCH_HEAVY (the
+// infer_batch_sweep ctest entry sets it; a direct binary run skips).
+TEST(BatchedSweepHeavyTest, WiderMatrix) {
+  if (std::getenv("AGL_INFER_BATCH_HEAVY") == nullptr) {
+    GTEST_SKIP() << "set AGL_INFER_BATCH_HEAVY=1 to run the heavy sweep";
+  }
+  for (int nodes : {40, 90}) {
+    data::Dataset ds = SmallUug(nodes, 4);
+    const std::vector<flat::NodeId> targets = AllIds(ds);
+    for (gnn::ModelType type :
+         {gnn::ModelType::kGcn, gnn::ModelType::kGraphSage,
+          gnn::ModelType::kGat}) {
+      for (int layers : {1, 3}) {
+        gnn::ModelConfig mconfig = SmallModel(type, layers, ds.feature_dim);
+        gnn::GnnModel model(mconfig);
+        const auto state = model.StateDict();
+        for (int batch_slices : {2, 7}) {
+          InferConfig base;
+          base.model = mconfig;
+          auto reference =
+              RunSliceBySlice(base, state, ds, targets, batch_slices);
+          ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+          for (int num_shards : {1, 4}) {
+            for (int64_t budget :
+                 {int64_t{0}, int64_t{512}, int64_t{4096}, int64_t{-1}}) {
+              InferConfig config = base;
+              config.num_shards = num_shards;
+              config.batch_slices = batch_slices;
+              config.cache_budget_bytes = budget;
+              if (budget > 0) {
+                config.cache_spill_path =
+                    ::testing::TempDir() + "/infer_batch_heavy.records";
+              }
+              auto batched =
+                  RunGraphInferBatched(config, state, ds.nodes, ds.edges);
+              ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+              ExpectScoresIdentical(
+                  *batched, *reference,
+                  std::string(gnn::ModelTypeName(type)) + " n=" +
+                      std::to_string(nodes) + " L=" +
+                      std::to_string(layers) + " B=" +
+                      std::to_string(batch_slices) + " S=" +
+                      std::to_string(num_shards) + " budget=" +
+                      std::to_string(budget));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agl::infer

@@ -117,6 +117,72 @@ TEST(CodecTest, OverlongVarintRejected) {
   EXPECT_EQ(r.GetVarint64(&v).code(), StatusCode::kCorruption);
 }
 
+TEST(CodecTest, TruncationFuzzEveryPrefixLength) {
+  // A representative record (the cache-spill layout plus every other
+  // codec), truncated at every possible byte: decoding must fail with
+  // kCorruption at or before the cut — never crash, never hand back a
+  // value assembled from missing bytes.
+  BufferWriter w;
+  w.PutVarint64(0xabcdef0123ULL);
+  w.PutVarint64Signed(-123456789);
+  w.PutFixed32(0xdeadbeef);
+  w.PutFixed64(0x0123456789abcdefULL);
+  w.PutFloat(3.25f);
+  w.PutDouble(-1.5);
+  w.PutString("spill-payload");
+  w.PutFloatArray({1.f, 2.f, 3.f, 4.f});
+  w.PutVarintArray({7, 8, 9});
+  const std::string full = w.data();
+
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    BufferReader r(full.data(), cut);
+    uint64_t u;
+    int64_t i;
+    uint32_t f32;
+    uint64_t f64;
+    float f;
+    double d;
+    std::string s;
+    std::vector<float> fa;
+    std::vector<uint64_t> va;
+    agl::Status st = r.GetVarint64(&u);
+    if (st.ok()) st = r.GetVarint64Signed(&i);
+    if (st.ok()) st = r.GetFixed32(&f32);
+    if (st.ok()) st = r.GetFixed64(&f64);
+    if (st.ok()) st = r.GetFloat(&f);
+    if (st.ok()) st = r.GetDouble(&d);
+    if (st.ok()) st = r.GetString(&s);
+    if (st.ok()) st = r.GetFloatArray(&fa);
+    if (st.ok()) st = r.GetVarintArray(&va);
+    EXPECT_EQ(st.code(), StatusCode::kCorruption) << "cut at " << cut;
+  }
+}
+
+TEST(CodecTest, HostileLengthPrefixesAreCorruptionNotBadAlloc) {
+  // Length prefixes near UINT64_MAX must not wrap the bounds check, and
+  // huge-but-unwrapped ones must be rejected before any allocation.
+  for (uint64_t hostile :
+       {std::numeric_limits<uint64_t>::max(),
+        std::numeric_limits<uint64_t>::max() / sizeof(float),
+        uint64_t{1} << 62, uint64_t{1} << 32}) {
+    BufferWriter w;
+    w.PutVarint64(hostile);
+    w.PutFloat(1.f);  // a few real bytes after the lying length
+    std::string s;
+    std::vector<float> fa;
+    std::vector<uint64_t> va;
+    EXPECT_EQ(BufferReader(w.data()).GetString(&s).code(),
+              StatusCode::kCorruption)
+        << hostile;
+    EXPECT_EQ(BufferReader(w.data()).GetFloatArray(&fa).code(),
+              StatusCode::kCorruption)
+        << hostile;
+    EXPECT_EQ(BufferReader(w.data()).GetVarintArray(&va).code(),
+              StatusCode::kCorruption)
+        << hostile;
+  }
+}
+
 TEST(Crc32cTest, KnownProperties) {
   EXPECT_EQ(Crc32c("", 0), 0u);
   const uint32_t a = Crc32c("hello", 5);
@@ -189,6 +255,92 @@ TEST(RecordFileTest, DetectsCorruption) {
 TEST(RecordFileTest, MissingFileIsIoError) {
   auto r = RecordReader::Open("/nonexistent/path/file.dat");
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(RecordFileTest, TruncationFuzzEveryByte) {
+  // A spill/part file cut short at every possible byte (torn write, full
+  // disk): the reader must yield exactly the records that fit, then
+  // kCorruption mid-record (including mid-length-varint) or kOutOfRange at
+  // a clean record boundary — never an OK partial record.
+  const std::string path = TempPath("agl_record_truncfuzz.dat");
+  const std::vector<std::string> records = {"alpha", "",
+                                            std::string(300, 'b'), "tail"};
+  std::vector<uint64_t> boundaries = {0};
+  {
+    auto w = RecordWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    for (const std::string& rec : records) {
+      ASSERT_TRUE(w->Append(rec).ok());
+      boundaries.push_back(w->bytes_written());
+    }
+    ASSERT_TRUE(w->Close().ok());
+  }
+  std::string full;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) full.append(buf, n);
+    std::fclose(f);
+  }
+  ASSERT_EQ(full.size(), boundaries.back());
+
+  const std::string cut_path = TempPath("agl_record_truncfuzz_cut.dat");
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    {
+      std::FILE* f = std::fopen(cut_path.c_str(), "wb");
+      ASSERT_NE(f, nullptr);
+      ASSERT_EQ(std::fwrite(full.data(), 1, cut, f), cut);
+      std::fclose(f);
+    }
+    auto r = RecordReader::Open(cut_path);
+    ASSERT_TRUE(r.ok());
+    std::size_t readable = 0;
+    while (readable < records.size() && boundaries[readable + 1] <= cut) {
+      ++readable;
+    }
+    std::string rec;
+    for (std::size_t i = 0; i < readable; ++i) {
+      ASSERT_TRUE(r->Next(&rec).ok()) << "cut " << cut << " record " << i;
+      EXPECT_EQ(rec, records[i]);
+    }
+    const agl::Status tail_status = r->Next(&rec);
+    if (cut == boundaries[readable]) {
+      EXPECT_EQ(tail_status.code(), StatusCode::kOutOfRange) << "cut " << cut;
+    } else {
+      EXPECT_EQ(tail_status.code(), StatusCode::kCorruption) << "cut " << cut;
+    }
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST(RecordFileTest, SeekToReadsRecordAtOffset) {
+  const std::string path = TempPath("agl_record_seek.dat");
+  std::vector<uint64_t> offsets;
+  {
+    auto w = RecordWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    for (int i = 0; i < 5; ++i) {
+      offsets.push_back(w->bytes_written());
+      ASSERT_TRUE(w->Append("record-" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(w->Close().ok());
+  }
+  auto r = RecordReader::Open(path);
+  ASSERT_TRUE(r.ok());
+  std::string rec;
+  // Random-access pattern, including re-reads.
+  for (int i : {3, 0, 4, 2, 2}) {
+    ASSERT_TRUE(r->SeekTo(offsets[i]).ok());
+    ASSERT_TRUE(r->Next(&rec).ok());
+    EXPECT_EQ(rec, "record-" + std::to_string(i));
+  }
+  // Seeking into the middle of a record surfaces corruption on read.
+  ASSERT_TRUE(r->SeekTo(offsets[1] + 2).ok());
+  EXPECT_NE(r->Next(&rec).code(), StatusCode::kOk);
+  std::remove(path.c_str());
 }
 
 }  // namespace
