@@ -18,7 +18,11 @@ the MEDIAN ratio fresh/baseline, so a single noisy entry cannot fail the
 build. Benchmarks matching an --allow pattern (fnmatch, also matchable
 against individual entry names) only warn. Labeled result files
 (BENCH_<name>_<label>.json, e.g. the *_scalar-baseline snapshots) are
-historical pins, not baselines, and are skipped.
+historical pins, not baselines, and are skipped. Results whose
+"sanitizer" field is set (run_benchmarks.sh records AGL_SANITIZE from the
+build tree) are likewise skipped on BOTH sides: a TSan/ASan binary runs
+5-20x slower, so its timings are meaningless as fresh numbers and
+poisonous as baselines.
 
 To refresh a baseline intentionally (after an accepted perf change):
     OUT_DIR=bench-results scripts/run_benchmarks.sh bench_<name>
@@ -79,10 +83,12 @@ def extract_entries(doc, min_seconds):
     return entries, kind
 
 
-def is_labeled(path):
-    """BENCH_<name>_<label>.json pins; their 'label' field is non-null."""
+def is_unusable_baseline(path):
+    """Labeled pins (non-null 'label') and sanitizer-built results (non-null
+    'sanitizer') must never serve as the comparison baseline."""
     try:
-        return bool(load(path).get("label"))
+        doc = load(path)
+        return bool(doc.get("label")) or bool(doc.get("sanitizer"))
     except (OSError, ValueError):
         return False
 
@@ -121,6 +127,10 @@ def main():
         if fresh.get("label"):
             print(f"-- {name}: labeled snapshot, skipped")
             continue
+        if fresh.get("sanitizer"):
+            print(f"-- {name}: {fresh['sanitizer']}-sanitized build, "
+                  f"skipped (sanitizer timings are not perf data)")
+            continue
         # A crashed bench fails regardless of whether it is gated yet.
         if fresh.get("exit_code", 0) != 0:
             msg = f"{name}: fresh run exited {fresh['exit_code']}"
@@ -130,7 +140,7 @@ def main():
                 failures.append(msg)
             continue
         base_path = base_dir / fresh_path.name
-        if not base_path.exists() or is_labeled(base_path):
+        if not base_path.exists() or is_unusable_baseline(base_path):
             print(f"-- {name}: no committed baseline (new benchmark?) — "
                   f"passing; commit {base_path} to start gating it")
             continue

@@ -46,6 +46,20 @@ if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
 fi
 cmake --build "$build_dir" -j"$(nproc)"
 
+# Record which sanitizer (if any) the build tree was configured with:
+# check_bench_regression.py refuses sanitizer-built numbers (a TSan binary
+# is 5-20x slower; its timings must never become, or be judged against, a
+# perf baseline).
+sanitizer="$(sed -n 's/^AGL_SANITIZE:[^=]*=//p' "$build_dir/CMakeCache.txt" |
+             head -n1)"
+case "${sanitizer:-OFF}" in
+  OFF|"") sanitizer="" ;;
+esac
+if [[ -n "$sanitizer" ]]; then
+  echo "== note: $build_dir is an AGL_SANITIZE=$sanitizer build;" \
+       "results will be marked and excluded from regression gating"
+fi
+
 mkdir -p "$out_dir"
 
 ran=0
@@ -67,7 +81,7 @@ for bench in "${benches[@]}"; do
   out_name="BENCH_${bench#bench_}${BENCH_LABEL:+_$BENCH_LABEL}.json"
   BENCH_NAME="$bench" BENCH_RC="$rc" BENCH_NS="$((end_ns - start_ns))" \
   BENCH_OUT="$out_file" BENCH_GIT_REV="$git_rev" \
-  BENCH_LABEL="${BENCH_LABEL:-}" \
+  BENCH_LABEL="${BENCH_LABEL:-}" BENCH_SANITIZER="$sanitizer" \
   python3 - >"$out_dir/$out_name" <<'PY'
 import json, os, subprocess, sys
 
@@ -80,6 +94,7 @@ json.dump(
     {
         "bench": os.environ["BENCH_NAME"],
         "label": os.environ.get("BENCH_LABEL") or None,
+        "sanitizer": os.environ.get("BENCH_SANITIZER") or None,
         "git_rev": git_rev,
         "utc": subprocess.check_output(
             ["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"], text=True).strip(),

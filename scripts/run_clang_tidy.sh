@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the repo's first-party C++.
+#
+# Usage:
+#   scripts/run_clang_tidy.sh [BUILD_DIR] [--changed-only BASE_REF]
+#
+#   BUILD_DIR              build tree holding compile_commands.json
+#                          (default: build; configure with
+#                          -DCMAKE_EXPORT_COMPILE_COMMANDS=ON — the
+#                          top-level CMakeLists.txt already does).
+#   --changed-only BASE    lint only files changed vs BASE (the PR fast
+#                          path; CI passes the base sha). Falls back to
+#                          the full run if the diff cannot be computed.
+#
+# Env:
+#   CLANG_TIDY             binary override (default: clang-tidy).
+#   AGL_TIDY_JOBS          parallelism (default: nproc).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build"
+BASE_REF=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --changed-only)
+      BASE_REF="${2:?--changed-only needs a base ref}"
+      shift 2
+      ;;
+    *)
+      BUILD_DIR="$1"
+      shift
+      ;;
+  esac
+done
+
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: '$CLANG_TIDY' not found on PATH." >&2
+  echo "Install clang-tidy (apt: clang-tidy) or set CLANG_TIDY=..." >&2
+  exit 2
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: $BUILD_DIR/compile_commands.json missing." >&2
+  echo "Configure first: cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+# First-party translation units only; headers are pulled in through
+# HeaderFilterRegex in .clang-tidy.
+mapfile -t FILES < <(git ls-files 'src/**/*.cc' 'tests/*.cpp' \
+                                  'bench/*.cc' 'examples/*.cc')
+
+if [[ -n "$BASE_REF" ]]; then
+  # Diff-aware fast path: a PR leg lints only what it touched. A header
+  # change still lints every changed TU; the full wall runs on main.
+  if CHANGED=$(git diff --name-only "$BASE_REF"...HEAD 2>/dev/null); then
+    # A changed header can break any TU that includes it — keep the TU
+    # list restricted to changed .cc/.cpp, but if ONLY headers changed,
+    # fall back to the full run rather than silently linting nothing.
+    mapfile -t CHANGED_TUS < <(printf '%s\n' "$CHANGED" |
+                               grep -E '\.(cc|cpp)$' || true)
+    if [[ ${#CHANGED_TUS[@]} -gt 0 ]]; then
+      mapfile -t FILES < <(printf '%s\n' "${FILES[@]}" |
+                           grep -Fx -f <(printf '%s\n' "${CHANGED_TUS[@]}") \
+                           || true)
+      echo "clang-tidy: changed-only vs $BASE_REF (${#FILES[@]} TUs)"
+    elif [[ -n "$(printf '%s\n' "$CHANGED" | grep -E '\.h$' || true)" ]]; then
+      echo "clang-tidy: only headers changed vs $BASE_REF; full run"
+    else
+      echo "clang-tidy: no C++ changes vs $BASE_REF; nothing to lint"
+      exit 0
+    fi
+  else
+    echo "clang-tidy: cannot diff vs $BASE_REF; falling back to full run" >&2
+  fi
+fi
+
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "clang-tidy: no files to lint"
+  exit 0
+fi
+
+JOBS="${AGL_TIDY_JOBS:-$(nproc)}"
+echo "clang-tidy: linting ${#FILES[@]} files with $JOBS jobs"
+
+# xargs fan-out; clang-tidy exits nonzero on any WarningsAsErrors hit.
+printf '%s\0' "${FILES[@]}" |
+  xargs -0 -n 4 -P "$JOBS" "$CLANG_TIDY" -p "$BUILD_DIR" --quiet
+
+echo "clang-tidy: clean"

@@ -429,7 +429,7 @@ Variable L2Penalty(const Variable& a, float weight_decay) {
 // ---------------------------------------------------------------------------
 
 const tensor::SparseMatrix& SharedAdjacency::transposed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (transposed_ == nullptr) {
     transposed_ =
         std::make_unique<tensor::SparseMatrix>(matrix_.Transposed());
@@ -439,7 +439,7 @@ const tensor::SparseMatrix& SharedAdjacency::transposed() const {
 
 const SharedAdjacency::TransposeIndex& SharedAdjacency::transpose_index()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (transpose_index_ == nullptr) {
     auto idx = std::make_unique<TransposeIndex>();
     const auto& row_ptr = matrix_.row_ptr();

@@ -7,11 +7,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "autograd/variable.h"
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "tensor/sparse.h"
 
 namespace agl::autograd {
@@ -87,14 +88,17 @@ class SharedAdjacency {
   };
 
   const tensor::SparseMatrix& matrix() const { return matrix_; }
-  const tensor::SparseMatrix& transposed() const;
-  const TransposeIndex& transpose_index() const;
+  const tensor::SparseMatrix& transposed() const EXCLUDES(mu_);
+  const TransposeIndex& transpose_index() const EXCLUDES(mu_);
 
  private:
   tensor::SparseMatrix matrix_;
-  mutable std::unique_ptr<tensor::SparseMatrix> transposed_;
-  mutable std::unique_ptr<TransposeIndex> transpose_index_;
-  mutable std::mutex mu_;
+  // Lazily-built-then-immutable: the pointers are only written (once)
+  // under mu_, and the returned references alias pointees that are never
+  // mutated after publication.
+  mutable std::unique_ptr<tensor::SparseMatrix> transposed_ GUARDED_BY(mu_);
+  mutable std::unique_ptr<TransposeIndex> transpose_index_ GUARDED_BY(mu_);
+  mutable common::Mutex mu_;
 };
 
 using AdjacencyPtr = std::shared_ptr<SharedAdjacency>;

@@ -12,11 +12,12 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace agl {
 
@@ -32,30 +33,32 @@ class BoundedQueue {
 
   /// Blocks while the queue is full. Returns false (dropping `value`) when
   /// the queue was closed or cancelled.
-  bool Push(T value) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] {
-      return items_.size() < capacity_ || closed_ || cancelled_;
-    });
-    if (closed_ || cancelled_) return false;
-    items_.push_back(std::move(value));
-    lock.unlock();
-    not_empty_.notify_one();
+  bool Push(T value) EXCLUDES(mu_) {
+    {
+      common::MutexLock lock(&mu_);
+      while (items_.size() >= capacity_ && !closed_ && !cancelled_) {
+        not_full_.Wait(&mu_);
+      }
+      if (closed_ || cancelled_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.Signal();
     return true;
   }
 
   /// Blocks while the queue is empty and still open. Returns false when the
   /// queue is cancelled, or closed and fully drained.
-  bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] {
-      return !items_.empty() || closed_ || cancelled_;
-    });
-    if (cancelled_ || items_.empty()) return false;
-    *out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+  bool Pop(T* out) EXCLUDES(mu_) {
+    {
+      common::MutexLock lock(&mu_);
+      while (items_.empty() && !closed_ && !cancelled_) {
+        not_empty_.Wait(&mu_);
+      }
+      if (cancelled_ || items_.empty()) return false;
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.Signal();
     return true;
   }
 
@@ -68,47 +71,48 @@ class BoundedQueue {
   /// Non-blocking Pop; lets a consumer distinguish "not yet" from "never"
   /// (e.g. the trainer's compute stage peeking whether the batch it just
   /// processed was the epoch's last).
-  TryPopResult TryPop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (cancelled_) return TryPopResult::kDone;
-    if (items_.empty()) {
-      return closed_ ? TryPopResult::kDone : TryPopResult::kEmpty;
+  TryPopResult TryPop(T* out) EXCLUDES(mu_) {
+    {
+      common::MutexLock lock(&mu_);
+      if (cancelled_) return TryPopResult::kDone;
+      if (items_.empty()) {
+        return closed_ ? TryPopResult::kDone : TryPopResult::kEmpty;
+      }
+      *out = std::move(items_.front());
+      items_.pop_front();
     }
-    *out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    not_full_.Signal();
     return TryPopResult::kItem;
   }
 
   /// End-of-stream: no further pushes succeed; queued items remain poppable.
-  void Close() {
+  void Close() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.SignalAll();
+    not_empty_.SignalAll();
   }
 
   /// Error teardown: drops queued items and releases all waiters.
-  void Cancel() {
+  void Cancel() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       cancelled_ = true;
       items_.clear();
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.SignalAll();
+    not_empty_.SignalAll();
   }
 
-  bool cancelled() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool cancelled() const EXCLUDES(mu_) {
+    common::MutexLock lock(&mu_);
     return cancelled_;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t size() const EXCLUDES(mu_) {
+    common::MutexLock lock(&mu_);
     return items_.size();
   }
 
@@ -116,12 +120,12 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
-  bool cancelled_ = false;
+  mutable common::Mutex mu_;
+  common::CondVar not_full_;
+  common::CondVar not_empty_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
+  bool cancelled_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace agl

@@ -1,0 +1,88 @@
+// Annotated locking vocabulary: thin wrappers over std::mutex /
+// std::condition_variable that carry clang thread-safety capabilities
+// (thread_annotations.h), so every locking site in the tree is visible to
+// -Wthread-safety. The wrappers add no state and no overhead beyond the
+// standard primitives they hold.
+//
+// Usage pattern (the only one the analysis models cleanly):
+//
+//   common::Mutex mu_;
+//   int value_ GUARDED_BY(mu_);
+//   common::CondVar cv_;
+//
+//   {
+//     common::MutexLock lock(&mu_);
+//     while (!Ready()) cv_.Wait(&mu_);  // explicit predicate loop
+//     ++value_;
+//   }
+//   cv_.Signal();                       // notify after releasing the lock
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace agl::common {
+
+/// An exclusive capability ("mutex") wrapping std::mutex.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex (the scoped capability the analysis tracks).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable used with a Mutex. The mutex is passed to Wait()
+/// (abseil-style) so the analysis can match it against the caller's held
+/// capability — a bound-at-construction mutex would be opaque to it.
+/// Several CondVars may wait on one mutex (e.g. BoundedQueue's
+/// not_full_/not_empty_ pair).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires it before returning.
+  /// Callers wrap this in an explicit `while (!predicate)` loop inside the
+  /// locked region (spurious wakeups are allowed through).
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    // Adopt the already-held mutex for the duration of the wait, then
+    // release the unique_lock's ownership claim without unlocking — the
+    // caller's MutexLock still owns the mutex.
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace agl::common

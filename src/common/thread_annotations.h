@@ -1,0 +1,80 @@
+// Clang thread-safety-analysis annotations (-Wthread-safety).
+//
+// These macros attach locking contracts to types, members, and functions so
+// the compiler — not the reviewer — enforces them: a `GUARDED_BY(mu_)`
+// member touched without `mu_` held, or a `REQUIRES(mu_)` helper called
+// unlocked, is a build error on the clang CI leg (AGL_WERROR promotes
+// -Wthread-safety -Wthread-safety-beta to errors). Under GCC and MSVC every
+// macro expands to nothing, so annotated code stays portable.
+//
+// Conventions used across the tree (see README "Concurrency & static
+// analysis"):
+//   * every mutex-protected member carries GUARDED_BY(<its mutex>);
+//   * a private helper that assumes the lock is held is named `*Locked` and
+//     annotated REQUIRES(<mutex>);
+//   * public entry points that take the lock themselves are annotated
+//     EXCLUDES(<mutex>) when calling them locked would self-deadlock.
+
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define AGL_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define AGL_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off clang
+#endif
+
+// Documents that a data member is protected by the given capability
+// (mutex). Reads and writes require the capability to be held.
+#define GUARDED_BY(x) AGL_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// Like GUARDED_BY, but for the data a pointer/smart-pointer member points
+// at (the pointer itself is unguarded).
+#define PT_GUARDED_BY(x) AGL_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// The function may only be called while the listed capabilities are held;
+// they are neither acquired nor released by the call.
+#define REQUIRES(...) \
+  AGL_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  AGL_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires / releases the listed capabilities.
+#define ACQUIRE(...) \
+  AGL_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  AGL_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  AGL_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  AGL_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+// The function attempts to acquire the capability; the first argument is
+// the return value that signals success.
+#define TRY_ACQUIRE(...) \
+  AGL_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+// The function may not be called while the listed capabilities are held
+// (it acquires them itself; calling locked would self-deadlock).
+#define EXCLUDES(...) \
+  AGL_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Declares a type to be a capability ("mutex") the analysis can track.
+#define CAPABILITY(x) AGL_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// Declares an RAII type whose constructor acquires and destructor releases
+// a capability.
+#define SCOPED_CAPABILITY AGL_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Run-time assertion that the calling thread holds the capability; tells
+// the analysis to treat it as held from here on.
+#define ASSERT_CAPABILITY(x) \
+  AGL_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+// The function returns a reference to the given capability (lets accessors
+// expose a member mutex for annotation purposes).
+#define RETURN_CAPABILITY(x) AGL_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch for code the analysis cannot model (e.g. the adopt/release
+// interop inside CondVar::Wait). Use sparingly and justify at the use site.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  AGL_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

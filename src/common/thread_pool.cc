@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 namespace agl {
 
@@ -15,10 +16,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.SignalAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -26,10 +27,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] {
-        return shutdown_ || !queue_.empty() || !chunk_queue_.empty();
-      });
+      common::MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty() && chunk_queue_.empty()) {
+        cv_.Wait(&mu_);
+      }
       // Chunk tasks first: they are short-lived and a ParallelFor caller is
       // actively blocked on them.
       if (!chunk_queue_.empty()) {
@@ -39,8 +40,7 @@ void ThreadPool::WorkerLoop() {
         task = std::move(queue_.front());
         queue_.pop_front();
       } else {
-        if (shutdown_) return;
-        continue;
+        return;  // shutdown with both queues drained
       }
     }
     task();
@@ -69,9 +69,9 @@ void ThreadPool::ParallelFor(std::size_t n,
   // been destroyed, so it must only touch memory the lambda keeps alive.
   struct Shared {
     std::atomic<std::size_t> remaining;
-    std::mutex mu;
-    std::condition_variable done_cv;
-    std::exception_ptr eptr;
+    common::Mutex mu;
+    common::CondVar done_cv;
+    std::exception_ptr eptr GUARDED_BY(mu);
   };
   auto shared = std::make_shared<Shared>();
   shared->remaining.store(submitted, std::memory_order_relaxed);
@@ -80,13 +80,13 @@ void ThreadPool::ParallelFor(std::size_t n,
     try {
       for (std::size_t i = begin; i < end; ++i) fn(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(shared->mu);
+      common::MutexLock lock(&shared->mu);
       if (!shared->eptr) shared->eptr = std::current_exception();
     }
   };
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     for (std::size_t w = 1; w <= submitted; ++w) {
       const std::size_t begin = w * chunk;
       const std::size_t end = std::min(n, begin + chunk);
@@ -97,13 +97,13 @@ void ThreadPool::ParallelFor(std::size_t n,
           // Final chunk: wake the owning caller. Lock/unlock orders this
           // decrement before the caller's predicate check so the wakeup
           // cannot be missed.
-          { std::lock_guard<std::mutex> lock(shared->mu); }
-          shared->done_cv.notify_all();
+          { common::MutexLock lock(&shared->mu); }
+          shared->done_cv.SignalAll();
         }
       });
     }
   }
-  cv_.notify_all();
+  cv_.SignalAll();
 
   run_chunk(0, std::min(chunk, n));
 
@@ -115,7 +115,7 @@ void ThreadPool::ParallelFor(std::size_t n,
   for (;;) {
     std::function<void()> task;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       for (auto it = chunk_queue_.begin(); it != chunk_queue_.end(); ++it) {
         if (it->first == shared.get()) {
           task = std::move(it->second);
@@ -128,14 +128,15 @@ void ThreadPool::ParallelFor(std::size_t n,
     task();
   }
 
+  std::exception_ptr eptr;
   {
-    std::unique_lock<std::mutex> lock(shared->mu);
-    shared->done_cv.wait(lock, [&shared] {
-      return shared->remaining.load(std::memory_order_acquire) == 0;
-    });
+    common::MutexLock lock(&shared->mu);
+    while (shared->remaining.load(std::memory_order_acquire) != 0) {
+      shared->done_cv.Wait(&shared->mu);
+    }
+    eptr = shared->eptr;
   }
-
-  if (shared->eptr) std::rethrow_exception(shared->eptr);
+  if (eptr) std::rethrow_exception(eptr);
 }
 
 ThreadPool& GlobalThreadPool() {

@@ -3,15 +3,16 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace agl {
 
@@ -38,10 +39,10 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       queue_.emplace_back([task]() { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.Signal();
     return fut;
   }
 
@@ -51,22 +52,24 @@ class ThreadPool {
   /// queued tasks while waiting, so nesting ParallelFor inside pool
   /// workers cannot deadlock. The first exception thrown by `fn` is
   /// rethrown on the calling thread after all chunks complete.
-  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn)
+      EXCLUDES(mu_);
 
   std::size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  common::Mutex mu_;
+  common::CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   // ParallelFor chunk tasks, tagged with their owning call. Kept separate
   // from queue_ so a waiting caller can help-run its own chunks without
   // executing arbitrary Submit() tasks — or another call's chunks — on its
   // stack (which could reenter locks the caller holds).
-  std::deque<std::pair<const void*, std::function<void()>>> chunk_queue_;
-  bool shutdown_ = false;
+  std::deque<std::pair<const void*, std::function<void()>>> chunk_queue_
+      GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

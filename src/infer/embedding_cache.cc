@@ -32,7 +32,7 @@ agl::Status DecodeSpillRecord(const std::string& bytes, CacheKey* key,
 }  // namespace
 
 agl::Status EmbeddingCache::EnableSpill(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   AGL_ASSIGN_OR_RETURN(io::RecordWriter writer, io::RecordWriter::Open(path));
   spill_writer_.emplace(std::move(writer));
   spill_reader_.reset();
@@ -42,13 +42,13 @@ agl::Status EmbeddingCache::EnableSpill(const std::string& path) {
 }
 
 void EmbeddingCache::SetSpillFaultHook(std::function<agl::Status()> hook) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   spill_fault_hook_ = std::move(hook);
 }
 
 bool EmbeddingCache::Lookup(const CacheKey& key, std::vector<float>* out) {
   if (!enabled()) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -71,7 +71,7 @@ bool EmbeddingCache::Lookup(const CacheKey& key, std::vector<float>* out) {
 void EmbeddingCache::Insert(const CacheKey& key,
                             const std::vector<float>& embedding) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Values are immutable per key: only refresh recency.
@@ -82,7 +82,7 @@ void EmbeddingCache::Insert(const CacheKey& key,
 }
 
 EmbeddingCacheStats EmbeddingCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   EmbeddingCacheStats out = stats_;
   out.resident_entries = static_cast<int64_t>(lru_.size());
   return out;

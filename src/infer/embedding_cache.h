@@ -21,13 +21,14 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "io/record_file.h"
 
 namespace agl::infer {
@@ -91,23 +92,24 @@ class EmbeddingCache {
   /// now) instead of dropping them. The file uses the LocalDfs part-file
   /// format, so a spill parked under a DFS root is readable with the
   /// ordinary record tooling.
-  agl::Status EnableSpill(const std::string& path);
+  agl::Status EnableSpill(const std::string& path) EXCLUDES(mu_);
 
   /// Test hook: invoked before every spill write and spill read. A non-OK
   /// return fails that spill operation only — the write drops the entry,
   /// the read degrades to a miss; correctness is unaffected either way.
-  void SetSpillFaultHook(std::function<agl::Status()> hook);
+  void SetSpillFaultHook(std::function<agl::Status()> hook) EXCLUDES(mu_);
 
   /// Returns true and fills `*out` when `key` is resident (in RAM or in the
   /// spill file). A spill hit is re-admitted to RAM.
-  bool Lookup(const CacheKey& key, std::vector<float>* out);
+  bool Lookup(const CacheKey& key, std::vector<float>* out) EXCLUDES(mu_);
 
   /// Admits `embedding` under `key` (no-op when disabled or already
   /// present; an existing entry is only refreshed in LRU order — values are
   /// immutable per (node, round, version)).
-  void Insert(const CacheKey& key, const std::vector<float>& embedding);
+  void Insert(const CacheKey& key, const std::vector<float>& embedding)
+      EXCLUDES(mu_);
 
-  EmbeddingCacheStats stats() const;
+  EmbeddingCacheStats stats() const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -121,11 +123,13 @@ class EmbeddingCache {
   }
 
   /// Inserts at the LRU front and evicts (spilling when configured) until
-  /// the budget holds again. Caller holds mu_.
-  void AdmitLocked(const CacheKey& key, std::vector<float> embedding);
-  void EvictOneLocked();
-  /// Attempts to serve `key` from the spill file. Caller holds mu_.
-  bool SpillLookupLocked(const CacheKey& key, std::vector<float>* out);
+  /// the budget holds again.
+  void AdmitLocked(const CacheKey& key, std::vector<float> embedding)
+      REQUIRES(mu_);
+  void EvictOneLocked() REQUIRES(mu_);
+  /// Attempts to serve `key` from the spill file.
+  bool SpillLookupLocked(const CacheKey& key, std::vector<float>* out)
+      REQUIRES(mu_);
 
   const int64_t budget_bytes_;
 
@@ -134,19 +138,20 @@ class EmbeddingCache {
   // consistent. If spill traffic ever dominates a profile, stage the
   // encode/IO outside the lock (collect victims under it, write after
   // release, re-check the offset map on re-entry).
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recently used
+  mutable common::Mutex mu_;
+  std::list<Entry> lru_ GUARDED_BY(mu_);  // front = most recently used
   std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
-      index_;
+      index_ GUARDED_BY(mu_);
   // Spill state: append-only writer plus a byte-offset index into the file.
   // Entries are immutable, so an offset written once stays valid and a
   // re-evicted entry is never rewritten.
-  std::string spill_path_;
-  std::optional<io::RecordWriter> spill_writer_;
-  std::optional<io::RecordReader> spill_reader_;
-  std::unordered_map<CacheKey, uint64_t, CacheKeyHash> spill_offset_;
-  std::function<agl::Status()> spill_fault_hook_;
-  EmbeddingCacheStats stats_;
+  std::string spill_path_ GUARDED_BY(mu_);
+  std::optional<io::RecordWriter> spill_writer_ GUARDED_BY(mu_);
+  std::optional<io::RecordReader> spill_reader_ GUARDED_BY(mu_);
+  std::unordered_map<CacheKey, uint64_t, CacheKeyHash> spill_offset_
+      GUARDED_BY(mu_);
+  std::function<agl::Status()> spill_fault_hook_ GUARDED_BY(mu_);
+  EmbeddingCacheStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace agl::infer

@@ -25,12 +25,12 @@ std::size_t ParameterServer::ShardOf(const std::string& key) const {
 void ParameterServer::Initialize(
     const std::map<std::string, tensor::Tensor>& state) {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(&shard->mu);
     shard->entries.clear();
   }
   for (const auto& [key, value] : state) {
     Shard& shard = *shards_[ShardOf(key)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     shard.entries[key] = Entry{value, nn::AdamState{}};
   }
 }
@@ -38,7 +38,7 @@ void ParameterServer::Initialize(
 std::map<std::string, tensor::Tensor> ParameterServer::PullAll() const {
   std::map<std::string, tensor::Tensor> out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(&shard->mu);
     for (const auto& [key, entry] : shard->entries) {
       out.emplace(key, entry.value);
       shard->pulls++;
@@ -53,7 +53,7 @@ agl::Status ParameterServer::ValidateGradients(
     const std::map<std::string, tensor::Tensor>& grads) const {
   for (const auto& [key, grad] : grads) {
     Shard& shard = *shards_[ShardOf(key)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     auto it = shard.entries.find(key);
     if (it == shard.entries.end()) {
       return agl::Status::NotFound("push to unknown parameter: " + key);
@@ -71,7 +71,7 @@ void ParameterServer::ApplyUpdate(
     const std::map<std::string, tensor::Tensor>& grads) {
   for (const auto& [key, grad] : grads) {
     Shard& shard = *shards_[ShardOf(key)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     auto it = shard.entries.find(key);
     AGL_CHECK(it != shard.entries.end()) << "unvalidated gradient " << key;
     nn::AdamApply(options_.adam, grad, &it->second.value,
@@ -87,7 +87,7 @@ agl::Status ParameterServer::PushGradients(
   ApplyUpdate(grads);
   for (const auto& [key, grad] : grads) {
     Shard& shard = *shards_[ShardOf(key)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     shard.pushes++;
     shard.bytes_pushed += grad.size() * static_cast<int64_t>(sizeof(float));
   }
@@ -98,7 +98,7 @@ agl::Status ParameterServer::PushGradients(
 
 void ParameterServer::BeginSspEpoch(int num_workers,
                                     int64_t staleness_bound) {
-  std::lock_guard<std::mutex> lock(ssp_mu_);
+  common::MutexLock lock(&ssp_mu_);
   AGL_CHECK_GT(num_workers, 0);
   AGL_CHECK_GE(staleness_bound, 0);
   ssp_.active = true;
@@ -162,43 +162,47 @@ void ParameterServer::CommitReadyLocked() {
   }
 }
 
+agl::Status ParameterServer::WaitAtSspGateLocked(int worker) {
+  if (!ssp_.active) {
+    return agl::Status::FailedPrecondition("no SSP epoch in progress");
+  }
+  if (worker < 0 || worker >= static_cast<int>(ssp_.clock.size())) {
+    return agl::Status::InvalidArgument("bad SSP worker id");
+  }
+  bool counted_wait = false;
+  while (true) {
+    if (ssp_.cancelled) {
+      return agl::Status::Aborted("SSP epoch cancelled");
+    }
+    if (!ssp_.active) {
+      // EndSspEpoch disarmed the layer while we were parked.
+      return agl::Status::FailedPrecondition("SSP epoch ended");
+    }
+    // A finished worker (excluded from the minimum) can sit below it;
+    // clamp so the histogram never sees a negative bucket.
+    const int64_t skew =
+        std::max<int64_t>(0, ssp_.clock[worker] - MinActiveClockLocked());
+    if (skew <= ssp_.bound) {
+      ssp_pulls_++;
+      ssp_max_staleness_ = std::max(ssp_max_staleness_, skew);
+      ssp_hist_[std::min<int64_t>(skew, kStalenessBuckets - 1)]++;
+      return agl::Status::OK();
+    }
+    if (!counted_wait) {
+      // Counted when the wait engages so watchers can observe a worker
+      // parked at the gate.
+      counted_wait = true;
+      ssp_waits_++;
+    }
+    ssp_cv_.Wait(&ssp_mu_);
+  }
+}
+
 agl::Result<std::map<std::string, tensor::Tensor>> ParameterServer::PullSsp(
     int worker) {
   {
-    std::unique_lock<std::mutex> lock(ssp_mu_);
-    if (!ssp_.active) {
-      return agl::Status::FailedPrecondition("no SSP epoch in progress");
-    }
-    if (worker < 0 || worker >= static_cast<int>(ssp_.clock.size())) {
-      return agl::Status::InvalidArgument("bad SSP worker id");
-    }
-    bool counted_wait = false;
-    while (true) {
-      if (ssp_.cancelled) {
-        return agl::Status::Aborted("SSP epoch cancelled");
-      }
-      if (!ssp_.active) {
-        // EndSspEpoch disarmed the layer while we were parked.
-        return agl::Status::FailedPrecondition("SSP epoch ended");
-      }
-      // A finished worker (excluded from the minimum) can sit below it;
-      // clamp so the histogram never sees a negative bucket.
-      const int64_t skew =
-          std::max<int64_t>(0, ssp_.clock[worker] - MinActiveClockLocked());
-      if (skew <= ssp_.bound) {
-        ssp_pulls_++;
-        ssp_max_staleness_ = std::max(ssp_max_staleness_, skew);
-        ssp_hist_[std::min<int64_t>(skew, kStalenessBuckets - 1)]++;
-        break;
-      }
-      if (!counted_wait) {
-        // Counted when the wait engages so watchers can observe a worker
-        // parked at the gate.
-        counted_wait = true;
-        ssp_waits_++;
-      }
-      ssp_cv_.wait(lock);
-    }
+    common::MutexLock lock(&ssp_mu_);
+    AGL_RETURN_IF_ERROR(WaitAtSspGateLocked(worker));
   }
   return PullAll();
 }
@@ -206,7 +210,7 @@ agl::Result<std::map<std::string, tensor::Tensor>> ParameterServer::PullSsp(
 agl::Status ParameterServer::PushSsp(
     int worker, std::map<std::string, tensor::Tensor> grads) {
   {
-    std::lock_guard<std::mutex> lock(ssp_mu_);
+    common::MutexLock lock(&ssp_mu_);
     if (!ssp_.active) {
       return agl::Status::FailedPrecondition("no SSP epoch in progress");
     }
@@ -228,13 +232,13 @@ agl::Status ParameterServer::PushSsp(
     ssp_.clock[worker]++;
     CommitReadyLocked();
   }
-  ssp_cv_.notify_all();
+  ssp_cv_.SignalAll();
   return agl::Status::OK();
 }
 
 void ParameterServer::FinishSspWorker(int worker) {
   {
-    std::lock_guard<std::mutex> lock(ssp_mu_);
+    common::MutexLock lock(&ssp_mu_);
     if (!ssp_.active || worker < 0 ||
         worker >= static_cast<int>(ssp_.finished.size())) {
       return;
@@ -243,34 +247,34 @@ void ParameterServer::FinishSspWorker(int worker) {
     ssp_.finished[worker] = true;
     if (!ssp_.cancelled) CommitReadyLocked();
   }
-  ssp_cv_.notify_all();
+  ssp_cv_.SignalAll();
 }
 
 void ParameterServer::CancelSsp() {
   {
-    std::lock_guard<std::mutex> lock(ssp_mu_);
+    common::MutexLock lock(&ssp_mu_);
     if (!ssp_.active) return;
     ssp_.cancelled = true;
     ssp_.pending.clear();
   }
-  ssp_cv_.notify_all();
+  ssp_cv_.SignalAll();
 }
 
 void ParameterServer::EndSspEpoch() {
   {
-    std::lock_guard<std::mutex> lock(ssp_mu_);
+    common::MutexLock lock(&ssp_mu_);
     ssp_.active = false;
     ssp_.pending.clear();
   }
   // A pull still parked at the gate must fail out, not hang: the clocks
   // it is waiting on are gone.
-  ssp_cv_.notify_all();
+  ssp_cv_.SignalAll();
 }
 
 int64_t ParameterServer::NumParameters() const {
   int64_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(&shard->mu);
     n += static_cast<int64_t>(shard->entries.size());
   }
   return n;
@@ -279,13 +283,13 @@ int64_t ParameterServer::NumParameters() const {
 ServerStats ParameterServer::stats() const {
   ServerStats s;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(&shard->mu);
     s.pulls += shard->pulls;
     s.pushes += shard->pushes;
     s.bytes_pulled += shard->bytes_pulled;
     s.bytes_pushed += shard->bytes_pushed;
   }
-  std::lock_guard<std::mutex> lock(ssp_mu_);
+  common::MutexLock lock(&ssp_mu_);
   s.pushes += ssp_pushes_;
   s.bytes_pushed += ssp_bytes_pushed_;
   s.ssp_pulls = ssp_pulls_;

@@ -28,16 +28,16 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "nn/optimizer.h"
 #include "tensor/tensor.h"
 
@@ -133,12 +133,12 @@ class ParameterServer {
     nn::AdamState opt_state;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::map<std::string, Entry> entries;
-    mutable int64_t pulls = 0;
-    int64_t pushes = 0;
-    mutable int64_t bytes_pulled = 0;
-    int64_t bytes_pushed = 0;
+    mutable common::Mutex mu;
+    std::map<std::string, Entry> entries GUARDED_BY(mu);
+    mutable int64_t pulls GUARDED_BY(mu) = 0;
+    int64_t pushes GUARDED_BY(mu) = 0;
+    mutable int64_t bytes_pulled GUARDED_BY(mu) = 0;
+    int64_t bytes_pushed GUARDED_BY(mu) = 0;
   };
   struct SspState {
     bool active = false;
@@ -161,24 +161,29 @@ class ParameterServer {
       const std::map<std::string, tensor::Tensor>& grads) const;
   /// Smallest clock among unfinished workers (or the largest clock when
   /// everyone finished — everything pending becomes committable).
-  int64_t MinActiveClockLocked() const;
+  int64_t MinActiveClockLocked() const REQUIRES(ssp_mu_);
   /// Commits every tick below the minimum active clock.
-  void CommitReadyLocked();
+  void CommitReadyLocked() REQUIRES(ssp_mu_);
+  /// The SSP read fence: blocks `worker` at the clock gate until it is
+  /// within the staleness bound (accounting the pull), or fails out on
+  /// cancellation / epoch end. The snapshot itself is taken unlocked by
+  /// the caller — this is the locked phase of PullSsp.
+  agl::Status WaitAtSspGateLocked(int worker) REQUIRES(ssp_mu_);
 
   ServerOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex ssp_mu_;
-  std::condition_variable ssp_cv_;
-  SspState ssp_;
+  mutable common::Mutex ssp_mu_;
+  common::CondVar ssp_cv_;
+  SspState ssp_ GUARDED_BY(ssp_mu_);
   // Cumulative across epochs (merged into stats()).
-  int64_t ssp_pulls_ = 0;
-  int64_t ssp_waits_ = 0;
-  int64_t ssp_commits_ = 0;
-  int64_t ssp_pushes_ = 0;
-  int64_t ssp_bytes_pushed_ = 0;
-  int64_t ssp_max_staleness_ = 0;
-  std::vector<int64_t> ssp_hist_ =
+  int64_t ssp_pulls_ GUARDED_BY(ssp_mu_) = 0;
+  int64_t ssp_waits_ GUARDED_BY(ssp_mu_) = 0;
+  int64_t ssp_commits_ GUARDED_BY(ssp_mu_) = 0;
+  int64_t ssp_pushes_ GUARDED_BY(ssp_mu_) = 0;
+  int64_t ssp_bytes_pushed_ GUARDED_BY(ssp_mu_) = 0;
+  int64_t ssp_max_staleness_ GUARDED_BY(ssp_mu_) = 0;
+  std::vector<int64_t> ssp_hist_ GUARDED_BY(ssp_mu_) =
       std::vector<int64_t>(kStalenessBuckets, 0);
 };
 

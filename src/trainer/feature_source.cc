@@ -120,7 +120,7 @@ void StreamingShardReader::ReaderLoop(int worker, int num_workers) {
         });
     if (!s.ok()) {
       if (!queue_.cancelled()) {
-        std::lock_guard<std::mutex> lock(status_mu_);
+        common::MutexLock lock(&status_mu_);
         reader_status_ = s;
         queue_.Cancel();
       }
@@ -137,7 +137,7 @@ agl::Result<std::vector<subgraph::GraphFeature>> StreamingShardReader::Next() {
   std::vector<subgraph::GraphFeature> batch;
   if (queue_.Pop(&batch)) return batch;
   if (queue_.cancelled()) {
-    std::lock_guard<std::mutex> lock(status_mu_);
+    common::MutexLock lock(&status_mu_);
     if (!reader_status_.ok()) return reader_status_;
     return agl::Status::Aborted("stream cancelled");
   }

@@ -10,13 +10,14 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/bounded_queue.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "mr/local_dfs.h"
 #include "subgraph/graph_feature.h"
 
@@ -103,8 +104,11 @@ class StreamingShardReader {
   const DfsFeatureSource source_;
   const int64_t batch_size_;
   BoundedQueue<std::vector<subgraph::GraphFeature>> queue_;
-  std::mutex status_mu_;
-  agl::Status reader_status_;  // first reader-side error, if any
+  common::Mutex status_mu_;
+  // First reader-side error, if any. Published under status_mu_ before the
+  // queue is cancelled, so a consumer that observed the cancellation
+  // always sees it.
+  agl::Status reader_status_ GUARDED_BY(status_mu_);
   std::thread thread_;
 };
 

@@ -1,0 +1,94 @@
+// Negative-compile harness for the thread-safety annotations.
+//
+// Each AGL_NC_* macro selects one known-bad snippet that MUST be rejected
+// by clang's -Wthread-safety -Werror. The CMake side (negative_compile/
+// CMakeLists.txt) builds one object-library target per case and registers
+// a WILL_FAIL ctest entry per bad case, so a regression that silently
+// disables the analysis (a broken macro, a lost compile flag) turns the
+// "build fails" assertion into a test failure.
+//
+// With no AGL_NC_* macro defined, the file compiles a correct usage — the
+// control that proves failures come from the analysis, not from the
+// harness being broken.
+//
+// Only meaningful under clang: the annotation macros expand to nothing
+// elsewhere, so the CMake side registers these tests only when
+// CMAKE_CXX_COMPILER_ID matches Clang.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) EXCLUDES(mu_) {
+    agl::common::MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  int balance() const EXCLUDES(mu_) {
+    agl::common::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+  void Audit() EXCLUDES(mu_) {
+    agl::common::MutexLock lock(&mu_);
+    AuditLocked();
+  }
+
+ private:
+  void AuditLocked() REQUIRES(mu_) { ++audits_; }
+
+  mutable agl::common::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+  int audits_ GUARDED_BY(mu_) = 0;
+
+#if defined(AGL_NC_UNLOCKED_WRITE)
+  // BAD: writes a GUARDED_BY member without holding its mutex.
+ public:
+  void Corrupt() { balance_ = -1; }  // expected-error: writing without mu_
+#endif
+
+#if defined(AGL_NC_UNLOCKED_READ)
+  // BAD: reads a GUARDED_BY member without holding its mutex.
+ public:
+  int Peek() const { return balance_; }  // expected-error: reading w/o mu_
+#endif
+
+#if defined(AGL_NC_MISSING_REQUIRES)
+  // BAD: calls a REQUIRES(mu_) helper without holding the mutex.
+ public:
+  void AuditUnlocked() { AuditLocked(); }  // expected-error: mu_ not held
+#endif
+
+#if defined(AGL_NC_DOUBLE_LOCK)
+  // BAD: acquires a mutex the caller already holds (self-deadlock).
+ public:
+  void DoubleLock() EXCLUDES(mu_) {
+    agl::common::MutexLock outer(&mu_);
+    agl::common::MutexLock inner(&mu_);  // expected-error: already held
+    balance_ += 0;
+  }
+#endif
+
+#if defined(AGL_NC_WAIT_WITHOUT_LOCK)
+  // BAD: CondVar::Wait REQUIRES the mutex; calling it unlocked is the
+  // classic lost-wakeup/undefined-behaviour bug.
+ public:
+  void WaitUnlocked() { cv_.Wait(&mu_); }  // expected-error: mu_ not held
+ private:
+  agl::common::CondVar cv_;
+#endif
+};
+
+}  // namespace
+
+// The harness compiles object files only; give each TU one live symbol so
+// -Wunused doesn't fire on the control build.
+void agl_nc_anchor() {
+  Account a;
+  a.Deposit(1);
+  a.Audit();
+  (void)a.balance();
+}
