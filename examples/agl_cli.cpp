@@ -17,6 +17,7 @@
 #include <unordered_set>
 
 #include "agl/agl.h"
+#include "common/failpoint.h"
 #include "common/flags.h"
 #include "data/dataset.h"
 #include "flat/csv_io.h"
@@ -46,8 +47,17 @@ int Fail(const agl::Status& status) {
   return 1;
 }
 
+/// Arms the failpoints of a --failpoints spec. Validated before anything
+/// is armed, so a typo names the bad entry (and the known sites) up front
+/// instead of silently running fault-free.
+agl::Status ArmFailpoints(const std::string& spec) {
+  if (spec.empty()) return agl::Status::OK();
+  AGL_RETURN_IF_ERROR(fail::ValidateSpec(spec));
+  return fail::ApplySpec(spec);
+}
+
 int RunGraphFlatCmd(const std::vector<std::string>& args) {
-  std::string node_csv, edge_csv, sampling = "none", output;
+  std::string node_csv, edge_csv, sampling = "none", output, failpoints;
   int64_t hops = 2, max_neighbors = 0, hub_threshold = 10000, workers = 4,
           shards = 1;
   FlagParser parser;
@@ -59,6 +69,8 @@ int RunGraphFlatCmd(const std::vector<std::string>& args) {
       .AddInt("hub-threshold", &hub_threshold, "re-indexing threshold")
       .AddInt("workers", &workers, "MapReduce workers")
       .AddInt("shards", &shards, "GraphFlat shards (merged output)")
+      .AddString("failpoints", &failpoints,
+                 "fault-injection spec, e.g. 'mr.map=error(0.1);seed=7'")
       .AddString("o", &output, "output <dfs-root>:<dataset>");
   if (agl::Status s = parser.Parse(args); !s.ok()) return Fail(s);
   if (node_csv.empty() || edge_csv.empty() || output.empty()) {
@@ -66,6 +78,7 @@ int RunGraphFlatCmd(const std::vector<std::string>& args) {
                  parser.Help().c_str());
     return 1;
   }
+  if (agl::Status s = ArmFailpoints(failpoints); !s.ok()) return Fail(s);
 
   auto nodes = flat::ReadNodeCsv(node_csv);
   if (!nodes.ok()) return Fail(nodes.status());
@@ -97,11 +110,12 @@ int RunGraphFlatCmd(const std::vector<std::string>& args) {
 
 int RunTrainCmd(const std::vector<std::string>& args) {
   std::string model_name = "gcn", input, output, task = "single",
-              val_input, sync = "async";
+              val_input, sync = "async", failpoints;
   int64_t layers = 2, hidden = 16, classes = 2, workers = 2, epochs = 10,
-          batch = 32, heads = 1, staleness = 1, prefetch = 2;
+          batch = 32, heads = 1, staleness = 1, prefetch = 2,
+          checkpoint_every = 0;
   double lr = 0.01, dropout = 0.0;
-  bool stream = false, no_pipeline = false;
+  bool stream = false, no_pipeline = false, resume = false;
   FlagParser parser;
   parser.AddString("m", &model_name, "model (gcn|graphsage|gat)")
       .AddString("i", &input, "training features <dfs-root>:<dataset>")
@@ -124,6 +138,14 @@ int RunTrainCmd(const std::vector<std::string>& args) {
                "run the stages inline (disables the training pipeline)")
       .AddDouble("lr", &lr, "Adam learning rate")
       .AddDouble("dropout", &dropout, "dropout probability")
+      .AddInt("checkpoint-every-batches", &checkpoint_every,
+              "write a resumable mid-epoch checkpoint every N global "
+              "batches (0 = epoch-boundary checkpoints only)")
+      .AddBool("resume", &resume,
+               "resume from the latest mid-epoch checkpoint on the input "
+               "DFS root if one exists")
+      .AddString("failpoints", &failpoints,
+                 "fault-injection spec, e.g. 'ps.push=error(0.1);seed=7'")
       .AddString("o", &output, "model output <dfs-root>:<dataset>");
   if (agl::Status s = parser.Parse(args); !s.ok()) return Fail(s);
   if (input.empty() || output.empty()) {
@@ -131,6 +153,7 @@ int RunTrainCmd(const std::vector<std::string>& args) {
                  parser.Help().c_str());
     return 1;
   }
+  if (agl::Status s = ArmFailpoints(failpoints); !s.ok()) return Fail(s);
 
   auto in_loc = ParseDfsLocation(input);
   if (!in_loc.ok()) return Fail(in_loc.status());
@@ -214,6 +237,13 @@ int RunTrainCmd(const std::vector<std::string>& args) {
   config.batch_size = static_cast<int>(batch);
   config.adam.lr = static_cast<float>(lr);
   config.verbose = true;
+  if (checkpoint_every > 0 || resume) {
+    // Mid-epoch checkpoints live next to the training features; the
+    // trainer validates mode compatibility (async/streaming reject them).
+    config.checkpoint_dfs = &*dfs;
+    config.checkpoint_every_batches = checkpoint_every;
+    config.resume = resume;
+  }
   // The probe already opened the source; reuse it instead of letting the
   // facade list the dataset a second time.
   auto report = stream
@@ -264,7 +294,8 @@ agl::Result<int64_t> ModelStateInDim(
 }
 
 int RunInferCmd(const std::vector<std::string>& args) {
-  std::string model_loc_str, node_csv, edge_csv, output, model_name = "gcn";
+  std::string model_loc_str, node_csv, edge_csv, output, model_name = "gcn",
+              failpoints;
   int64_t layers = 2, hidden = 16, classes = 2, heads = 1, workers = 4,
           shards = 1, batch_slices = 1, cache_mb = 0;
   FlagParser parser;
@@ -284,6 +315,8 @@ int RunInferCmd(const std::vector<std::string>& args) {
       .AddInt("cache-mb", &cache_mb,
               "embedding-cache budget in MiB (0 = off, -1 = unbounded); "
               "evictions spill to <dfs-root>/infer_cache.spill")
+      .AddString("failpoints", &failpoints,
+                 "fault-injection spec, e.g. 'infer.spill=crash@3x1'")
       .AddString("o", &output, "scores CSV output path");
   if (agl::Status s = parser.Parse(args); !s.ok()) return Fail(s);
   if (model_loc_str.empty() || node_csv.empty() || edge_csv.empty() ||
@@ -292,6 +325,7 @@ int RunInferCmd(const std::vector<std::string>& args) {
                  parser.Help().c_str());
     return 1;
   }
+  if (agl::Status s = ArmFailpoints(failpoints); !s.ok()) return Fail(s);
 
   // Validate every input artifact up front, so a broken pipeline names the
   // artifact that is wrong instead of failing deep inside the rounds.

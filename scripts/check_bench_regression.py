@@ -22,7 +22,9 @@ historical pins, not baselines, and are skipped. Results whose
 "sanitizer" field is set (run_benchmarks.sh records AGL_SANITIZE from the
 build tree) are likewise skipped on BOTH sides: a TSan/ASan binary runs
 5-20x slower, so its timings are meaningless as fresh numbers and
-poisonous as baselines.
+poisonous as baselines. The same goes for results whose "failpoints" field
+is set (AGL_FAILPOINTS was armed during the run): they time the
+retry/backoff/recovery machinery, not the steady-state path.
 
 To refresh a baseline intentionally (after an accepted perf change):
     OUT_DIR=bench-results scripts/run_benchmarks.sh bench_<name>
@@ -84,11 +86,13 @@ def extract_entries(doc, min_seconds):
 
 
 def is_unusable_baseline(path):
-    """Labeled pins (non-null 'label') and sanitizer-built results (non-null
-    'sanitizer') must never serve as the comparison baseline."""
+    """Labeled pins (non-null 'label'), sanitizer-built results (non-null
+    'sanitizer') and fault-injected runs (non-null 'failpoints') must never
+    serve as the comparison baseline."""
     try:
         doc = load(path)
-        return bool(doc.get("label")) or bool(doc.get("sanitizer"))
+        return (bool(doc.get("label")) or bool(doc.get("sanitizer")) or
+                bool(doc.get("failpoints")))
     except (OSError, ValueError):
         return False
 
@@ -130,6 +134,11 @@ def main():
         if fresh.get("sanitizer"):
             print(f"-- {name}: {fresh['sanitizer']}-sanitized build, "
                   f"skipped (sanitizer timings are not perf data)")
+            continue
+        if fresh.get("failpoints"):
+            print(f"-- {name}: recorded under AGL_FAILPOINTS="
+                  f"'{fresh['failpoints']}', skipped (fault-injected "
+                  f"timings are not perf data)")
             continue
         # A crashed bench fails regardless of whether it is gated yet.
         if fresh.get("exit_code", 0) != 0:

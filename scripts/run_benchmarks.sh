@@ -60,6 +60,15 @@ if [[ -n "$sanitizer" ]]; then
        "results will be marked and excluded from regression gating"
 fi
 
+# Same treatment for fault injection: with AGL_FAILPOINTS armed the benches
+# measure the retry/recovery machinery, not the steady-state path, so the
+# spec is recorded and the gate skips these results on both sides.
+failpoints="${AGL_FAILPOINTS:-}"
+if [[ -n "$failpoints" ]]; then
+  echo "== note: AGL_FAILPOINTS is set ('$failpoints');" \
+       "results will be marked and excluded from regression gating"
+fi
+
 mkdir -p "$out_dir"
 
 ran=0
@@ -82,6 +91,7 @@ for bench in "${benches[@]}"; do
   BENCH_NAME="$bench" BENCH_RC="$rc" BENCH_NS="$((end_ns - start_ns))" \
   BENCH_OUT="$out_file" BENCH_GIT_REV="$git_rev" \
   BENCH_LABEL="${BENCH_LABEL:-}" BENCH_SANITIZER="$sanitizer" \
+  BENCH_FAILPOINTS="$failpoints" \
   python3 - >"$out_dir/$out_name" <<'PY'
 import json, os, subprocess, sys
 
@@ -95,6 +105,7 @@ json.dump(
         "bench": os.environ["BENCH_NAME"],
         "label": os.environ.get("BENCH_LABEL") or None,
         "sanitizer": os.environ.get("BENCH_SANITIZER") or None,
+        "failpoints": os.environ.get("BENCH_FAILPOINTS") or None,
         "git_rev": git_rev,
         "utc": subprocess.check_output(
             ["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"], text=True).strip(),

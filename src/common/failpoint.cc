@@ -1,0 +1,345 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace agl::fail {
+namespace {
+
+constexpr uint64_t kDefaultSeed = 0x41474c4641494cULL;  // "AGLFAIL"
+constexpr const char* kCrashPrefix = "injected crash at ";
+
+struct CodeName {
+  const char* name;
+  StatusCode code;
+};
+
+// Names match StatusCodeName() so specs and logged statuses agree.
+constexpr CodeName kCodeNames[] = {
+    {"InvalidArgument", StatusCode::kInvalidArgument},
+    {"NotFound", StatusCode::kNotFound},
+    {"OutOfRange", StatusCode::kOutOfRange},
+    {"AlreadyExists", StatusCode::kAlreadyExists},
+    {"Corruption", StatusCode::kCorruption},
+    {"IoError", StatusCode::kIoError},
+    {"FailedPrecondition", StatusCode::kFailedPrecondition},
+    {"ResourceExhausted", StatusCode::kResourceExhausted},
+    {"Aborted", StatusCode::kAborted},
+    {"Unavailable", StatusCode::kUnavailable},
+    {"Unimplemented", StatusCode::kUnimplemented},
+    {"Internal", StatusCode::kInternal},
+};
+
+bool ParseStatusCode(const std::string& name, StatusCode* out) {
+  for (const CodeName& c : kCodeNames) {
+    if (name == c.name) {
+      *out = c.code;
+      return true;
+    }
+  }
+  return false;
+}
+
+agl::Status SpecError(const std::string& entry, const std::string& why) {
+  return agl::Status::InvalidArgument("bad failpoint spec entry '" + entry +
+                                      "': " + why);
+}
+
+bool ParseUint(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseProbability(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  if (v < 0.0 || v > 1.0) return false;
+  *out = v;
+  return true;
+}
+
+/// Parses one "site=mode..." entry. On success fills site+config (or seed
+/// when the entry is "seed=N", signalled by *is_seed).
+agl::Status ParseEntry(const std::string& entry, std::string* site,
+                       SiteConfig* config, uint64_t* seed, bool* is_seed) {
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= entry.size()) {
+    return SpecError(entry, "expected site=mode");
+  }
+  *site = entry.substr(0, eq);
+  std::string rhs = entry.substr(eq + 1);
+  if (*site == "seed") {
+    if (!ParseUint(rhs, seed)) return SpecError(entry, "seed must be a uint");
+    *is_seed = true;
+    return agl::Status::OK();
+  }
+  *is_seed = false;
+
+  // Split off the "@N" and "xM" suffixes (fixed order after the mode).
+  SiteConfig out;
+  const std::size_t at = rhs.find('@');
+  std::string after_at;
+  if (at != std::string::npos) {
+    after_at = rhs.substr(at + 1);
+    rhs = rhs.substr(0, at);
+  }
+  // 'x' only counts as the max-fires separator outside the mode word
+  // itself (none of off/error/crash contain one) and after '(' is closed.
+  std::string fires_str;
+  if (!after_at.empty()) {
+    const std::size_t x = after_at.find('x');
+    if (x != std::string::npos) {
+      fires_str = after_at.substr(x + 1);
+      after_at = after_at.substr(0, x);
+    }
+  } else {
+    const std::size_t close = rhs.find(')');
+    const std::size_t x = rhs.find('x', close == std::string::npos
+                                           ? 0
+                                           : close);
+    if (x != std::string::npos) {
+      fires_str = rhs.substr(x + 1);
+      rhs = rhs.substr(0, x);
+    }
+  }
+
+  // Mode word, optionally followed by "(args)".
+  std::string args;
+  const std::size_t open = rhs.find('(');
+  if (open != std::string::npos) {
+    if (rhs.back() != ')') return SpecError(entry, "unbalanced '('");
+    args = rhs.substr(open + 1, rhs.size() - open - 2);
+    rhs = rhs.substr(0, open);
+  }
+  if (rhs == "off") {
+    out.mode = Mode::kOff;
+  } else if (rhs == "error") {
+    out.mode = Mode::kError;
+  } else if (rhs == "crash") {
+    out.mode = Mode::kCrash;
+  } else {
+    return SpecError(entry, "unknown mode '" + rhs +
+                                "' (expected off|error|crash)");
+  }
+  if (!args.empty()) {
+    const std::size_t comma = args.find(',');
+    std::string prob_str = args;
+    if (comma != std::string::npos) {
+      const std::string code_str = args.substr(0, comma);
+      if (!ParseStatusCode(code_str, &out.code)) {
+        return SpecError(entry, "unknown status code '" + code_str + "'");
+      }
+      prob_str = args.substr(comma + 1);
+    }
+    if (!ParseProbability(prob_str, &out.probability)) {
+      return SpecError(entry,
+                       "probability must be a real in [0,1], got '" +
+                           prob_str + "'");
+    }
+  }
+  if (at != std::string::npos) {
+    uint64_t v = 0;
+    if (!ParseUint(after_at, &v) || v == 0) {
+      return SpecError(entry, "'@' needs a positive hit index");
+    }
+    out.first_hit = static_cast<int64_t>(v);
+  }
+  if (!fires_str.empty()) {
+    uint64_t v = 0;
+    if (!ParseUint(fires_str, &v) || v == 0) {
+      return SpecError(entry, "'x' needs a positive fire count");
+    }
+    out.max_fires = static_cast<int64_t>(v);
+  }
+  *config = out;
+  return agl::Status::OK();
+}
+
+/// Shared by ApplySpec/ValidateSpec: parse every entry, check sites, and
+/// (when `registry` is non-null) apply.
+agl::Status ParseSpec(const std::string& spec, FailpointRegistry* registry) {
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t semi = spec.find(';', pos);
+    if (semi == std::string::npos) semi = spec.size();
+    const std::string entry = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (entry.empty()) continue;  // tolerate trailing / doubled ';'
+    std::string site;
+    SiteConfig config;
+    uint64_t seed = 0;
+    bool is_seed = false;
+    AGL_RETURN_IF_ERROR(ParseEntry(entry, &site, &config, &seed, &is_seed));
+    if (is_seed) {
+      if (registry != nullptr) registry->SetSeed(seed);
+      continue;
+    }
+    const std::vector<std::string>& known = KnownSites();
+    if (std::find(known.begin(), known.end(), site) == known.end()) {
+      std::string list;
+      for (const std::string& s : known) {
+        if (!list.empty()) list += ", ";
+        list += s;
+      }
+      return agl::Status::InvalidArgument(
+          "unknown failpoint site '" + site + "' (known sites: " + list +
+          ")");
+    }
+    if (registry != nullptr) registry->Configure(site, config);
+  }
+  return agl::Status::OK();
+}
+
+}  // namespace
+
+FailpointRegistry::FailpointRegistry() : seed_(kDefaultSeed) {
+  const char* env = std::getenv("AGL_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    // A bad env spec must not silently disable injection someone asked
+    // for: fail loudly. CLI front ends validate before this runs.
+    agl::Status s = ParseSpec(env, this);
+    AGL_CHECK(s.ok()) << "AGL_FAILPOINTS: " << s.ToString();
+  }
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+void FailpointRegistry::Configure(const std::string& site,
+                                  const SiteConfig& config) {
+  common::MutexLock lock(&mu_);
+  auto it = sites_.find(site);
+  const bool was_active =
+      it != sites_.end() && it->second.config.mode != Mode::kOff;
+  const bool now_active = config.mode != Mode::kOff;
+  sites_[site] = SiteState{config, 0, 0};
+  if (was_active != now_active) {
+    active_sites_.fetch_add(now_active ? 1 : -1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::Disable(const std::string& site) {
+  common::MutexLock lock(&mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  if (it->second.config.mode != Mode::kOff) {
+    active_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  sites_.erase(it);
+}
+
+void FailpointRegistry::ClearAll() {
+  common::MutexLock lock(&mu_);
+  sites_.clear();
+  seed_ = kDefaultSeed;
+  active_sites_.store(0, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::SetSeed(uint64_t seed) {
+  common::MutexLock lock(&mu_);
+  seed_ = seed;
+}
+
+agl::Status FailpointRegistry::MaybeFail(const std::string& site) {
+  if (active_sites_.load(std::memory_order_relaxed) == 0) {
+    return agl::Status::OK();
+  }
+  common::MutexLock lock(&mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || it->second.config.mode == Mode::kOff) {
+    return agl::Status::OK();
+  }
+  // The site's own hit counter is the default uid: deterministic per hit
+  // index, though under concurrency which thread draws which index is
+  // schedule-dependent. Callers needing full schedule independence use
+  // the uid overload.
+  SiteState& state = it->second;
+  const uint64_t uid = static_cast<uint64_t>(state.hits);
+  return FailLocked(&state, site, uid);
+}
+
+agl::Status FailpointRegistry::MaybeFail(const std::string& site,
+                                         uint64_t uid) {
+  if (active_sites_.load(std::memory_order_relaxed) == 0) {
+    return agl::Status::OK();
+  }
+  common::MutexLock lock(&mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || it->second.config.mode == Mode::kOff) {
+    return agl::Status::OK();
+  }
+  return FailLocked(&it->second, site, uid);
+}
+
+agl::Status FailpointRegistry::FailLocked(SiteState* state,
+                                          const std::string& site,
+                                          uint64_t uid) {
+  const SiteConfig& config = state->config;
+  state->hits++;
+  const int64_t hit = state->hits;
+  if (config.first_hit > 0 && hit < config.first_hit) {
+    return agl::Status::OK();
+  }
+  if (config.max_fires >= 0 && state->fires >= config.max_fires) {
+    return agl::Status::OK();
+  }
+  if (config.probability < 1.0) {
+    Rng rng(DeriveSeed(DeriveSeed(seed_, Fnv1aHash(site)), uid));
+    if (!rng.Bernoulli(config.probability)) return agl::Status::OK();
+  }
+  state->fires++;
+  const std::string where = site + " (hit " + std::to_string(hit) + ")";
+  if (config.mode == Mode::kCrash) {
+    return agl::Status::Aborted(kCrashPrefix + where);
+  }
+  return agl::Status(config.code, "injected fault at " + where);
+}
+
+int64_t FailpointRegistry::HitCount(const std::string& site) const {
+  common::MutexLock lock(&mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+int64_t FailpointRegistry::FireCount(const std::string& site) const {
+  common::MutexLock lock(&mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+bool IsInjectedCrash(const agl::Status& status) {
+  return status.code() == StatusCode::kAborted &&
+         status.message().rfind(kCrashPrefix, 0) == 0;
+}
+
+const std::vector<std::string>& KnownSites() {
+  static const std::vector<std::string>* sites = new std::vector<std::string>{
+      "dfs.read",      "dfs.rename", "dfs.write",
+      "infer.spill",   "mr.map",     "mr.reduce",
+      "ps.pull",       "ps.push",    "trainer.step",
+  };
+  return *sites;
+}
+
+agl::Status ApplySpec(const std::string& spec) {
+  return ParseSpec(spec, &FailpointRegistry::Global());
+}
+
+agl::Status ValidateSpec(const std::string& spec) {
+  return ParseSpec(spec, nullptr);
+}
+
+}  // namespace agl::fail

@@ -1,0 +1,175 @@
+// Unified failpoint framework: a process-wide registry of named fault
+// injection sites that replaces the three ad-hoc hooks the subsystems grew
+// independently (the MapReduce fault_injection_rate, the trainer's
+// fault_injector callback, and the infer cache's spill fault hook).
+//
+// A site is a string like "dfs.write" compiled into the code path it
+// guards; `fail::MaybeFail("dfs.write")` is a no-op (one relaxed atomic
+// load) until the site is armed. Arming happens in code (tests use
+// ScopedFailpoint) or through the AGL_FAILPOINTS environment variable,
+// whose spec grammar is:
+//
+//   spec   := entry (';' entry)*
+//   entry  := 'seed' '=' uint
+//           | site '=' mode ['(' [code ','] probability ')']
+//                           ['@' first_hit] ['x' max_fires]
+//   mode   := 'off' | 'error' | 'crash'
+//   code   := a StatusCode name ("IoError", "Unavailable", ...)
+//
+// Examples:
+//   AGL_FAILPOINTS="mr.map=error(0.3)"            30% of map attempts fail
+//   AGL_FAILPOINTS="dfs.write=error(IoError,0.1)" ... with code IoError
+//   AGL_FAILPOINTS="trainer.step=crash@7x1"       crash on exactly hit 7
+//   AGL_FAILPOINTS="dfs.rename=crash@2;seed=9"    crash from hit 2 on
+//
+// Modes: `error` makes the site return its configured Status (default
+// kAborted) — the transient-failure model the retry layers classify and
+// re-run. `crash` returns a status that IsInjectedCrash() recognizes; the
+// layers treat it like a process death: no retry, no cleanup, scratch state
+// left exactly as a kill -9 would leave it. Recovery paths (stale-scratch
+// sweeps, manifest validation, checkpoint resume) are tested against it.
+//
+// Determinism: every decision is a pure function of (registry seed, site
+// name, hit uid). The uid defaults to the site's hit counter; callers on
+// concurrency-sensitive paths pass a stable uid (e.g. the MR task uid) so
+// injection does not depend on thread scheduling.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace agl::fail {
+
+/// Injection behaviour of one armed site.
+enum class Mode {
+  kOff,    // site disabled
+  kError,  // return the configured Status (transient-failure model)
+  kCrash,  // return an injected-crash Status (process-death model)
+};
+
+/// Full configuration of one site.
+struct SiteConfig {
+  Mode mode = Mode::kOff;
+  /// Status code returned in kError mode (kCrash always uses kAborted).
+  StatusCode code = StatusCode::kAborted;
+  /// Chance that an eligible hit fires (deterministic given seed + uid).
+  double probability = 1.0;
+  /// Hits before this 1-based index never fire (0 or 1 = no gating):
+  /// "@N" arms the site from its Nth hit on.
+  int64_t first_hit = 0;
+  /// Stop firing after this many fires (-1 = unlimited): "xM".
+  int64_t max_fires = -1;
+};
+
+/// Process-wide site registry. Thread-safe; a process has exactly one
+/// (Global()), constructed on first use from AGL_FAILPOINTS when set.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Global();
+
+  /// Arms (or, with Mode::kOff, disarms) `site` and resets its counters.
+  void Configure(const std::string& site, const SiteConfig& config)
+      EXCLUDES(mu_);
+  void Disable(const std::string& site) EXCLUDES(mu_);
+  /// Disarms every site and resets the seed (test isolation).
+  void ClearAll() EXCLUDES(mu_);
+  /// Seeds the deterministic per-hit draws ("seed=N" in a spec).
+  void SetSeed(uint64_t seed) EXCLUDES(mu_);
+
+  /// One hit on `site` with the site's hit counter as uid.
+  agl::Status MaybeFail(const std::string& site) EXCLUDES(mu_);
+  /// One hit with a caller-stable uid (schedule-independent injection).
+  agl::Status MaybeFail(const std::string& site, uint64_t uid) EXCLUDES(mu_);
+
+  /// Total hits / fires observed on `site` since it was configured.
+  int64_t HitCount(const std::string& site) const EXCLUDES(mu_);
+  int64_t FireCount(const std::string& site) const EXCLUDES(mu_);
+
+ private:
+  FailpointRegistry();
+
+  struct SiteState {
+    SiteConfig config;
+    int64_t hits = 0;
+    int64_t fires = 0;
+  };
+
+  /// Accounts one hit on an armed site and decides whether it fires.
+  agl::Status FailLocked(SiteState* state, const std::string& site,
+                         uint64_t uid) REQUIRES(mu_);
+
+  // Number of sites with mode != kOff; lets MaybeFail on the (ubiquitous)
+  // disabled path return after one relaxed load, without the mutex.
+  std::atomic<int> active_sites_{0};
+  mutable common::Mutex mu_;
+  std::unordered_map<std::string, SiteState> sites_ GUARDED_BY(mu_);
+  uint64_t seed_ GUARDED_BY(mu_);
+};
+
+/// Hit `site`; returns non-OK when the site is armed and fires.
+inline agl::Status MaybeFail(const std::string& site) {
+  return FailpointRegistry::Global().MaybeFail(site);
+}
+inline agl::Status MaybeFail(const std::string& site, uint64_t uid) {
+  return FailpointRegistry::Global().MaybeFail(site, uid);
+}
+
+/// True iff `status` came from a kCrash-mode failpoint. Retry layers must
+/// propagate these unretried (the "process" is dead); cleanup paths must
+/// leave scratch state behind exactly as a real crash would.
+bool IsInjectedCrash(const agl::Status& status);
+
+/// The sites compiled into this binary (sorted). ValidateSpec checks
+/// against this list so a CLI typo names the bad site up front.
+const std::vector<std::string>& KnownSites();
+
+/// Parses `spec` (grammar above) and applies it to the global registry.
+agl::Status ApplySpec(const std::string& spec);
+
+/// Parses `spec` without applying it; kInvalidArgument names the first
+/// malformed entry or unknown site.
+agl::Status ValidateSpec(const std::string& spec);
+
+/// RAII site configuration for tests: arms at construction, disarms (and
+/// clears counters) at destruction.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string site, const SiteConfig& config)
+      : site_(std::move(site)) {
+    FailpointRegistry::Global().Configure(site_, config);
+  }
+  ~ScopedFailpoint() { FailpointRegistry::Global().Disable(site_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string site_;
+};
+
+/// Shorthands for the two common test shapes.
+inline SiteConfig ErrorConfig(double probability,
+                              StatusCode code = StatusCode::kAborted) {
+  SiteConfig c;
+  c.mode = Mode::kError;
+  c.code = code;
+  c.probability = probability;
+  return c;
+}
+inline SiteConfig CrashOnHit(int64_t hit) {
+  SiteConfig c;
+  c.mode = Mode::kCrash;
+  c.first_hit = hit;
+  c.max_fires = 1;
+  return c;
+}
+
+}  // namespace agl::fail

@@ -27,12 +27,25 @@ const char* StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
   }
   return "Unknown";
+}
+
+bool IsRetryableError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kAborted:
+    case StatusCode::kIoError:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::string Status::ToString() const {

@@ -24,6 +24,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,
   kAborted,
+  kUnavailable,
   kUnimplemented,
   kInternal,
 };
@@ -69,6 +70,9 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
@@ -91,6 +95,12 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+/// True for the transient error classes a retry loop may re-run: kAborted
+/// (lost/preempted work), kIoError (flaky storage), kUnavailable (resource
+/// temporarily gone). Everything else — notably kCorruption and
+/// kInvalidArgument — is permanent and must fail fast.
+bool IsRetryableError(const Status& status);
 
 /// Either a value of type T or a non-OK Status explaining why there is none.
 template <typename T>

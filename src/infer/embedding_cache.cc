@@ -1,5 +1,6 @@
 #include "infer/embedding_cache.h"
 
+#include "common/failpoint.h"
 #include "io/codec.h"
 
 namespace agl::infer {
@@ -39,11 +40,6 @@ agl::Status EmbeddingCache::EnableSpill(const std::string& path) {
   spill_offset_.clear();
   spill_path_ = path;
   return agl::Status::OK();
-}
-
-void EmbeddingCache::SetSpillFaultHook(std::function<agl::Status()> hook) {
-  common::MutexLock lock(&mu_);
-  spill_fault_hook_ = std::move(hook);
 }
 
 bool EmbeddingCache::Lookup(const CacheKey& key, std::vector<float>* out) {
@@ -105,8 +101,9 @@ void EmbeddingCache::EvictOneLocked() {
   Entry& victim = lru_.back();
   if (spill_writer_.has_value() &&
       spill_offset_.find(victim.key) == spill_offset_.end()) {
-    agl::Status s =
-        spill_fault_hook_ ? spill_fault_hook_() : agl::Status::OK();
+    // Failpoint "infer.spill": an injected fault fails this spill write
+    // only; the entry degrades to a plain drop and correctness holds.
+    agl::Status s = fail::MaybeFail("infer.spill");
     if (s.ok()) {
       const uint64_t offset = spill_writer_->bytes_written();
       s = spill_writer_->Append(
@@ -131,14 +128,13 @@ bool EmbeddingCache::SpillLookupLocked(const CacheKey& key,
                                        std::vector<float>* out) {
   auto it = spill_offset_.find(key);
   if (it == spill_offset_.end() || !spill_writer_.has_value()) return false;
-  if (spill_fault_hook_) {
-    // An injected fault is transient: count it and miss, but keep the
-    // offset so a later lookup can still be served.
-    agl::Status injected = spill_fault_hook_();
-    if (!injected.ok()) {
-      ++stats_.spill_failures;
-      return false;
-    }
+  // Failpoint "infer.spill": an injected read fault is transient — count
+  // it and miss, but keep the offset so a later lookup can still be
+  // served.
+  if (agl::Status injected = fail::MaybeFail("infer.spill");
+      !injected.ok()) {
+    ++stats_.spill_failures;
+    return false;
   }
   agl::Status s = agl::Status::OK();
   if (!spill_reader_.has_value()) {

@@ -94,11 +94,6 @@ class EmbeddingCache {
   /// ordinary record tooling.
   agl::Status EnableSpill(const std::string& path) EXCLUDES(mu_);
 
-  /// Test hook: invoked before every spill write and spill read. A non-OK
-  /// return fails that spill operation only — the write drops the entry,
-  /// the read degrades to a miss; correctness is unaffected either way.
-  void SetSpillFaultHook(std::function<agl::Status()> hook) EXCLUDES(mu_);
-
   /// Returns true and fills `*out` when `key` is resident (in RAM or in the
   /// spill file). A spill hit is re-admitted to RAM.
   bool Lookup(const CacheKey& key, std::vector<float>* out) EXCLUDES(mu_);
@@ -150,7 +145,6 @@ class EmbeddingCache {
   std::optional<io::RecordReader> spill_reader_ GUARDED_BY(mu_);
   std::unordered_map<CacheKey, uint64_t, CacheKeyHash> spill_offset_
       GUARDED_BY(mu_);
-  std::function<agl::Status()> spill_fault_hook_ GUARDED_BY(mu_);
   EmbeddingCacheStats stats_ GUARDED_BY(mu_);
 };
 

@@ -526,9 +526,6 @@ agl::Result<InferResult> RunGraphInferBatched(
   if (cache.enabled() && !config.cache_spill_path.empty()) {
     AGL_RETURN_IF_ERROR(cache.EnableSpill(config.cache_spill_path));
   }
-  if (config.cache_fault_hook) {
-    cache.SetSpillFaultHook(config.cache_fault_hook);
-  }
   const uint64_t version = StateFingerprint(state);
 
   const InEdgeIndex in_edges_of = BuildInEdgeIndex(edges);

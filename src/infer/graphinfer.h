@@ -61,9 +61,6 @@ struct InferConfig {
   /// paper's DFS) instead of being dropped, so a budget smaller than the
   /// working set still serves cross-slice hits.
   std::string cache_spill_path;
-  /// Test hook forwarded to EmbeddingCache::SetSpillFaultHook: a non-OK
-  /// return fails that one spill write/read, which degrades to a drop/miss.
-  std::function<agl::Status()> cache_fault_hook;
 };
 
 /// Cost accounting in the paper's Table 5 units.

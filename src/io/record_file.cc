@@ -2,6 +2,11 @@
 
 #include <cstdio>
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "common/failpoint.h"
 #include "io/codec.h"
 
 namespace agl::io {
@@ -69,6 +74,7 @@ RecordWriter& RecordWriter::operator=(RecordWriter&& other) noexcept {
 
 agl::Status RecordWriter::Append(const std::string& record) {
   if (file_ == nullptr) return agl::Status::FailedPrecondition("writer closed");
+  AGL_RETURN_IF_ERROR(fail::MaybeFail("dfs.write"));
   BufferWriter header;
   header.PutVarint64(record.size());
   header.PutFixed32(Crc32c(record.data(), record.size()));
@@ -93,6 +99,27 @@ agl::Status RecordWriter::Flush() {
 
 agl::Status RecordWriter::Close() {
   if (file_ == nullptr) return agl::Status::OK();
+  // Close is the durability point: flush the stdio buffer, push the page
+  // cache to stable storage, and report any of the three failing — a
+  // swallowed error here silently loses the tail of a part file.
+  agl::Status injected = fail::MaybeFail("dfs.write");
+  if (!injected.ok()) {
+    std::fclose(file_);  // still release the descriptor
+    file_ = nullptr;
+    return injected;
+  }
+  if (std::fflush(file_) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return agl::Status::IoError("fflush failed");
+  }
+#if !defined(_WIN32)
+  if (::fsync(fileno(file_)) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return agl::Status::IoError("fsync failed");
+  }
+#endif
   int rc = std::fclose(file_);
   file_ = nullptr;
   if (rc != 0) return agl::Status::IoError("fclose failed");

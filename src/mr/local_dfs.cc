@@ -1,14 +1,124 @@
 #include "mr/local_dfs.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/failpoint.h"
+#include "io/codec.h"
 #include "io/record_file.h"
 
 namespace agl::mr {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestFile = "MANIFEST";
+
+struct ManifestEntry {
+  std::string file;
+  uint64_t bytes = 0;
+};
+
+std::string PartFileName(int part) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "part-%05d", part);
+  return buf;
+}
+
+/// True for directory names a crashed publish can leave behind:
+/// "<name>.tmp-<nonce>" (WriteDataset) or "<name>.unify-tmp"
+/// (UnifyDatasets).
+bool IsScratchDirName(const std::string& name) {
+  if (name.size() >= 10 &&
+      name.compare(name.size() - 10, 10, ".unify-tmp") == 0) {
+    return true;
+  }
+  return name.find(".tmp-") != std::string::npos;
+}
+
+/// Publishing a rename is only durable once the parent directory entry is
+/// on disk too; best-effort (no error surface on platforms without it).
+void FsyncDirBestEffort(const std::string& dir) {
+#if !defined(_WIN32)
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)dir;
+#endif
+}
+
+/// Writes `<dir>/MANIFEST`: one record listing every part and its byte
+/// size. Readers treat its absence or any disagreement as a torn write.
+agl::Status WriteManifest(const std::string& dir,
+                          const std::vector<ManifestEntry>& entries) {
+  io::BufferWriter body;
+  body.PutVarint64(entries.size());
+  for (const ManifestEntry& e : entries) {
+    body.PutString(e.file);
+    body.PutVarint64(e.bytes);
+  }
+  AGL_ASSIGN_OR_RETURN(io::RecordWriter writer, io::RecordWriter::Open(
+                                                    dir + "/" + kManifestFile));
+  AGL_RETURN_IF_ERROR(writer.Append(body.Release()));
+  return writer.Close();
+}
+
+agl::Result<std::vector<ManifestEntry>> ReadManifest(const std::string& dir,
+                                                     const std::string& name) {
+  const std::string path = dir + "/" + kManifestFile;
+  if (!fs::exists(path)) {
+    return agl::Status::Corruption("dataset " + name +
+                                   " has no manifest (torn write?)");
+  }
+  AGL_ASSIGN_OR_RETURN(io::RecordReader reader, io::RecordReader::Open(path));
+  std::string body;
+  AGL_RETURN_IF_ERROR(reader.Next(&body));
+  io::BufferReader r(body);
+  uint64_t n = 0;
+  AGL_RETURN_IF_ERROR(r.GetVarint64(&n));
+  std::vector<ManifestEntry> entries;
+  entries.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ManifestEntry e;
+    AGL_RETURN_IF_ERROR(r.GetString(&e.file));
+    AGL_RETURN_IF_ERROR(r.GetVarint64(&e.bytes));
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+/// Checks every manifest entry against the file actually on disk.
+agl::Status CheckManifest(const std::string& dir, const std::string& name,
+                          const std::vector<ManifestEntry>& entries) {
+  for (const ManifestEntry& e : entries) {
+    std::error_code ec;
+    const uint64_t size = fs::file_size(dir + "/" + e.file, ec);
+    if (ec) {
+      return agl::Status::Corruption("dataset " + name + " part " + e.file +
+                                     " missing (torn write?)");
+    }
+    if (size != e.bytes) {
+      return agl::Status::Corruption(
+          "dataset " + name + " part " + e.file + " is " +
+          std::to_string(size) + " bytes, manifest says " +
+          std::to_string(e.bytes) + " (torn write?)");
+    }
+  }
+  return agl::Status::OK();
+}
+
+}  // namespace
 
 agl::Result<LocalDfs> LocalDfs::Open(const std::string& root) {
   std::error_code ec;
@@ -17,6 +127,16 @@ agl::Result<LocalDfs> LocalDfs::Open(const std::string& root) {
     return agl::Status::IoError("cannot create DFS root " + root + ": " +
                                 ec.message());
   }
+  // Sweep scratch directories orphaned by a crashed publish. Published
+  // datasets are untouched; spill files and other plain files under the
+  // root are not directories and are skipped.
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (!entry.is_directory()) continue;
+    if (IsScratchDirName(entry.path().filename().string())) {
+      std::error_code rm_ec;
+      fs::remove_all(entry.path(), rm_ec);
+    }
+  }
   return LocalDfs(root);
 }
 
@@ -24,32 +144,84 @@ std::string LocalDfs::DatasetDir(const std::string& name) const {
   return root_ + "/" + name;
 }
 
+agl::Status LocalDfs::RemovePublishedDir(const std::string& name) {
+  std::error_code ec;
+  fs::remove_all(DatasetDir(name), ec);
+  if (ec) {
+    return agl::Status::IoError("cannot remove dataset " + name + ": " +
+                                ec.message());
+  }
+  return agl::Status::OK();
+}
+
+void LocalDfs::SweepScratchFor(const std::string& name) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string dir_name = entry.path().filename().string();
+    if (dir_name == name + ".unify-tmp" ||
+        dir_name.rfind(name + ".tmp-", 0) == 0) {
+      std::error_code rm_ec;
+      fs::remove_all(entry.path(), rm_ec);
+    }
+  }
+}
+
 agl::Status LocalDfs::WriteDataset(const std::string& name,
                                    const std::vector<std::string>& records,
                                    int num_parts) {
   num_parts = std::max(1, num_parts);
-  AGL_RETURN_IF_ERROR(DropDataset(name));
-  const std::string dir = DatasetDir(name);
+  // Stale scratches for this name (from a crashed earlier attempt) would
+  // otherwise accumulate until the next Open.
+  SweepScratchFor(name);
+  static std::atomic<uint64_t> nonce{0};
+  const std::string scratch_dir =
+      DatasetDir(name) + ".tmp-" +
+      std::to_string(nonce.fetch_add(1, std::memory_order_relaxed));
   std::error_code ec;
-  fs::create_directories(dir, ec);
+  fs::create_directories(scratch_dir, ec);
   if (ec) {
     return agl::Status::IoError("cannot create dataset dir: " + ec.message());
   }
-  std::vector<io::RecordWriter> writers;
-  writers.reserve(num_parts);
-  for (int p = 0; p < num_parts; ++p) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "/part-%05d", p);
-    AGL_ASSIGN_OR_RETURN(io::RecordWriter w,
-                         io::RecordWriter::Open(dir + buf));
-    writers.push_back(std::move(w));
+  // Assemble parts + manifest in the scratch. On a non-crash failure the
+  // scratch is cleaned up here; an injected crash leaves it behind exactly
+  // as a real kill would (the Open/DropDataset sweeps reclaim it).
+  agl::Status build = [&]() -> agl::Status {
+    std::vector<io::RecordWriter> writers;
+    writers.reserve(num_parts);
+    for (int p = 0; p < num_parts; ++p) {
+      AGL_ASSIGN_OR_RETURN(
+          io::RecordWriter w,
+          io::RecordWriter::Open(scratch_dir + "/" + PartFileName(p)));
+      writers.push_back(std::move(w));
+    }
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      AGL_RETURN_IF_ERROR(writers[i % num_parts].Append(records[i]));
+    }
+    std::vector<ManifestEntry> entries;
+    entries.reserve(num_parts);
+    for (int p = 0; p < num_parts; ++p) {
+      const uint64_t bytes = writers[p].bytes_written();
+      AGL_RETURN_IF_ERROR(writers[p].Close());
+      entries.push_back(ManifestEntry{PartFileName(p), bytes});
+    }
+    AGL_RETURN_IF_ERROR(WriteManifest(scratch_dir, entries));
+    return fail::MaybeFail("dfs.rename");
+  }();
+  if (!build.ok()) {
+    if (!fail::IsInjectedCrash(build)) {
+      std::error_code rm_ec;
+      fs::remove_all(scratch_dir, rm_ec);
+    }
+    return build;
   }
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    AGL_RETURN_IF_ERROR(writers[i % num_parts].Append(records[i]));
+  AGL_RETURN_IF_ERROR(RemovePublishedDir(name));
+  fs::rename(scratch_dir, DatasetDir(name), ec);
+  if (ec) {
+    return agl::Status::IoError("cannot publish dataset " + name + ": " +
+                                ec.message());
   }
-  for (io::RecordWriter& w : writers) {
-    AGL_RETURN_IF_ERROR(w.Close());
-  }
+  FsyncDirBestEffort(root_);
   return agl::Status::OK();
 }
 
@@ -67,68 +239,89 @@ agl::Result<std::vector<std::string>> LocalDfs::ReadDataset(
 
 agl::Result<std::vector<std::string>> LocalDfs::ListParts(
     const std::string& name) const {
+  AGL_RETURN_IF_ERROR(fail::MaybeFail("dfs.read"));
   const std::string dir = DatasetDir(name);
   if (!fs::exists(dir)) {
     return agl::Status::NotFound("dataset not found: " + name);
   }
+  AGL_ASSIGN_OR_RETURN(std::vector<ManifestEntry> entries,
+                       ReadManifest(dir, name));
+  AGL_RETURN_IF_ERROR(CheckManifest(dir, name, entries));
   std::vector<std::string> parts;
-  for (const auto& entry : fs::directory_iterator(dir)) {
-    if (entry.is_regular_file() &&
-        entry.path().filename().string().rfind("part-", 0) == 0) {
-      parts.push_back(entry.path().string());
-    }
+  parts.reserve(entries.size());
+  for (const ManifestEntry& e : entries) {
+    parts.push_back(dir + "/" + e.file);
   }
-  std::sort(parts.begin(), parts.end());
   return parts;
 }
 
 bool LocalDfs::DatasetExists(const std::string& name) const {
-  return fs::exists(DatasetDir(name));
+  return fs::exists(DatasetDir(name) + "/" + kManifestFile);
 }
 
 agl::Status LocalDfs::DropDataset(const std::string& name) {
-  const std::string dir = DatasetDir(name);
-  std::error_code ec;
-  fs::remove_all(dir, ec);
-  if (ec) {
-    return agl::Status::IoError("cannot drop dataset: " + ec.message());
-  }
-  return agl::Status::OK();
+  SweepScratchFor(name);
+  return RemovePublishedDir(name);
 }
 
 agl::Status LocalDfs::UnifyDatasets(const std::string& dest,
                                     const std::vector<std::string>& sources) {
   // Assemble in a scratch dataset and publish with one directory rename at
-  // the end, so `dest` is never observable half-unified: a mid-unify
-  // failure leaves the old dest (or none) plus the remaining staging
-  // sources, which family-aware readers still resolve.
-  const std::string scratch = dest + ".unify-tmp";
-  AGL_RETURN_IF_ERROR(DropDataset(scratch));
-  const std::string scratch_dir = DatasetDir(scratch);
+  // the end, so `dest` is never observable half-unified. Parts are
+  // hard-linked (copied when the filesystem refuses links), not moved:
+  // the sources stay valid until dest is published, which makes a crashed
+  // unify simply re-runnable.
+  const std::string scratch_dir = DatasetDir(dest) + ".unify-tmp";
   std::error_code ec;
+  fs::remove_all(scratch_dir, ec);  // stale scratch from a crashed attempt
   fs::create_directories(scratch_dir, ec);
   if (ec) {
     return agl::Status::IoError("cannot create dataset dir: " + ec.message());
   }
-  int part = 0;
-  for (const std::string& source : sources) {
-    AGL_ASSIGN_OR_RETURN(std::vector<std::string> parts, ListParts(source));
-    for (const std::string& src_path : parts) {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "/part-%05d", part++);
-      fs::rename(src_path, scratch_dir + buf, ec);
-      if (ec) {
-        return agl::Status::IoError("cannot move part " + src_path + ": " +
-                                    ec.message());
+  agl::Status build = [&]() -> agl::Status {
+    std::vector<ManifestEntry> entries;
+    int part = 0;
+    for (const std::string& source : sources) {
+      AGL_ASSIGN_OR_RETURN(std::vector<std::string> parts, ListParts(source));
+      for (const std::string& src_path : parts) {
+        const std::string file = PartFileName(part++);
+        const std::string dst_path = scratch_dir + "/" + file;
+        std::error_code link_ec;
+        fs::create_hard_link(src_path, dst_path, link_ec);
+        if (link_ec) {
+          std::error_code copy_ec;
+          fs::copy_file(src_path, dst_path, copy_ec);
+          if (copy_ec) {
+            return agl::Status::IoError("cannot stage part " + src_path +
+                                        ": " + copy_ec.message());
+          }
+        }
+        std::error_code size_ec;
+        const uint64_t bytes = fs::file_size(dst_path, size_ec);
+        if (size_ec) {
+          return agl::Status::IoError("cannot stat staged part " + dst_path +
+                                      ": " + size_ec.message());
+        }
+        entries.push_back(ManifestEntry{file, bytes});
       }
     }
+    AGL_RETURN_IF_ERROR(WriteManifest(scratch_dir, entries));
+    return fail::MaybeFail("dfs.rename");
+  }();
+  if (!build.ok()) {
+    if (!fail::IsInjectedCrash(build)) {
+      std::error_code rm_ec;
+      fs::remove_all(scratch_dir, rm_ec);
+    }
+    return build;
   }
-  AGL_RETURN_IF_ERROR(DropDataset(dest));
+  AGL_RETURN_IF_ERROR(RemovePublishedDir(dest));
   fs::rename(scratch_dir, DatasetDir(dest), ec);
   if (ec) {
     return agl::Status::IoError("cannot publish dataset " + dest + ": " +
                                 ec.message());
   }
+  FsyncDirBestEffort(root_);
   for (const std::string& source : sources) {
     AGL_RETURN_IF_ERROR(DropDataset(source));
   }
@@ -143,6 +336,39 @@ agl::Result<uint64_t> LocalDfs::DatasetBytes(const std::string& name) const {
     total += fs::file_size(p, ec);
   }
   return total;
+}
+
+std::vector<std::string> LocalDfs::ListDatasets() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!IsScratchDirName(name)) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+agl::Status LocalDfs::ValidateDatasetDir(const std::string& name) const {
+  const std::string dir = DatasetDir(name);
+  AGL_ASSIGN_OR_RETURN(std::vector<ManifestEntry> entries,
+                       ReadManifest(dir, name));
+  return CheckManifest(dir, name, entries);
+}
+
+agl::Status LocalDfs::ValidateAllDatasets() const {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (IsScratchDirName(name)) {
+      return agl::Status::Corruption("stale scratch directory on DFS: " +
+                                     name);
+    }
+    AGL_RETURN_IF_ERROR(ValidateDatasetDir(name));
+  }
+  return agl::Status::OK();
 }
 
 std::string ShardDatasetName(const std::string& base, int shard) {

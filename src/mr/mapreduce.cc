@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
+#include <chrono>
+#include <cmath>
+#include <thread>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -11,27 +14,56 @@
 namespace agl::mr {
 namespace {
 
-/// Runs `task(attempt)` with retry and deterministic fault injection.
-/// `task_uid` decorrelates the injection stream across tasks and rounds.
-agl::Status RunWithRetry(const JobConfig& config, uint64_t task_uid,
-                         std::atomic<int64_t>* failed_attempts,
+/// Per-phase retry accounting, merged into JobStats at phase end.
+struct RetryCounters {
+  std::atomic<int64_t> failed_attempts{0};
+  std::atomic<int64_t> task_attempts{0};
+  std::atomic<int64_t> backoff_us{0};
+};
+
+/// Runs `task()` with classified retry: transient errors
+/// (IsRetryableError) are re-run with capped exponential backoff and
+/// deterministic seeded jitter; permanent errors and injected crashes
+/// surface immediately. `site` is the failpoint hit before each attempt
+/// ("mr.map"/"mr.reduce"); `task_uid` decorrelates injection and jitter
+/// across tasks and rounds.
+agl::Status RunWithRetry(const JobConfig& config, const char* site,
+                         uint64_t task_uid, RetryCounters* counters,
                          const std::function<agl::Status()>& task) {
+  Stopwatch deadline_watch;
+  Rng jitter_rng(DeriveSeed(config.seed, task_uid ^ 0x9e3779b97f4a7c15ULL));
   agl::Status last;
   for (int attempt = 0; attempt < config.max_task_attempts; ++attempt) {
-    if (config.fault_injection_rate > 0.0) {
-      Rng rng(DeriveSeed(config.seed,
-                         task_uid * 131 + static_cast<uint64_t>(attempt)));
-      if (rng.Bernoulli(config.fault_injection_rate)) {
-        failed_attempts->fetch_add(1, std::memory_order_relaxed);
-        last = agl::Status::Aborted("injected fault (task " +
-                                    std::to_string(task_uid) + " attempt " +
-                                    std::to_string(attempt) + ")");
-        continue;
-      }
-    }
-    last = task();
+    counters->task_attempts.fetch_add(1, std::memory_order_relaxed);
+    last = fail::MaybeFail(site,
+                           task_uid * 131 + static_cast<uint64_t>(attempt));
+    if (last.ok()) last = task();
     if (last.ok()) return last;
-    failed_attempts->fetch_add(1, std::memory_order_relaxed);
+    // An injected crash models process death: it must reach the caller
+    // unretried, whether it fired here or in a lower layer inside task().
+    if (fail::IsInjectedCrash(last)) return last;
+    counters->failed_attempts.fetch_add(1, std::memory_order_relaxed);
+    if (!agl::IsRetryableError(last)) {
+      return last;  // permanent: retrying cannot help
+    }
+    if (attempt + 1 >= config.max_task_attempts) break;
+    double backoff_ms =
+        std::min(config.backoff_max_ms,
+                 config.backoff_initial_ms * std::pow(2.0, attempt));
+    backoff_ms *= 0.5 + 0.5 * jitter_rng.Uniform();
+    if (config.retry_deadline_ms > 0.0 &&
+        deadline_watch.Seconds() * 1000.0 + backoff_ms >
+            config.retry_deadline_ms) {
+      return agl::Status::Aborted(
+          "task " + std::to_string(task_uid) + " retry deadline (" +
+          std::to_string(config.retry_deadline_ms) + " ms) exceeded after " +
+          std::to_string(attempt + 1) +
+          " attempts; last error: " + last.ToString());
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+    counters->backoff_us.fetch_add(static_cast<int64_t>(backoff_ms * 1000.0),
+                                   std::memory_order_relaxed);
   }
   return agl::Status::Aborted("task " + std::to_string(task_uid) +
                               " exhausted " +
@@ -51,7 +83,7 @@ agl::Result<std::vector<KeyValue>> RunMapPhase(const JobConfig& config,
 
   std::vector<std::vector<KeyValue>> task_outputs(num_tasks);
   std::vector<agl::Status> task_status(num_tasks);
-  std::atomic<int64_t> failed_attempts{0};
+  RetryCounters counters;
 
   ThreadPool pool(static_cast<std::size_t>(std::max(1, config.num_workers)));
   std::vector<std::future<void>> futs;
@@ -60,7 +92,7 @@ agl::Result<std::vector<KeyValue>> RunMapPhase(const JobConfig& config,
       const std::size_t begin = static_cast<std::size_t>(t) * chunk;
       const std::size_t end = std::min(input.size(), begin + chunk);
       task_status[t] = RunWithRetry(
-          config, static_cast<uint64_t>(t), &failed_attempts, [&]() {
+          config, "mr.map", static_cast<uint64_t>(t), &counters, [&]() {
             // Fresh mapper + output per attempt: failed attempts leave no
             // partial state behind.
             auto m = mapper();
@@ -74,6 +106,17 @@ agl::Result<std::vector<KeyValue>> RunMapPhase(const JobConfig& config,
     }));
   }
   for (auto& f : futs) f.get();
+  // Retry accounting is surfaced even when the phase fails — attempts and
+  // backoff are exactly what a caller debugging the failure wants.
+  if (stats != nullptr) {
+    stats->map_tasks += num_tasks;
+    stats->failed_attempts += counters.failed_attempts.load();
+    stats->task_attempts += counters.task_attempts.load();
+    stats->retry_backoff_ms +=
+        static_cast<double>(counters.backoff_us.load()) / 1000.0;
+    stats->input_records += static_cast<int64_t>(input.size());
+    stats->elapsed_seconds += watch.Seconds();
+  }
   for (const agl::Status& s : task_status) {
     if (!s.ok()) return s;
   }
@@ -84,12 +127,6 @@ agl::Result<std::vector<KeyValue>> RunMapPhase(const JobConfig& config,
   out.reserve(total);
   for (auto& v : task_outputs) {
     for (KeyValue& kv : v) out.push_back(std::move(kv));
-  }
-  if (stats != nullptr) {
-    stats->map_tasks += num_tasks;
-    stats->failed_attempts += failed_attempts.load();
-    stats->input_records += static_cast<int64_t>(input.size());
-    stats->elapsed_seconds += watch.Seconds();
   }
   return out;
 }
@@ -111,7 +148,7 @@ agl::Result<std::vector<KeyValue>> RunReducePhase(
 
   std::vector<std::vector<KeyValue>> task_outputs(num_parts);
   std::vector<agl::Status> task_status(num_parts);
-  std::atomic<int64_t> failed_attempts{0};
+  RetryCounters counters;
   int64_t max_task_records = 0;
   for (const auto& p : partitions) {
     max_task_records =
@@ -123,7 +160,8 @@ agl::Result<std::vector<KeyValue>> RunReducePhase(
   for (int t = 0; t < num_parts; ++t) {
     futs.push_back(pool.Submit([&, t] {
       task_status[t] = RunWithRetry(
-          config, 100000 + static_cast<uint64_t>(t), &failed_attempts, [&]() {
+          config, "mr.reduce", 100000 + static_cast<uint64_t>(t), &counters,
+          [&]() {
             // Group by key and sort each group's values byte-wise. The
             // canonical (key, value) order makes every reduce call see the
             // same value sequence for a given input multiset, no matter how
@@ -156,6 +194,17 @@ agl::Result<std::vector<KeyValue>> RunReducePhase(
     }));
   }
   for (auto& f : futs) f.get();
+  if (stats != nullptr) {
+    stats->reduce_tasks += num_parts;
+    stats->failed_attempts += counters.failed_attempts.load();
+    stats->task_attempts += counters.task_attempts.load();
+    stats->retry_backoff_ms +=
+        static_cast<double>(counters.backoff_us.load()) / 1000.0;
+    stats->shuffled_records += shuffled;
+    stats->max_reduce_task_records =
+        std::max(stats->max_reduce_task_records, max_task_records);
+    stats->elapsed_seconds += watch.Seconds();
+  }
   for (const agl::Status& s : task_status) {
     if (!s.ok()) return s;
   }
@@ -168,13 +217,7 @@ agl::Result<std::vector<KeyValue>> RunReducePhase(
     for (KeyValue& kv : v) out.push_back(std::move(kv));
   }
   if (stats != nullptr) {
-    stats->reduce_tasks += num_parts;
-    stats->failed_attempts += failed_attempts.load();
-    stats->shuffled_records += shuffled;
     stats->output_records += static_cast<int64_t>(out.size());
-    stats->max_reduce_task_records =
-        std::max(stats->max_reduce_task_records, max_task_records);
-    stats->elapsed_seconds += watch.Seconds();
   }
   return out;
 }

@@ -3,10 +3,14 @@
 // Ghemawat: map over input splits, hash-shuffle by key, grouped reduce.
 //
 // Fault tolerance is task-level, like the real thing: a task attempt that
-// fails (including deterministically injected faults, used by the tests) is
-// retried up to `max_task_attempts` times with a fresh Mapper/Reducer
-// instance, so user code must be idempotent per attempt. Workers are
-// threads; the worker count models the paper's cluster width.
+// fails with a *transient* error (IsRetryableError: Aborted, IoError,
+// Unavailable) is retried up to `max_task_attempts` times with capped
+// exponential backoff and a fresh Mapper/Reducer instance, so user code
+// must be idempotent per attempt. Permanent errors (Corruption,
+// InvalidArgument, ...) fail the job immediately. Fault injection for
+// tests goes through the "mr.map"/"mr.reduce" failpoints
+// (common/failpoint.h). Workers are threads; the worker count models the
+// paper's cluster width.
 
 #pragma once
 
@@ -68,10 +72,15 @@ struct JobConfig {
   int num_reduce_tasks = 8;
   /// A task attempt is retried until this many failures.
   int max_task_attempts = 3;
-  /// Probability that any task attempt is killed before running (fault
-  /// injection for tests / resilience benchmarks). Deterministic given
-  /// `seed`.
-  double fault_injection_rate = 0.0;
+  /// First retry backoff; doubles per attempt up to `backoff_max_ms`, with
+  /// deterministic seeded jitter in [0.5, 1.0) of the nominal value.
+  double backoff_initial_ms = 1.0;
+  double backoff_max_ms = 100.0;
+  /// Overall per-task retry budget (wall clock, 0 = unlimited): a retry
+  /// whose backoff would overrun it aborts the task instead.
+  double retry_deadline_ms = 0.0;
+  /// Seeds the backoff jitter (and, historically, fault injection — now
+  /// the failpoint registry's own seed governs that).
   uint64_t seed = 1234;
 };
 
@@ -80,6 +89,10 @@ struct JobStats {
   int64_t map_tasks = 0;
   int64_t reduce_tasks = 0;
   int64_t failed_attempts = 0;
+  /// Total task attempts started (successful + failed).
+  int64_t task_attempts = 0;
+  /// Total milliseconds tasks spent sleeping between retries.
+  double retry_backoff_ms = 0;
   int64_t input_records = 0;
   int64_t shuffled_records = 0;
   int64_t output_records = 0;
@@ -91,6 +104,8 @@ struct JobStats {
     map_tasks += other.map_tasks;
     reduce_tasks += other.reduce_tasks;
     failed_attempts += other.failed_attempts;
+    task_attempts += other.task_attempts;
+    retry_backoff_ms += other.retry_backoff_ms;
     input_records += other.input_records;
     shuffled_records += other.shuffled_records;
     output_records += other.output_records;

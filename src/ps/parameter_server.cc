@@ -1,7 +1,9 @@
 #include "ps/parameter_server.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace agl::ps {
@@ -32,6 +34,31 @@ void ParameterServer::Initialize(
     Shard& shard = *shards_[ShardOf(key)];
     common::MutexLock lock(&shard.mu);
     shard.entries[key] = Entry{value, nn::AdamState{}};
+  }
+}
+
+std::map<std::string, ExportedParam> ParameterServer::ExportState() const {
+  std::map<std::string, ExportedParam> out;
+  for (const auto& shard : shards_) {
+    common::MutexLock lock(&shard->mu);
+    for (const auto& [key, entry] : shard->entries) {
+      out.emplace(key, ExportedParam{entry.value, entry.opt_state});
+    }
+  }
+  return out;
+}
+
+void ParameterServer::ImportState(
+    std::map<std::string, ExportedParam> state) {
+  for (auto& shard : shards_) {
+    common::MutexLock lock(&shard->mu);
+    shard->entries.clear();
+  }
+  for (auto& [key, param] : state) {
+    Shard& shard = *shards_[ShardOf(key)];
+    common::MutexLock lock(&shard.mu);
+    shard.entries[key] =
+        Entry{std::move(param.value), std::move(param.opt_state)};
   }
 }
 
@@ -81,6 +108,9 @@ void ParameterServer::ApplyUpdate(
 
 agl::Status ParameterServer::PushGradients(
     const std::map<std::string, tensor::Tensor>& grads) {
+  // Failpoint "ps.push": an injected fault rejects the push before any
+  // shard is touched, so the all-or-nothing contract below still holds.
+  AGL_RETURN_IF_ERROR(fail::MaybeFail("ps.push"));
   // Validate-then-apply (all-or-nothing on bad input, same contract as
   // PushSsp): a rejected push never leaves the PS half-updated.
   AGL_RETURN_IF_ERROR(ValidateGradients(grads));
@@ -98,15 +128,30 @@ agl::Status ParameterServer::PushGradients(
 
 void ParameterServer::BeginSspEpoch(int num_workers,
                                     int64_t staleness_bound) {
+  BeginSspEpochAt(num_workers, staleness_bound,
+                  std::vector<int64_t>(num_workers, 0), /*committed=*/0);
+}
+
+void ParameterServer::BeginSspEpochAt(int num_workers,
+                                      int64_t staleness_bound,
+                                      std::vector<int64_t> clocks,
+                                      int64_t committed) {
   common::MutexLock lock(&ssp_mu_);
   AGL_CHECK_GT(num_workers, 0);
   AGL_CHECK_GE(staleness_bound, 0);
+  AGL_CHECK_EQ(static_cast<int>(clocks.size()), num_workers);
+  AGL_CHECK_GE(committed, 0);
+  for (int64_t c : clocks) {
+    // A clock below the committed watermark would re-buffer ticks that
+    // were already applied; a checkpoint barrier never produces one.
+    AGL_CHECK_GE(c, committed);
+  }
   ssp_.active = true;
   ssp_.cancelled = false;
   ssp_.bound = staleness_bound;
-  ssp_.clock.assign(num_workers, 0);
+  ssp_.clock = std::move(clocks);
   ssp_.finished.assign(num_workers, false);
-  ssp_.committed = 0;
+  ssp_.committed = committed;
   ssp_.pending.clear();
 }
 
@@ -200,6 +245,8 @@ agl::Status ParameterServer::WaitAtSspGateLocked(int worker) {
 
 agl::Result<std::map<std::string, tensor::Tensor>> ParameterServer::PullSsp(
     int worker) {
+  // Failpoint "ps.pull": fail the pull before parking at the gate.
+  AGL_RETURN_IF_ERROR(fail::MaybeFail("ps.pull"));
   {
     common::MutexLock lock(&ssp_mu_);
     AGL_RETURN_IF_ERROR(WaitAtSspGateLocked(worker));
@@ -209,6 +256,9 @@ agl::Result<std::map<std::string, tensor::Tensor>> ParameterServer::PullSsp(
 
 agl::Status ParameterServer::PushSsp(
     int worker, std::map<std::string, tensor::Tensor> grads) {
+  // Failpoint "ps.push": reject before buffering; the worker's clock does
+  // not advance, so a retried push lands on the same tick.
+  AGL_RETURN_IF_ERROR(fail::MaybeFail("ps.push"));
   {
     common::MutexLock lock(&ssp_mu_);
     if (!ssp_.active) {

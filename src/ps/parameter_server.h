@@ -73,6 +73,15 @@ struct ServerStats {
   std::vector<int64_t> staleness_hist;
 };
 
+/// One parameter's full server-side state as captured by ExportState():
+/// the current value plus the Adam moments and per-key step count that
+/// accompany it. Round-tripping through Import preserves the optimizer
+/// trajectory bit-for-bit.
+struct ExportedParam {
+  tensor::Tensor value;
+  nn::AdamState opt_state;
+};
+
 /// In-process sharded parameter server.
 class ParameterServer {
  public:
@@ -81,6 +90,15 @@ class ParameterServer {
   /// Registers the initial values (typically a model's StateDict). Resets
   /// any previous state.
   void Initialize(const std::map<std::string, tensor::Tensor>& state);
+
+  /// Snapshots every parameter together with its optimizer state. Like
+  /// PullAll() the snapshot is per-shard consistent; take it while no
+  /// pushes are in flight (a checkpoint barrier) for an exact one.
+  std::map<std::string, ExportedParam> ExportState() const;
+
+  /// Restores a snapshot taken by ExportState(), replacing any previous
+  /// parameters and optimizer state (the checkpoint/resume path).
+  void ImportState(std::map<std::string, ExportedParam> state);
 
   /// Returns a consistent-enough snapshot of all parameters (per-shard
   /// locking; cross-shard staleness is part of the async model).
@@ -96,6 +114,14 @@ class ParameterServer {
   /// Arms the SSP clock layer for one epoch: `num_workers` clocks at 0,
   /// staleness bound as given (0 = BSP-exact, kUnboundedStaleness = async).
   void BeginSspEpoch(int num_workers, int64_t staleness_bound);
+
+  /// BeginSspEpoch variant for resume: restores the per-worker clocks and
+  /// committed-tick watermark captured at a checkpoint barrier (where
+  /// nothing was pending) instead of starting everyone at tick 0.
+  /// `clocks.size()` must equal `num_workers` and no clock may precede
+  /// `committed`.
+  void BeginSspEpochAt(int num_workers, int64_t staleness_bound,
+                       std::vector<int64_t> clocks, int64_t committed);
 
   /// Blocking SSP pull for `worker`: waits until the worker is within the
   /// staleness bound of the slowest unfinished worker, then snapshots the

@@ -5,13 +5,16 @@
 #include <future>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <thread>
 
 #include "autograd/ops.h"
 #include "common/bounded_queue.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "io/codec.h"
 #include "nn/metrics.h"
 #include "nn/state_io.h"
 #include "subgraph/batch.h"
@@ -102,9 +105,15 @@ class BatchProducer {
 /// Contiguous slices of an in-memory span (the Train() path).
 class SpanBatchProducer : public BatchProducer {
  public:
+  /// `skip_batches` fast-forwards past batches a resumed epoch already
+  /// completed (TotalBatches then reports the remaining count).
   SpanBatchProducer(std::span<const GraphFeature> features,
-                    std::size_t begin, std::size_t end, std::size_t bs)
-      : features_(features), begin_(begin), next_(begin), end_(end),
+                    std::size_t begin, std::size_t end, std::size_t bs,
+                    std::size_t skip_batches = 0)
+      : features_(features),
+        begin_(std::min(end, begin + skip_batches * bs)),
+        next_(begin_),
+        end_(end),
         bs_(bs) {}
 
   agl::Result<std::optional<gnn::PreparedBatch>> Next(
@@ -166,6 +175,13 @@ struct WorkerEpochContext {
   int worker;
   int epoch;
   bool ssp;
+  /// Mid-epoch checkpoint barrier (null = no mid-epoch checkpoints).
+  CheckpointCoordinator* coord = nullptr;
+  /// Per-worker batches already completed before this run of the epoch
+  /// (non-zero only when resuming); ticks continue from here.
+  int64_t base_tick = 0;
+  /// This worker's restored cursor (null unless resuming).
+  const WorkerCursor* resume_cursor = nullptr;
 };
 
 /// Pulls a parameter snapshot through the mode-appropriate path.
@@ -197,11 +213,10 @@ agl::Status ComputeBatch(const WorkerEpochContext& ctx, gnn::GnnModel* model,
       out->grads.emplace(p.name, p.variable.grad());
     }
   }
-  if (ctx.config->fault_injector) {
-    AGL_RETURN_IF_ERROR(ctx.config->fault_injector(
-        ctx.epoch, ctx.worker, res->batches - 1));
-  }
-  return agl::Status::OK();
+  // Failpoint "trainer.step": an injected fault here aborts training after
+  // this batch's compute, and the pipeline must tear down without
+  // deadlocking (the legacy fault_injector hook's contract).
+  return fail::MaybeFail("trainer.step");
 }
 
 /// The staged pipeline for one worker-epoch:
@@ -228,11 +243,35 @@ void RunPipelinedWorker(const WorkerEpochContext& ctx,
   gnn::GnnModel prep_model(config.model);
   Rng rng(DeriveSeed(config.seed,
                      static_cast<uint64_t>(ctx.epoch) * 1000 + ctx.worker));
+  if (ctx.resume_cursor != nullptr) {
+    // Resume mid-epoch: continue the dropout RNG stream and the loss
+    // accounting exactly where the checkpoint froze them.
+    if (!ctx.resume_cursor->rng_state.empty()) {
+      std::istringstream iss(ctx.resume_cursor->rng_state);
+      iss >> rng.engine();
+    }
+    res->loss_sum = ctx.resume_cursor->loss_sum;
+    res->batches = ctx.resume_cursor->next_batch;
+  }
+  // Snapshot of this worker's position right after it computed batch
+  // `tick - 1`, i.e. with `tick` batches done and their RNG draws
+  // consumed. Only taken at checkpoint ticks (serializing the engine per
+  // batch would be waste).
+  const auto make_cursor = [&](int64_t tick) {
+    WorkerCursor cursor;
+    cursor.next_batch = tick;
+    cursor.loss_sum = res->loss_sum;
+    std::ostringstream oss;
+    oss << rng.engine();
+    cursor.rng_state = oss.str();
+    return cursor;
+  };
 
   agl::Status status;  // first failure from any stage of this worker
 
   if (!config.use_pipeline) {
     // Inline execution of the same schedule: prep, pull, compute, push.
+    int64_t tick = ctx.base_tick;
     while (status.ok()) {
       Stopwatch prep_watch;
       auto next = producer->Next(prep_model);
@@ -254,9 +293,16 @@ void RunPipelinedWorker(const WorkerEpochContext& ctx,
       status = ComputeBatch(ctx, &model, &rng, *snapshot, **next, res, &msg);
       res->compute_seconds += compute_watch.Seconds();
       if (!status.ok()) break;
+      ++tick;
+      if (ctx.coord != nullptr && ctx.coord->IsCheckpointTick(tick)) {
+        ctx.coord->Deposit(ctx.worker, tick, make_cursor(tick));
+      }
       Stopwatch push_watch;
       status = PushGrads(ctx, std::move(msg));
       res->comm_seconds += push_watch.Seconds();
+      if (status.ok() && ctx.coord != nullptr) {
+        status = ctx.coord->Arrive(ctx.worker, tick);
+      }
     }
   } else {
     BoundedQueue<gnn::PreparedBatch> prep_q(
@@ -306,11 +352,21 @@ void RunPipelinedWorker(const WorkerEpochContext& ctx,
       }
       if (!snap_q.Push(std::move(*first))) return;
       GradMsg msg;
+      int64_t pushed = ctx.base_tick;
       while (grad_q.Pop(&msg)) {
         const bool last = msg.last;
         Stopwatch push_watch;
         agl::Status s = PushGrads(ctx, std::move(msg));
         res->comm_seconds += push_watch.Seconds();
+        if (s.ok()) {
+          ++pushed;
+          // Checkpoint barrier: parks here (post-push, pre-pull) at
+          // checkpoint ticks until every worker's push for this tick has
+          // landed; the last arrival snapshots the quiescent PS.
+          if (ctx.coord != nullptr) {
+            s = ctx.coord->Arrive(ctx.worker, pushed);
+          }
+        }
         if (s.ok()) {
           if (last) return;  // nobody will consume another snapshot
           // Double buffer: pre-pull the next step's snapshot while the
@@ -324,12 +380,13 @@ void RunPipelinedWorker(const WorkerEpochContext& ctx,
         }
         comm_status = s;
         cancel_all();
+        if (ctx.coord != nullptr) ctx.coord->Cancel();
         return;
       }
     });
 
     const std::optional<int64_t> total_batches = producer->TotalBatches();
-    int64_t tick = 0;
+    int64_t tick = ctx.base_tick;
     gnn::PreparedBatch batch;
     bool have = prep_q.Pop(&batch);
     while (have) {
@@ -341,6 +398,11 @@ void RunPipelinedWorker(const WorkerEpochContext& ctx,
       res->compute_seconds += compute_watch.Seconds();
       if (!status.ok()) break;
       ++tick;
+      // Cursor deposit must precede handing the comm stage this tick's
+      // gradient, so the worker's own barrier arrival always finds it.
+      if (ctx.coord != nullptr && ctx.coord->IsCheckpointTick(tick)) {
+        ctx.coord->Deposit(ctx.worker, tick, make_cursor(tick));
+      }
       // Mark the epoch's final push: exactly when the batch count is
       // known up front, best-effort (non-blocking peek at the reader
       // stage) for open-ended streams. A false negative only costs the
@@ -348,7 +410,7 @@ void RunPipelinedWorker(const WorkerEpochContext& ctx,
       gnn::PreparedBatch next;
       bool have_next = false;
       if (total_batches.has_value()) {
-        msg.last = tick == *total_batches;
+        msg.last = tick - ctx.base_tick == *total_batches;
       } else {
         switch (prep_q.TryPop(&next)) {
           case BoundedQueue<gnn::PreparedBatch>::TryPopResult::kItem:
@@ -373,9 +435,11 @@ void RunPipelinedWorker(const WorkerEpochContext& ctx,
     grad_q.Close();
     if (!status.ok()) {
       // Injected fault / compute failure: release every stage, including
-      // peers blocked at the SSP gate on other workers.
+      // peers blocked at the SSP gate or checkpoint barrier on other
+      // workers.
       cancel_all();
       if (ctx.ssp) ctx.server->CancelSsp();
+      if (ctx.coord != nullptr) ctx.coord->Cancel();
     }
     prep_thread.join();
     comm_thread.join();
@@ -383,23 +447,29 @@ void RunPipelinedWorker(const WorkerEpochContext& ctx,
     if (status.ok() && !comm_status.ok()) status = comm_status;
   }
 
-  if (!status.ok() && ctx.ssp &&
-      status.code() != agl::StatusCode::kAborted) {
+  if (!status.ok() && status.code() != agl::StatusCode::kAborted) {
     // A primary failure (not the echo of someone else's cancellation)
-    // must release peers blocked at the clock gate.
-    ctx.server->CancelSsp();
+    // must release peers blocked at the clock gate or checkpoint barrier.
+    if (ctx.ssp) ctx.server->CancelSsp();
+    if (ctx.coord != nullptr) ctx.coord->Cancel();
   }
   if (ctx.ssp) ctx.server->FinishSspWorker(ctx.worker);
+  if (ctx.coord != nullptr) ctx.coord->Finish(ctx.worker);
   res->status = status;
 }
 
 /// Surfaces the most informative status: a primary error beats the
-/// kAborted echoes that cancellation spreads to the other workers.
+/// kAborted echoes that cancellation spreads to the other workers. An
+/// injected crash is also kAborted, so it ranks between the two — it is
+/// the root cause, the echoes are not.
 agl::Status CollectWorkerStatuses(const std::vector<WorkerResult>& results) {
   for (const WorkerResult& r : results) {
     if (!r.status.ok() && r.status.code() != agl::StatusCode::kAborted) {
       return r.status;
     }
+  }
+  for (const WorkerResult& r : results) {
+    if (fail::IsInjectedCrash(r.status)) return r.status;
   }
   for (const WorkerResult& r : results) {
     AGL_RETURN_IF_ERROR(r.status);
@@ -425,10 +495,29 @@ agl::Result<std::map<std::string, tensor::Tensor>> LoadCheckpoint(
 agl::Result<TrainReport> GraphTrainer::TrainLoop(
     const std::function<agl::Status(
         int epoch, ps::ParameterServer* server, ThreadPool* pool,
-        std::vector<WorkerResult>* results)>& run_epoch,
-    int active_workers, std::span<const GraphFeature> val) const {
+        std::vector<WorkerResult>* results,
+        const internal::MidCheckpointEnv* ckpt)>& run_epoch,
+    int active_workers, std::span<const GraphFeature> val,
+    std::optional<uint64_t> num_examples) const {
   if (config_.staleness_bound < 0) {
     return agl::Status::InvalidArgument("staleness_bound must be >= 0");
+  }
+  const bool want_mid = config_.checkpoint_every_batches > 0 ||
+                        config_.resume;
+  if (want_mid) {
+    if (!num_examples.has_value()) {
+      return agl::Status::InvalidArgument(
+          "mid-epoch checkpoint/resume is only supported by Train()");
+    }
+    if (config_.checkpoint_dfs == nullptr) {
+      return agl::Status::InvalidArgument(
+          "checkpoint_every_batches/resume need checkpoint_dfs");
+    }
+    if (config_.sync_mode == SyncMode::kAsync) {
+      return agl::Status::InvalidArgument(
+          "mid-epoch checkpoints need a deterministic mode (kBsp or "
+          "kSsp); kAsync has no replayable schedule");
+    }
   }
   Stopwatch total_watch;
 
@@ -451,11 +540,68 @@ agl::Result<TrainReport> GraphTrainer::TrainLoop(
   report.best_val_metric = -std::numeric_limits<double>::infinity();
   int bad_evals = 0;
 
+  // Fingerprint of everything that shapes the training schedule and
+  // arithmetic: a mid-epoch checkpoint is only resumable into an
+  // identical run. The initial state dict covers the model architecture
+  // and seed-derived init (or the warm start).
+  uint64_t fingerprint = 0;
+  std::string mid_name;
+  if (want_mid) {
+    io::BufferWriter fp;
+    fp.PutVarint64(static_cast<uint64_t>(config_.sync_mode));
+    fp.PutVarint64(static_cast<uint64_t>(config_.task));
+    fp.PutVarint64(static_cast<uint64_t>(active_workers));
+    fp.PutVarint64(static_cast<uint64_t>(config_.batch_size));
+    fp.PutVarint64(static_cast<uint64_t>(config_.staleness_bound));
+    fp.PutVarint64(config_.seed);
+    fp.PutVarint64(*num_examples);
+    fp.PutString(nn::SerializeStateDict(init_model.StateDict()));
+    fingerprint = Fnv1aHash(fp.Release());
+    mid_name = MidCheckpointName(config_.checkpoint_prefix);
+  }
+
+  int start_epoch = 0;
+  std::optional<TrainCheckpoint> resume_ckpt;
+  if (config_.resume && config_.checkpoint_dfs->DatasetExists(mid_name)) {
+    AGL_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                         config_.checkpoint_dfs->ReadDataset(mid_name));
+    if (records.size() != 1) {
+      return agl::Status::Corruption(
+          "mid-epoch checkpoint must hold exactly 1 record");
+    }
+    AGL_ASSIGN_OR_RETURN(TrainCheckpoint loaded,
+                         ParseTrainCheckpoint(records[0], fingerprint));
+    if (static_cast<int>(loaded.cursors.size()) != active_workers) {
+      return agl::Status::FailedPrecondition(
+          "mid-epoch checkpoint worker count mismatch");
+    }
+    resume_ckpt = std::move(loaded);
+    server.ImportState(resume_ckpt->ps_state);
+    start_epoch = static_cast<int>(resume_ckpt->epoch);
+    report.best_val_metric = resume_ckpt->best_val_metric;
+    bad_evals = static_cast<int>(resume_ckpt->bad_evals);
+  }
+
   ThreadPool pool(static_cast<std::size_t>(active_workers));
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     Stopwatch epoch_watch;
     std::vector<WorkerResult> results(active_workers);
-    AGL_RETURN_IF_ERROR(run_epoch(epoch, &server, &pool, &results));
+    internal::MidCheckpointEnv env;
+    const internal::MidCheckpointEnv* env_ptr = nullptr;
+    const bool resume_this_epoch =
+        resume_ckpt.has_value() && epoch == start_epoch;
+    if (config_.checkpoint_every_batches > 0 || resume_this_epoch) {
+      env.dfs = config_.checkpoint_dfs;
+      env.dataset = mid_name;
+      env.fingerprint = fingerprint;
+      env.every = config_.checkpoint_every_batches;
+      env.resume = resume_this_epoch ? &*resume_ckpt : nullptr;
+      env.best_val_metric = &report.best_val_metric;
+      env.bad_evals = &bad_evals;
+      env_ptr = &env;
+    }
+    AGL_RETURN_IF_ERROR(run_epoch(epoch, &server, &pool, &results,
+                                  env_ptr));
 
     EpochRecord rec;
     rec.epoch = epoch;
@@ -497,6 +643,12 @@ agl::Result<TrainReport> GraphTrainer::TrainLoop(
     if (config_.patience > 0 && bad_evals >= config_.patience) break;
   }
 
+  // Training completed: the rolling mid-epoch checkpoint would otherwise
+  // make a later resume=true run silently redo finished work.
+  if (want_mid && config_.checkpoint_dfs->DatasetExists(mid_name)) {
+    AGL_RETURN_IF_ERROR(config_.checkpoint_dfs->DropDataset(mid_name));
+  }
+
   report.final_state = server.PullAll();
   report.ps_stats = server.stats();
   report.total_seconds = total_watch.Seconds();
@@ -516,15 +668,16 @@ agl::Result<TrainReport> GraphTrainer::Train(
 
   return TrainLoop(
       [&](int epoch, ps::ParameterServer* server, ThreadPool* pool,
-          std::vector<WorkerResult>* results) {
+          std::vector<WorkerResult>* results,
+          const internal::MidCheckpointEnv* ckpt) {
         if (config_.sync_mode == SyncMode::kBsp) {
           return RunBspEpoch(train, epoch, server, pool, partitions,
-                             results);
+                             results, ckpt);
         }
         return RunPipelinedEpoch(train, epoch, server, pool, partitions,
-                                 results);
+                                 results, ckpt);
       },
-      active_workers, val);
+      active_workers, val, static_cast<uint64_t>(train.size()));
 }
 
 agl::Result<TrainReport> GraphTrainer::TrainStreaming(
@@ -545,29 +698,79 @@ agl::Result<TrainReport> GraphTrainer::TrainStreaming(
 
   return TrainLoop(
       [&](int epoch, ps::ParameterServer* server, ThreadPool* pool,
-          std::vector<WorkerResult>* results) {
+          std::vector<WorkerResult>* results,
+          const internal::MidCheckpointEnv* ckpt) {
+        (void)ckpt;  // validation rejects mid-epoch checkpoints up front
         return RunStreamingEpoch(source, epoch, server, pool,
                                  active_workers, results);
       },
-      active_workers, val);
+      active_workers, val, std::nullopt);
 }
 
 agl::Status GraphTrainer::RunPipelinedEpoch(
     std::span<const GraphFeature> train, int epoch,
     ps::ParameterServer* server, ThreadPool* pool,
     const std::vector<std::pair<std::size_t, std::size_t>>& partitions,
-    std::vector<WorkerResult>* results) const {
+    std::vector<WorkerResult>* results,
+    const internal::MidCheckpointEnv* ckpt) const {
   const int active_workers = static_cast<int>(partitions.size());
   const bool ssp = config_.sync_mode == SyncMode::kSsp;
-  if (ssp) server->BeginSspEpoch(active_workers, config_.staleness_bound);
+  const TrainCheckpoint* resume = ckpt != nullptr ? ckpt->resume : nullptr;
+  const int64_t base_tick = resume != nullptr ? resume->tick : 0;
+  if (ssp) {
+    if (resume != nullptr) {
+      // The checkpoint barrier guarantees every worker's clock equalled
+      // the committed tick; restore both instead of starting at 0.
+      std::vector<int64_t> clocks;
+      clocks.reserve(resume->cursors.size());
+      for (const WorkerCursor& c : resume->cursors) {
+        clocks.push_back(c.next_batch);
+      }
+      server->BeginSspEpochAt(active_workers, config_.staleness_bound,
+                              std::move(clocks), resume->tick);
+    } else {
+      server->BeginSspEpoch(active_workers, config_.staleness_bound);
+    }
+  }
+
+  std::optional<CheckpointCoordinator> coord;
+  if (ckpt != nullptr && ckpt->every > 0) {
+    coord.emplace(
+        active_workers, ckpt->every,
+        [&, epoch](int64_t tick, std::vector<WorkerCursor> cursors) {
+          TrainCheckpoint c;
+          c.fingerprint = ckpt->fingerprint;
+          c.epoch = epoch;
+          c.tick = tick;
+          c.best_val_metric = *ckpt->best_val_metric;
+          c.bad_evals = *ckpt->bad_evals;
+          c.cursors = std::move(cursors);
+          c.ps_state = server->ExportState();
+          return ckpt->dfs->WriteDataset(
+              ckpt->dataset, {SerializeTrainCheckpoint(c)},
+              /*num_parts=*/1);
+        });
+  }
+
   const std::size_t bs =
       static_cast<std::size_t>(std::max(1, config_.batch_size));
   std::vector<std::future<void>> futs;
   for (int w = 0; w < active_workers; ++w) {
     futs.push_back(pool->Submit([&, w] {
       const auto [begin, end] = partitions[w];
-      SpanBatchProducer producer(train, begin, end, bs);
-      WorkerEpochContext ctx{&config_, server, w, epoch, ssp};
+      SpanBatchProducer producer(
+          train, begin, end, bs,
+          static_cast<std::size_t>(
+              resume != nullptr ? resume->cursors[w].next_batch : 0));
+      WorkerEpochContext ctx{&config_,
+                             server,
+                             w,
+                             epoch,
+                             ssp,
+                             coord.has_value() ? &*coord : nullptr,
+                             base_tick,
+                             resume != nullptr ? &resume->cursors[w]
+                                               : nullptr};
       RunPipelinedWorker(ctx, &producer, &(*results)[w]);
     }));
   }
@@ -613,19 +816,23 @@ agl::Status GraphTrainer::RunBspEpoch(
     std::span<const GraphFeature> train, int epoch,
     ps::ParameterServer* server, ThreadPool* pool,
     const std::vector<std::pair<std::size_t, std::size_t>>& partitions,
-    std::vector<WorkerResult>* results) const {
+    std::vector<WorkerResult>* results,
+    const internal::MidCheckpointEnv* ckpt) const {
   const int active_workers = static_cast<int>(partitions.size());
   const std::size_t bs =
       static_cast<std::size_t>(std::max(1, config_.batch_size));
+  const TrainCheckpoint* resume = ckpt != nullptr ? ckpt->resume : nullptr;
 
   // Lock-step rounds: the number of rounds is set by the largest
   // partition; workers with fewer batches idle in later rounds.
   std::vector<std::vector<std::size_t>> starts(active_workers);
   std::size_t rounds = 0;
+  std::size_t min_rounds = std::numeric_limits<std::size_t>::max();
   for (int w = 0; w < active_workers; ++w) {
     const auto [begin, end] = partitions[w];
     for (std::size_t s = begin; s < end; s += bs) starts[w].push_back(s);
     rounds = std::max(rounds, starts[w].size());
+    min_rounds = std::min(min_rounds, starts[w].size());
   }
 
   // Persistent per-worker replicas avoid per-round construction cost.
@@ -636,8 +843,23 @@ agl::Status GraphTrainer::RunBspEpoch(
     rngs.emplace_back(DeriveSeed(config_.seed,
                                  static_cast<uint64_t>(epoch) * 1000 + w));
   }
+  std::size_t start_round = 0;
+  if (resume != nullptr) {
+    // A BSP round is one tick for every worker; restore each worker's
+    // RNG stream and loss accounting alongside the round cursor.
+    start_round = static_cast<std::size_t>(resume->tick);
+    for (int w = 0; w < active_workers; ++w) {
+      const WorkerCursor& c = resume->cursors[w];
+      if (!c.rng_state.empty()) {
+        std::istringstream iss(c.rng_state);
+        iss >> rngs[w].engine();
+      }
+      (*results)[w].loss_sum = c.loss_sum;
+      (*results)[w].batches = c.next_batch;
+    }
+  }
 
-  for (std::size_t round = 0; round < rounds; ++round) {
+  for (std::size_t round = start_round; round < rounds; ++round) {
     // Barrier 1: every participating worker sees the same snapshot.
     const std::map<std::string, tensor::Tensor> snapshot = server->PullAll();
     std::vector<std::map<std::string, tensor::Tensor>> grads(active_workers);
@@ -666,6 +888,8 @@ agl::Status GraphTrainer::RunBspEpoch(
           }
         }
         res.compute_seconds += compute_watch.Seconds();
+        // Same "trainer.step" injection site the pipelined runner has.
+        statuses[w] = fail::MaybeFail("trainer.step");
       }));
     }
     for (auto& f : futs) f.get();
@@ -691,6 +915,33 @@ agl::Status GraphTrainer::RunBspEpoch(
       g.Scale(1.f / static_cast<float>(contributors));
     }
     AGL_RETURN_IF_ERROR(server->PushGradients(avg));
+
+    // Between rounds the main thread is the only PS client, so the
+    // checkpoint is trivially consistent. Stop once the smallest
+    // partition is exhausted — past that a round is no longer one tick
+    // for every worker, matching the SSP coordinator's rule.
+    const int64_t tick = static_cast<int64_t>(round) + 1;
+    if (ckpt != nullptr && ckpt->every > 0 && tick % ckpt->every == 0 &&
+        round + 1 <= min_rounds) {
+      TrainCheckpoint c;
+      c.fingerprint = ckpt->fingerprint;
+      c.epoch = epoch;
+      c.tick = tick;
+      c.best_val_metric = *ckpt->best_val_metric;
+      c.bad_evals = *ckpt->bad_evals;
+      for (int w = 0; w < active_workers; ++w) {
+        WorkerCursor cursor;
+        cursor.next_batch = tick;
+        cursor.loss_sum = (*results)[w].loss_sum;
+        std::ostringstream oss;
+        oss << rngs[w].engine();
+        cursor.rng_state = oss.str();
+        c.cursors.push_back(std::move(cursor));
+      }
+      c.ps_state = server->ExportState();
+      AGL_RETURN_IF_ERROR(ckpt->dfs->WriteDataset(
+          ckpt->dataset, {SerializeTrainCheckpoint(c)}, /*num_parts=*/1));
+    }
   }
   return agl::Status::OK();
 }

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -35,6 +36,7 @@
 #include "mr/local_dfs.h"
 #include "ps/parameter_server.h"
 #include "subgraph/graph_feature.h"
+#include "trainer/checkpoint.h"
 #include "trainer/feature_source.h"
 
 namespace agl::trainer {
@@ -99,11 +101,20 @@ struct TrainerConfig {
   /// long jobs; restore with LoadCheckpoint + initial_state).
   mr::LocalDfs* checkpoint_dfs = nullptr;
   std::string checkpoint_prefix = "checkpoint";
-  /// Test-only fault hook: when set, it runs before each batch's gradient
-  /// push as (epoch, worker, tick); a non-OK return aborts training and
-  /// must tear the pipeline down without deadlocking.
-  std::function<agl::Status(int epoch, int worker, int64_t tick)>
-      fault_injector;
+  /// Mid-epoch fault tolerance: checkpoint the full training state (PS
+  /// values + Adam moments, SSP clocks, per-worker batch cursors and RNG
+  /// streams) to the rolling dataset "<checkpoint_prefix>-mid" every this
+  /// many per-worker batches (0 = epoch-boundary checkpoints only). Needs
+  /// checkpoint_dfs and a deterministic mode — kBsp or kSsp; kAsync and
+  /// TrainStreaming are rejected. Resume is bit-exact for kBsp and for
+  /// kSsp at staleness bound 0.
+  int64_t checkpoint_every_batches = 0;
+  /// When true and "<checkpoint_prefix>-mid" exists on checkpoint_dfs,
+  /// training resumes from it (mid-epoch) instead of starting fresh. The
+  /// checkpoint must have been written by a run with this config and
+  /// dataset (fingerprint-checked, kFailedPrecondition otherwise). The
+  /// rolling checkpoint is dropped once training completes.
+  bool resume = false;
 };
 
 struct EpochRecord {
@@ -143,6 +154,20 @@ struct WorkerResult {
   double comm_seconds = 0;
   agl::Status status;
 };
+
+/// Mid-epoch checkpoint plumbing handed from TrainLoop to the epoch
+/// runners. `resume` is non-null only for the epoch being resumed into;
+/// the metric pointers let the checkpoint sink stamp the live TrainLoop
+/// early-stopping state into each checkpoint.
+struct MidCheckpointEnv {
+  mr::LocalDfs* dfs = nullptr;
+  std::string dataset;  // "<checkpoint_prefix>-mid"
+  uint64_t fingerprint = 0;
+  int64_t every = 0;
+  const TrainCheckpoint* resume = nullptr;
+  const double* best_val_metric = nullptr;
+  const int* bad_evals = nullptr;
+};
 }  // namespace internal
 
 /// Distributed (simulated: worker threads + in-process PS) GNN trainer.
@@ -171,17 +196,22 @@ class GraphTrainer {
   const TrainerConfig& config() const { return config_; }
 
  private:
+  /// `num_examples` identifies the training set for the mid-checkpoint
+  /// fingerprint; nullopt (the streaming path) rejects mid-epoch
+  /// checkpoint/resume configs up front.
   agl::Result<TrainReport> TrainLoop(
       const std::function<agl::Status(
           int epoch, ps::ParameterServer* server, ThreadPool* pool,
-          std::vector<internal::WorkerResult>* results)>& run_epoch,
-      int active_workers,
-      std::span<const subgraph::GraphFeature> val) const;
+          std::vector<internal::WorkerResult>* results,
+          const internal::MidCheckpointEnv* ckpt)>& run_epoch,
+      int active_workers, std::span<const subgraph::GraphFeature> val,
+      std::optional<uint64_t> num_examples) const;
   agl::Status RunPipelinedEpoch(
       std::span<const subgraph::GraphFeature> train, int epoch,
       ps::ParameterServer* server, ThreadPool* pool,
       const std::vector<std::pair<std::size_t, std::size_t>>& partitions,
-      std::vector<internal::WorkerResult>* results) const;
+      std::vector<internal::WorkerResult>* results,
+      const internal::MidCheckpointEnv* ckpt) const;
   agl::Status RunStreamingEpoch(
       const DfsFeatureSource& source, int epoch,
       ps::ParameterServer* server, ThreadPool* pool, int active_workers,
@@ -190,7 +220,8 @@ class GraphTrainer {
       std::span<const subgraph::GraphFeature> train, int epoch,
       ps::ParameterServer* server, ThreadPool* pool,
       const std::vector<std::pair<std::size_t, std::size_t>>& partitions,
-      std::vector<internal::WorkerResult>* results) const;
+      std::vector<internal::WorkerResult>* results,
+      const internal::MidCheckpointEnv* ckpt) const;
 
   TrainerConfig config_;
 };

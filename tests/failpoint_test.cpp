@@ -1,0 +1,217 @@
+// Tests for the unified failpoint framework: registry semantics (hit
+// gating, fire caps, probability, crash vs error), spec parsing and
+// validation, determinism under a fixed seed, and the RAII test helper.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+
+namespace agl::fail {
+namespace {
+
+// Every test arms sites on the process-global registry; clean up so tests
+// stay order-independent.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().ClearAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedSiteIsOkAndUncounted) {
+  EXPECT_TRUE(MaybeFail("mr.map").ok());
+  EXPECT_TRUE(MaybeFail("no.such.site").ok());
+  EXPECT_EQ(FailpointRegistry::Global().HitCount("mr.map"), 0);
+  EXPECT_EQ(FailpointRegistry::Global().FireCount("mr.map"), 0);
+}
+
+TEST_F(FailpointTest, ErrorModeReturnsConfiguredCodeAndMessage) {
+  ScopedFailpoint fp("dfs.write", ErrorConfig(1.0, StatusCode::kIoError));
+  agl::Status s = MaybeFail("dfs.write");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_NE(s.ToString().find("injected fault at dfs.write (hit 1)"),
+            std::string::npos)
+      << s.ToString();
+  EXPECT_FALSE(IsInjectedCrash(s));
+}
+
+TEST_F(FailpointTest, FirstHitGatesEarlyHits) {
+  SiteConfig cfg;
+  cfg.mode = Mode::kError;
+  cfg.first_hit = 3;
+  ScopedFailpoint fp("mr.reduce", cfg);
+  EXPECT_TRUE(MaybeFail("mr.reduce").ok());
+  EXPECT_TRUE(MaybeFail("mr.reduce").ok());
+  agl::Status s = MaybeFail("mr.reduce");
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_NE(s.ToString().find("(hit 3)"), std::string::npos);
+  // From first_hit on, every hit fires (no max_fires cap set).
+  EXPECT_FALSE(MaybeFail("mr.reduce").ok());
+  EXPECT_EQ(FailpointRegistry::Global().HitCount("mr.reduce"), 4);
+  EXPECT_EQ(FailpointRegistry::Global().FireCount("mr.reduce"), 2);
+}
+
+TEST_F(FailpointTest, MaxFiresCapsInjections) {
+  SiteConfig cfg;
+  cfg.mode = Mode::kError;
+  cfg.max_fires = 2;
+  ScopedFailpoint fp("ps.push", cfg);
+  EXPECT_FALSE(MaybeFail("ps.push").ok());
+  EXPECT_FALSE(MaybeFail("ps.push").ok());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(MaybeFail("ps.push").ok());
+  EXPECT_EQ(FailpointRegistry::Global().HitCount("ps.push"), 7);
+  EXPECT_EQ(FailpointRegistry::Global().FireCount("ps.push"), 2);
+}
+
+TEST_F(FailpointTest, CrashOnHitFiresExactlyOnce) {
+  ScopedFailpoint fp("trainer.step", CrashOnHit(2));
+  EXPECT_TRUE(MaybeFail("trainer.step").ok());
+  agl::Status s = MaybeFail("trainer.step");
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_TRUE(IsInjectedCrash(s)) << s.ToString();
+  EXPECT_NE(s.ToString().find("injected crash at trainer.step (hit 2)"),
+            std::string::npos);
+  // x1: later hits pass.
+  EXPECT_TRUE(MaybeFail("trainer.step").ok());
+}
+
+TEST_F(FailpointTest, PlainAbortedIsNotAnInjectedCrash) {
+  EXPECT_FALSE(IsInjectedCrash(agl::Status::Aborted("user abort")));
+  EXPECT_FALSE(IsInjectedCrash(agl::Status::OK()));
+  // An error-mode failpoint with code kAborted is a transient failure the
+  // retry layers may re-run — not a crash.
+  ScopedFailpoint fp("mr.map", ErrorConfig(1.0, StatusCode::kAborted));
+  EXPECT_FALSE(IsInjectedCrash(MaybeFail("mr.map")));
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicGivenSeedAndUid) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  reg.SetSeed(42);
+  auto pattern = [&reg]() {
+    reg.Configure("dfs.read", ErrorConfig(0.5));
+    std::vector<bool> fired;
+    for (uint64_t uid = 0; uid < 200; ++uid) {
+      fired.push_back(!reg.MaybeFail("dfs.read", uid).ok());
+    }
+    return fired;
+  };
+  const std::vector<bool> a = pattern();
+  const std::vector<bool> b = pattern();  // reconfigure resets counters
+  EXPECT_EQ(a, b);
+  // p=0.5 over 200 draws: neither all nor none fire.
+  const int fires = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 200);
+  // A different seed produces a different draw sequence.
+  reg.SetSeed(43);
+  EXPECT_NE(pattern(), a);
+}
+
+TEST_F(FailpointTest, ConfigureResetsCounters) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  reg.Configure("infer.spill", ErrorConfig(1.0));
+  EXPECT_FALSE(MaybeFail("infer.spill").ok());
+  EXPECT_EQ(reg.HitCount("infer.spill"), 1);
+  reg.Configure("infer.spill", CrashOnHit(1));
+  EXPECT_EQ(reg.HitCount("infer.spill"), 0);
+  EXPECT_EQ(reg.FireCount("infer.spill"), 0);
+  EXPECT_TRUE(IsInjectedCrash(MaybeFail("infer.spill")));
+  reg.Disable("infer.spill");
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnDestruction) {
+  {
+    ScopedFailpoint fp("dfs.rename", ErrorConfig(1.0));
+    EXPECT_FALSE(MaybeFail("dfs.rename").ok());
+  }
+  EXPECT_TRUE(MaybeFail("dfs.rename").ok());
+  EXPECT_EQ(FailpointRegistry::Global().HitCount("dfs.rename"), 0);
+}
+
+TEST_F(FailpointTest, KnownSitesAreSortedAndCoverTheSubsystems) {
+  const std::vector<std::string>& sites = KnownSites();
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  for (const char* site : {"dfs.read", "dfs.rename", "dfs.write", "mr.map",
+                           "mr.reduce", "ps.push", "ps.pull", "trainer.step",
+                           "infer.spill"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
+        << site;
+  }
+}
+
+TEST_F(FailpointTest, ApplySpecArmsSitesAndSeed) {
+  ASSERT_TRUE(
+      ApplySpec("seed=7;mr.map=error(IoError,1.0)@2x1;dfs.write=crash").ok());
+  EXPECT_TRUE(MaybeFail("mr.map").ok());  // gated until hit 2
+  agl::Status s = MaybeFail("mr.map");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_TRUE(MaybeFail("mr.map").ok());  // x1 exhausted
+  EXPECT_TRUE(IsInjectedCrash(MaybeFail("dfs.write")));
+}
+
+TEST_F(FailpointTest, ApplySpecOffDisarms) {
+  ASSERT_TRUE(ApplySpec("ps.pull=error").ok());
+  EXPECT_FALSE(MaybeFail("ps.pull").ok());
+  ASSERT_TRUE(ApplySpec("ps.pull=off").ok());
+  EXPECT_TRUE(MaybeFail("ps.pull").ok());
+}
+
+TEST_F(FailpointTest, ValidateSpecAcceptsTheDocumentedGrammar) {
+  for (const char* good :
+       {"mr.map=error(0.3)", "dfs.write=error(IoError,0.1)",
+        "trainer.step=crash@7x1", "dfs.rename=crash@2;seed=9",
+        "infer.spill=off", "ps.push=error(Unavailable,1)x3",
+        "mr.reduce=error;;"}) {
+    EXPECT_TRUE(ValidateSpec(good).ok()) << good;
+  }
+}
+
+TEST_F(FailpointTest, ValidateSpecNamesTheBadEntry) {
+  struct Case {
+    const char* spec;
+    const char* expect_substr;
+  };
+  const Case cases[] = {
+      {"bogus.site=error", "unknown failpoint site 'bogus.site'"},
+      {"bogus.site=error", "trainer.step"},  // ... and lists known sites
+      {"mr.map=explode", "unknown mode"},
+      {"mr.map=error(2.0)", "probability"},
+      {"mr.map=error(NoSuchCode,0.5)", "unknown status code"},
+      {"mr.map=error@0", "positive hit index"},
+      {"mr.map=error x0", "unknown mode"},
+      {"mr.map=crash@1x0", "positive fire count"},
+      {"seed=abc", "seed must be a uint"},
+      {"mr.map", "expected site=mode"},
+      {"mr.map=error(0.5", "unbalanced '('"},
+  };
+  for (const Case& c : cases) {
+    agl::Status s = ValidateSpec(c.spec);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << c.spec;
+    EXPECT_NE(s.ToString().find(c.expect_substr), std::string::npos)
+        << c.spec << " -> " << s.ToString();
+  }
+}
+
+TEST_F(FailpointTest, ValidateSpecDoesNotArm) {
+  ASSERT_TRUE(ValidateSpec("mr.map=error").ok());
+  EXPECT_TRUE(MaybeFail("mr.map").ok());
+}
+
+TEST_F(FailpointTest, RetryClassification) {
+  // The contract the MR retry layer is built on: transient codes retry,
+  // deterministic ones fail fast.
+  EXPECT_TRUE(IsRetryableError(agl::Status::Aborted("x")));
+  EXPECT_TRUE(IsRetryableError(agl::Status::IoError("x")));
+  EXPECT_TRUE(IsRetryableError(agl::Status::Unavailable("x")));
+  EXPECT_FALSE(IsRetryableError(agl::Status::OK()));
+  EXPECT_FALSE(IsRetryableError(agl::Status::Corruption("x")));
+  EXPECT_FALSE(IsRetryableError(agl::Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsRetryableError(agl::Status::Internal("x")));
+  EXPECT_FALSE(IsRetryableError(agl::Status::NotFound("x")));
+}
+
+}  // namespace
+}  // namespace agl::fail

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <filesystem>
 #include <set>
 
@@ -12,6 +13,21 @@
 
 namespace agl::trainer {
 namespace {
+
+// Flips one byte near the end of `path` without changing its size: the
+// dataset manifest (which records part sizes) stays satisfied, so the
+// corruption is only caught by the per-record checksum at read time —
+// the layer these tests exercise.
+void FlipTrailingByte(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, -3, SEEK_END), 0);
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, -3, SEEK_END), 0);
+  std::fputc(c ^ 0xff, f);
+  std::fclose(f);
+}
 
 class FeatureSourceTest : public ::testing::Test {
  protected:
@@ -134,9 +150,7 @@ TEST_F(FeatureSourceTest, ReadsUnmergedShardFamilyTransparently) {
 TEST_F(FeatureSourceTest, CorruptPartSurfacesAsError) {
   auto parts = dfs_->ListParts("features");
   ASSERT_TRUE(parts.ok());
-  // Truncate one part file mid-record.
-  std::filesystem::resize_file((*parts)[0],
-                               std::filesystem::file_size((*parts)[0]) - 5);
+  FlipTrailingByte((*parts)[0]);
   auto src = DfsFeatureSource::Open(*dfs_, "features");
   ASSERT_TRUE(src.ok());
   EXPECT_FALSE(src->ReadAll().ok());
@@ -219,8 +233,7 @@ TEST_F(FeatureSourceTest, StreamingReaderCancelUnblocks) {
 TEST_F(FeatureSourceTest, StreamingReaderSurfacesCorruption) {
   auto parts = dfs_->ListParts("features");
   ASSERT_TRUE(parts.ok());
-  std::filesystem::resize_file((*parts)[0],
-                               std::filesystem::file_size((*parts)[0]) - 5);
+  FlipTrailingByte((*parts)[0]);
   auto src = DfsFeatureSource::Open(*dfs_, "features");
   ASSERT_TRUE(src.ok());
   auto reader =

@@ -9,6 +9,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/failpoint.h"
 #include "data/dataset.h"
 #include "flat/graphflat.h"
 #include "flat/state.h"
@@ -208,7 +209,8 @@ TEST(GraphFlatTest, SurvivesInjectedFaults) {
   auto nodes = ChainNodes(10);
   auto edges = ChainEdges(10);
   GraphFlatConfig config = SmallConfig(2);
-  config.job.fault_injection_rate = 0.3;
+  fail::ScopedFailpoint map_fault("mr.map", fail::ErrorConfig(0.3));
+  fail::ScopedFailpoint reduce_fault("mr.reduce", fail::ErrorConfig(0.3));
   config.job.max_task_attempts = 15;
   auto faulty = RunGraphFlatInMemory(config, nodes, edges);
   ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();

@@ -17,6 +17,7 @@
 #include <unistd.h>
 #endif
 
+#include "common/failpoint.h"
 #include "data/dataset.h"
 #include "infer/embedding_cache.h"
 #include "infer/graphinfer.h"
@@ -264,19 +265,16 @@ TEST(BatchedInferTest, SpillFaultInjectionDegradesToRecompute) {
   auto independent = RunGraphInferBatched(config, state, ds.nodes, ds.edges);
   ASSERT_TRUE(independent.ok());
 
-  // Tiny budget + spill, with every third spill write/read failing, plus
+  // Tiny budget + spill, with spill writes/reads failing at 40%, plus
   // MapReduce task-level fault injection on top: the cache must degrade to
   // recomputation, never to a different score.
   config.cache_budget_bytes = 768;
   config.cache_spill_path =
       ::testing::TempDir() + "/infer_batch_spill_faulty.records";
-  auto faults = std::make_shared<std::atomic<int>>(0);
-  config.cache_fault_hook = [faults] {
-    return faults->fetch_add(1) % 3 == 2
-               ? agl::Status::IoError("injected spill fault")
-               : agl::Status::OK();
-  };
-  config.job.fault_injection_rate = 0.2;
+  fail::ScopedFailpoint spill_fault(
+      "infer.spill", fail::ErrorConfig(0.4, StatusCode::kIoError));
+  fail::ScopedFailpoint map_fault("mr.map", fail::ErrorConfig(0.2));
+  fail::ScopedFailpoint reduce_fault("mr.reduce", fail::ErrorConfig(0.2));
   config.job.max_task_attempts = 15;
   auto faulty = RunGraphInferBatched(config, state, ds.nodes, ds.edges);
   ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();

@@ -8,6 +8,7 @@
 
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "baseline/full_graph.h"
 #include "data/dataset.h"
 #include "infer/graphinfer.h"
@@ -210,7 +211,8 @@ TEST(GraphInferTest, SurvivesInjectedFaults) {
   ASSERT_TRUE(clean.ok());
 
   InferConfig faulty_config = clean_config;
-  faulty_config.job.fault_injection_rate = 0.3;
+  fail::ScopedFailpoint map_fault("mr.map", fail::ErrorConfig(0.3));
+  fail::ScopedFailpoint reduce_fault("mr.reduce", fail::ErrorConfig(0.3));
   faulty_config.job.max_task_attempts = 15;
   auto faulty = RunGraphInfer(faulty_config, state, ds.nodes, ds.edges);
   ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <limits>
 
+#include "common/failpoint.h"
 #include "io/codec.h"
 #include "io/record_file.h"
 
@@ -340,6 +341,45 @@ TEST(RecordFileTest, SeekToReadsRecordAtOffset) {
   // Seeking into the middle of a record surfaces corruption on read.
   ASSERT_TRUE(r->SeekTo(offsets[1] + 2).ok());
   EXPECT_NE(r->Next(&rec).code(), StatusCode::kOk);
+  std::remove(path.c_str());
+}
+
+TEST(RecordFileTest, AppendSurfacesInjectedWriteFault) {
+  const std::string path = TempPath("agl_record_append_fault.dat");
+  auto w = RecordWriter::Open(path);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(w->Append("first").ok());
+  {
+    fail::ScopedFailpoint fp(
+        "dfs.write", fail::ErrorConfig(1.0, StatusCode::kIoError));
+    EXPECT_EQ(w->Append("dropped").code(), StatusCode::kIoError);
+  }
+  // The failed append wrote nothing: the file stays a valid record stream.
+  ASSERT_TRUE(w->Append("second").ok());
+  ASSERT_TRUE(w->Close().ok());
+  auto r = RecordReader::Open(path);
+  ASSERT_TRUE(r.ok());
+  std::vector<std::string> records;
+  ASSERT_TRUE(r->ReadAll(&records).ok());
+  EXPECT_EQ(records, (std::vector<std::string>{"first", "second"}));
+  std::remove(path.c_str());
+}
+
+TEST(RecordFileTest, CloseSurfacesInjectedWriteFault) {
+  // Close is the durability point (flush + fsync + fclose); a failure
+  // there must propagate, not be swallowed — a silent loss of the tail of
+  // a part file is exactly the torn-write class the manifest layer hunts.
+  const std::string path = TempPath("agl_record_close_fault.dat");
+  auto w = RecordWriter::Open(path);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(w->Append("payload").ok());
+  {
+    fail::ScopedFailpoint fp(
+        "dfs.write", fail::ErrorConfig(1.0, StatusCode::kIoError));
+    EXPECT_EQ(w->Close().code(), StatusCode::kIoError);
+  }
+  // The descriptor was still released; closing again is a clean no-op.
+  EXPECT_TRUE(w->Close().ok());
   std::remove(path.c_str());
 }
 

@@ -5,8 +5,10 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <map>
 
+#include "common/failpoint.h"
 #include "mr/local_dfs.h"
 #include "mr/mapreduce.h"
 
@@ -88,8 +90,9 @@ TEST(MapReduceTest, ResultIndependentOfTaskCounts) {
 }
 
 TEST(MapReduceTest, FaultInjectionRetriesSucceed) {
+  fail::ScopedFailpoint map_fault("mr.map", fail::ErrorConfig(0.4));
+  fail::ScopedFailpoint reduce_fault("mr.reduce", fail::ErrorConfig(0.4));
   JobConfig config;
-  config.fault_injection_rate = 0.4;
   config.max_task_attempts = 12;
   config.seed = 99;
   JobStats stats;
@@ -99,17 +102,57 @@ TEST(MapReduceTest, FaultInjectionRetriesSucceed) {
                        &stats);
   ASSERT_TRUE(result.ok());
   EXPECT_GT(stats.failed_attempts, 0);  // faults actually fired
+  EXPECT_GT(stats.task_attempts, stats.map_tasks + stats.reduce_tasks);
+  EXPECT_GT(stats.retry_backoff_ms, 0.0);  // retries actually backed off
   EXPECT_EQ(ToMap(*result)["the"], "3");
 }
 
 TEST(MapReduceTest, ExhaustedRetriesAbort) {
+  fail::ScopedFailpoint fault("mr.map", fail::ErrorConfig(1.0));
   JobConfig config;
-  config.fault_injection_rate = 1.0;  // every attempt dies
   config.max_task_attempts = 3;
   auto result = RunJob(config, WordInput(),
                        [] { return std::make_unique<WordMapper>(); },
                        [] { return std::make_unique<CountReducer>(); });
   EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+}
+
+TEST(MapReduceTest, RetryableCodesAreRetried) {
+  // IoError and Unavailable count as transient, like Aborted.
+  for (StatusCode code : {StatusCode::kIoError, StatusCode::kUnavailable}) {
+    fail::SiteConfig fp = fail::ErrorConfig(1.0, code);
+    fp.max_fires = 2;  // fail twice, then run clean
+    fail::ScopedFailpoint fault("mr.map", fp);
+    JobConfig config;
+    config.num_map_tasks = 1;
+    config.max_task_attempts = 5;
+    JobStats stats;
+    auto result =
+        RunMapPhase(config, WordInput(),
+                    [] { return std::make_unique<WordMapper>(); }, &stats);
+    ASSERT_TRUE(result.ok()) << StatusCodeName(code);
+    EXPECT_EQ(stats.failed_attempts, 2);
+    EXPECT_EQ(stats.task_attempts, 3);
+  }
+}
+
+TEST(MapReduceTest, PermanentErrorsFailFast) {
+  // Corruption / InvalidArgument must not burn retries: one attempt, then
+  // the original code surfaces to the caller.
+  for (StatusCode code :
+       {StatusCode::kCorruption, StatusCode::kInvalidArgument}) {
+    fail::ScopedFailpoint fault("mr.map", fail::ErrorConfig(1.0, code));
+    JobConfig config;
+    config.num_map_tasks = 1;
+    config.max_task_attempts = 10;
+    JobStats stats;
+    auto result =
+        RunMapPhase(config, WordInput(),
+                    [] { return std::make_unique<WordMapper>(); }, &stats);
+    EXPECT_EQ(result.status().code(), code);
+    EXPECT_EQ(stats.task_attempts, 1);
+    EXPECT_EQ(stats.retry_backoff_ms, 0.0);
+  }
 }
 
 class FailingMapper : public Mapper {
@@ -119,12 +162,48 @@ class FailingMapper : public Mapper {
   }
 };
 
-TEST(MapReduceTest, UserErrorSurfacesAfterRetries) {
+TEST(MapReduceTest, UserErrorFailsFast) {
+  // kInternal is permanent under classification: deterministic user bugs
+  // surface immediately instead of being retried max_task_attempts times.
   JobConfig config;
-  config.max_task_attempts = 2;
+  config.num_map_tasks = 1;
+  config.max_task_attempts = 5;
+  JobStats stats;
   auto result = RunMapPhase(config, WordInput(),
-                            [] { return std::make_unique<FailingMapper>(); });
-  EXPECT_FALSE(result.ok());
+                            [] { return std::make_unique<FailingMapper>(); },
+                            &stats);
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(stats.task_attempts, 1);
+}
+
+TEST(MapReduceTest, RetryDeadlineAborts) {
+  fail::ScopedFailpoint fault("mr.map", fail::ErrorConfig(1.0));
+  JobConfig config;
+  config.num_map_tasks = 1;
+  config.max_task_attempts = 1000;
+  config.backoff_initial_ms = 50.0;
+  config.retry_deadline_ms = 5.0;  // the first backoff already overruns
+  JobStats stats;
+  auto result = RunMapPhase(config, WordInput(),
+                            [] { return std::make_unique<WordMapper>(); },
+                            &stats);
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  EXPECT_NE(result.status().message().find("deadline"), std::string::npos);
+  EXPECT_LT(stats.task_attempts, 1000);
+}
+
+TEST(MapReduceTest, InjectedCrashSurfacesUnretried) {
+  fail::ScopedFailpoint fault("mr.map", fail::CrashOnHit(1));
+  JobConfig config;
+  config.num_map_tasks = 1;
+  config.max_task_attempts = 10;
+  JobStats stats;
+  auto result = RunMapPhase(config, WordInput(),
+                            [] { return std::make_unique<WordMapper>(); },
+                            &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(fail::IsInjectedCrash(result.status()));
+  EXPECT_EQ(stats.task_attempts, 1);  // a dead process cannot retry
 }
 
 TEST(MapReduceTest, ReducerSeesAllValuesForKey) {
@@ -282,6 +361,116 @@ TEST_F(DfsTest, DropDataset) {
   EXPECT_TRUE(dfs->DatasetExists("d4"));
   ASSERT_TRUE(dfs->DropDataset("d4").ok());
   EXPECT_FALSE(dfs->DatasetExists("d4"));
+}
+
+// --- crash consistency -----------------------------------------------------
+
+TEST_F(DfsTest, TornPartDetectedAsCorruption) {
+  auto dfs = LocalDfs::Open(root_);
+  ASSERT_TRUE(dfs.ok());
+  ASSERT_TRUE(dfs->WriteDataset("d5", {"alpha", "beta"}, 2).ok());
+  auto parts = dfs->ListParts("d5");
+  ASSERT_TRUE(parts.ok());
+  // Truncation disagrees with the manifest's recorded size — the dataset
+  // must read as Corruption, never as a silently shorter record stream.
+  std::filesystem::resize_file(
+      (*parts)[0], std::filesystem::file_size((*parts)[0]) - 1);
+  EXPECT_EQ(dfs->ListParts("d5").status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(dfs->ReadDataset("d5").status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(dfs->ValidateAllDatasets().code(), StatusCode::kCorruption);
+}
+
+TEST_F(DfsTest, MissingManifestDetectedAsCorruption) {
+  auto dfs = LocalDfs::Open(root_);
+  ASSERT_TRUE(dfs.ok());
+  ASSERT_TRUE(dfs->WriteDataset("d6", {"x"}, 1).ok());
+  std::filesystem::remove(root_ + "/d6/MANIFEST");
+  EXPECT_FALSE(dfs->DatasetExists("d6"));
+  EXPECT_EQ(dfs->ReadDataset("d6").status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(DfsTest, CrashMidPublishLeavesOldDatasetReadable) {
+  auto dfs = LocalDfs::Open(root_);
+  ASSERT_TRUE(dfs.ok());
+  ASSERT_TRUE(dfs->WriteDataset("d7", {"old"}, 1).ok());
+  {
+    fail::ScopedFailpoint crash("dfs.rename", fail::CrashOnHit(1));
+    auto st = dfs->WriteDataset("d7", {"new1", "new2"}, 2);
+    ASSERT_TRUE(fail::IsInjectedCrash(st)) << st.ToString();
+  }
+  // The old dataset is still the published one, fully readable...
+  auto read = dfs->ReadDataset("d7");
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 1u);
+  EXPECT_EQ((*read)[0], "old");
+  // ...and the crash left its scratch behind (as a real kill would),
+  // which the next Open sweeps.
+  EXPECT_EQ(dfs->ValidateAllDatasets().code(), StatusCode::kCorruption);
+  auto reopened = LocalDfs::Open(root_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened->ValidateAllDatasets().ok());
+  // A retried publish after recovery succeeds.
+  ASSERT_TRUE(reopened->WriteDataset("d7", {"new1", "new2"}, 2).ok());
+  EXPECT_EQ(reopened->ReadDataset("d7")->size(), 2u);
+}
+
+TEST_F(DfsTest, ForgedStaleScratchSweptOnOpenAndDrop) {
+  auto dfs = LocalDfs::Open(root_);
+  ASSERT_TRUE(dfs.ok());
+  ASSERT_TRUE(dfs->WriteDataset("d8", {"x"}, 1).ok());
+  // Forge the two scratch layouts a crashed publish can leave behind.
+  auto forge = [&] {
+    std::filesystem::create_directories(root_ + "/d8.tmp-42");
+    std::ofstream(root_ + "/d8.tmp-42/part-00000") << "partial";
+    std::filesystem::create_directories(root_ + "/d8.unify-tmp");
+  };
+  forge();
+  EXPECT_EQ(dfs->ValidateAllDatasets().code(), StatusCode::kCorruption);
+  auto reopened = LocalDfs::Open(root_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_FALSE(std::filesystem::exists(root_ + "/d8.tmp-42"));
+  EXPECT_FALSE(std::filesystem::exists(root_ + "/d8.unify-tmp"));
+  EXPECT_TRUE(reopened->ValidateAllDatasets().ok());
+  // DropDataset reclaims them too, without waiting for a reopen.
+  forge();
+  ASSERT_TRUE(reopened->DropDataset("d8").ok());
+  EXPECT_FALSE(std::filesystem::exists(root_ + "/d8.tmp-42"));
+  EXPECT_FALSE(std::filesystem::exists(root_ + "/d8.unify-tmp"));
+  EXPECT_FALSE(reopened->DatasetExists("d8"));
+}
+
+TEST_F(DfsTest, UnifyCrashLeavesSourcesIntactAndIsRerunnable) {
+  auto dfs = LocalDfs::Open(root_);
+  ASSERT_TRUE(dfs.ok());
+  ASSERT_TRUE(dfs->WriteDataset("s0", {"a", "b"}, 2).ok());
+  ASSERT_TRUE(dfs->WriteDataset("s1", {"c"}, 1).ok());
+  {
+    fail::ScopedFailpoint crash("dfs.rename", fail::CrashOnHit(1));
+    auto st = dfs->UnifyDatasets("merged", {"s0", "s1"});
+    ASSERT_TRUE(fail::IsInjectedCrash(st)) << st.ToString();
+  }
+  // Sources must survive the crash (parts are linked, not moved), so the
+  // unify can simply be re-run after recovery.
+  auto recovered = LocalDfs::Open(root_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->DatasetExists("s0"));
+  EXPECT_TRUE(recovered->DatasetExists("s1"));
+  EXPECT_FALSE(recovered->DatasetExists("merged"));
+  ASSERT_TRUE(recovered->UnifyDatasets("merged", {"s0", "s1"}).ok());
+  auto read = recovered->ReadDataset("merged");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), 3u);
+  EXPECT_FALSE(recovered->DatasetExists("s0"));
+  EXPECT_TRUE(recovered->ValidateAllDatasets().ok());
+}
+
+TEST_F(DfsTest, ListDatasetsSkipsScratch) {
+  auto dfs = LocalDfs::Open(root_);
+  ASSERT_TRUE(dfs.ok());
+  ASSERT_TRUE(dfs->WriteDataset("a", {"1"}, 1).ok());
+  ASSERT_TRUE(dfs->WriteDataset("b", {"2"}, 1).ok());
+  std::filesystem::create_directories(root_ + "/b.tmp-7");
+  EXPECT_EQ(dfs->ListDatasets(), (std::vector<std::string>{"a", "b"}));
 }
 
 }  // namespace

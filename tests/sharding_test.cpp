@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "flat/graphflat.h"
 #include "flat/shard.h"
@@ -278,7 +279,8 @@ TEST(ShardInvarianceTest, FaultInjectionPreservesEquivalence) {
   ASSERT_TRUE(clean.ok());
 
   GraphFlatConfig faulty = ShardedConfig(2, 4);
-  faulty.job.fault_injection_rate = 0.25;
+  fail::ScopedFailpoint map_fault("mr.map", fail::ErrorConfig(0.25));
+  fail::ScopedFailpoint reduce_fault("mr.reduce", fail::ErrorConfig(0.25));
   faulty.job.max_task_attempts = 20;
   GraphFlatStats stats;
   auto sharded = RunGraphFlatInMemory(faulty, g.nodes, g.edges, &stats);

@@ -11,6 +11,7 @@
 
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "data/dataset.h"
 #include "flat/graphflat.h"
 #include "trainer/trainer.h"
@@ -204,12 +205,15 @@ TEST(SspTrainerTest, PipelineTeardownCleanUnderInjectedFault) {
   TrainerConfig config = BaseConfig(p, 4);
   config.staleness_bound = 0;
   config.epochs = 3;
-  config.fault_injector = [](int epoch, int worker, int64_t tick) {
-    if (epoch == 1 && worker == 2 && tick == 1) {
-      return agl::Status::Internal("injected fault");
-    }
-    return agl::Status::OK();
-  };
+  // 4 workers x 2 batches = 8 "trainer.step" hits per epoch; hit 10 lands
+  // mid-way through epoch 1, with the other three workers parked at the
+  // bound-0 gate.
+  fail::SiteConfig cfg;
+  cfg.mode = fail::Mode::kError;
+  cfg.code = StatusCode::kInternal;
+  cfg.first_hit = 10;
+  cfg.max_fires = 1;
+  fail::ScopedFailpoint fault("trainer.step", cfg);
   auto report = GraphTrainer(config).Train(p.splits.train, p.splits.val);
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kInternal);
@@ -222,20 +226,20 @@ TEST(SspTrainerTest, TeardownCleanAcrossModesAndFaultSites) {
   // combination must terminate with the injected error, never hang.
   Prepared p = MakeCase(64);
   for (bool pipelined : {true, false}) {
-    for (int fault_worker = 0; fault_worker < 3; ++fault_worker) {
+    for (int64_t fault_hit : {1, 3, 5}) {
       TrainerConfig config = BaseConfig(p, 3);
       config.staleness_bound = 0;
       config.epochs = 2;
       config.use_pipeline = pipelined;
-      config.fault_injector = [fault_worker](int, int worker, int64_t) {
-        if (worker == fault_worker) {
-          return agl::Status::Internal("injected fault");
-        }
-        return agl::Status::OK();
-      };
+      fail::SiteConfig cfg;
+      cfg.mode = fail::Mode::kError;
+      cfg.code = StatusCode::kInternal;
+      cfg.first_hit = fault_hit;
+      cfg.max_fires = 1;
+      fail::ScopedFailpoint fault("trainer.step", cfg);
       auto report = GraphTrainer(config).Train(p.splits.train, {});
       ASSERT_FALSE(report.ok())
-          << "pipelined=" << pipelined << " worker=" << fault_worker;
+          << "pipelined=" << pipelined << " hit=" << fault_hit;
       EXPECT_EQ(report.status().code(), StatusCode::kInternal);
     }
   }
@@ -248,12 +252,12 @@ TEST(SspTrainerTest, AsyncPipelineTeardownCleanUnderInjectedFault) {
   TrainerConfig config = BaseConfig(p, 3);
   config.sync_mode = SyncMode::kAsync;
   config.epochs = 2;
-  config.fault_injector = [](int, int worker, int64_t tick) {
-    if (worker == 1 && tick == 0) {
-      return agl::Status::Internal("injected fault");
-    }
-    return agl::Status::OK();
-  };
+  fail::SiteConfig cfg;
+  cfg.mode = fail::Mode::kError;
+  cfg.code = StatusCode::kInternal;
+  cfg.first_hit = 2;
+  cfg.max_fires = 1;
+  fail::ScopedFailpoint fault("trainer.step", cfg);
   auto report = GraphTrainer(config).Train(p.splits.train, {});
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kInternal);
