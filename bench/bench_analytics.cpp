@@ -1,0 +1,100 @@
+// Vertex-program analytics on the power-law (UUG-like) generator:
+// PageRank superstep throughput and the active-set decay that the
+// DynPageRank only-affected-vertices idiom buys — converged vertices stop
+// generating messages, so late supersteps touch a shrinking frontier.
+//
+// RESULT lines (total seconds + seconds per superstep, lower is better)
+// feed scripts/check_bench_regression.py; the JSON recorded by
+// scripts/run_benchmarks.sh keeps the decay table.
+
+#include <cstdio>
+#include <vector>
+
+#include "analytics/programs.h"
+#include "analytics/vertex_program.h"
+#include "data/dataset.h"
+
+int main() {
+  using namespace agl;
+
+  data::UugLikeOptions opts;
+  opts.num_nodes = 10000;
+  opts.feature_dim = 4;
+  opts.attach_edges = 5;
+  opts.train_size = 100;
+  opts.val_size = 100;
+  opts.test_size = 100;
+  data::Dataset ds = data::MakeUugLike(opts);
+
+  std::printf("UUG-like graph: %lld nodes, %lld edges (power-law)\n\n",
+              static_cast<long long>(ds.num_nodes()),
+              static_cast<long long>(ds.num_edges()));
+
+  struct Variant {
+    const char* name;
+    int num_shards;
+  };
+  const std::vector<Variant> variants = {{"pagerank_s1", 1},
+                                         {"pagerank_s4", 4}};
+  analytics::PageRankProgram pagerank(0.85, 1e-8);
+  for (const Variant& v : variants) {
+    analytics::AnalyticsConfig config;
+    config.max_supersteps = 500;
+    config.num_shards = v.num_shards;
+    config.job.num_workers = 4;
+    auto result =
+        analytics::RunVertexProgram(config, pagerank, ds.nodes, ds.edges);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", v.name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const auto& stats = result->stats;
+    std::printf(
+        "%s: %d supersteps (%s), %.1f supersteps/sec, %lld gather edges\n",
+        v.name, stats.supersteps,
+        stats.converged ? "converged" : "cap hit",
+        static_cast<double>(stats.supersteps) / stats.elapsed_seconds,
+        static_cast<long long>(stats.num_gather_edges));
+    std::printf("RESULT analytics/%s %.6f\n", v.name, stats.elapsed_seconds);
+    std::printf("RESULT analytics/%s_per_superstep %.6f\n", v.name,
+                stats.elapsed_seconds / stats.supersteps);
+
+    if (v.num_shards == 1) {
+      // Active-set decay: fraction of vertices re-applying per superstep.
+      std::printf("\nactive-set decay (superstep: active fraction):\n");
+      const auto n = static_cast<double>(stats.num_vertices);
+      for (std::size_t r = 0; r < stats.active_per_round.size();
+           r += (r < 8 ? 1 : 8)) {
+        std::printf("  %3zu: %6.2f%%  (%lld vertices, %lld messages)\n",
+                    r + 1,
+                    100.0 * static_cast<double>(stats.active_per_round[r]) / n,
+                    static_cast<long long>(stats.active_per_round[r]),
+                    static_cast<long long>(stats.messages_per_round[r]));
+      }
+      const double first =
+          static_cast<double>(stats.active_per_round.front());
+      const double last = static_cast<double>(stats.active_per_round.back());
+      std::printf("  decay: %.2fx fewer active vertices at the tail\n\n",
+                  first / last);
+    }
+  }
+
+  // Connected components: the exact-fixpoint workload (few supersteps,
+  // label floods along the hubs).
+  analytics::ConnectedComponentsProgram cc;
+  analytics::AnalyticsConfig config;
+  config.max_supersteps = 500;
+  config.num_shards = 4;
+  config.job.num_workers = 4;
+  auto result = analytics::RunVertexProgram(config, cc, ds.nodes, ds.edges);
+  if (!result.ok()) {
+    std::fprintf(stderr, "cc: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("cc_s4: %d supersteps (%s)\n", result->stats.supersteps,
+              result->stats.converged ? "converged" : "cap hit");
+  std::printf("RESULT analytics/cc_s4 %.6f\n",
+              result->stats.elapsed_seconds);
+  return 0;
+}

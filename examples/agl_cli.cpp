@@ -4,6 +4,7 @@
 //   agl_cli train     -m gcn -i dfs:features --labels node.csv -o dfs:model
 //   agl_cli infer     -m dfs:model -n node.csv -e edge.csv -o scores.csv
 //   agl_cli gendata   -d uug -n 1000 --nodes-out node.csv --edges-out edge.csv
+//   agl_cli analytics pagerank -n node.csv -e edge.csv -o ranks.csv
 //
 // DFS locations are "<root-dir>:<dataset>"; every stage round-trips
 // through CSV tables and the LocalDfs so the pipeline can be driven one
@@ -17,6 +18,8 @@
 #include <unordered_set>
 
 #include "agl/agl.h"
+#include "analytics/programs.h"
+#include "analytics/vertex_program.h"
 #include "common/failpoint.h"
 #include "common/flags.h"
 #include "data/dataset.h"
@@ -499,12 +502,121 @@ int RunGenDataCmd(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// `agl_cli analytics <pagerank|cc|sssp|lp> ...` — run a vertex program
+/// over CSV tables. The result can go to a scores CSV (-o), a GraphFeatures
+/// dataset on the DFS (--dfs-out), and/or an augmented node-table CSV with
+/// the value appended as one extra feature column
+/// (--augmented-nodes-out), ready to feed back into `agl_cli graphflat`.
+int RunAnalyticsCmd(const std::vector<std::string>& args) {
+  if (args.empty() || args[0].empty() || args[0][0] == '-') {
+    std::fprintf(stderr,
+                 "usage: agl_cli analytics <pagerank|cc|sssp|lp> [flags]\n");
+    return 1;
+  }
+  const std::string program_name = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+
+  std::string node_csv, edge_csv, output, dfs_out, augmented_out, failpoints;
+  int64_t workers = 4, shards = 1, max_supersteps = 100, source = 0;
+  double damping = 0.85, tolerance = 1e-10;
+  FlagParser parser;
+  parser.AddString("n", &node_csv, "node table CSV")
+      .AddString("e", &edge_csv, "edge table CSV")
+      .AddString("o", &output, "scores CSV (node_id,value per line)")
+      .AddString("dfs-out", &dfs_out,
+                 "also store as GraphFeatures: <dfs-root>:<dataset>")
+      .AddString("augmented-nodes-out", &augmented_out,
+                 "node CSV with the value appended as a feature column")
+      .AddInt("workers", &workers, "MapReduce workers")
+      .AddInt("shards", &shards, "analytics shards (output is invariant)")
+      .AddInt("max-supersteps", &max_supersteps, "superstep cap")
+      .AddDouble("damping", &damping, "pagerank damping factor")
+      .AddDouble("tolerance", &tolerance, "pagerank activation tolerance")
+      .AddInt("source", &source, "sssp source node id")
+      .AddString("failpoints", &failpoints, "fault-injection spec");
+  if (agl::Status s = parser.Parse(rest); !s.ok()) return Fail(s);
+  if (node_csv.empty() || edge_csv.empty()) {
+    std::fprintf(stderr, "analytics requires -n and -e\n%s",
+                 parser.Help().c_str());
+    return 1;
+  }
+  if (output.empty() && dfs_out.empty() && augmented_out.empty()) {
+    std::fprintf(stderr,
+                 "analytics requires at least one of -o, --dfs-out, "
+                 "--augmented-nodes-out\n%s",
+                 parser.Help().c_str());
+    return 1;
+  }
+  if (agl::Status s = ArmFailpoints(failpoints); !s.ok()) return Fail(s);
+
+  analytics::ProgramOptions options;
+  options.damping = damping;
+  options.tolerance = tolerance;
+  options.source = static_cast<flat::NodeId>(source);
+  auto program = analytics::MakeProgram(program_name, options);
+  if (!program.ok()) return Fail(program.status());
+
+  auto nodes = flat::ReadNodeCsv(node_csv);
+  if (!nodes.ok()) return Fail(nodes.status());
+  auto edges = flat::ReadEdgeCsv(edge_csv);
+  if (!edges.ok()) return Fail(edges.status());
+
+  analytics::AnalyticsConfig config;
+  config.max_supersteps = static_cast<int>(max_supersteps);
+  config.num_shards = static_cast<int>(shards);
+  config.job.num_workers = static_cast<int>(workers);
+
+  agl::Result<analytics::AnalyticsResult> result =
+      agl::Status::Internal("analytics did not run");
+  if (!dfs_out.empty()) {
+    auto loc = ParseDfsLocation(dfs_out);
+    if (!loc.ok()) return Fail(loc.status());
+    auto dfs = mr::LocalDfs::Open(loc->root);
+    if (!dfs.ok()) return Fail(dfs.status());
+    result = analytics::RunVertexProgramToDfs(config, **program, *nodes,
+                                              *edges, &*dfs, loc->dataset);
+  } else {
+    result = analytics::RunVertexProgram(config, **program, *nodes, *edges);
+  }
+  if (!result.ok()) return Fail(result.status());
+
+  if (!output.empty()) {
+    std::FILE* f = std::fopen(output.c_str(), "w");
+    if (f == nullptr) {
+      return Fail(agl::Status::IoError("cannot write " + output));
+    }
+    std::fprintf(f, "# node_id,%s\n", program_name.c_str());
+    for (const auto& [id, value] : result->values) {
+      std::fprintf(f, "%llu,%.17g\n", static_cast<unsigned long long>(id),
+                   value);
+    }
+    std::fclose(f);
+  }
+  if (!augmented_out.empty()) {
+    auto augmented = analytics::AugmentNodeTable(*nodes, *result);
+    if (!augmented.ok()) return Fail(augmented.status());
+    if (agl::Status s = flat::WriteNodeCsvFile(augmented_out, *augmented);
+        !s.ok()) {
+      return Fail(s);
+    }
+  }
+  std::printf(
+      "%s: %lld vertices, %lld gather edges, %d supersteps (%s) in %.2fs\n",
+      program_name.c_str(), static_cast<long long>(result->stats.num_vertices),
+      static_cast<long long>(result->stats.num_gather_edges),
+      result->stats.supersteps,
+      result->stats.converged ? "converged" : "superstep cap hit",
+      result->stats.elapsed_seconds);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: agl_cli <graphflat|train|infer|gendata> [flags]\n");
+                 "usage: agl_cli <graphflat|train|infer|gendata|analytics> "
+                 "[flags]\n");
     return 1;
   }
   const std::string cmd = argv[1];
@@ -514,6 +626,7 @@ int main(int argc, char** argv) {
   if (cmd == "train") return RunTrainCmd(args);
   if (cmd == "infer") return RunInferCmd(args);
   if (cmd == "gendata") return RunGenDataCmd(args);
+  if (cmd == "analytics") return RunAnalyticsCmd(args);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return 1;
 }

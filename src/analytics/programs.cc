@@ -1,0 +1,118 @@
+#include "analytics/programs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace agl::analytics {
+
+PageRankProgram::PageRankProgram(double damping, double tolerance)
+    : damping_(damping), tolerance_(tolerance) {}
+
+double PageRankProgram::Init(const VertexContext& ctx) const {
+  return 1.0 / static_cast<double>(ctx.num_vertices);
+}
+
+double PageRankProgram::Scatter(const VertexContext& ctx,
+                                double value) const {
+  return value / static_cast<double>(ctx.out_degree);
+}
+
+double PageRankProgram::Apply(const VertexContext& ctx, double /*current*/,
+                              std::span<const GatherEntry> gathered) const {
+  double sum = 0.0;
+  for (const GatherEntry& e : gathered) sum += e.value;
+  return (1.0 - damping_) / static_cast<double>(ctx.num_vertices) +
+         damping_ * sum;
+}
+
+bool PageRankProgram::Changed(double previous, double next) const {
+  return std::abs(next - previous) > tolerance_;
+}
+
+double ConnectedComponentsProgram::Init(const VertexContext& ctx) const {
+  return static_cast<double>(ctx.id);
+}
+
+double ConnectedComponentsProgram::Apply(
+    const VertexContext& ctx, double /*current*/,
+    std::span<const GatherEntry> gathered) const {
+  // Recompute from scratch: own id vs the latest neighbor labels. Labels
+  // only ever decrease, so the fixpoint is the component-minimum id.
+  double label = static_cast<double>(ctx.id);
+  for (const GatherEntry& e : gathered) label = std::min(label, e.value);
+  return label;
+}
+
+double SsspProgram::Init(const VertexContext& ctx) const {
+  return ctx.id == source_ ? 0.0 : std::numeric_limits<double>::infinity();
+}
+
+double SsspProgram::Apply(const VertexContext& ctx, double /*current*/,
+                          std::span<const GatherEntry> gathered) const {
+  double dist =
+      ctx.id == source_ ? 0.0 : std::numeric_limits<double>::infinity();
+  for (const GatherEntry& e : gathered) {
+    // +inf + w == +inf, so unrelaxed in-neighbors are harmless.
+    dist = std::min(dist, e.value + static_cast<double>(e.weight));
+  }
+  return dist;
+}
+
+double LabelPropagationProgram::Init(const VertexContext& ctx) const {
+  return static_cast<double>(ctx.id);
+}
+
+double LabelPropagationProgram::Apply(
+    const VertexContext& /*ctx*/, double current,
+    std::span<const GatherEntry> gathered) const {
+  if (gathered.empty()) return current;
+  // Integer vote counts in a label-ordered map: iterating in ascending
+  // label order with a strict `>` comparison breaks ties toward the
+  // smallest label, independent of gather order.
+  std::map<double, int64_t> votes;
+  for (const GatherEntry& e : gathered) ++votes[e.value];
+  double best_label = current;
+  int64_t best_count = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_count) {
+      best_count = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+agl::Result<std::unique_ptr<VertexProgram>> MakeProgram(
+    const std::string& name, const ProgramOptions& options) {
+  if (name == "pagerank") {
+    if (options.damping <= 0.0 || options.damping >= 1.0) {
+      return agl::Status::InvalidArgument(
+          "pagerank damping must be in (0, 1)");
+    }
+    if (options.tolerance < 0.0) {
+      return agl::Status::InvalidArgument("pagerank tolerance must be >= 0");
+    }
+    return std::unique_ptr<VertexProgram>(
+        std::make_unique<PageRankProgram>(options.damping,
+                                          options.tolerance));
+  }
+  if (name == "cc") {
+    return std::unique_ptr<VertexProgram>(
+        std::make_unique<ConnectedComponentsProgram>());
+  }
+  if (name == "sssp") {
+    return std::unique_ptr<VertexProgram>(
+        std::make_unique<SsspProgram>(options.source));
+  }
+  if (name == "lp") {
+    return std::unique_ptr<VertexProgram>(
+        std::make_unique<LabelPropagationProgram>());
+  }
+  return agl::Status::InvalidArgument(
+      "unknown analytics program '" + name +
+      "' (expected pagerank | cc | sssp | lp)");
+}
+
+}  // namespace agl::analytics

@@ -1,0 +1,96 @@
+// The four shipped vertex programs. Each is a small pure-function bundle
+// over the GAS API in vertex_program.h; tests/testing/reference_analytics
+// holds the independent single-threaded oracles they are verified against.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "analytics/vertex_program.h"
+
+namespace agl::analytics {
+
+/// PageRank with uniform teleport: rank_v = (1-d)/N + d * sum_u rank_u /
+/// out_degree_u over in-neighbors u. Edge weights are ignored. Dangling
+/// mass is dropped (a vertex with no out-edges scatters nothing), matching
+/// the reference power iteration. Convergence is tolerance-based: a vertex
+/// whose rank moved by <= tolerance stops re-activating its neighbors.
+class PageRankProgram : public VertexProgram {
+ public:
+  explicit PageRankProgram(double damping = 0.85, double tolerance = 1e-10);
+
+  std::string Name() const override { return "pagerank"; }
+  double Init(const VertexContext& ctx) const override;
+  double Scatter(const VertexContext& ctx, double value) const override;
+  double Apply(const VertexContext& ctx, double current,
+               std::span<const GatherEntry> gathered) const override;
+  bool Changed(double previous, double next) const override;
+
+  double damping() const { return damping_; }
+  double tolerance() const { return tolerance_; }
+
+ private:
+  double damping_;
+  double tolerance_;
+};
+
+/// Connected components by min-label propagation on the symmetrized graph:
+/// every vertex converges to the smallest node id in its (weakly)
+/// connected component. Exact integer fixpoint — bitwise comparable to the
+/// union-find oracle for node ids below 2^53.
+class ConnectedComponentsProgram : public VertexProgram {
+ public:
+  std::string Name() const override { return "cc"; }
+  bool Undirected() const override { return true; }
+  double Init(const VertexContext& ctx) const override;
+  double Apply(const VertexContext& ctx, double current,
+               std::span<const GatherEntry> gathered) const override;
+};
+
+/// Single-source shortest paths over directed weighted edges
+/// (Bellman-Ford-style relaxation; unreachable vertices stay +inf).
+/// Requires non-negative weights to be comparable to the Dijkstra oracle;
+/// the relaxation expression `dist_u + weight` is evaluated identically in
+/// both, so converged distances match bitwise.
+class SsspProgram : public VertexProgram {
+ public:
+  explicit SsspProgram(NodeId source) : source_(source) {}
+
+  std::string Name() const override { return "sssp"; }
+  double Init(const VertexContext& ctx) const override;
+  double Apply(const VertexContext& ctx, double current,
+               std::span<const GatherEntry> gathered) const override;
+
+  NodeId source() const { return source_; }
+
+ private:
+  NodeId source_;
+};
+
+/// Synchronous label propagation on the symmetrized graph, unweighted
+/// majority vote over neighbor labels, ties broken toward the smallest
+/// label, initial label = node id. Deterministic (integer vote counts, no
+/// float accumulation) and therefore exactly reproducible by the naive
+/// synchronous oracle. Usually stopped by max_supersteps: LP on graphs
+/// with symmetric motifs can oscillate, which shows up as converged=false.
+class LabelPropagationProgram : public VertexProgram {
+ public:
+  std::string Name() const override { return "lp"; }
+  bool Undirected() const override { return true; }
+  double Init(const VertexContext& ctx) const override;
+  double Apply(const VertexContext& ctx, double current,
+               std::span<const GatherEntry> gathered) const override;
+};
+
+struct ProgramOptions {
+  double damping = 0.85;      // pagerank
+  double tolerance = 1e-10;   // pagerank
+  NodeId source = 0;          // sssp
+};
+
+/// Factory keyed by CLI name: "pagerank" | "cc" | "sssp" | "lp".
+agl::Result<std::unique_ptr<VertexProgram>> MakeProgram(
+    const std::string& name, const ProgramOptions& options);
+
+}  // namespace agl::analytics

@@ -1,0 +1,575 @@
+#include "analytics/vertex_program.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/timer.h"
+#include "flat/shard.h"
+#include "io/codec.h"
+#include "subgraph/graph_feature.h"
+#include "tensor/tensor.h"
+
+namespace agl::analytics {
+namespace {
+
+// Value tags for the records flowing through the superstep loop.
+constexpr char kTagNode = 'N';     // NodeRecord (map output)
+constexpr char kTagInEdge = 'I';   // EdgeRecord keyed by dst (gather side)
+constexpr char kTagOutEdge = 'O';  // EdgeRecord keyed by src (scatter side)
+constexpr char kTagState = 'S';    // VertexState (one per vertex per round)
+constexpr char kTagMessage = 'M';  // scatter message keyed by destination
+
+std::string Tagged(char tag, const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 1);
+  out.push_back(tag);
+  out.append(payload);
+  return out;
+}
+
+/// The per-vertex record carried between supersteps: current value, the
+/// gather cache (sorted by source id — canonical bytes), and the scatter
+/// adjacency (sorted destination ids).
+struct VertexState {
+  NodeId id = 0;
+  double value = 0.0;
+  std::vector<GatherEntry> entries;
+  std::vector<NodeId> out;
+
+  std::string Serialize() const {
+    io::BufferWriter w;
+    w.PutVarint64(id);
+    w.PutDouble(value);
+    w.PutVarint64(entries.size());
+    for (const GatherEntry& e : entries) {
+      w.PutVarint64(e.src);
+      w.PutFloat(e.weight);
+      w.PutDouble(e.value);
+      w.PutVarint64(e.received ? 1 : 0);
+    }
+    w.PutVarint64(out.size());
+    for (NodeId dst : out) w.PutVarint64(dst);
+    return w.Release();
+  }
+
+  static agl::Result<VertexState> Parse(const std::string& bytes) {
+    io::BufferReader r(bytes);
+    VertexState state;
+    uint64_t id = 0;
+    AGL_RETURN_IF_ERROR(r.GetVarint64(&id));
+    state.id = id;
+    AGL_RETURN_IF_ERROR(r.GetDouble(&state.value));
+    uint64_t num_entries = 0;
+    AGL_RETURN_IF_ERROR(r.GetVarint64(&num_entries));
+    if (num_entries > r.remaining()) {
+      return agl::Status::Corruption("vertex state entry count overflows");
+    }
+    state.entries.reserve(num_entries);
+    for (uint64_t i = 0; i < num_entries; ++i) {
+      GatherEntry e;
+      uint64_t src = 0, received = 0;
+      AGL_RETURN_IF_ERROR(r.GetVarint64(&src));
+      AGL_RETURN_IF_ERROR(r.GetFloat(&e.weight));
+      AGL_RETURN_IF_ERROR(r.GetDouble(&e.value));
+      AGL_RETURN_IF_ERROR(r.GetVarint64(&received));
+      e.src = src;
+      e.received = received != 0;
+      state.entries.push_back(e);
+    }
+    uint64_t num_out = 0;
+    AGL_RETURN_IF_ERROR(r.GetVarint64(&num_out));
+    if (num_out > r.remaining()) {
+      return agl::Status::Corruption("vertex state out-degree overflows");
+    }
+    state.out.reserve(num_out);
+    for (uint64_t i = 0; i < num_out; ++i) {
+      uint64_t dst = 0;
+      AGL_RETURN_IF_ERROR(r.GetVarint64(&dst));
+      state.out.push_back(dst);
+    }
+    if (!r.AtEnd()) {
+      return agl::Status::Corruption("trailing bytes in vertex state");
+    }
+    return state;
+  }
+
+  VertexContext Context(int64_t num_vertices) const {
+    VertexContext ctx;
+    ctx.id = id;
+    ctx.in_degree = static_cast<int64_t>(entries.size());
+    ctx.out_degree = static_cast<int64_t>(out.size());
+    ctx.num_vertices = num_vertices;
+    return ctx;
+  }
+};
+
+std::string SerializeMessage(NodeId src, double value) {
+  io::BufferWriter w;
+  w.PutVarint64(src);
+  w.PutDouble(value);
+  return w.Release();
+}
+
+agl::Status ParseMessage(const std::string& bytes, NodeId* src,
+                         double* value) {
+  io::BufferReader r(bytes);
+  uint64_t s = 0;
+  AGL_RETURN_IF_ERROR(r.GetVarint64(&s));
+  AGL_RETURN_IF_ERROR(r.GetDouble(value));
+  if (!r.AtEnd()) {
+    return agl::Status::Corruption("trailing bytes in scatter message");
+  }
+  *src = s;
+  return agl::Status::OK();
+}
+
+struct RoundCtx {
+  int round = 0;  // 0 = structural init round
+  int64_t num_vertices = 0;
+  const VertexProgram* program = nullptr;
+};
+
+/// Scatters `value` along every out-edge of `state` and re-emits the state.
+void EmitStateAndScatter(const RoundCtx& ctx, const VertexState& state,
+                         bool scatter, mr::Emitter* out) {
+  if (scatter && !state.out.empty()) {
+    const std::string msg = SerializeMessage(
+        state.id,
+        ctx.program->Scatter(state.Context(ctx.num_vertices), state.value));
+    for (NodeId dst : state.out) {
+      out->Emit(std::to_string(dst), Tagged(kTagMessage, msg));
+    }
+  }
+  out->Emit(std::to_string(state.id), Tagged(kTagState, state.Serialize()));
+}
+
+/// Parses raw table rows and emits the gather/scatter stubs; runs once.
+class AnalyticsMapper : public mr::Mapper {
+ public:
+  agl::Status Map(const mr::KeyValue& input, mr::Emitter* out) override {
+    if (input.value.empty()) {
+      return agl::Status::InvalidArgument("empty analytics input record");
+    }
+    const char tag = input.value[0];
+    const std::string payload = input.value.substr(1);
+    if (tag == kTagNode) {
+      AGL_ASSIGN_OR_RETURN(NodeRecord node, NodeRecord::Parse(payload));
+      out->Emit(std::to_string(node.id), Tagged(kTagNode, payload));
+      return agl::Status::OK();
+    }
+    if (tag == kTagInEdge) {  // raw (normalized) edge row
+      AGL_ASSIGN_OR_RETURN(EdgeRecord edge, EdgeRecord::Parse(payload));
+      out->Emit(std::to_string(edge.dst), Tagged(kTagInEdge, payload));
+      out->Emit(std::to_string(edge.src), Tagged(kTagOutEdge, payload));
+      return agl::Status::OK();
+    }
+    return agl::Status::InvalidArgument("unknown analytics input tag");
+  }
+};
+
+/// Round 0: joins each vertex's node row with its edge stubs into the
+/// initial VertexState and scatters the initial value (every vertex is
+/// active at the start).
+class InitReducer : public mr::Reducer {
+ public:
+  explicit InitReducer(const RoundCtx& ctx) : ctx_(ctx) {}
+
+  agl::Status Reduce(const std::string& key,
+                     const std::vector<std::string>& values,
+                     mr::Emitter* out) override {
+    VertexState state;
+    bool have_node = false;
+    std::vector<std::pair<NodeId, float>> in_stubs;
+    for (const std::string& v : values) {
+      if (v.empty()) return agl::Status::Corruption("empty analytics value");
+      const std::string payload = v.substr(1);
+      switch (v[0]) {
+        case kTagNode: {
+          if (have_node) {
+            return agl::Status::Corruption("duplicate node row for vertex " +
+                                           key);
+          }
+          AGL_ASSIGN_OR_RETURN(NodeRecord node, NodeRecord::Parse(payload));
+          state.id = node.id;
+          have_node = true;
+          break;
+        }
+        case kTagInEdge: {
+          AGL_ASSIGN_OR_RETURN(EdgeRecord e, EdgeRecord::Parse(payload));
+          in_stubs.emplace_back(e.src, e.weight);
+          break;
+        }
+        case kTagOutEdge: {
+          AGL_ASSIGN_OR_RETURN(EdgeRecord e, EdgeRecord::Parse(payload));
+          state.out.push_back(e.dst);
+          break;
+        }
+        default:
+          return agl::Status::Corruption("unknown tag in analytics round 0");
+      }
+    }
+    if (!have_node) {
+      // Upfront endpoint validation makes this unreachable on clean input.
+      return agl::Status::Corruption("edge stubs without a node row: " + key);
+    }
+    // Canonical adjacency: gather entries sorted by source (parallel edges
+    // collapse to the minimum weight), scatter list sorted + deduped.
+    std::sort(in_stubs.begin(), in_stubs.end());
+    state.entries.reserve(in_stubs.size());
+    for (const auto& [src, weight] : in_stubs) {
+      if (!state.entries.empty() && state.entries.back().src == src) continue;
+      GatherEntry e;
+      e.src = src;
+      e.weight = weight;
+      state.entries.push_back(e);
+    }
+    std::sort(state.out.begin(), state.out.end());
+    state.out.erase(std::unique(state.out.begin(), state.out.end()),
+                    state.out.end());
+
+    const VertexContext vctx = state.Context(ctx_.num_vertices);
+    state.value = ctx_.program->Init(vctx);
+    if (vctx.in_degree == 0) {
+      // A vertex that can never receive a message would otherwise be stuck
+      // at its Init value; give it its one (empty-gather) Apply now.
+      state.value = ctx_.program->Apply(vctx, state.value, {});
+    }
+    EmitStateAndScatter(ctx_, state, /*scatter=*/true, out);
+    return agl::Status::OK();
+  }
+
+ private:
+  RoundCtx ctx_;
+};
+
+/// Rounds >= 1: one gather-apply-scatter superstep for the vertices that
+/// received messages; quiet vertices pass their state through untouched.
+class StepReducer : public mr::Reducer {
+ public:
+  explicit StepReducer(const RoundCtx& ctx) : ctx_(ctx) {}
+
+  agl::Status Reduce(const std::string& key,
+                     const std::vector<std::string>& values,
+                     mr::Emitter* out) override {
+    VertexState state;
+    bool have_state = false;
+    std::vector<std::pair<NodeId, double>> messages;
+    for (const std::string& v : values) {
+      if (v.empty()) return agl::Status::Corruption("empty analytics value");
+      const std::string payload = v.substr(1);
+      switch (v[0]) {
+        case kTagState: {
+          if (have_state) {
+            return agl::Status::Corruption("duplicate state for vertex " +
+                                           key);
+          }
+          AGL_ASSIGN_OR_RETURN(state, VertexState::Parse(payload));
+          have_state = true;
+          break;
+        }
+        case kTagMessage: {
+          NodeId src = 0;
+          double value = 0.0;
+          AGL_RETURN_IF_ERROR(ParseMessage(payload, &src, &value));
+          messages.emplace_back(src, value);
+          break;
+        }
+        default:
+          return agl::Status::Corruption("unknown tag in analytics round " +
+                                         std::to_string(ctx_.round));
+      }
+    }
+    if (!have_state) {
+      return agl::Status::Corruption("messages without a state for vertex " +
+                                     key);
+    }
+    if (messages.empty()) {
+      EmitStateAndScatter(ctx_, state, /*scatter=*/false, out);
+      return agl::Status::OK();
+    }
+    for (const auto& [src, value] : messages) {
+      auto it = std::lower_bound(
+          state.entries.begin(), state.entries.end(), src,
+          [](const GatherEntry& e, NodeId s) { return e.src < s; });
+      if (it == state.entries.end() || it->src != src) {
+        return agl::Status::Corruption(
+            "scatter message from non-neighbor " + std::to_string(src) +
+            " to vertex " + key);
+      }
+      it->value = value;
+      it->received = true;
+    }
+    // Every in-neighbor scatters in round 0, so a hole here means a lost
+    // message — never valid under exact home-shard routing.
+    for (const GatherEntry& e : state.entries) {
+      if (!e.received) {
+        return agl::Status::Corruption("gather cache of vertex " + key +
+                                       " missing the scatter value of " +
+                                       std::to_string(e.src));
+      }
+    }
+    const VertexContext vctx = state.Context(ctx_.num_vertices);
+    const double next =
+        ctx_.program->Apply(vctx, state.value, state.entries);
+    const bool changed = ctx_.program->Changed(state.value, next);
+    state.value = next;
+    EmitStateAndScatter(ctx_, state, changed, out);
+    return agl::Status::OK();
+  }
+
+ private:
+  RoundCtx ctx_;
+};
+
+/// Upfront table validation + adjacency normalization: duplicate node ids
+/// and dangling edge endpoints are errors; undirected programs see a
+/// symmetrized edge table; parallel (src, dst) rows collapse to the
+/// minimum-weight edge.
+agl::Result<std::vector<EdgeRecord>> NormalizeTables(
+    const VertexProgram& program, const std::vector<NodeRecord>& nodes,
+    const std::vector<EdgeRecord>& edges) {
+  if (nodes.empty()) {
+    return agl::Status::InvalidArgument("analytics: empty node table");
+  }
+  std::unordered_set<NodeId> ids;
+  ids.reserve(nodes.size());
+  for (const NodeRecord& n : nodes) {
+    if (!ids.insert(n.id).second) {
+      return agl::Status::InvalidArgument(
+          "analytics: duplicate node id " + std::to_string(n.id));
+    }
+  }
+  std::vector<EdgeRecord> normalized;
+  normalized.reserve(edges.size() * (program.Undirected() ? 2 : 1));
+  for (const EdgeRecord& e : edges) {
+    if (ids.count(e.src) == 0 || ids.count(e.dst) == 0) {
+      return agl::Status::InvalidArgument(
+          "analytics: edge " + std::to_string(e.src) + " -> " +
+          std::to_string(e.dst) + " references a node missing from the "
+          "node table");
+    }
+    EdgeRecord plain;
+    plain.src = e.src;
+    plain.dst = e.dst;
+    plain.weight = e.weight;
+    normalized.push_back(plain);
+    if (program.Undirected() && e.src != e.dst) {
+      std::swap(plain.src, plain.dst);
+      normalized.push_back(plain);
+    }
+  }
+  std::sort(normalized.begin(), normalized.end(),
+            [](const EdgeRecord& a, const EdgeRecord& b) {
+              return std::tie(a.src, a.dst, a.weight) <
+                     std::tie(b.src, b.dst, b.weight);
+            });
+  normalized.erase(
+      std::unique(normalized.begin(), normalized.end(),
+                  [](const EdgeRecord& a, const EdgeRecord& b) {
+                    return a.src == b.src && a.dst == b.dst;
+                  }),
+      normalized.end());
+  return normalized;
+}
+
+/// Messages produced by the previous round, and the distinct vertices they
+/// target — the active set of the next superstep.
+struct ActiveSet {
+  int64_t messages = 0;
+  int64_t vertices = 0;
+};
+
+ActiveSet ScanActive(const std::vector<std::vector<mr::KeyValue>>& shards) {
+  ActiveSet active;
+  std::unordered_set<std::string> keys;
+  for (const auto& records : shards) {
+    for (const mr::KeyValue& kv : records) {
+      if (!kv.value.empty() && kv.value[0] == kTagMessage) {
+        ++active.messages;
+        keys.insert(kv.key);
+      }
+    }
+  }
+  active.vertices = static_cast<int64_t>(keys.size());
+  return active;
+}
+
+}  // namespace
+
+std::string AnalyticsResult::SerializeValues() const {
+  io::BufferWriter w;
+  w.PutVarint64(values.size());
+  for (const auto& [id, value] : values) {
+    w.PutVarint64(id);
+    w.PutDouble(value);
+  }
+  return w.Release();
+}
+
+agl::Result<AnalyticsResult> RunVertexProgram(
+    const AnalyticsConfig& config, const VertexProgram& program,
+    const std::vector<NodeRecord>& nodes,
+    const std::vector<EdgeRecord>& edges) {
+  Stopwatch watch;
+  if (config.max_supersteps < 0) {
+    return agl::Status::InvalidArgument("analytics: max_supersteps < 0");
+  }
+  AGL_ASSIGN_OR_RETURN(std::vector<EdgeRecord> normalized,
+                       NormalizeTables(program, nodes, edges));
+
+  AnalyticsResult result;
+  result.stats.num_vertices = static_cast<int64_t>(nodes.size());
+  result.stats.num_gather_edges = static_cast<int64_t>(normalized.size());
+
+  RoundCtx ctx;
+  ctx.num_vertices = static_cast<int64_t>(nodes.size());
+  ctx.program = &program;
+
+  const int num_shards = std::max(1, config.num_shards);
+  flat::ShardRouter router{flat::ShardPlan(num_shards)};
+  const flat::ShardedTables tables =
+      router.PartitionTables(nodes, normalized);
+
+  std::vector<std::vector<mr::KeyValue>> shard_records(num_shards);
+  std::vector<mr::JobStats> shard_stats(num_shards);
+
+  // Map phase, local per shard; the home filter drops the duplicate stubs
+  // of edges mapped on both endpoint shards.
+  AGL_RETURN_IF_ERROR(flat::ParallelOverShards(num_shards, [&](int s) {
+    std::vector<mr::KeyValue> input;
+    input.reserve(tables.nodes[s].size() + tables.edges[s].size());
+    for (const NodeRecord& n : tables.nodes[s]) {
+      input.push_back({"", Tagged(kTagNode, n.Serialize())});
+    }
+    for (const EdgeRecord& e : tables.edges[s]) {
+      input.push_back({"", Tagged(kTagInEdge, e.Serialize())});
+    }
+    AGL_ASSIGN_OR_RETURN(
+        shard_records[s],
+        mr::RunMapPhase(config.job, input,
+                        [] { return std::make_unique<AnalyticsMapper>(); },
+                        &shard_stats[s]));
+    router.FilterToShard(s, &shard_records[s]);
+    return agl::Status::OK();
+  }));
+
+  // Init round: build states, scatter initial values.
+  {
+    const RoundCtx round_ctx = ctx;
+    AGL_RETURN_IF_ERROR(flat::ParallelOverShards(num_shards, [&](int s) {
+      AGL_ASSIGN_OR_RETURN(
+          shard_records[s],
+          mr::RunReducePhase(config.job, std::move(shard_records[s]),
+                             [round_ctx] {
+                               return std::make_unique<InitReducer>(round_ctx);
+                             },
+                             &shard_stats[s]));
+      return agl::Status::OK();
+    }));
+    shard_records = router.Exchange(std::move(shard_records));
+  }
+
+  // Superstep loop with per-round active sets: a round with zero pending
+  // messages means every vertex converged — stop generating traffic.
+  while (result.stats.supersteps < config.max_supersteps) {
+    const ActiveSet active = ScanActive(shard_records);
+    if (active.messages == 0) {
+      result.stats.converged = true;
+      break;
+    }
+    result.stats.messages_per_round.push_back(active.messages);
+    result.stats.active_per_round.push_back(active.vertices);
+    ctx.round = result.stats.supersteps + 1;
+    const RoundCtx round_ctx = ctx;
+    AGL_RETURN_IF_ERROR(flat::ParallelOverShards(num_shards, [&](int s) {
+      AGL_ASSIGN_OR_RETURN(
+          shard_records[s],
+          mr::RunReducePhase(config.job, std::move(shard_records[s]),
+                             [round_ctx] {
+                               return std::make_unique<StepReducer>(round_ctx);
+                             },
+                             &shard_stats[s]));
+      return agl::Status::OK();
+    }));
+    shard_records = router.Exchange(std::move(shard_records));
+    result.stats.supersteps++;
+  }
+  if (!result.stats.converged) {
+    result.stats.converged = ScanActive(shard_records).messages == 0;
+  }
+
+  // Collect final states (messages a hit superstep cap left behind are
+  // dropped — they were never applied anywhere).
+  result.values.reserve(nodes.size());
+  for (const auto& records : shard_records) {
+    for (const mr::KeyValue& kv : records) {
+      if (kv.value.empty() || kv.value[0] != kTagState) continue;
+      AGL_ASSIGN_OR_RETURN(VertexState state,
+                           VertexState::Parse(kv.value.substr(1)));
+      result.values.emplace_back(state.id, state.value);
+    }
+  }
+  if (result.values.size() != nodes.size()) {
+    return agl::Status::Corruption(
+        "analytics: expected " + std::to_string(nodes.size()) +
+        " final vertex states, found " +
+        std::to_string(result.values.size()));
+  }
+  std::sort(result.values.begin(), result.values.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  for (const mr::JobStats& js : shard_stats) {
+    result.stats.job_stats.Accumulate(js);
+  }
+  result.stats.elapsed_seconds = watch.Seconds();
+  return result;
+}
+
+agl::Result<AnalyticsResult> RunVertexProgramToDfs(
+    const AnalyticsConfig& config, const VertexProgram& program,
+    const std::vector<NodeRecord>& nodes, const std::vector<EdgeRecord>& edges,
+    mr::LocalDfs* dfs, const std::string& dataset) {
+  AGL_ASSIGN_OR_RETURN(AnalyticsResult result,
+                       RunVertexProgram(config, program, nodes, edges));
+  // One single-node GraphFeature per vertex, id-sorted round-robin over the
+  // part files: the dataset bytes depend only on the result, never on the
+  // shard count, and any GraphFeature reader can consume them.
+  std::vector<std::string> records;
+  records.reserve(result.values.size());
+  for (const auto& [id, value] : result.values) {
+    subgraph::GraphFeature gf;
+    gf.target_id = id;
+    gf.target_index = 0;
+    gf.label = -1;
+    gf.node_ids = {id};
+    gf.node_features =
+        tensor::Tensor(1, 1, {static_cast<float>(value)});
+    records.push_back(gf.Serialize());
+  }
+  AGL_RETURN_IF_ERROR(
+      dfs->WriteDataset(dataset, records, std::max(1, config.output_parts)));
+  return result;
+}
+
+agl::Result<std::vector<NodeRecord>> AugmentNodeTable(
+    const std::vector<NodeRecord>& nodes, const AnalyticsResult& result) {
+  std::vector<NodeRecord> augmented = nodes;
+  // `result.values` is sorted by id; nodes may arrive in any order.
+  for (NodeRecord& n : augmented) {
+    auto it = std::lower_bound(
+        result.values.begin(), result.values.end(), n.id,
+        [](const std::pair<NodeId, double>& v, NodeId id) {
+          return v.first < id;
+        });
+    if (it == result.values.end() || it->first != n.id) {
+      return agl::Status::InvalidArgument(
+          "AugmentNodeTable: no analytics value for node " +
+          std::to_string(n.id));
+    }
+    n.features.push_back(static_cast<float>(it->second));
+  }
+  return augmented;
+}
+
+}  // namespace agl::analytics

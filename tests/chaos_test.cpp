@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "agl/agl.h"
+#include "analytics/programs.h"
+#include "analytics/vertex_program.h"
 #include "common/failpoint.h"
 #include "common/rng.h"
 #include "data/dataset.h"
@@ -190,6 +192,39 @@ class ChaosTest : public ::testing::Test {
     return spec;
   }
 
+  /// Like MakeSchedule, but restricted to the sites an analytics job
+  /// actually crosses (MR tasks + DFS publish), so both outcome classes
+  /// stay reachable on the shorter pipeline.
+  std::string MakeAnalyticsSchedule(uint64_t i) {
+    static const char* kSites[] = {"mr.map", "mr.reduce", "dfs.read",
+                                   "dfs.write", "dfs.rename"};
+    Rng rng(DeriveSeed(kChaosSeed ^ 0xa7a1, i));
+    const int num_sites = static_cast<int>(rng.UniformInt(1, 2));
+    std::string spec = "seed=" + std::to_string(i);
+    for (int s = 0; s < num_sites; ++s) {
+      std::string entry = kSites[rng.UniformInt(0, 4)];
+      entry += "=";
+      if (rng.Bernoulli(0.3)) {
+        entry += "crash@" + std::to_string(rng.UniformInt(1, 40)) + "x1";
+      } else {
+        static const char* kCodes[] = {"IoError", "Unavailable", "Aborted",
+                                       "Internal", "Corruption"};
+        entry += "error(";
+        entry += kCodes[rng.UniformInt(0, 4)];
+        if (rng.Bernoulli(0.5)) {
+          entry += ",1.0)@" + std::to_string(rng.UniformInt(1, 40)) + "x1";
+        } else {
+          const int pct = static_cast<int>(rng.UniformInt(2, 15));
+          entry += ",0.";
+          if (pct < 10) entry += "0";
+          entry += std::to_string(pct) + ")";
+        }
+      }
+      spec += ";" + entry;
+    }
+    return spec;
+  }
+
   std::string root_;
   data::Dataset ds_;
 };
@@ -264,6 +299,80 @@ TEST_F(ChaosTest, RandomScheduleSweep) {
   std::cerr << "[chaos] " << schedules << " schedules: " << clean_failures
             << " clean failures, " << absorbed << " absorbed, "
             << resumes_checked << " checkpoint resumes verified\n";
+}
+
+// Second job family under chaos: a sharded PageRank analytics run with
+// mr.map / mr.reduce / dfs.* failpoints armed. Same contract as the
+// pipeline sweep — every schedule either is absorbed (output byte-identical
+// to the fault-free reference, both the in-memory values and the published
+// GraphFeatures dataset) or fails with a clean Status, and the DFS holds
+// zero torn datasets either way.
+TEST_F(ChaosTest, AnalyticsPageRankSchedules) {
+  analytics::PageRankProgram program(0.85, 1e-8);
+  analytics::AnalyticsConfig config;
+  config.max_supersteps = 200;
+  config.num_shards = 2;
+  config.job.num_workers = 4;
+  config.job.num_map_tasks = 3;
+  config.job.num_reduce_tasks = 4;
+  config.job.max_task_attempts = 20;
+
+  // Fault-free reference.
+  auto ref_dfs = mr::LocalDfs::Open(root_ + "/aref/dfs");
+  ASSERT_TRUE(ref_dfs.ok());
+  auto ref = analytics::RunVertexProgramToDfs(config, program, ds_.nodes,
+                                              ds_.edges, &*ref_dfs,
+                                              "pagerank");
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  ASSERT_TRUE(ref->stats.converged);
+  auto ref_bytes = ref_dfs->ReadDataset("pagerank");
+  ASSERT_TRUE(ref_bytes.ok());
+  const std::string ref_values = ref->SerializeValues();
+
+  const bool heavy = std::getenv("AGL_CHAOS_HEAVY") != nullptr;
+  const int schedules = heavy ? 120 : 40;
+  int clean_failures = 0;
+  int absorbed = 0;
+  for (int i = 0; i < schedules; ++i) {
+    const std::string spec = MakeAnalyticsSchedule(static_cast<uint64_t>(i));
+    SCOPED_TRACE("analytics schedule " + std::to_string(i) +
+                 ": AGL_FAILPOINTS=\"" + spec + "\"");
+    const std::string run_root = root_ + "/arun" + std::to_string(i);
+    ASSERT_TRUE(fail::ApplySpec(spec).ok());
+    agl::Status status;
+    auto dfs = mr::LocalDfs::Open(run_root + "/dfs");
+    if (!dfs.ok()) {
+      status = dfs.status();
+    } else {
+      auto out = analytics::RunVertexProgramToDfs(
+          config, program, ds_.nodes, ds_.edges, &*dfs, "pagerank");
+      status = out.status();
+      if (out.ok()) {
+        EXPECT_TRUE(out->SerializeValues() == ref_values);
+      }
+    }
+    fail::FailpointRegistry::Global().ClearAll();
+
+    if (status.ok()) {
+      ++absorbed;
+      auto bytes = dfs->ReadDataset("pagerank");
+      ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+      EXPECT_TRUE(*bytes == *ref_bytes);
+    } else {
+      ++clean_failures;
+    }
+
+    auto reopened = mr::LocalDfs::Open(run_root + "/dfs");
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    agl::Status integrity = reopened->ValidateAllDatasets();
+    EXPECT_TRUE(integrity.ok()) << integrity.ToString();
+    std::filesystem::remove_all(run_root);
+  }
+  EXPECT_GT(clean_failures, 0);
+  EXPECT_GT(absorbed, 0);
+  std::cerr << "[chaos] analytics: " << schedules << " schedules, "
+            << clean_failures << " clean failures, " << absorbed
+            << " absorbed\n";
 }
 
 TEST_F(ChaosTest, EnvSpecSmoke) {

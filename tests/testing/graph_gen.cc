@@ -35,7 +35,10 @@ GeneratedGraph MakeGraph(const GraphGenOptions& options) {
     EdgeRecord e;
     e.src = src;
     e.dst = dst;
-    e.weight = static_cast<float>(rng.Uniform(0.1, 1.0));
+    e.weight = options.unit_weights
+                   ? 1.0f
+                   : static_cast<float>(
+                         rng.Uniform(options.min_weight, options.max_weight));
     e.features.reserve(options.edge_feature_dim);
     for (int64_t f = 0; f < options.edge_feature_dim; ++f) {
       e.features.push_back(static_cast<float>(rng.Normal()));
@@ -43,34 +46,57 @@ GeneratedGraph MakeGraph(const GraphGenOptions& options) {
     out.edges.push_back(std::move(e));
   };
 
+  // Contiguous component blocks; with num_components == 1 (the default)
+  // there is a single block [0, n) and the RNG stream is byte-identical to
+  // what it was before components existed.
+  const int64_t k =
+      std::clamp<int64_t>(options.num_components, 1, n);
+  std::vector<int64_t> boundaries;
+  boundaries.reserve(k + 1);
+  for (int64_t c = 0; c <= k; ++c) boundaries.push_back(c * n / k);
+
   std::set<std::pair<NodeId, NodeId>> seen;
   if (options.topology == GraphGenOptions::Topology::kPowerLaw) {
     // Preferential attachment: node i wires `attach_edges` directed edges
-    // toward earlier nodes drawn proportionally to (degree + 1), so early
-    // nodes become hubs.
+    // toward earlier nodes of its block drawn proportionally to
+    // (degree + 1), so early nodes become hubs.
     std::vector<double> degree(n, 0.0);
-    for (int64_t i = 1; i < n; ++i) {
-      const int64_t m = std::min<int64_t>(options.attach_edges, i);
-      for (int64_t a = 0; a < m; ++a) {
-        std::vector<double> weights(i);
-        for (int64_t j = 0; j < i; ++j) weights[j] = degree[j] + 1.0;
-        const auto j = static_cast<int64_t>(rng.Discrete(weights));
-        if (!seen.insert({static_cast<NodeId>(i), static_cast<NodeId>(j)})
-                 .second) {
-          continue;
+    for (int64_t c = 0; c < k; ++c) {
+      const int64_t lo = boundaries[c], hi = boundaries[c + 1];
+      for (int64_t i = lo + 1; i < hi; ++i) {
+        const int64_t m = std::min<int64_t>(options.attach_edges, i - lo);
+        for (int64_t a = 0; a < m; ++a) {
+          std::vector<double> weights(i - lo);
+          for (int64_t j = lo; j < i; ++j) weights[j - lo] = degree[j] + 1.0;
+          const int64_t j = lo + static_cast<int64_t>(rng.Discrete(weights));
+          if (!seen.insert({static_cast<NodeId>(i), static_cast<NodeId>(j)})
+                   .second) {
+            continue;
+          }
+          make_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+          degree[i] += 1.0;
+          degree[j] += 1.0;
         }
-        make_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
-        degree[i] += 1.0;
-        degree[j] += 1.0;
       }
     }
   } else {
-    for (int64_t src = 0; src < n; ++src) {
-      for (int64_t dst = 0; dst < n; ++dst) {
-        if (src == dst) continue;
-        if (rng.Bernoulli(options.edge_prob)) {
-          make_edge(static_cast<NodeId>(src), static_cast<NodeId>(dst));
+    for (int64_t c = 0; c < k; ++c) {
+      const int64_t lo = boundaries[c], hi = boundaries[c + 1];
+      for (int64_t src = lo; src < hi; ++src) {
+        for (int64_t dst = lo; dst < hi; ++dst) {
+          if (src == dst) continue;
+          if (rng.Bernoulli(options.edge_prob)) {
+            make_edge(static_cast<NodeId>(src), static_cast<NodeId>(dst));
+          }
         }
+      }
+    }
+  }
+
+  if (options.self_loop_prob > 0) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(options.self_loop_prob)) {
+        make_edge(static_cast<NodeId>(i), static_cast<NodeId>(i));
       }
     }
   }

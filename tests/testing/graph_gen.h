@@ -35,6 +35,19 @@ struct GraphGenOptions {
   int64_t num_classes = 3;
   /// Fraction of nodes left unlabeled (label = -1).
   double unlabeled_fraction = 0.25;
+  /// Every edge weight is exactly 1.0 (skips the weight draw) — the
+  /// unweighted regime for label propagation / unweighted SSSP.
+  bool unit_weights = false;
+  /// Edge-weight range for the weighted regime (ignored by unit_weights).
+  double min_weight = 0.1;
+  double max_weight = 1.0;
+  /// Per-node probability of a self-loop, appended after the topology's
+  /// edges. 0 (the default) draws nothing.
+  double self_loop_prob = 0.0;
+  /// > 1 partitions the nodes into that many contiguous blocks with no
+  /// edges across blocks — the disconnected graph family for CC/SSSP
+  /// reachability tests.
+  int64_t num_components = 1;
   uint64_t seed = 1;
 };
 

@@ -1,0 +1,212 @@
+#include "testing/reference_analytics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+#include <queue>
+#include <tuple>
+#include <unordered_map>
+
+namespace agl::testing {
+namespace {
+
+using flat::EdgeRecord;
+using flat::NodeId;
+using flat::NodeRecord;
+
+struct PlainEdge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  float weight = 1.f;
+};
+
+/// The engine's documented normalization, re-implemented: optional
+/// symmetrization, then parallel (src, dst) rows collapse to the
+/// minimum-weight edge.
+std::vector<PlainEdge> Normalize(const std::vector<EdgeRecord>& edges,
+                                 bool symmetrize) {
+  std::vector<PlainEdge> out;
+  out.reserve(edges.size() * (symmetrize ? 2 : 1));
+  for (const EdgeRecord& e : edges) {
+    out.push_back({e.src, e.dst, e.weight});
+    if (symmetrize && e.src != e.dst) out.push_back({e.dst, e.src, e.weight});
+  }
+  std::sort(out.begin(), out.end(), [](const PlainEdge& a, const PlainEdge& b) {
+    return std::tie(a.src, a.dst, a.weight) <
+           std::tie(b.src, b.dst, b.weight);
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const PlainEdge& a, const PlainEdge& b) {
+                          return a.src == b.src && a.dst == b.dst;
+                        }),
+            out.end());
+  return out;
+}
+
+std::vector<NodeId> SortedIds(const std::vector<NodeRecord>& nodes) {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes.size());
+  for (const NodeRecord& n : nodes) ids.push_back(n.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+AnalyticsValues ReferencePageRank(const std::vector<NodeRecord>& nodes,
+                                  const std::vector<EdgeRecord>& edges,
+                                  double damping, double tolerance,
+                                  int max_iters) {
+  const std::vector<NodeId> ids = SortedIds(nodes);
+  const auto n = static_cast<int64_t>(ids.size());
+  std::unordered_map<NodeId, int64_t> index;
+  index.reserve(ids.size());
+  for (int64_t i = 0; i < n; ++i) index[ids[i]] = i;
+
+  const std::vector<PlainEdge> plain = Normalize(edges, /*symmetrize=*/false);
+  std::vector<int64_t> out_degree(n, 0);
+  for (const PlainEdge& e : plain) out_degree[index.at(e.src)]++;
+
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    std::fill(next.begin(), next.end(),
+              (1.0 - damping) / static_cast<double>(n));
+    for (const PlainEdge& e : plain) {
+      const int64_t u = index.at(e.src);
+      next[index.at(e.dst)] +=
+          damping * rank[u] / static_cast<double>(out_degree[u]);
+    }
+    double residual = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      residual = std::max(residual, std::abs(next[i] - rank[i]));
+    }
+    rank.swap(next);
+    if (residual <= tolerance) break;
+  }
+
+  AnalyticsValues result;
+  result.reserve(n);
+  for (int64_t i = 0; i < n; ++i) result.emplace_back(ids[i], rank[i]);
+  return result;
+}
+
+AnalyticsValues ReferenceConnectedComponents(
+    const std::vector<NodeRecord>& nodes,
+    const std::vector<EdgeRecord>& edges) {
+  std::unordered_map<NodeId, NodeId> parent;
+  parent.reserve(nodes.size());
+  for (const NodeRecord& n : nodes) parent[n.id] = n.id;
+  std::function<NodeId(NodeId)> find = [&](NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const EdgeRecord& e : edges) parent[find(e.src)] = find(e.dst);
+
+  std::unordered_map<NodeId, NodeId> component_min;
+  for (const NodeRecord& n : nodes) {
+    const NodeId root = find(n.id);
+    auto it = component_min.find(root);
+    if (it == component_min.end()) {
+      component_min[root] = n.id;
+    } else {
+      it->second = std::min(it->second, n.id);
+    }
+  }
+
+  AnalyticsValues result;
+  result.reserve(nodes.size());
+  for (const NodeRecord& n : nodes) {
+    result.emplace_back(n.id,
+                        static_cast<double>(component_min.at(find(n.id))));
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+AnalyticsValues ReferenceSssp(const std::vector<NodeRecord>& nodes,
+                              const std::vector<EdgeRecord>& edges,
+                              NodeId source) {
+  const std::vector<PlainEdge> plain = Normalize(edges, /*symmetrize=*/false);
+  std::unordered_map<NodeId, std::vector<std::pair<NodeId, float>>> adj;
+  for (const PlainEdge& e : plain) adj[e.src].emplace_back(e.dst, e.weight);
+
+  std::unordered_map<NodeId, double> dist;
+  dist.reserve(nodes.size());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (const NodeRecord& n : nodes) dist[n.id] = kInf;
+  dist[source] = 0.0;
+
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
+  frontier.emplace(0.0, source);
+  while (!frontier.empty()) {
+    const auto [d, u] = frontier.top();
+    frontier.pop();
+    if (d > dist.at(u)) continue;
+    auto it = adj.find(u);
+    if (it == adj.end()) continue;
+    for (const auto& [v, w] : it->second) {
+      // The exact relaxation expression the engine evaluates.
+      const double candidate = d + static_cast<double>(w);
+      if (candidate < dist.at(v)) {
+        dist[v] = candidate;
+        frontier.emplace(candidate, v);
+      }
+    }
+  }
+
+  AnalyticsValues result;
+  result.reserve(nodes.size());
+  for (const NodeRecord& n : nodes) result.emplace_back(n.id, dist.at(n.id));
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+AnalyticsValues ReferenceLabelPropagation(
+    const std::vector<NodeRecord>& nodes,
+    const std::vector<EdgeRecord>& edges, int rounds) {
+  const std::vector<PlainEdge> plain = Normalize(edges, /*symmetrize=*/true);
+  std::unordered_map<NodeId, std::vector<NodeId>> neighbors;
+  for (const PlainEdge& e : plain) neighbors[e.dst].push_back(e.src);
+
+  std::unordered_map<NodeId, double> label;
+  label.reserve(nodes.size());
+  for (const NodeRecord& n : nodes) label[n.id] = static_cast<double>(n.id);
+
+  for (int r = 0; r < rounds; ++r) {
+    std::unordered_map<NodeId, double> next = label;
+    bool changed = false;
+    for (const NodeRecord& n : nodes) {
+      auto it = neighbors.find(n.id);
+      if (it == neighbors.end()) continue;
+      std::map<double, int64_t> votes;
+      for (NodeId u : it->second) ++votes[label.at(u)];
+      double best_label = label.at(n.id);
+      int64_t best_count = 0;
+      for (const auto& [candidate, count] : votes) {
+        if (count > best_count) {
+          best_count = count;
+          best_label = candidate;
+        }
+      }
+      if (best_label != label.at(n.id)) changed = true;
+      next[n.id] = best_label;
+    }
+    label.swap(next);
+    if (!changed) break;
+  }
+
+  AnalyticsValues result;
+  result.reserve(nodes.size());
+  for (const NodeRecord& n : nodes) result.emplace_back(n.id, label.at(n.id));
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace agl::testing

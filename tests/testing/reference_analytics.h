@@ -1,0 +1,53 @@
+// Naive single-threaded reference oracles for the analytics layer's four
+// vertex programs. These deliberately do NOT use src/analytics — they are
+// the independent side of the differential tests in analytics_test.cpp.
+//
+// Each oracle applies the same adjacency normalization the engine
+// documents (symmetrization for undirected algorithms, parallel-edge
+// collapse to the minimum weight) but with its own textbook algorithm:
+// power iteration, union-find, Dijkstra, synchronous label propagation.
+// Results come back as (node id, value) pairs sorted by id — the same
+// shape as analytics::AnalyticsResult::values.
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "flat/tables.h"
+
+namespace agl::testing {
+
+using AnalyticsValues = std::vector<std::pair<flat::NodeId, double>>;
+
+/// Power iteration to a global L-inf residual of `tolerance` (or
+/// `max_iters`): rank_v = (1-d)/N + d * sum over in-neighbors u of
+/// rank_u / out_degree_u. Weights ignored; dangling mass dropped.
+AnalyticsValues ReferencePageRank(const std::vector<flat::NodeRecord>& nodes,
+                                  const std::vector<flat::EdgeRecord>& edges,
+                                  double damping, double tolerance,
+                                  int max_iters);
+
+/// Union-find over the edges (direction ignored); each vertex's value is
+/// the smallest node id in its weakly connected component.
+AnalyticsValues ReferenceConnectedComponents(
+    const std::vector<flat::NodeRecord>& nodes,
+    const std::vector<flat::EdgeRecord>& edges);
+
+/// Dijkstra over the directed weighted graph (parallel edges collapse to
+/// the minimum weight); unreachable vertices are +inf. Weights must be
+/// non-negative.
+AnalyticsValues ReferenceSssp(const std::vector<flat::NodeRecord>& nodes,
+                              const std::vector<flat::EdgeRecord>& edges,
+                              flat::NodeId source);
+
+/// Exactly `rounds` synchronous Jacobi iterations of unweighted majority
+/// label propagation on the symmetrized graph (ties toward the smallest
+/// label, initial label = node id, isolated vertices keep theirs) —
+/// mirrors the engine's superstep trajectory step for step.
+AnalyticsValues ReferenceLabelPropagation(
+    const std::vector<flat::NodeRecord>& nodes,
+    const std::vector<flat::EdgeRecord>& edges, int rounds);
+
+}  // namespace agl::testing
