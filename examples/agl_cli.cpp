@@ -3,6 +3,8 @@
 //   agl_cli graphflat -n node.csv -e edge.csv -h 2 -s uniform -o dfs:features
 //   agl_cli train     -m gcn -i dfs:features --labels node.csv -o dfs:model
 //   agl_cli infer     -m dfs:model -n node.csv -e edge.csv -o scores.csv
+//   agl_cli serve     -m dfs:model -n node.csv -e edge.csv --script ops.txt
+//                     -o scores.csv
 //   agl_cli gendata   -d uug -n 1000 --nodes-out node.csv --edges-out edge.csv
 //   agl_cli analytics pagerank -n node.csv -e edge.csv -o ranks.csv
 //
@@ -12,8 +14,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <unordered_set>
 
@@ -423,8 +427,9 @@ int RunInferCmd(const std::vector<std::string>& args) {
       config.cache_spill_path = dfs->root() + "/infer_cache.spill";
     }
   }
-  auto result = batched ? GraphInferBatched(config, *state, *nodes, *edges)
-                        : GraphInfer(config, *state, *nodes, *edges);
+  // The unified facade routes to the batched driver iff the config enables
+  // it (batch_slices > 1 / cache on) — same scores either way.
+  auto result = Run(config, *state, *nodes, *edges);
   if (!result.ok()) return Fail(result.status());
 
   std::FILE* f = std::fopen(output.c_str(), "w");
@@ -573,10 +578,9 @@ int RunAnalyticsCmd(const std::vector<std::string>& args) {
     if (!loc.ok()) return Fail(loc.status());
     auto dfs = mr::LocalDfs::Open(loc->root);
     if (!dfs.ok()) return Fail(dfs.status());
-    result = analytics::RunVertexProgramToDfs(config, **program, *nodes,
-                                              *edges, &*dfs, loc->dataset);
+    result = Run(config, **program, *nodes, *edges, &*dfs, loc->dataset);
   } else {
-    result = analytics::RunVertexProgram(config, **program, *nodes, *edges);
+    result = Run(config, **program, *nodes, *edges);
   }
   if (!result.ok()) return Fail(result.status());
 
@@ -610,13 +614,207 @@ int RunAnalyticsCmd(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// `agl_cli serve` — drive the always-on inference service from a script
+/// file (our stand-in for a network front end): one operation per line,
+///
+///   score <id,id,...>                 submit a scoring request
+///   add-edge <src> <dst> <w> [f,...]  mutation (serve/mutation.h)
+///   remove-edge <src> <dst>           mutation
+///   update-features <node> <f,...>    mutation
+///   persist                           publish the store (index + spill)
+///
+/// Requests admitted after a mutation line observe it — the service's
+/// FIFO consistency contract. The store persists under the model's DFS
+/// root, so a re-run of the same command starts warm and reports nonzero
+/// cache hits — unless the script mutated the graph, in which case the
+/// persisted store describes the mutated tables, a re-run from the
+/// original CSVs fingerprints differently, and the service deliberately
+/// starts cold rather than serve stale embeddings. Scores go to -o as
+/// "request,node_id,scores...".
+int RunServeCmd(const std::vector<std::string>& args) {
+  std::string model_loc_str, node_csv, edge_csv, script_path, output,
+      model_name = "gcn", store_name = "embedding_store", features_dataset,
+      failpoints;
+  int64_t layers = 2, hidden = 16, classes = 2, heads = 1, workers = 4,
+          shards = 1, batch_slices = 2, store_budget_mb = -1,
+          max_pending = 256, max_batch_targets = 1024, hops = 2;
+  bool no_persist = false;
+  FlagParser parser;
+  parser.AddString("m", &model_loc_str, "trained model <dfs-root>:<dataset>")
+      .AddString("model-type", &model_name, "model (gcn|graphsage|gat)")
+      .AddString("n", &node_csv, "node table CSV")
+      .AddString("e", &edge_csv, "edge table CSV")
+      .AddString("script", &script_path,
+                 "serving script: score/add-edge/remove-edge/"
+                 "update-features/persist lines")
+      .AddInt("layers", &layers, "GNN depth")
+      .AddInt("hidden", &hidden, "hidden width")
+      .AddInt("classes", &classes, "output width")
+      .AddInt("heads", &heads, "GAT attention heads")
+      .AddInt("workers", &workers, "MapReduce workers")
+      .AddInt("shards", &shards, "inference shards")
+      .AddInt("batch-slices", &batch_slices,
+              "slices each coalesced batch is partitioned into")
+      .AddString("store", &store_name,
+                 "persistent embedding store name under the model DFS root")
+      .AddInt("store-budget-mb", &store_budget_mb,
+              "resident budget of the store in MiB (-1 = unbounded)")
+      .AddInt("max-pending", &max_pending, "admission queue bound")
+      .AddInt("max-batch-targets", &max_batch_targets,
+              "coalescing cap (targets per pipeline pass)")
+      .AddString("features", &features_dataset,
+                 "flattened dataset (on the model DFS root) to keep fresh "
+                 "via incremental re-flatten")
+      .AddInt("hops", &hops, "GraphFlat hops of --features")
+      .AddBool("no-persist", &no_persist,
+               "skip the final store publish on exit")
+      .AddString("failpoints", &failpoints,
+                 "fault-injection spec, e.g. 'infer.spill=error(0.05)'")
+      .AddString("o", &output, "scores CSV output path");
+  if (agl::Status s = parser.Parse(args); !s.ok()) return Fail(s);
+  if (model_loc_str.empty() || node_csv.empty() || edge_csv.empty() ||
+      script_path.empty() || output.empty()) {
+    std::fprintf(stderr,
+                 "serve requires -m, -n, -e, --script and -o\n%s",
+                 parser.Help().c_str());
+    return 1;
+  }
+  if (agl::Status s = ArmFailpoints(failpoints); !s.ok()) return Fail(s);
+
+  auto model_loc = ParseDfsLocation(model_loc_str);
+  if (!model_loc.ok()) return Fail(model_loc.status());
+  auto dfs = mr::LocalDfs::Open(model_loc->root);
+  if (!dfs.ok()) return Fail(dfs.status());
+  auto records = dfs->ReadDataset(model_loc->dataset);
+  if (!records.ok()) return Fail(records.status());
+  if (records->size() != 1) {
+    return Fail(agl::Status::Corruption(
+        "model dataset '" + model_loc_str + "' must hold exactly 1 record"));
+  }
+  auto state = ParseState((*records)[0]);
+  if (!state.ok()) return Fail(state.status());
+  auto nodes = flat::ReadNodeCsv(node_csv);
+  if (!nodes.ok()) return Fail(nodes.status());
+  auto edges = flat::ReadEdgeCsv(edge_csv);
+  if (!edges.ok()) return Fail(edges.status());
+  if (nodes->empty()) {
+    return Fail(agl::Status::InvalidArgument("empty node table"));
+  }
+  auto type = gnn::ParseModelType(model_name);
+  if (!type.ok()) return Fail(type.status());
+
+  serve::ServeConfig config;
+  config.infer.model.type = *type;
+  config.infer.model.num_layers = static_cast<int>(layers);
+  config.infer.model.in_dim =
+      static_cast<int64_t>((*nodes)[0].features.size());
+  config.infer.model.hidden_dim = hidden;
+  config.infer.model.out_dim = classes;
+  config.infer.model.gat_heads = static_cast<int>(heads);
+  config.infer.job.num_workers = static_cast<int>(workers);
+  config.infer.num_shards = static_cast<int>(shards);
+  config.infer.batch_slices = static_cast<int>(batch_slices);
+  config.store_name = store_name;
+  config.store_budget_bytes =
+      store_budget_mb < 0 ? int64_t{-1} : store_budget_mb * (int64_t{1} << 20);
+  config.max_pending = static_cast<std::size_t>(max_pending);
+  config.max_batch_targets = static_cast<std::size_t>(max_batch_targets);
+  if (!features_dataset.empty()) {
+    config.features_dataset = features_dataset;
+    config.flat.hops = static_cast<int>(hops);
+    config.flat.job.num_workers = static_cast<int>(workers);
+  }
+
+  std::ifstream script(script_path);
+  if (!script) {
+    return Fail(agl::Status::IoError("cannot read " + script_path));
+  }
+  auto service = Run(config, *state, std::move(*nodes), std::move(*edges),
+                     &*dfs);
+  if (!service.ok()) return Fail(service.status());
+
+  std::FILE* out = std::fopen(output.c_str(), "w");
+  if (out == nullptr) {
+    return Fail(agl::Status::IoError("cannot write " + output));
+  }
+  std::fprintf(out, "# request,node_id,scores...\n");
+  std::string line;
+  int lineno = 0, request = 0;
+  while (std::getline(script, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream in(line);
+    std::string op;
+    in >> op;
+    agl::Status status = agl::Status::OK();
+    if (op == "score") {
+      std::string ids_csv;
+      in >> ids_csv;
+      std::vector<flat::NodeId> targets;
+      std::stringstream ids(ids_csv);
+      std::string id;
+      while (std::getline(ids, id, ',')) {
+        targets.push_back(std::strtoull(id.c_str(), nullptr, 10));
+      }
+      auto scores = (*service)->Score(std::move(targets));
+      if (scores.ok()) {
+        for (const auto& [node, vec] : *scores) {
+          std::fprintf(out, "%d,%llu", request,
+                       static_cast<unsigned long long>(node));
+          for (float v : vec) std::fprintf(out, ",%g", v);
+          std::fprintf(out, "\n");
+        }
+        ++request;
+      } else {
+        status = scores.status();
+      }
+    } else if (op == "persist") {
+      status = (*service)->Persist();
+    } else {
+      auto mutation = serve::Mutation::Parse(line);
+      status = mutation.ok()
+                   ? (*service)->ApplyMutations({*mutation})
+                   : mutation.status();
+    }
+    if (!status.ok()) {
+      std::fclose(out);
+      return Fail(agl::Status(
+          status.code(), script_path + ":" + std::to_string(lineno) + ": " +
+                             status.message()));
+    }
+  }
+  std::fclose(out);
+  if (!no_persist) {
+    if (agl::Status s = (*service)->Persist(); !s.ok()) return Fail(s);
+  }
+  const serve::ServeStats stats = (*service)->stats();
+  if (agl::Status s = (*service)->Shutdown(); !s.ok()) return Fail(s);
+  std::printf(
+      "served %lld requests in %lld passes (%.2fs inference), "
+      "%lld mutations in %lld batches\n",
+      static_cast<long long>(stats.served),
+      static_cast<long long>(stats.batches), stats.infer_seconds,
+      static_cast<long long>(stats.mutations_applied),
+      static_cast<long long>(stats.mutation_batches));
+  std::printf(
+      "store[%s]: %s, %lld hits / %lld misses (%lld spill hits), "
+      "%lld invalidation floors -> %s\n",
+      store_name.c_str(), stats.opened_warm ? "warm" : "cold",
+      static_cast<long long>(stats.store.hits),
+      static_cast<long long>(stats.store.misses),
+      static_cast<long long>(stats.store.spill_hits),
+      static_cast<long long>(stats.invalidated_nodes), output.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: agl_cli <graphflat|train|infer|gendata|analytics> "
-                 "[flags]\n");
+                 "usage: agl_cli "
+                 "<graphflat|train|infer|serve|gendata|analytics> [flags]\n");
     return 1;
   }
   const std::string cmd = argv[1];
@@ -625,6 +823,7 @@ int main(int argc, char** argv) {
   if (cmd == "graphflat") return RunGraphFlatCmd(args);
   if (cmd == "train") return RunTrainCmd(args);
   if (cmd == "infer") return RunInferCmd(args);
+  if (cmd == "serve") return RunServeCmd(args);
   if (cmd == "gendata") return RunGenDataCmd(args);
   if (cmd == "analytics") return RunAnalyticsCmd(args);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());

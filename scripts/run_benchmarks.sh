@@ -27,6 +27,7 @@ default_benches=(
   bench_table4_efficiency
   bench_table5_inference
   bench_infer_batch
+  bench_serve
   bench_analytics
   bench_fig7_convergence
   bench_fig8_speedup

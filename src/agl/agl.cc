@@ -5,12 +5,85 @@
 
 namespace agl {
 
+agl::Result<flat::GraphFlatStats> Run(
+    const flat::GraphFlatConfig& config,
+    const std::vector<flat::NodeRecord>& node_table,
+    const std::vector<flat::EdgeRecord>& edge_table, mr::LocalDfs* dfs,
+    const std::string& dataset) {
+  AGL_RETURN_IF_ERROR(config.Validate());
+  return flat::RunGraphFlat(config, node_table, edge_table, dfs, dataset);
+}
+
+agl::Result<trainer::TrainReport> Run(
+    const trainer::TrainerConfig& config,
+    std::span<const subgraph::GraphFeature> train,
+    std::span<const subgraph::GraphFeature> val) {
+  AGL_RETURN_IF_ERROR(config.Validate());
+  trainer::GraphTrainer t(config);
+  return t.Train(train, val);
+}
+
+agl::Result<infer::InferResult> Run(
+    const infer::InferConfig& config,
+    const std::map<std::string, tensor::Tensor>& trained_state,
+    const std::vector<flat::NodeRecord>& node_table,
+    const std::vector<flat::EdgeRecord>& edge_table) {
+  AGL_RETURN_IF_ERROR(config.Validate());
+  if (config.batch_slices > 1 || config.cache_budget_bytes != 0) {
+    return infer::RunGraphInferBatched(config, trained_state, node_table,
+                                       edge_table);
+  }
+  return infer::RunGraphInfer(config, trained_state, node_table, edge_table);
+}
+
+agl::Result<infer::OriginalResult> Run(
+    const infer::OriginalInferenceConfig& config,
+    const std::map<std::string, tensor::Tensor>& trained_state,
+    const std::vector<flat::NodeRecord>& node_table,
+    const std::vector<flat::EdgeRecord>& edge_table) {
+  AGL_RETURN_IF_ERROR(config.Validate());
+  return infer::RunOriginalInference(config, trained_state, node_table,
+                                     edge_table);
+}
+
+agl::Result<analytics::AnalyticsResult> Run(
+    const analytics::AnalyticsConfig& config,
+    const analytics::VertexProgram& program,
+    const std::vector<analytics::NodeRecord>& node_table,
+    const std::vector<analytics::EdgeRecord>& edge_table) {
+  AGL_RETURN_IF_ERROR(config.Validate());
+  return analytics::RunVertexProgram(config, program, node_table,
+                                     edge_table);
+}
+
+agl::Result<analytics::AnalyticsResult> Run(
+    const analytics::AnalyticsConfig& config,
+    const analytics::VertexProgram& program,
+    const std::vector<analytics::NodeRecord>& node_table,
+    const std::vector<analytics::EdgeRecord>& edge_table, mr::LocalDfs* dfs,
+    const std::string& dataset) {
+  AGL_RETURN_IF_ERROR(config.Validate());
+  return analytics::RunVertexProgramToDfs(config, program, node_table,
+                                          edge_table, dfs, dataset);
+}
+
+agl::Result<std::unique_ptr<serve::InferenceService>> Run(
+    const serve::ServeConfig& config,
+    const std::map<std::string, tensor::Tensor>& trained_state,
+    std::vector<flat::NodeRecord> node_table,
+    std::vector<flat::EdgeRecord> edge_table, mr::LocalDfs* dfs) {
+  // Start() validates (it also owns the store-open sequencing).
+  return serve::InferenceService::Start(config, trained_state,
+                                        std::move(node_table),
+                                        std::move(edge_table), dfs);
+}
+
 agl::Result<flat::GraphFlatStats> GraphFlat(
     const flat::GraphFlatConfig& config,
     const std::vector<flat::NodeRecord>& node_table,
     const std::vector<flat::EdgeRecord>& edge_table, mr::LocalDfs* dfs,
     const std::string& dataset) {
-  return flat::RunGraphFlat(config, node_table, edge_table, dfs, dataset);
+  return Run(config, node_table, edge_table, dfs, dataset);
 }
 
 agl::Result<std::vector<subgraph::GraphFeature>> LoadGraphFeatures(
@@ -27,14 +100,14 @@ agl::Result<trainer::TrainReport> GraphTrainer(
     const trainer::TrainerConfig& config,
     std::span<const subgraph::GraphFeature> train,
     std::span<const subgraph::GraphFeature> val) {
-  trainer::GraphTrainer t(config);
-  return t.Train(train, val);
+  return Run(config, train, val);
 }
 
 agl::Result<trainer::TrainReport> GraphTrainerStreaming(
     const trainer::TrainerConfig& config, const mr::LocalDfs& dfs,
     const std::string& dataset,
     std::span<const subgraph::GraphFeature> val) {
+  AGL_RETURN_IF_ERROR(config.Validate());
   AGL_ASSIGN_OR_RETURN(trainer::DfsFeatureSource source,
                        trainer::DfsFeatureSource::Open(dfs, dataset));
   trainer::GraphTrainer t(config);
@@ -46,6 +119,9 @@ agl::Result<infer::InferResult> GraphInfer(
     const std::map<std::string, tensor::Tensor>& trained_state,
     const std::vector<flat::NodeRecord>& node_table,
     const std::vector<flat::EdgeRecord>& edge_table) {
+  // Pinned to the single-pass pipeline (the batched/unbatched equivalence
+  // harness compares the two spellings); prefer Run for strategy routing.
+  AGL_RETURN_IF_ERROR(config.Validate());
   return infer::RunGraphInfer(config, trained_state, node_table, edge_table);
 }
 
@@ -54,6 +130,7 @@ agl::Result<infer::InferResult> GraphInferBatched(
     const std::map<std::string, tensor::Tensor>& trained_state,
     const std::vector<flat::NodeRecord>& node_table,
     const std::vector<flat::EdgeRecord>& edge_table) {
+  AGL_RETURN_IF_ERROR(config.Validate());
   return infer::RunGraphInferBatched(config, trained_state, node_table,
                                      edge_table);
 }

@@ -397,6 +397,22 @@ ActiveSet ScanActive(const std::vector<std::vector<mr::KeyValue>>& shards) {
 
 }  // namespace
 
+agl::Status AnalyticsConfig::Validate() const {
+  if (max_supersteps < 1) {
+    return agl::Status::InvalidArgument(
+        "AnalyticsConfig: max_supersteps must be >= 1");
+  }
+  if (num_shards < 1) {
+    return agl::Status::InvalidArgument(
+        "AnalyticsConfig: num_shards must be >= 1");
+  }
+  if (output_parts < 1) {
+    return agl::Status::InvalidArgument(
+        "AnalyticsConfig: output_parts must be >= 1");
+  }
+  return agl::Status::OK();
+}
+
 std::string AnalyticsResult::SerializeValues() const {
   io::BufferWriter w;
   w.PutVarint64(values.size());

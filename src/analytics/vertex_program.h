@@ -111,6 +111,10 @@ struct AnalyticsConfig {
   /// Part files per DFS result dataset (RunVertexProgramToDfs).
   int output_parts = 4;
   mr::JobConfig job;
+
+  /// Structural validation, called up front by every `agl::Run` facade
+  /// entry point (and usable directly).
+  agl::Status Validate() const;
 };
 
 struct AnalyticsStats {

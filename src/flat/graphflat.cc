@@ -570,33 +570,39 @@ agl::Result<std::vector<subgraph::GraphFeature>> RunGraphFlatInMemory(
   return features;
 }
 
-agl::Result<GraphFlatStats> RunGraphFlat(const GraphFlatConfig& config,
-                                         const std::vector<NodeRecord>& nodes,
-                                         const std::vector<EdgeRecord>& edges,
-                                         mr::LocalDfs* dfs,
-                                         const std::string& dataset) {
-  GraphFlatStats stats;
-  AGL_ASSIGN_OR_RETURN(std::vector<mr::KeyValue> records,
-                       RunPipeline(config, nodes, edges, &stats));
-  std::vector<std::pair<NodeId, std::string>> finals;
-  for (mr::KeyValue& kv : records) {
-    if (kv.value.empty() || kv.value[0] != kTagFinal) continue;
-    finals.emplace_back(static_cast<NodeId>(std::stoull(kv.key)),
-                        kv.value.substr(1));
+agl::Status GraphFlatConfig::Validate() const {
+  if (hops < 1) {
+    return agl::Status::InvalidArgument("GraphFlatConfig: hops must be >= 1");
   }
+  if (output_parts < 1) {
+    return agl::Status::InvalidArgument(
+        "GraphFlatConfig: output_parts must be >= 1");
+  }
+  if (num_shards < 1) {
+    return agl::Status::InvalidArgument(
+        "GraphFlatConfig: num_shards must be >= 1");
+  }
+  if (reindex_fanout < 1) {
+    return agl::Status::InvalidArgument(
+        "GraphFlatConfig: reindex_fanout must be >= 1");
+  }
+  if (sampler.strategy != sampling::Strategy::kNone &&
+      sampler.max_neighbors <= 0) {
+    return agl::Status::InvalidArgument(
+        "GraphFlatConfig: a sampling strategy needs max_neighbors > 0");
+  }
+  return agl::Status::OK();
+}
+
+agl::Status StoreFeaturePayloads(
+    const GraphFlatConfig& config,
+    std::vector<std::pair<NodeId, std::string>> finals, mr::LocalDfs* dfs,
+    const std::string& dataset) {
   std::sort(finals.begin(), finals.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   std::vector<std::string> payloads;
   payloads.reserve(finals.size());
-  for (auto& [id, bytes] : finals) {
-    AGL_ASSIGN_OR_RETURN(subgraph::GraphFeature gf,
-                         subgraph::GraphFeature::Parse(bytes));
-    stats.num_features++;
-    stats.total_nodes += gf.num_nodes();
-    stats.total_edges += gf.num_edges();
-    stats.max_nodes = std::max(stats.max_nodes, gf.num_nodes());
-    payloads.push_back(std::move(bytes));
-  }
+  for (auto& [id, bytes] : finals) payloads.push_back(std::move(bytes));
   if (config.num_shards > 1) {
     // Each shard stores its own slice (id-sorted within the shard), then
     // the part files of every shard are unified under the one logical
@@ -614,11 +620,35 @@ agl::Result<GraphFlatStats> RunGraphFlat(const GraphFlatConfig& config,
       AGL_RETURN_IF_ERROR(
           dfs->WriteDataset(staging.back(), by_shard[s], config.output_parts));
     }
-    AGL_RETURN_IF_ERROR(dfs->UnifyDatasets(dataset, staging));
-  } else {
-    AGL_RETURN_IF_ERROR(
-        dfs->WriteDataset(dataset, payloads, config.output_parts));
+    return dfs->UnifyDatasets(dataset, staging);
   }
+  return dfs->WriteDataset(dataset, payloads, config.output_parts);
+}
+
+agl::Result<GraphFlatStats> RunGraphFlat(const GraphFlatConfig& config,
+                                         const std::vector<NodeRecord>& nodes,
+                                         const std::vector<EdgeRecord>& edges,
+                                         mr::LocalDfs* dfs,
+                                         const std::string& dataset) {
+  GraphFlatStats stats;
+  AGL_ASSIGN_OR_RETURN(std::vector<mr::KeyValue> records,
+                       RunPipeline(config, nodes, edges, &stats));
+  std::vector<std::pair<NodeId, std::string>> finals;
+  for (mr::KeyValue& kv : records) {
+    if (kv.value.empty() || kv.value[0] != kTagFinal) continue;
+    finals.emplace_back(static_cast<NodeId>(std::stoull(kv.key)),
+                        kv.value.substr(1));
+  }
+  for (const auto& [id, bytes] : finals) {
+    AGL_ASSIGN_OR_RETURN(subgraph::GraphFeature gf,
+                         subgraph::GraphFeature::Parse(bytes));
+    stats.num_features++;
+    stats.total_nodes += gf.num_nodes();
+    stats.total_edges += gf.num_edges();
+    stats.max_nodes = std::max(stats.max_nodes, gf.num_nodes());
+  }
+  AGL_RETURN_IF_ERROR(
+      StoreFeaturePayloads(config, std::move(finals), dfs, dataset));
   return stats;
 }
 

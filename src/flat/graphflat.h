@@ -65,6 +65,10 @@ struct GraphFlatConfig {
   /// invariant to this value; see src/flat/shard.h.
   int num_shards = 1;
   mr::JobConfig job;
+
+  /// Structural validation, called up front by every `agl::Run` facade
+  /// entry point (and usable directly).
+  agl::Status Validate() const;
 };
 
 struct GraphFlatStats {
@@ -97,6 +101,17 @@ agl::Result<std::vector<subgraph::GraphFeature>> RunGraphFlatInMemory(
 agl::Result<std::vector<mr::KeyValue>> ReindexAndSampleHubKeys(
     const GraphFlatConfig& config, std::vector<mr::KeyValue> records,
     int round);
+
+/// Publishes id-sorted `(target id, serialized GraphFeature)` payloads as
+/// `dataset` exactly the way RunGraphFlat's Storing step does — round-robin
+/// over `output_parts` part files, or per-home-shard staging datasets
+/// unified under one name when `num_shards` > 1. Shared by RunGraphFlat and
+/// the incremental re-flatten path so both publish byte-identical datasets
+/// for the same payload set.
+agl::Status StoreFeaturePayloads(
+    const GraphFlatConfig& config,
+    std::vector<std::pair<NodeId, std::string>> finals, mr::LocalDfs* dfs,
+    const std::string& dataset);
 
 /// Exposed for tests: the shard-merge stage over one shard's last-round
 /// state records ('S'-tagged SubgraphState bytes keyed by node id). States

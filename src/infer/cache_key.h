@@ -1,0 +1,52 @@
+// Key and counter types shared by every EmbeddingStore implementation.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace agl::infer {
+
+/// Identity of one cached segment embedding. `version` fingerprints the
+/// trained state dict, so a cache shared across model pushes can never
+/// serve embeddings from stale weights.
+struct CacheKey {
+  uint64_t node = 0;
+  int32_t round = 0;
+  uint64_t version = 0;
+
+  bool operator==(const CacheKey& o) const {
+    return node == o.node && round == o.round && version == o.version;
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    // splitmix-style mix of the three fields.
+    uint64_t h = k.node * 0x9e3779b97f4a7c15ULL;
+    h ^= (static_cast<uint64_t>(static_cast<uint32_t>(k.round)) + 0x7f4a7c15ULL)
+         << 17;
+    h ^= k.version;
+    h ^= h >> 31;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Counters surfaced into InferCosts by the batched driver.
+struct EmbeddingCacheStats {
+  int64_t hits = 0;          // lookups served (RAM or spill)
+  int64_t misses = 0;        // lookups that found nothing
+  int64_t inserts = 0;       // distinct entries admitted
+  int64_t evictions = 0;     // entries pushed out of RAM by the budget
+  int64_t spilled = 0;       // evictions written to the spill file
+  int64_t spill_hits = 0;    // hits served by reading the spill file back
+  int64_t spill_failures = 0;  // spill writes/reads that failed (degraded
+                               // to drop/miss; injected faults land here)
+  int64_t invalidations = 0;   // entries dropped by Invalidate (RAM + spill)
+  int64_t resident_bytes = 0;
+  int64_t resident_entries = 0;
+};
+
+}  // namespace agl::infer

@@ -38,8 +38,51 @@ agl::Status EmbeddingCache::EnableSpill(const std::string& path) {
   spill_writer_.emplace(std::move(writer));
   spill_reader_.reset();
   spill_offset_.clear();
+  spill_flushed_bytes_ = 0;
   spill_path_ = path;
   return agl::Status::OK();
+}
+
+agl::Status EmbeddingCache::RestoreSpill(const std::string& path,
+                                         const SpillSnapshot& snap) {
+  common::MutexLock lock(&mu_);
+  AGL_ASSIGN_OR_RETURN(io::RecordWriter writer,
+                       io::RecordWriter::OpenAppend(path, snap.valid_bytes));
+  spill_writer_.emplace(std::move(writer));
+  spill_reader_.reset();
+  spill_offset_.clear();
+  for (const auto& [key, offset] : snap.entries) {
+    // Defensive: an offset at or past the durable prefix points into the
+    // truncated tail; admitting it would read garbage, so drop it.
+    if (offset < snap.valid_bytes) spill_offset_[key] = offset;
+  }
+  spill_flushed_bytes_ = snap.valid_bytes;
+  spill_path_ = path;
+  return agl::Status::OK();
+}
+
+agl::Result<SpillSnapshot> EmbeddingCache::PublishSpill() {
+  common::MutexLock lock(&mu_);
+  if (!spill_writer_.has_value()) {
+    return agl::Status::FailedPrecondition("no spill file configured");
+  }
+  // Park every RAM-resident entry in the spill file so the snapshot covers
+  // the full working set, not just what the budget already evicted.
+  for (const Entry& e : lru_) {
+    if (spill_offset_.find(e.key) != spill_offset_.end()) continue;
+    AGL_RETURN_IF_ERROR(SpillAppendLocked(e.key, e.embedding));
+  }
+  // One durability point for the whole batch.
+  agl::Status synced = spill_writer_->Sync();
+  if (!synced.ok()) {
+    ++stats_.spill_failures;
+    return synced;
+  }
+  spill_flushed_bytes_ = spill_writer_->bytes_written();
+  SpillSnapshot snap;
+  snap.valid_bytes = spill_flushed_bytes_;
+  snap.entries.assign(spill_offset_.begin(), spill_offset_.end());
+  return snap;
 }
 
 bool EmbeddingCache::Lookup(const CacheKey& key, std::vector<float>* out) {
@@ -77,6 +120,31 @@ void EmbeddingCache::Insert(const CacheKey& key,
   AdmitLocked(key, embedding);
 }
 
+void EmbeddingCache::Invalidate(uint64_t node, int32_t min_round) {
+  if (!enabled()) return;
+  common::MutexLock lock(&mu_);
+  for (auto it = index_.begin(); it != index_.end();) {
+    if (it->first.node == node && it->first.round >= min_round) {
+      stats_.resident_bytes -= EntryBytes(it->second->embedding);
+      lru_.erase(it->second);
+      it = index_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+  // The spilled bytes stay in the file (it is append-only); forgetting the
+  // offset is what makes the entry unreachable.
+  for (auto it = spill_offset_.begin(); it != spill_offset_.end();) {
+    if (it->first.node == node && it->first.round >= min_round) {
+      it = spill_offset_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
 EmbeddingCacheStats EmbeddingCache::stats() const {
   common::MutexLock lock(&mu_);
   EmbeddingCacheStats out = stats_;
@@ -101,27 +169,32 @@ void EmbeddingCache::EvictOneLocked() {
   Entry& victim = lru_.back();
   if (spill_writer_.has_value() &&
       spill_offset_.find(victim.key) == spill_offset_.end()) {
-    // Failpoint "infer.spill": an injected fault fails this spill write
-    // only; the entry degrades to a plain drop and correctness holds.
-    agl::Status s = fail::MaybeFail("infer.spill");
-    if (s.ok()) {
-      const uint64_t offset = spill_writer_->bytes_written();
-      s = spill_writer_->Append(
-          EncodeSpillRecord(victim.key, victim.embedding));
-      // Eager flush: the reader shares the file, and an entry whose bytes
-      // only live in the stdio buffer would read back torn.
-      if (s.ok()) s = spill_writer_->Flush();
-      if (s.ok()) {
-        spill_offset_[victim.key] = offset;
-        ++stats_.spilled;
-      }
-    }
-    if (!s.ok()) ++stats_.spill_failures;  // degraded to a plain drop
+    // A failed append degrades the eviction to a plain drop — correctness
+    // holds, the entry is just recomputed on the next miss.
+    (void)SpillAppendLocked(victim.key, victim.embedding);
   }
   stats_.resident_bytes -= EntryBytes(victim.embedding);
   index_.erase(victim.key);
   lru_.pop_back();
   ++stats_.evictions;
+}
+
+agl::Status EmbeddingCache::SpillAppendLocked(
+    const CacheKey& key, const std::vector<float>& embedding) {
+  // Failpoint "infer.spill": an injected fault fails this spill write only.
+  agl::Status s = fail::MaybeFail("infer.spill");
+  if (s.ok()) {
+    const uint64_t offset = spill_writer_->bytes_written();
+    s = spill_writer_->Append(EncodeSpillRecord(key, embedding));
+    if (s.ok()) {
+      // Buffered append: the bytes reach the reader lazily (flush before a
+      // read past spill_flushed_bytes_) and stable storage on PublishSpill.
+      spill_offset_[key] = offset;
+      ++stats_.spilled;
+    }
+  }
+  if (!s.ok()) ++stats_.spill_failures;
+  return s;
 }
 
 bool EmbeddingCache::SpillLookupLocked(const CacheKey& key,
@@ -137,7 +210,15 @@ bool EmbeddingCache::SpillLookupLocked(const CacheKey& key,
     return false;
   }
   agl::Status s = agl::Status::OK();
-  if (!spill_reader_.has_value()) {
+  // The target record may still sit in the writer's stdio buffer; push the
+  // batch down before reading past the flushed prefix. Offsets are record
+  // starts and the boundary is a record boundary, so a record is fully
+  // visible iff it starts below the boundary.
+  if (it->second >= spill_flushed_bytes_) {
+    s = spill_writer_->Flush();
+    if (s.ok()) spill_flushed_bytes_ = spill_writer_->bytes_written();
+  }
+  if (s.ok() && !spill_reader_.has_value()) {
     auto reader = io::RecordReader::Open(spill_path_);
     if (reader.ok()) {
       spill_reader_.emplace(std::move(*reader));

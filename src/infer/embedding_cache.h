@@ -15,6 +15,11 @@
 // bit-identical to what the reducer would recompute, and any failure on the
 // spill path (fault-injected or real) degrades to a miss, never to a wrong
 // answer.
+//
+// Spill writes are batched: an eviction appends into the stdio buffer and
+// the bytes are only pushed down (a) lazily, right before a spill read that
+// needs them, or (b) durably, by PublishSpill() — one fsync per publish
+// instead of one flush per evicted entry.
 
 #pragma once
 
@@ -24,54 +29,23 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "infer/embedding_store.h"
 #include "io/record_file.h"
 
 namespace agl::infer {
 
-/// Identity of one cached segment embedding. `version` fingerprints the
-/// trained state dict, so a cache shared across model pushes can never
-/// serve embeddings from stale weights.
-struct CacheKey {
-  uint64_t node = 0;
-  int32_t round = 0;
-  uint64_t version = 0;
-
-  bool operator==(const CacheKey& o) const {
-    return node == o.node && round == o.round && version == o.version;
-  }
-};
-
-struct CacheKeyHash {
-  std::size_t operator()(const CacheKey& k) const {
-    // splitmix-style mix of the three fields.
-    uint64_t h = k.node * 0x9e3779b97f4a7c15ULL;
-    h ^= (static_cast<uint64_t>(static_cast<uint32_t>(k.round)) + 0x7f4a7c15ULL)
-         << 17;
-    h ^= k.version;
-    h ^= h >> 31;
-    h *= 0xbf58476d1ce4e5b9ULL;
-    h ^= h >> 29;
-    return static_cast<std::size_t>(h);
-  }
-};
-
-/// Counters surfaced into InferCosts by the batched driver.
-struct EmbeddingCacheStats {
-  int64_t hits = 0;          // lookups served (RAM or spill)
-  int64_t misses = 0;        // lookups that found nothing
-  int64_t inserts = 0;       // distinct entries admitted
-  int64_t evictions = 0;     // entries pushed out of RAM by the budget
-  int64_t spilled = 0;       // evictions written to the spill file
-  int64_t spill_hits = 0;    // hits served by reading the spill file back
-  int64_t spill_failures = 0;  // spill writes/reads that failed (degraded
-                               // to drop/miss; injected faults land here)
-  int64_t resident_bytes = 0;
-  int64_t resident_entries = 0;
+/// Everything a restarted process needs to re-attach a spill file:
+/// the durable byte prefix and the (key -> offset) index into it.
+/// PersistentEmbeddingStore serializes this into its index dataset.
+struct SpillSnapshot {
+  uint64_t valid_bytes = 0;
+  std::vector<std::pair<CacheKey, uint64_t>> entries;
 };
 
 /// Thread-safe LRU embedding cache with optional record_file spill.
@@ -79,12 +53,12 @@ struct EmbeddingCacheStats {
 /// Budget semantics: negative = unbounded, 0 = disabled (lookups fail and
 /// inserts are dropped without touching the counters), positive = resident
 /// byte budget (approximate: payload + fixed per-entry overhead).
-class EmbeddingCache {
+class EmbeddingCache final : public EmbeddingStore {
  public:
   explicit EmbeddingCache(int64_t budget_bytes)
       : budget_bytes_(budget_bytes) {}
 
-  bool enabled() const { return budget_bytes_ != 0; }
+  bool enabled() const override { return budget_bytes_ != 0; }
   bool bounded() const { return budget_bytes_ > 0; }
   int64_t budget_bytes() const { return budget_bytes_; }
 
@@ -94,17 +68,35 @@ class EmbeddingCache {
   /// ordinary record tooling.
   agl::Status EnableSpill(const std::string& path) EXCLUDES(mu_);
 
+  /// Re-attaches an existing spill file from a snapshot taken by a previous
+  /// process: appends resume after `snap.valid_bytes` (anything past that —
+  /// a torn tail from a crash mid-append — is truncated away) and the
+  /// offset index is restored, so lookups hit the old process's entries.
+  agl::Status RestoreSpill(const std::string& path, const SpillSnapshot& snap)
+      EXCLUDES(mu_);
+
+  /// Spills every RAM-resident entry that has no spill slot yet, then
+  /// flushes and fsyncs the file once and returns the snapshot needed to
+  /// re-attach it. The cache keeps serving afterwards; only the snapshot's
+  /// prefix is durable.
+  agl::Result<SpillSnapshot> PublishSpill() EXCLUDES(mu_);
+
   /// Returns true and fills `*out` when `key` is resident (in RAM or in the
   /// spill file). A spill hit is re-admitted to RAM.
-  bool Lookup(const CacheKey& key, std::vector<float>* out) EXCLUDES(mu_);
+  bool Lookup(const CacheKey& key, std::vector<float>* out) override
+      EXCLUDES(mu_);
 
   /// Admits `embedding` under `key` (no-op when disabled or already
   /// present; an existing entry is only refreshed in LRU order — values are
   /// immutable per (node, round, version)).
   void Insert(const CacheKey& key, const std::vector<float>& embedding)
-      EXCLUDES(mu_);
+      override EXCLUDES(mu_);
 
-  EmbeddingCacheStats stats() const EXCLUDES(mu_);
+  /// Drops every entry (RAM and spill index) for `node` with
+  /// round >= `min_round`, across all model versions.
+  void Invalidate(uint64_t node, int32_t min_round) override EXCLUDES(mu_);
+
+  EmbeddingCacheStats stats() const override EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -122,6 +114,11 @@ class EmbeddingCache {
   void AdmitLocked(const CacheKey& key, std::vector<float> embedding)
       REQUIRES(mu_);
   void EvictOneLocked() REQUIRES(mu_);
+  /// Appends one entry to the spill file (buffered; no flush) and records
+  /// its offset. Counts a spill_failure and reports non-OK on error.
+  agl::Status SpillAppendLocked(const CacheKey& key,
+                                const std::vector<float>& embedding)
+      REQUIRES(mu_);
   /// Attempts to serve `key` from the spill file.
   bool SpillLookupLocked(const CacheKey& key, std::vector<float>* out)
       REQUIRES(mu_);
@@ -139,10 +136,14 @@ class EmbeddingCache {
       index_ GUARDED_BY(mu_);
   // Spill state: append-only writer plus a byte-offset index into the file.
   // Entries are immutable, so an offset written once stays valid and a
-  // re-evicted entry is never rewritten.
+  // re-evicted entry is never rewritten. Appends sit in the stdio buffer
+  // until a read needs them: `spill_flushed_bytes_` is the prefix known
+  // visible to the reader (always a record boundary — it only advances to
+  // bytes_written() right after a flush).
   std::string spill_path_ GUARDED_BY(mu_);
   std::optional<io::RecordWriter> spill_writer_ GUARDED_BY(mu_);
   std::optional<io::RecordReader> spill_reader_ GUARDED_BY(mu_);
+  uint64_t spill_flushed_bytes_ GUARDED_BY(mu_) = 0;
   std::unordered_map<CacheKey, uint64_t, CacheKeyHash> spill_offset_
       GUARDED_BY(mu_);
   EmbeddingCacheStats stats_ GUARDED_BY(mu_);

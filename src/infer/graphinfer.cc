@@ -70,8 +70,8 @@ struct RoundContext {
   const std::vector<ModelSlice>* slices = nullptr;
   std::atomic<int64_t>* embedding_evals = nullptr;
 
-  // Cross-slice embedding cache (batched driver only; nullptr otherwise).
-  EmbeddingCache* cache = nullptr;
+  // Cross-slice embedding store (batched driver only; nullptr otherwise).
+  EmbeddingStore* cache = nullptr;
   /// In-BFS depth of each pruned-graph node from the slice targets;
   /// nullptr means the run is unpruned.
   const std::unordered_map<NodeId, int>* depth = nullptr;
@@ -277,7 +277,7 @@ SliceGraph PruneToTargets(const std::vector<NodeRecord>& nodes,
 
 struct CoreOptions {
   const std::vector<ModelSlice>* slices = nullptr;
-  EmbeddingCache* cache = nullptr;
+  EmbeddingStore* cache = nullptr;
   const std::unordered_map<NodeId, int>* depth = nullptr;
   bool cache_all_rounds = false;
   uint64_t model_version = 0;
@@ -431,6 +431,31 @@ void FilterScoresToTargets(const std::vector<NodeId>& targets,
 
 }  // namespace
 
+agl::Status InferConfig::Validate() const {
+  if (model.num_layers < 1) {
+    return agl::Status::InvalidArgument(
+        "InferConfig: model.num_layers must be >= 1");
+  }
+  if (model.in_dim <= 0 || model.hidden_dim <= 0 || model.out_dim <= 0) {
+    return agl::Status::InvalidArgument(
+        "InferConfig: model dimensions must be positive");
+  }
+  if (num_shards < 1) {
+    return agl::Status::InvalidArgument(
+        "InferConfig: num_shards must be >= 1");
+  }
+  if (batch_slices < 1) {
+    return agl::Status::InvalidArgument(
+        "InferConfig: batch_slices must be >= 1");
+  }
+  if (!cache_spill_path.empty() && cache_budget_bytes == 0) {
+    return agl::Status::InvalidArgument(
+        "InferConfig: cache_spill_path needs an enabled cache "
+        "(cache_budget_bytes != 0)");
+  }
+  return agl::Status::OK();
+}
+
 std::vector<std::vector<NodeId>> PartitionTargets(
     const std::vector<NodeId>& targets, int batch_slices) {
   std::vector<NodeId> unique;
@@ -500,11 +525,15 @@ agl::Result<InferResult> RunGraphInfer(
   return out;
 }
 
-agl::Result<InferResult> RunGraphInferBatched(
+namespace {
+
+/// Shared batched-driver body: `store` is whichever EmbeddingStore this
+/// pass shares — a call-local cache or a caller-owned (persistent) one.
+agl::Result<InferResult> RunBatchedWithStore(
     const InferConfig& config,
     const std::map<std::string, tensor::Tensor>& state,
     const std::vector<NodeRecord>& nodes,
-    const std::vector<EdgeRecord>& edges) {
+    const std::vector<EdgeRecord>& edges, EmbeddingStore* store) {
   if (nodes.empty()) {
     return agl::Status::InvalidArgument("GraphInfer: empty node table");
   }
@@ -522,11 +551,10 @@ agl::Result<InferResult> RunGraphInferBatched(
   const std::vector<std::vector<NodeId>> target_slices =
       PartitionTargets(targets, config.batch_slices);
 
-  EmbeddingCache cache(config.cache_budget_bytes);
-  if (cache.enabled() && !config.cache_spill_path.empty()) {
-    AGL_RETURN_IF_ERROR(cache.EnableSpill(config.cache_spill_path));
-  }
   const uint64_t version = StateFingerprint(state);
+  // A shared store accumulates counters across calls; report this call's
+  // delta so InferCosts keeps its per-run meaning.
+  const EmbeddingCacheStats stats_before = store->stats();
 
   const InEdgeIndex in_edges_of = BuildInEdgeIndex(edges);
 
@@ -549,7 +577,7 @@ agl::Result<InferResult> RunGraphInferBatched(
     // complete-graph case is still safe and still cached).
     const bool gcn_pruned =
         config.model.type == gnn::ModelType::kGcn && !g.complete;
-    opts.cache = gcn_pruned ? nullptr : &cache;
+    opts.cache = gcn_pruned ? nullptr : store;
     AGL_ASSIGN_OR_RETURN(InferResult slice_result,
                          RunInferCore(sub_config, g.nodes, g.edges, opts));
     FilterScoresToTargets(slice_targets, &slice_result);
@@ -563,16 +591,45 @@ agl::Result<InferResult> RunGraphInferBatched(
   std::sort(out.scores.begin(), out.scores.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
 
-  const EmbeddingCacheStats cache_stats = cache.stats();
-  out.costs.cache_hits = cache_stats.hits;
-  out.costs.cache_misses = cache_stats.misses;
-  out.costs.cache_evictions = cache_stats.evictions;
-  out.costs.cache_spilled = cache_stats.spilled;
-  out.costs.cache_spill_hits = cache_stats.spill_hits;
-  out.costs.cache_spill_failures = cache_stats.spill_failures;
+  const EmbeddingCacheStats cache_stats = store->stats();
+  out.costs.cache_hits = cache_stats.hits - stats_before.hits;
+  out.costs.cache_misses = cache_stats.misses - stats_before.misses;
+  out.costs.cache_evictions =
+      cache_stats.evictions - stats_before.evictions;
+  out.costs.cache_spilled = cache_stats.spilled - stats_before.spilled;
+  out.costs.cache_spill_hits =
+      cache_stats.spill_hits - stats_before.spill_hits;
+  out.costs.cache_spill_failures =
+      cache_stats.spill_failures - stats_before.spill_failures;
   out.costs.time_seconds = watch.Seconds();
   out.costs.cpu_core_minutes = (ProcessCpuSeconds() - cpu_start) / 60.0;
   return out;
+}
+
+}  // namespace
+
+agl::Result<InferResult> RunGraphInferBatched(
+    const InferConfig& config,
+    const std::map<std::string, tensor::Tensor>& state,
+    const std::vector<NodeRecord>& nodes,
+    const std::vector<EdgeRecord>& edges) {
+  EmbeddingCache cache(config.cache_budget_bytes);
+  if (cache.enabled() && !config.cache_spill_path.empty()) {
+    AGL_RETURN_IF_ERROR(cache.EnableSpill(config.cache_spill_path));
+  }
+  return RunBatchedWithStore(config, state, nodes, edges, &cache);
+}
+
+agl::Result<InferResult> RunGraphInferBatched(
+    const InferConfig& config,
+    const std::map<std::string, tensor::Tensor>& state,
+    const std::vector<NodeRecord>& nodes,
+    const std::vector<EdgeRecord>& edges, EmbeddingStore* store) {
+  if (store == nullptr) {
+    return agl::Status::InvalidArgument(
+        "RunGraphInferBatched: external store must not be null");
+  }
+  return RunBatchedWithStore(config, state, nodes, edges, store);
 }
 
 }  // namespace agl::infer

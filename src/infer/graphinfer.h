@@ -30,6 +30,8 @@
 
 namespace agl::infer {
 
+class EmbeddingStore;
+
 struct InferConfig {
   gnn::ModelConfig model;
   mr::JobConfig job;
@@ -61,6 +63,11 @@ struct InferConfig {
   /// paper's DFS) instead of being dropped, so a budget smaller than the
   /// working set still serves cross-slice hits.
   std::string cache_spill_path;
+
+  /// Structural validation, called up front by every `agl::Run` facade
+  /// entry point (and usable directly): shape/range errors surface as
+  /// kInvalidArgument before any work runs.
+  agl::Status Validate() const;
 };
 
 /// Cost accounting in the paper's Table 5 units.
@@ -109,6 +116,19 @@ agl::Result<InferResult> RunGraphInferBatched(
     const std::map<std::string, tensor::Tensor>& state,
     const std::vector<flat::NodeRecord>& nodes,
     const std::vector<flat::EdgeRecord>& edges);
+
+/// Same, but reusing a caller-owned EmbeddingStore instead of a cache local
+/// to the call — the serving loop hands every pass the same (persistent)
+/// store so embeddings survive across requests and process restarts. The
+/// store's entries must fingerprint the same weights as `state`
+/// (CacheKey.version == StateFingerprint(state)); `config.cache_budget_bytes`
+/// and `config.cache_spill_path` are ignored. The cache counters in
+/// InferCosts report this call's delta, not the store's lifetime totals.
+agl::Result<InferResult> RunGraphInferBatched(
+    const InferConfig& config,
+    const std::map<std::string, tensor::Tensor>& state,
+    const std::vector<flat::NodeRecord>& nodes,
+    const std::vector<flat::EdgeRecord>& edges, EmbeddingStore* store);
 
 /// Deterministic contiguous partition of `targets` into at most
 /// `batch_slices` non-empty slices (duplicates dropped, first occurrence

@@ -8,6 +8,23 @@
 
 namespace agl::infer {
 
+agl::Status OriginalInferenceConfig::Validate() const {
+  if (model.num_layers < 1) {
+    return agl::Status::InvalidArgument(
+        "OriginalInferenceConfig: model.num_layers must be >= 1");
+  }
+  if (model.in_dim <= 0 || model.hidden_dim <= 0 || model.out_dim <= 0) {
+    return agl::Status::InvalidArgument(
+        "OriginalInferenceConfig: model dimensions must be positive");
+  }
+  if (batch_size < 1) {
+    return agl::Status::InvalidArgument(
+        "OriginalInferenceConfig: batch_size must be >= 1");
+  }
+  // hops/targets are overridden by the driver; validate the rest.
+  return flat.Validate();
+}
+
 agl::Result<OriginalResult> RunOriginalInference(
     const OriginalInferenceConfig& config,
     const std::map<std::string, tensor::Tensor>& state,

@@ -20,6 +20,9 @@ struct OriginalInferenceConfig {
   flat::GraphFlatConfig flat;
   /// Targets per forward batch.
   int batch_size = 64;
+
+  /// Structural validation, called up front by the `agl::Run` facade.
+  agl::Status Validate() const;
 };
 
 /// Runs GraphFlat (targets = all nodes) followed by per-batch forward

@@ -1,0 +1,112 @@
+// Cross-process persistent EmbeddingStore.
+//
+// Wraps the LRU EmbeddingCache and makes its spill file survive the
+// process: the spill lives as a plain record_file under a LocalDfs root
+// (plain files are exempt from the scratch sweep), and Publish() pushes the
+// whole batch of buffered spill writes down with ONE fsync, then publishes
+// an index dataset — (model_version, durable spill prefix, key -> offset
+// table) — through the crash-consistent WriteDataset path (scratch + fsync
+// + rename + MANIFEST). A restarted process re-opens the store from the
+// index and serves warm hits straight out of the old spill file via
+// RecordReader::SeekTo.
+//
+// Failure contract (degrade-to-recompute): a missing/corrupt/stale index,
+// a torn spill tail past the published prefix, or a checksum-failing spill
+// record each degrade to a cold miss — never to a wrong answer. An index
+// fingerprinting different model weights or a different graph state is
+// discarded wholesale.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "infer/embedding_cache.h"
+#include "infer/embedding_store.h"
+#include "mr/local_dfs.h"
+
+namespace agl::infer {
+
+class PersistentEmbeddingStore final : public EmbeddingStore {
+ public:
+  struct Options {
+    /// RAM budget forwarded to the underlying EmbeddingCache (negative =
+    /// unbounded, positive = bytes; 0 is rejected — a disabled store has
+    /// nothing to persist).
+    int64_t budget_bytes = -1;
+    /// StateFingerprint of the weights being served. An index published
+    /// under any other version is ignored on Open.
+    uint64_t model_version = 0;
+    /// Fingerprint of the graph tables being served (serve::GraphFingerprint
+    /// or any caller-stable hash; 0 = not tracked). Cached embeddings are a
+    /// function of (weights, graph), so an index published against a
+    /// different graph state is ignored on Open the same way a model
+    /// mismatch is. Mutations move it via set_graph_version() before the
+    /// next Publish().
+    uint64_t graph_version = 0;
+  };
+
+  /// Opens store `name` under `dfs` ("<root>/<name>.spill" +
+  /// "<name>.index" dataset). Re-attaches the previous process's spill when
+  /// a matching index is published; starts cold (fresh spill) otherwise.
+  static agl::Result<std::unique_ptr<PersistentEmbeddingStore>> Open(
+      mr::LocalDfs* dfs, const std::string& name, const Options& options);
+
+  bool enabled() const override { return cache_.enabled(); }
+  bool Lookup(const CacheKey& key, std::vector<float>* out) override {
+    return cache_.Lookup(key, out);
+  }
+  void Insert(const CacheKey& key,
+              const std::vector<float>& embedding) override {
+    cache_.Insert(key, embedding);
+  }
+  void Invalidate(uint64_t node, int32_t min_round) override {
+    cache_.Invalidate(node, min_round);
+  }
+  EmbeddingCacheStats stats() const override { return cache_.stats(); }
+
+  /// Durability point: spills all resident entries, fsyncs the spill file
+  /// once, and atomically publishes the index dataset. Safe to call
+  /// repeatedly; serving continues afterwards.
+  agl::Status Publish();
+
+  /// True when Open() restored a prior process's snapshot (the spill file
+  /// plus a non-empty offset index).
+  bool opened_warm() const { return opened_warm_; }
+
+  const std::string& spill_path() const { return spill_path_; }
+  const std::string& index_dataset() const { return index_dataset_; }
+  uint64_t model_version() const { return model_version_; }
+
+  /// Records that the serving graph changed (a mutation batch applied).
+  /// The next Publish() stamps this value, so a restart against any other
+  /// graph state starts cold. Called only from the serving thread (or
+  /// after it is joined), like Publish().
+  void set_graph_version(uint64_t v) { graph_version_ = v; }
+  uint64_t graph_version() const { return graph_version_; }
+
+ private:
+  PersistentEmbeddingStore(mr::LocalDfs* dfs, std::string name,
+                           const Options& options)
+      : dfs_(dfs),
+        name_(std::move(name)),
+        spill_path_(dfs->root() + "/" + name_ + ".spill"),
+        index_dataset_(name_ + ".index"),
+        model_version_(options.model_version),
+        graph_version_(options.graph_version),
+        cache_(options.budget_bytes) {}
+
+  mr::LocalDfs* const dfs_;
+  const std::string name_;
+  const std::string spill_path_;
+  const std::string index_dataset_;
+  const uint64_t model_version_;
+  uint64_t graph_version_;
+  EmbeddingCache cache_;
+  bool opened_warm_ = false;
+};
+
+}  // namespace agl::infer

@@ -50,6 +50,39 @@ agl::Result<RecordWriter> RecordWriter::Open(const std::string& path) {
   return RecordWriter(f);
 }
 
+agl::Result<RecordWriter> RecordWriter::OpenAppend(const std::string& path,
+                                                   uint64_t valid_prefix_bytes) {
+  // "r+b" keeps existing contents (unlike "ab", it also honors seeks for
+  // the truncation point and never silently redirects writes to the end).
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    return agl::Status::IoError("cannot open for append: " + path);
+  }
+#if defined(_WIN32)
+  const int seek_rc =
+      _fseeki64(f, static_cast<long long>(valid_prefix_bytes), SEEK_SET);
+#else
+  // Drop any torn tail past the valid prefix before appending over it.
+  const int trunc_rc =
+      ::ftruncate(fileno(f), static_cast<off_t>(valid_prefix_bytes));
+  if (trunc_rc != 0) {
+    std::fclose(f);
+    return agl::Status::IoError("cannot truncate " + path + " to " +
+                                std::to_string(valid_prefix_bytes));
+  }
+  const int seek_rc =
+      fseeko(f, static_cast<off_t>(valid_prefix_bytes), SEEK_SET);
+#endif
+  if (seek_rc != 0) {
+    std::fclose(f);
+    return agl::Status::IoError("cannot seek " + path + " to " +
+                                std::to_string(valid_prefix_bytes));
+  }
+  RecordWriter writer(f);
+  writer.bytes_written_ = valid_prefix_bytes;
+  return writer;
+}
+
 RecordWriter::~RecordWriter() {
   if (file_ != nullptr) std::fclose(file_);
 }
@@ -94,6 +127,16 @@ agl::Status RecordWriter::Append(const std::string& record) {
 agl::Status RecordWriter::Flush() {
   if (file_ == nullptr) return agl::Status::FailedPrecondition("writer closed");
   if (std::fflush(file_) != 0) return agl::Status::IoError("fflush failed");
+  return agl::Status::OK();
+}
+
+agl::Status RecordWriter::Sync() {
+  if (file_ == nullptr) return agl::Status::FailedPrecondition("writer closed");
+  AGL_RETURN_IF_ERROR(fail::MaybeFail("dfs.write"));
+  if (std::fflush(file_) != 0) return agl::Status::IoError("fflush failed");
+#if !defined(_WIN32)
+  if (::fsync(fileno(file_)) != 0) return agl::Status::IoError("fsync failed");
+#endif
   return agl::Status::OK();
 }
 

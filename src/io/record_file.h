@@ -23,6 +23,15 @@ class RecordWriter {
  public:
   /// Opens (truncates) `path` for writing.
   static agl::Result<RecordWriter> Open(const std::string& path);
+
+  /// Re-opens an existing file for appending after the first
+  /// `valid_prefix_bytes` bytes, truncating anything past that point (a
+  /// torn tail from a crash mid-append). `bytes_written()` resumes at the
+  /// prefix length, so offsets recorded against the previous incarnation of
+  /// the file stay valid. The persistent embedding store uses this to
+  /// re-open its spill file across process restarts.
+  static agl::Result<RecordWriter> OpenAppend(const std::string& path,
+                                              uint64_t valid_prefix_bytes);
   ~RecordWriter();
 
   RecordWriter(RecordWriter&& other) noexcept;
@@ -32,6 +41,10 @@ class RecordWriter {
 
   agl::Status Append(const std::string& record);
   agl::Status Flush();
+  /// Flush + fsync without closing: the durability point for long-lived
+  /// writers (e.g. one spill publish syncs a whole batch of appends at
+  /// once instead of per record).
+  agl::Status Sync();
   agl::Status Close();
 
   uint64_t num_records() const { return num_records_; }

@@ -1,0 +1,115 @@
+// Graph mutations for the always-on inference service.
+//
+// The service accepts a stream of edge/feature mutations interleaved with
+// scoring requests. Each mutation dirties (a) the flattened-feature payloads
+// of every stored target whose K-hop in-neighborhood it touches — the
+// dataset side, handled by flat::ReflattenDirty — and (b) the cached
+// (node, round) segment embeddings that were derived from the pre-mutation
+// graph — the store side, handled by EmbeddingStore::Invalidate.
+//
+// The store side is model-aware, because each model type reads a different
+// slice of the adjacency normalization (gnn::GnnModel::NormalizeAdjacency):
+//
+//   GraphSAGE  RowNormalized: row w holds w's in-edges only, so an edge
+//              a->b mutation directly dirties row b alone.
+//   GAT        WithSelfLoops, no degree normalization: same as SAGE — only
+//              row b changes.
+//   GCN        WithSelfLoops().GcnNormalized(): entries scale by
+//              1/sqrt(row_deg(dst) * col_deg(src)). Edge a->b changes
+//              row_deg(b) (all of row b) and col_deg(a) (every entry in
+//              column a, i.e. rows outN(a) and a's own self-loop entry), so
+//              rows {a, b} + outN(a) are directly dirty.
+//
+// A directly-dirty row w invalidates (w, r) for every cached round r >= 1;
+// the dirt then propagates one out-hop per round: (x, r) is stale iff
+// r >= base(w) + dist(w -> x) for some directly-dirty seed (w, base). A
+// feature update at u seeds (u, base 0) — u's round-0 embedding is its raw
+// feature row. Distances are taken over the union of the pre- and
+// post-mutation edge tables, which upper-bounds both the old influence
+// being removed and the new influence being added.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "flat/tables.h"
+#include "gnn/model.h"
+
+namespace agl::serve {
+
+/// One graph mutation. Text form (one per line, '#' comments allowed):
+///   add-edge <src> <dst> <weight> [f1,f2,...]
+///   remove-edge <src> <dst>
+///   update-features <node> f1,f2,...
+struct Mutation {
+  enum class Type { kAddEdge, kRemoveEdge, kUpdateFeatures };
+  Type type = Type::kAddEdge;
+  /// kAddEdge / kRemoveEdge: the edge (weight/features used by kAddEdge).
+  flat::EdgeRecord edge;
+  /// kUpdateFeatures: the node and its replacement feature row.
+  flat::NodeId node = 0;
+  std::vector<float> features;
+
+  static agl::Result<Mutation> Parse(const std::string& line);
+  std::string ToString() const;
+};
+
+/// Parses a mutation-stream text file body: one mutation per line, blank
+/// lines and lines starting with '#' skipped.
+agl::Result<std::vector<Mutation>> ParseMutationStream(
+    const std::string& text);
+
+/// Applies one mutation to the service's node/edge tables. Strict, so a
+/// mutation either happened exactly or not at all: kAddEdge requires both
+/// endpoints in the node table and no existing (src, dst) edge
+/// (multi-edges are not supported by the serving path); kRemoveEdge
+/// requires the edge to exist; kUpdateFeatures requires the node to exist
+/// and the replacement row to keep the table's feature width.
+agl::Status ApplyMutation(const Mutation& m,
+                          std::vector<flat::NodeRecord>* nodes,
+                          std::vector<flat::EdgeRecord>* edges);
+
+/// The two dirty frontiers of a mutation batch, before propagation.
+struct DirtySeeds {
+  /// Structural seeds for the flattened dataset: a node whose round-0 info
+  /// (its table row + its in-edge set) changed. Forward K-hop closure of
+  /// these over pre+post edges = the dirty stored targets.
+  std::vector<flat::NodeId> dataset_seeds;
+  /// Model-aware (node, base-round) seeds for the embedding store: the
+  /// node's aggregation row changed (base 1) or its raw features changed
+  /// (base 0).
+  std::vector<std::pair<flat::NodeId, int>> cache_seeds;
+};
+
+/// Computes both frontiers for `batch` applied on top of `pre_edges`
+/// (yielding `post_edges`). GCN's column-degree coupling reads outN(a)
+/// over the union of the two tables.
+DirtySeeds ComputeDirtySeeds(gnn::ModelType model,
+                             const std::vector<Mutation>& batch,
+                             const std::vector<flat::EdgeRecord>& pre_edges,
+                             const std::vector<flat::EdgeRecord>& post_edges);
+
+/// Propagates cache seeds through `num_layers` rounds of out-edge hops over
+/// `edges` (pass the pre+post union) and returns the per-node invalidation
+/// floor: pairs (node, min_round) meaning every cached (node, r >= min_round)
+/// entry is stale. min_round is clamped to >= 1 (round 0 is never cached)
+/// and nodes whose best seed distance exceeds `num_layers` are dropped
+/// (their cached rounds all predate the dirt's arrival).
+/// Order-insensitive fingerprint of the graph table contents (every field
+/// of every row, combined commutatively, plus the row counts). Two table
+/// pairs fingerprint equal iff they hold the same multiset of rows — so a
+/// restart that re-reads identical tables in a different row order still
+/// matches. The persistent store stamps this next to the model version:
+/// embeddings are a function of (weights, graph), and a published index
+/// whose graph no longer matches the serving tables must come up cold.
+uint64_t GraphFingerprint(const std::vector<flat::NodeRecord>& nodes,
+                          const std::vector<flat::EdgeRecord>& edges);
+
+std::vector<std::pair<flat::NodeId, int32_t>> PropagateInvalidations(
+    const std::vector<std::pair<flat::NodeId, int>>& cache_seeds,
+    const std::vector<flat::EdgeRecord>& edges, int num_layers);
+
+}  // namespace agl::serve

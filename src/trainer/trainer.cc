@@ -479,6 +479,49 @@ agl::Status CollectWorkerStatuses(const std::vector<WorkerResult>& results) {
 
 }  // namespace
 
+agl::Status TrainerConfig::Validate() const {
+  if (model.num_layers < 1) {
+    return agl::Status::InvalidArgument(
+        "TrainerConfig: model.num_layers must be >= 1");
+  }
+  if (model.in_dim <= 0 || model.hidden_dim <= 0 || model.out_dim <= 0) {
+    return agl::Status::InvalidArgument(
+        "TrainerConfig: model dimensions must be positive");
+  }
+  if (num_workers < 1 || ps_shards < 1) {
+    return agl::Status::InvalidArgument(
+        "TrainerConfig: num_workers and ps_shards must be >= 1");
+  }
+  if (batch_size < 1 || epochs < 1) {
+    return agl::Status::InvalidArgument(
+        "TrainerConfig: batch_size and epochs must be >= 1");
+  }
+  if (use_pipeline && prefetch_batches < 1) {
+    return agl::Status::InvalidArgument(
+        "TrainerConfig: the pipeline needs prefetch_batches >= 1");
+  }
+  if (staleness_bound < 0 && staleness_bound != ps::kUnboundedStaleness) {
+    return agl::Status::InvalidArgument(
+        "TrainerConfig: staleness_bound must be >= 0 (or "
+        "kUnboundedStaleness)");
+  }
+  if (eval_every < 0 || patience < 0) {
+    return agl::Status::InvalidArgument(
+        "TrainerConfig: eval_every and patience must be >= 0");
+  }
+  if (checkpoint_every_batches < 0) {
+    return agl::Status::InvalidArgument(
+        "TrainerConfig: checkpoint_every_batches must be >= 0");
+  }
+  if ((checkpoint_every_batches > 0 || resume) &&
+      checkpoint_dfs == nullptr) {
+    return agl::Status::InvalidArgument(
+        "TrainerConfig: mid-epoch checkpointing/resume needs "
+        "checkpoint_dfs");
+  }
+  return agl::Status::OK();
+}
+
 GraphTrainer::GraphTrainer(const TrainerConfig& config) : config_(config) {}
 
 agl::Result<std::map<std::string, tensor::Tensor>> LoadCheckpoint(

@@ -115,6 +115,10 @@ struct TrainerConfig {
   /// dataset (fingerprint-checked, kFailedPrecondition otherwise). The
   /// rolling checkpoint is dropped once training completes.
   bool resume = false;
+
+  /// Structural validation, called up front by every `agl::Run` facade
+  /// entry point (and usable directly).
+  agl::Status Validate() const;
 };
 
 struct EpochRecord {

@@ -375,6 +375,187 @@ TEST_F(ChaosTest, AnalyticsPageRankSchedules) {
             << " absorbed\n";
 }
 
+// Third job family under chaos: the always-on inference service driven
+// through score -> mutate -> score -> persist -> restart -> score with
+// infer.spill / dfs.* failpoints armed. Contract: every score call that
+// returns OK is byte-identical to the fault-free reference for the same
+// graph epoch (spill faults degrade to recompute, NEVER to different
+// bytes); every failure is a clean Status; and the DFS holds zero torn
+// datasets afterwards. A faulted store re-open silently degrades to a
+// cold start, which is an absorbed outcome, not a failure.
+TEST_F(ChaosTest, ServeSchedules) {
+  gnn::ModelConfig mconfig;
+  mconfig.type = gnn::ModelType::kGcn;
+  mconfig.num_layers = 1;
+  mconfig.in_dim = ds_.feature_dim;
+  mconfig.hidden_dim = 8;
+  mconfig.out_dim = 2;
+  gnn::GnnModel model(mconfig);
+  const auto state = model.StateDict();
+
+  std::vector<flat::NodeId> all;
+  for (const auto& n : ds_.nodes) all.push_back(n.id);
+
+  // Fixed mutation batch (one edge drop, one feature rewrite) applied to
+  // a reference copy of the tables, so both graph epochs have an oracle.
+  std::vector<serve::Mutation> batch;
+  batch.push_back(*serve::Mutation::Parse(
+      "remove-edge " + std::to_string(ds_.edges[0].src) + " " +
+      std::to_string(ds_.edges[0].dst)));
+  batch.push_back(*serve::Mutation::Parse("update-features 5 4,3,2,1,0,-1"));
+  std::vector<flat::NodeRecord> post_nodes = ds_.nodes;
+  std::vector<flat::EdgeRecord> post_edges = ds_.edges;
+  for (const auto& m : batch) {
+    ASSERT_TRUE(serve::ApplyMutation(m, &post_nodes, &post_edges).ok());
+  }
+
+  serve::ServeConfig sconfig;
+  sconfig.infer.model = mconfig;
+  sconfig.infer.batch_slices = 2;
+  // Budget far below the working set: every pass churns the spill file,
+  // keeping the infer.spill / dfs.write sites hot while serving.
+  sconfig.store_budget_bytes = 4096;
+
+  struct ServeOut {
+    agl::Status status;
+    std::vector<std::pair<flat::NodeId, std::vector<float>>> pre, post, warm;
+    bool opened_warm = false;
+  };
+  auto run_sequence = [&](const std::string& run_root) -> ServeOut {
+    ServeOut out;
+    auto dfs = mr::LocalDfs::Open(run_root + "/dfs");
+    if (!dfs.ok()) {
+      out.status = dfs.status();
+      return out;
+    }
+    auto svc = agl::Run(sconfig, state, ds_.nodes, ds_.edges, &*dfs);
+    if (!svc.ok()) {
+      out.status = svc.status();
+      return out;
+    }
+    auto pre = (*svc)->Score(all);
+    if (!pre.ok()) {
+      out.status = pre.status();
+      return out;
+    }
+    out.pre = std::move(pre).value();
+    out.status = (*svc)->ApplyMutations(batch);
+    if (!out.status.ok()) return out;
+    auto post = (*svc)->Score(all);
+    if (!post.ok()) {
+      out.status = post.status();
+      return out;
+    }
+    out.post = std::move(post).value();
+    out.status = (*svc)->Persist();
+    if (!out.status.ok()) return out;
+    out.status = (*svc)->Shutdown();
+    if (!out.status.ok()) return out;
+    svc->reset();
+    // "New process": same DFS root, the mutated tables (tables and store
+    // root travel together across restarts).
+    auto svc2 = agl::Run(sconfig, state, post_nodes, post_edges, &*dfs);
+    if (!svc2.ok()) {
+      out.status = svc2.status();
+      return out;
+    }
+    out.opened_warm = (*svc2)->stats().opened_warm;
+    auto warm = (*svc2)->Score(all);
+    if (!warm.ok()) {
+      out.status = warm.status();
+      return out;
+    }
+    out.warm = std::move(warm).value();
+    out.status = agl::Status::OK();
+    return out;
+  };
+
+  // Fault-free reference.
+  ServeOut ref = run_sequence(root_ + "/sref");
+  ASSERT_TRUE(ref.status.ok()) << ref.status.ToString();
+  ASSERT_TRUE(ref.opened_warm);
+  ASSERT_FALSE(ref.pre.empty());
+  // The warm restart serves the post-mutation epoch.
+  ASSERT_EQ(ref.warm, ref.post);
+  ASSERT_NE(ref.pre, ref.post);
+
+  auto make_schedule = [&](uint64_t i) {
+    static const char* kSites[] = {"infer.spill", "dfs.read", "dfs.write",
+                                   "dfs.rename"};
+    Rng rng(DeriveSeed(kChaosSeed ^ 0x5e44e, i));
+    const int num_sites = static_cast<int>(rng.UniformInt(1, 2));
+    std::string spec = "seed=" + std::to_string(i);
+    for (int s = 0; s < num_sites; ++s) {
+      std::string entry = kSites[rng.UniformInt(0, 3)];
+      entry += "=";
+      if (rng.Bernoulli(0.3)) {
+        entry += "crash@" + std::to_string(rng.UniformInt(1, 40)) + "x1";
+      } else {
+        static const char* kCodes[] = {"IoError", "Unavailable", "Aborted",
+                                       "Internal", "Corruption"};
+        entry += "error(";
+        entry += kCodes[rng.UniformInt(0, 4)];
+        if (rng.Bernoulli(0.5)) {
+          entry += ",1.0)@" + std::to_string(rng.UniformInt(1, 40)) + "x1";
+        } else {
+          const int pct = static_cast<int>(rng.UniformInt(2, 15));
+          entry += ",0.";
+          if (pct < 10) entry += "0";
+          entry += std::to_string(pct) + ")";
+        }
+      }
+      spec += ";" + entry;
+    }
+    return spec;
+  };
+
+  const bool heavy = std::getenv("AGL_CHAOS_HEAVY") != nullptr;
+  const int schedules = heavy ? 80 : 30;
+  int clean_failures = 0;
+  int absorbed = 0;
+  int warm_reopens = 0;
+  for (int i = 0; i < schedules; ++i) {
+    const std::string spec = make_schedule(static_cast<uint64_t>(i));
+    SCOPED_TRACE("serve schedule " + std::to_string(i) +
+                 ": AGL_FAILPOINTS=\"" + spec + "\"");
+    const std::string run_root = root_ + "/srun" + std::to_string(i);
+    ASSERT_TRUE(fail::ApplySpec(spec).ok());
+    ServeOut out = run_sequence(run_root);
+    fail::FailpointRegistry::Global().ClearAll();
+
+    // Byte-identity for every stage that produced scores, regardless of
+    // how the run ended: a degraded store recomputes, it never lies.
+    if (!out.pre.empty()) {
+      EXPECT_EQ(out.pre, ref.pre);
+    }
+    if (!out.post.empty()) {
+      EXPECT_EQ(out.post, ref.post);
+    }
+    if (!out.warm.empty()) {
+      EXPECT_EQ(out.warm, ref.post);
+    }
+
+    if (out.status.ok()) {
+      ++absorbed;
+      if (out.opened_warm) ++warm_reopens;
+    } else {
+      ++clean_failures;
+    }
+
+    auto reopened = mr::LocalDfs::Open(run_root + "/dfs");
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    agl::Status integrity = reopened->ValidateAllDatasets();
+    EXPECT_TRUE(integrity.ok()) << integrity.ToString();
+    std::filesystem::remove_all(run_root);
+  }
+  EXPECT_GT(clean_failures, 0);
+  EXPECT_GT(absorbed, 0);
+  EXPECT_GT(warm_reopens, 0);
+  std::cerr << "[chaos] serve: " << schedules << " schedules, "
+            << clean_failures << " clean failures, " << absorbed
+            << " absorbed (" << warm_reopens << " warm re-opens)\n";
+}
+
 TEST_F(ChaosTest, EnvSpecSmoke) {
   // The exact path a reproduction uses: arm via the spec grammar, one
   // deterministic crash in GraphFlat's reduce, then verify the DFS is

@@ -346,6 +346,10 @@ TEST(EmbeddingCacheTest, TruncatedSpillFileDegradesToMiss) {
   cache.Insert({1, 1, 7}, {1.f, 2.f, 3.f});  // evicted + spilled
   cache.Insert({2, 1, 7}, {4.f});
   ASSERT_GT(cache.stats().spilled, 0);
+  // Spill writes are batched, so push them to disk first — otherwise the
+  // truncation below hits an empty file and the lazy pre-read flush would
+  // just re-materialize the record from the writer's buffer.
+  ASSERT_TRUE(cache.PublishSpill().ok());
   // Corrupt the spill file: keep only its first 3 bytes (mid-record).
   {
     std::FILE* f = std::fopen(path.c_str(), "rb+");
