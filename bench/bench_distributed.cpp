@@ -1,0 +1,222 @@
+// Cost of crossing the process boundary — the three transports the driver
+// introduced, each against its in-process twin:
+//
+//   * parameter-server control+data round-trips through the wire protocol
+//     (RemotePsClient over a loopback socket) vs the direct-call loopback
+//     (LocalPsClient);
+//   * shard-boundary exchange rounds through the DFS-backed exchange
+//     (atomic dataset publish + poll) vs the mutex/condvar in-memory one;
+//   * a whole GraphFlat job with shards as spawned OS processes vs the
+//     threaded pipeline.
+//
+// Shape expectation: the socket adds framing + syscalls per round-trip
+// (microseconds, not milliseconds — it is a loopback), the DFS exchange
+// adds fsync'd publishes + poll latency per round, and process GraphFlat
+// adds spawn + spec/result (de)serialization amortized over the job. None
+// of these sit on the per-batch hot path more than once per round/tick,
+// which is why the end-to-end gap stays small.
+//
+// RESULT lines (seconds, lower is better) feed
+// scripts/check_bench_regression.py.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "driver/driver.h"
+#include "flat/exchange.h"
+#include "flat/graphflat.h"
+#include "mr/local_dfs.h"
+#include "mr/mapreduce.h"
+#include "ps/client.h"
+#include "ps/parameter_server.h"
+#include "ps/remote.h"
+#include "ps/server.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Check(const agl::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace agl;
+  // This binary is re-exec'd as the GraphFlat shard workers below.
+  if (auto code = driver::RunWorkerIfSpawned(argc, argv)) return *code;
+
+  const std::string root = "/tmp/agl_bench_distributed";
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+
+  // --- PS round-trips: loopback vs wire ----------------------------------
+  // A 2-layer-GNN-sized state dict (8 params, ~130 KiB of floats); each
+  // iteration is one worker tick's traffic: PullAll + PushGradients.
+  {
+    std::map<std::string, tensor::Tensor> state, grads;
+    Rng rng(7);
+    for (int p = 0; p < 8; ++p) {
+      tensor::Tensor t(64, 64);
+      for (int64_t i = 0; i < t.size(); ++i) {
+        t.data()[i] = static_cast<float>(rng.Uniform()) - 0.5f;
+      }
+      state["param" + std::to_string(p)] = t;
+      grads["param" + std::to_string(p)] = t;
+    }
+    constexpr int kIters = 400;
+
+    const auto run = [&](ps::PsClient* client) {
+      const double start = Now();
+      for (int i = 0; i < kIters; ++i) {
+        auto pulled = client->PullAll();
+        Check(pulled.status(), "PullAll");
+        Check(client->PushGradients(grads), "PushGradients");
+      }
+      return Now() - start;
+    };
+
+    ps::ServerOptions opts;
+    ps::ParameterServer local_server(opts);
+    ps::LocalPsClient loopback(&local_server);
+    Check(loopback.Initialize(state), "Initialize");
+    const double loopback_s = run(&loopback);
+
+    ps::ParameterServer wire_server(opts);
+    ps::PsServer wire(&wire_server);
+    Check(wire.Start(), "PsServer::Start");
+    ps::RemotePsClient socket_client(wire.port());
+    Check(socket_client.Initialize(state), "Initialize (wire)");
+    const double socket_s = run(&socket_client);
+    const ps::PsTransportStats tp = wire.transport_stats();
+    wire.Stop();
+
+    std::printf("ps round-trips (%d x PullAll+Push, 8 params): "
+                "loopback %.3fs, socket %.3fs (%.1fx), %lld bytes moved\n",
+                kIters, loopback_s, socket_s, socket_s / loopback_s,
+                static_cast<long long>(tp.bytes_sent + tp.bytes_received));
+    std::printf("RESULT distributed/ps_loopback_roundtrips %.6f\n",
+                loopback_s);
+    std::printf("RESULT distributed/ps_socket_roundtrips %.6f\n", socket_s);
+  }
+
+  // --- Exchange rounds: in-memory vs DFS ----------------------------------
+  // S shard threads x R rounds, each publishing M small records per round
+  // then collecting its inbox — the boundary traffic pattern of the
+  // GraphFlat/analytics round loops.
+  {
+    constexpr int kShards = 4;
+    constexpr int kRounds = 12;
+    constexpr int kRecordsPerShard = 400;
+
+    const auto run = [&](flat::Exchange* exchange) {
+      const double start = Now();
+      std::vector<std::thread> threads;
+      threads.reserve(kShards);
+      for (int s = 0; s < kShards; ++s) {
+        threads.emplace_back([exchange, s] {
+          for (int round = 0; round < kRounds; ++round) {
+            std::vector<mr::KeyValue> records;
+            records.reserve(kRecordsPerShard);
+            for (int r = 0; r < kRecordsPerShard; ++r) {
+              records.push_back(
+                  {std::to_string(s * kRecordsPerShard + r),
+                   "round-" + std::to_string(round) + "-" +
+                       std::string(96, 'x')});
+            }
+            Check(exchange->Publish(round, s, std::move(records)),
+                  "Publish");
+            auto inbox = exchange->Collect(round, s);
+            Check(inbox.status(), "Collect");
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      return Now() - start;
+    };
+
+    flat::ShardPlan plan(kShards);
+    flat::InMemoryExchange memory(plan);
+    const double memory_s = run(&memory);
+
+    auto dfs = mr::LocalDfs::Open(root + "/exchange");
+    Check(dfs.status(), "LocalDfs::Open");
+    flat::DfsExchange::Options xopts;
+    xopts.poll_interval_ms = 1;
+    flat::DfsExchange dfs_exchange(&*dfs, "bench", plan, xopts);
+    const double dfs_s = run(&dfs_exchange);
+    const flat::ExchangeStats stats = dfs_exchange.stats();
+
+    std::printf("exchange (%d shards x %d rounds x %d records): "
+                "in-memory %.3fs, dfs %.3fs (%.1fx), %lld bytes published\n",
+                kShards, kRounds, kRecordsPerShard, memory_s, dfs_s,
+                dfs_s / memory_s,
+                static_cast<long long>(stats.bytes_published));
+    std::printf("RESULT distributed/exchange_memory_rounds %.6f\n", memory_s);
+    std::printf("RESULT distributed/exchange_dfs_rounds %.6f\n", dfs_s);
+  }
+
+  // --- GraphFlat: threads vs processes ------------------------------------
+  {
+    data::UugLikeOptions opts;
+    opts.num_nodes = 600;
+    opts.feature_dim = 16;
+    opts.attach_edges = 4;
+    opts.train_size = 200;
+    opts.val_size = 100;
+    opts.test_size = 100;
+    data::Dataset ds = data::MakeUugLike(opts);
+
+    flat::GraphFlatConfig config;
+    config.hops = 2;
+    config.num_shards = 4;
+    config.job.num_workers = 2;
+
+    auto out = mr::LocalDfs::Open(root + "/out");
+    Check(out.status(), "LocalDfs::Open(out)");
+
+    const double thread_start = Now();
+    auto threaded = flat::RunGraphFlat(config, ds.nodes, ds.edges, &*out,
+                                       "flat_threads");
+    Check(threaded.status(), "RunGraphFlat");
+    const double thread_s = Now() - thread_start;
+
+    auto coord = mr::LocalDfs::Open(root + "/coord");
+    Check(coord.status(), "LocalDfs::Open(coord)");
+    driver::DriverOptions dopts;
+    dopts.dfs = &*coord;
+    dopts.job_prefix = "bench_flat";
+    driver::DriverStats dstats;
+    const double proc_start = Now();
+    auto processes = driver::RunGraphFlatProcesses(
+        dopts, config, ds.nodes, ds.edges, &*out, "flat_procs", &dstats);
+    Check(processes.status(), "RunGraphFlatProcesses");
+    const double proc_s = Now() - proc_start;
+
+    std::printf("graphflat (%lld nodes, 4 shards): threads %.3fs, "
+                "processes %.3fs (%.1fx, %lld spawns)\n",
+                static_cast<long long>(opts.num_nodes), thread_s, proc_s,
+                proc_s / thread_s, static_cast<long long>(dstats.spawns));
+    std::printf("RESULT distributed/graphflat_threads %.6f\n", thread_s);
+    std::printf("RESULT distributed/graphflat_processes %.6f\n", proc_s);
+  }
+
+  std::filesystem::remove_all(root, ec);
+  return 0;
+}

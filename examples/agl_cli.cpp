@@ -7,6 +7,8 @@
 //                     -o scores.csv
 //   agl_cli gendata   -d uug -n 1000 --nodes-out node.csv --edges-out edge.csv
 //   agl_cli analytics pagerank -n node.csv -e edge.csv -o ranks.csv
+//   agl_cli driver    graphflat -n node.csv -e edge.csv --coord /tmp/coord
+//                     --shards 4 -o dfs:features
 //
 // DFS locations are "<root-dir>:<dataset>"; every stage round-trips
 // through CSV tables and the LocalDfs so the pipeline can be driven one
@@ -27,6 +29,7 @@
 #include "common/failpoint.h"
 #include "common/flags.h"
 #include "data/dataset.h"
+#include "driver/driver.h"
 #include "flat/csv_io.h"
 #include "infer/segmentation.h"
 
@@ -808,13 +811,308 @@ int RunServeCmd(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// The supervision/transport counters of a multi-process run — the
+/// observability surface of the distributed runtime.
+void PrintDriverStats(const driver::DriverStats& stats) {
+  std::printf(
+      "driver: %lld spawns (%lld restarts), exits clean=%lld signal=%lld "
+      "error=%lld\n",
+      static_cast<long long>(stats.spawns),
+      static_cast<long long>(stats.restarts),
+      static_cast<long long>(stats.clean_exits),
+      static_cast<long long>(stats.signal_exits),
+      static_cast<long long>(stats.error_exits));
+  const flat::ExchangeStats& ex = stats.exchange;
+  if (ex.publishes + ex.collects + ex.allgathers > 0) {
+    std::printf(
+        "exchange: %lld publishes / %lld collects / %lld allgathers, "
+        "%lld records out / %lld in, %lld bytes out / %lld in, "
+        "%.2fs waiting on peers\n",
+        static_cast<long long>(ex.publishes),
+        static_cast<long long>(ex.collects),
+        static_cast<long long>(ex.allgathers),
+        static_cast<long long>(ex.records_published),
+        static_cast<long long>(ex.records_collected),
+        static_cast<long long>(ex.bytes_published),
+        static_cast<long long>(ex.bytes_collected), ex.wait_seconds);
+  }
+  const ps::PsTransportStats& tp = stats.ps_transport;
+  if (tp.connections + tp.requests > 0) {
+    std::printf(
+        "ps-transport: %lld connections, %lld requests (%lld failed), "
+        "%lld bytes in / %lld out\n",
+        static_cast<long long>(tp.connections),
+        static_cast<long long>(tp.requests),
+        static_cast<long long>(tp.failed_requests),
+        static_cast<long long>(tp.bytes_received),
+        static_cast<long long>(tp.bytes_sent));
+  }
+}
+
+/// `agl_cli driver <graphflat|analytics|train>` — run a job with its
+/// shards/workers promoted to real OS processes (this binary re-exec'd),
+/// coordinated through a shared DFS root and, for training, a wire
+/// parameter server hosted by the driver. Output is byte-identical to the
+/// in-process subcommands; on top of each mode's usual summary the driver
+/// prints its supervision and transport counters.
+///
+/// --worker-failpoints arms a spec in each worker's FIRST attempt only
+/// (e.g. 'trainer.step=crash@3'), so an injected crash exercises the
+/// classified-retry path while every relaunch runs clean; --failpoints
+/// arms the driver process itself (e.g. 'driver.spawn=error(1)').
+int RunDriverCmd(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: agl_cli driver <graphflat|analytics|train> [flags]\n");
+    return 1;
+  }
+  const std::string mode = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+
+  std::string node_csv, edge_csv, input, val_input, output, coord,
+      job_prefix = "job", program_name = "pagerank", model_name = "gcn",
+      sampling = "none", task = "single", sync = "bsp", failpoints,
+      worker_failpoints;
+  int64_t hops = 2, max_neighbors = 0, hub_threshold = 10000, workers = 2,
+          shards = 2, max_restarts = 2, max_supersteps = 100, source = 0,
+          layers = 2, hidden = 16, classes = 2, heads = 1, epochs = 10,
+          batch = 32, staleness = 0;
+  double damping = 0.85, tolerance = 1e-10, lr = 0.01, dropout = 0.0;
+  FlagParser parser;
+  parser
+      .AddString("coord", &coord,
+                 "coordination DFS root (job specs, exchange buckets, "
+                 "worker reports)")
+      .AddString("job-prefix", &job_prefix,
+                 "dataset namespace for this job on the coordination root")
+      .AddInt("max-restarts", &max_restarts,
+              "relaunches granted to a signal-killed worker (trainer: "
+              "broken epoch) before the job fails")
+      .AddString("worker-failpoints", &worker_failpoints,
+                 "fault spec armed in each worker's first attempt only")
+      .AddString("failpoints", &failpoints,
+                 "fault spec armed in the driver process")
+      .AddString("n", &node_csv, "node table CSV (graphflat|analytics)")
+      .AddString("e", &edge_csv, "edge table CSV (graphflat|analytics)")
+      .AddInt("shards", &shards, "shard processes (graphflat|analytics)")
+      .AddInt("workers", &workers,
+              "per-shard MapReduce workers; train: worker processes")
+      .AddInt("h", &hops, "graphflat: neighborhood hops")
+      .AddString("s", &sampling,
+                 "graphflat: sampling strategy (none|uniform|weighted|topk)")
+      .AddInt("max-neighbors", &max_neighbors, "graphflat: sampling cap")
+      .AddInt("hub-threshold", &hub_threshold,
+              "graphflat: re-indexing threshold")
+      .AddString("program", &program_name,
+                 "analytics: vertex program (pagerank|cc|sssp|lp)")
+      .AddInt("max-supersteps", &max_supersteps, "analytics: superstep cap")
+      .AddDouble("damping", &damping, "analytics: pagerank damping factor")
+      .AddDouble("tolerance", &tolerance,
+                 "analytics: pagerank activation tolerance")
+      .AddInt("source", &source, "analytics: sssp source node id")
+      .AddString("i", &input, "train: features <dfs-root>:<dataset>")
+      .AddString("val", &val_input,
+                 "train: validation features <dfs-root>:<dataset>")
+      .AddString("m", &model_name, "train: model (gcn|graphsage|gat)")
+      .AddString("t", &task, "train: task (single|multi|auc)")
+      .AddString("sync", &sync, "train: consistency (bsp|ssp)")
+      .AddInt("staleness", &staleness, "train: SSP clock slack in batches")
+      .AddInt("layers", &layers, "train: GNN depth")
+      .AddInt("hidden", &hidden, "train: hidden width")
+      .AddInt("classes", &classes, "train: output width")
+      .AddInt("heads", &heads, "train: GAT attention heads")
+      .AddInt("epochs", &epochs, "train: epochs")
+      .AddInt("batch", &batch, "train: batch size")
+      .AddDouble("lr", &lr, "train: Adam learning rate")
+      .AddDouble("dropout", &dropout, "train: dropout probability")
+      .AddString("o", &output,
+                 "output: graphflat/train <dfs-root>:<dataset>, analytics "
+                 "scores CSV");
+  if (agl::Status s = parser.Parse(rest); !s.ok()) return Fail(s);
+  if (coord.empty() || output.empty()) {
+    std::fprintf(stderr, "driver requires --coord and -o\n%s",
+                 parser.Help().c_str());
+    return 1;
+  }
+  if (agl::Status s = ArmFailpoints(failpoints); !s.ok()) return Fail(s);
+
+  auto coord_dfs = mr::LocalDfs::Open(coord);
+  if (!coord_dfs.ok()) return Fail(coord_dfs.status());
+  driver::DriverOptions options;
+  options.dfs = &*coord_dfs;
+  options.job_prefix = job_prefix;
+  options.max_restarts = static_cast<int>(max_restarts);
+  if (!worker_failpoints.empty()) {
+    if (agl::Status s = fail::ValidateSpec(worker_failpoints); !s.ok()) {
+      return Fail(s);
+    }
+    options.first_attempt_env.push_back("AGL_FAILPOINTS=" +
+                                        worker_failpoints);
+  }
+  driver::DriverStats stats;
+
+  if (mode == "graphflat") {
+    if (node_csv.empty() || edge_csv.empty()) {
+      std::fprintf(stderr, "driver graphflat requires -n and -e\n");
+      return 1;
+    }
+    auto nodes = flat::ReadNodeCsv(node_csv);
+    if (!nodes.ok()) return Fail(nodes.status());
+    auto edges = flat::ReadEdgeCsv(edge_csv);
+    if (!edges.ok()) return Fail(edges.status());
+    auto loc = ParseDfsLocation(output);
+    if (!loc.ok()) return Fail(loc.status());
+    auto out_dfs = mr::LocalDfs::Open(loc->root);
+    if (!out_dfs.ok()) return Fail(out_dfs.status());
+
+    flat::GraphFlatConfig config;
+    config.hops = static_cast<int>(hops);
+    auto strategy = sampling::ParseStrategy(sampling);
+    if (!strategy.ok()) return Fail(strategy.status());
+    config.sampler = {*strategy, max_neighbors};
+    config.hub_threshold = hub_threshold;
+    config.job.num_workers = static_cast<int>(workers);
+    config.num_shards = static_cast<int>(shards);
+    auto result = driver::RunGraphFlatProcesses(
+        options, config, *nodes, *edges, &*out_dfs, loc->dataset, &stats);
+    if (!result.ok()) return Fail(result.status());
+    std::printf(
+        "GraphFlat[%lld shard processes]: %lld features -> %s:%s in %.2fs\n",
+        static_cast<long long>(shards),
+        static_cast<long long>(result->num_features), loc->root.c_str(),
+        loc->dataset.c_str(), result->elapsed_seconds);
+  } else if (mode == "analytics") {
+    if (node_csv.empty() || edge_csv.empty()) {
+      std::fprintf(stderr, "driver analytics requires -n and -e\n");
+      return 1;
+    }
+    auto nodes = flat::ReadNodeCsv(node_csv);
+    if (!nodes.ok()) return Fail(nodes.status());
+    auto edges = flat::ReadEdgeCsv(edge_csv);
+    if (!edges.ok()) return Fail(edges.status());
+
+    analytics::AnalyticsConfig config;
+    config.max_supersteps = static_cast<int>(max_supersteps);
+    config.num_shards = static_cast<int>(shards);
+    config.job.num_workers = static_cast<int>(workers);
+    driver::ProgramSpec program;
+    program.name = program_name;
+    program.damping = damping;
+    program.tolerance = tolerance;
+    program.source = static_cast<flat::NodeId>(source);
+    auto result = driver::RunAnalyticsProcesses(options, config, program,
+                                                *nodes, *edges, &stats);
+    if (!result.ok()) return Fail(result.status());
+
+    std::FILE* f = std::fopen(output.c_str(), "w");
+    if (f == nullptr) {
+      return Fail(agl::Status::IoError("cannot write " + output));
+    }
+    std::fprintf(f, "# node_id,%s\n", program_name.c_str());
+    for (const auto& [id, value] : result->values) {
+      std::fprintf(f, "%llu,%.17g\n", static_cast<unsigned long long>(id),
+                   value);
+    }
+    std::fclose(f);
+    std::printf(
+        "%s[%lld shard processes]: %lld vertices, %d supersteps (%s) in "
+        "%.2fs\n",
+        program_name.c_str(), static_cast<long long>(shards),
+        static_cast<long long>(result->stats.num_vertices),
+        result->stats.supersteps,
+        result->stats.converged ? "converged" : "superstep cap hit",
+        result->stats.elapsed_seconds);
+  } else if (mode == "train") {
+    if (input.empty()) {
+      std::fprintf(stderr, "driver train requires -i\n");
+      return 1;
+    }
+    auto in_loc = ParseDfsLocation(input);
+    if (!in_loc.ok()) return Fail(in_loc.status());
+    auto dfs = mr::LocalDfs::Open(in_loc->root);
+    if (!dfs.ok()) return Fail(dfs.status());
+    auto features = LoadGraphFeatures(*dfs, in_loc->dataset);
+    if (!features.ok()) return Fail(features.status());
+    if (features->empty()) {
+      return Fail(agl::Status::InvalidArgument("no training features"));
+    }
+    std::vector<subgraph::GraphFeature> val;
+    if (!val_input.empty()) {
+      auto val_loc = ParseDfsLocation(val_input);
+      if (!val_loc.ok()) return Fail(val_loc.status());
+      auto val_dfs = mr::LocalDfs::Open(val_loc->root);
+      if (!val_dfs.ok()) return Fail(val_dfs.status());
+      auto v = LoadGraphFeatures(*val_dfs, val_loc->dataset);
+      if (!v.ok()) return Fail(v.status());
+      val = std::move(v).value();
+    }
+
+    trainer::TrainerConfig config;
+    auto type = gnn::ParseModelType(model_name);
+    if (!type.ok()) return Fail(type.status());
+    config.model.type = *type;
+    config.model.num_layers = static_cast<int>(layers);
+    config.model.in_dim = (*features)[0].node_features.cols();
+    config.model.hidden_dim = hidden;
+    config.model.out_dim = classes;
+    config.model.gat_heads = static_cast<int>(heads);
+    config.model.dropout = static_cast<float>(dropout);
+    config.task = task == "multi"  ? trainer::TaskKind::kMultiLabel
+                  : task == "auc" ? trainer::TaskKind::kBinaryAuc
+                                  : trainer::TaskKind::kSingleLabel;
+    if (sync == "bsp") {
+      config.sync_mode = trainer::SyncMode::kBsp;
+    } else if (sync == "ssp") {
+      config.sync_mode = trainer::SyncMode::kSsp;
+    } else {
+      return Fail(agl::Status::InvalidArgument(
+          "unknown --sync '" + sync +
+          "' (bsp|ssp; async has no replayable schedule across a process "
+          "respawn)"));
+    }
+    config.staleness_bound = staleness;
+    config.num_workers = static_cast<int>(workers);
+    config.epochs = static_cast<int>(epochs);
+    config.batch_size = static_cast<int>(batch);
+    config.adam.lr = static_cast<float>(lr);
+    auto report =
+        driver::TrainProcesses(options, config, *features, val, &stats);
+    if (!report.ok()) return Fail(report.status());
+
+    auto out_loc = ParseDfsLocation(output);
+    if (!out_loc.ok()) return Fail(out_loc.status());
+    auto out_dfs = mr::LocalDfs::Open(out_loc->root);
+    if (!out_dfs.ok()) return Fail(out_dfs.status());
+    if (agl::Status s = out_dfs->WriteDataset(
+            out_loc->dataset, {SerializeState(report->final_state)}, 1);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf(
+        "trained %s[%lld worker processes]: best val metric %.4f, "
+        "model -> %s:%s\n",
+        model_name.c_str(), static_cast<long long>(workers),
+        report->best_val_metric, out_loc->root.c_str(),
+        out_loc->dataset.c_str());
+  } else {
+    std::fprintf(stderr, "unknown driver mode: %s\n", mode.c_str());
+    return 1;
+  }
+  PrintDriverStats(stats);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Worker processes re-enter through this same binary; divert them
+  // before any user flag parsing.
+  if (auto code = agl::driver::RunWorkerIfSpawned(argc, argv)) return *code;
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: agl_cli "
-                 "<graphflat|train|infer|serve|gendata|analytics> [flags]\n");
+                 "<graphflat|train|infer|serve|gendata|analytics|driver> "
+                 "[flags]\n");
     return 1;
   }
   const std::string cmd = argv[1];
@@ -826,6 +1124,7 @@ int main(int argc, char** argv) {
   if (cmd == "serve") return RunServeCmd(args);
   if (cmd == "gendata") return RunGenDataCmd(args);
   if (cmd == "analytics") return RunAnalyticsCmd(args);
+  if (cmd == "driver") return RunDriverCmd(args);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return 1;
 }

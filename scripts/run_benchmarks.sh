@@ -32,6 +32,7 @@ default_benches=(
   bench_fig7_convergence
   bench_fig8_speedup
   bench_trainer_ssp
+  bench_distributed
   bench_graphflat_scale
   bench_graphflat_shards
   bench_kernels

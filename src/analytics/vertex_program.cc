@@ -322,11 +322,72 @@ class StepReducer : public mr::Reducer {
   RoundCtx ctx_;
 };
 
-/// Upfront table validation + adjacency normalization: duplicate node ids
-/// and dangling edge endpoints are errors; undirected programs see a
-/// symmetrized edge table; parallel (src, dst) rows collapse to the
-/// minimum-weight edge.
-agl::Result<std::vector<EdgeRecord>> NormalizeTables(
+/// Messages produced by the previous round, and the distinct vertices they
+/// target — the active set of the next superstep.
+struct ActiveSet {
+  int64_t messages = 0;
+  int64_t vertices = 0;
+};
+
+ActiveSet ScanLocalActive(const std::vector<mr::KeyValue>& records) {
+  ActiveSet active;
+  std::unordered_set<std::string> keys;
+  for (const mr::KeyValue& kv : records) {
+    if (!kv.value.empty() && kv.value[0] == kTagMessage) {
+      ++active.messages;
+      keys.insert(kv.key);
+    }
+  }
+  active.vertices = static_cast<int64_t>(keys.size());
+  return active;
+}
+
+std::string SerializeActive(const ActiveSet& active) {
+  io::BufferWriter w;
+  w.PutVarint64(active.messages);
+  w.PutVarint64(active.vertices);
+  return w.Release();
+}
+
+agl::Result<ActiveSet> ParseActive(const std::string& bytes) {
+  io::BufferReader r(bytes);
+  uint64_t messages = 0, vertices = 0;
+  AGL_RETURN_IF_ERROR(r.GetVarint64(&messages));
+  AGL_RETURN_IF_ERROR(r.GetVarint64(&vertices));
+  if (!r.AtEnd()) {
+    return agl::Status::Corruption("trailing bytes in active-set payload");
+  }
+  ActiveSet active;
+  active.messages = static_cast<int64_t>(messages);
+  active.vertices = static_cast<int64_t>(vertices);
+  return active;
+}
+
+/// The distributed convergence check: every shard scans its own records
+/// (messages and their target vertices home uniquely, so the per-shard
+/// counts partition the global ones exactly), AllGathers the counts under
+/// a check-unique tag, and sums — giving every shard the same global
+/// active set without a coordinator.
+agl::Result<ActiveSet> GlobalActive(flat::Exchange* exchange, int shard,
+                                    int check_index,
+                                    const std::vector<mr::KeyValue>& records) {
+  const ActiveSet local = ScanLocalActive(records);
+  AGL_ASSIGN_OR_RETURN(
+      std::vector<std::string> payloads,
+      exchange->AllGather("act." + std::to_string(check_index), shard,
+                          SerializeActive(local)));
+  ActiveSet total;
+  for (const std::string& payload : payloads) {
+    AGL_ASSIGN_OR_RETURN(ActiveSet peer, ParseActive(payload));
+    total.messages += peer.messages;
+    total.vertices += peer.vertices;
+  }
+  return total;
+}
+
+}  // namespace
+
+agl::Result<std::vector<EdgeRecord>> NormalizeEdgeTable(
     const VertexProgram& program, const std::vector<NodeRecord>& nodes,
     const std::vector<EdgeRecord>& edges) {
   if (nodes.empty()) {
@@ -373,30 +434,6 @@ agl::Result<std::vector<EdgeRecord>> NormalizeTables(
   return normalized;
 }
 
-/// Messages produced by the previous round, and the distinct vertices they
-/// target — the active set of the next superstep.
-struct ActiveSet {
-  int64_t messages = 0;
-  int64_t vertices = 0;
-};
-
-ActiveSet ScanActive(const std::vector<std::vector<mr::KeyValue>>& shards) {
-  ActiveSet active;
-  std::unordered_set<std::string> keys;
-  for (const auto& records : shards) {
-    for (const mr::KeyValue& kv : records) {
-      if (!kv.value.empty() && kv.value[0] == kTagMessage) {
-        ++active.messages;
-        keys.insert(kv.key);
-      }
-    }
-  }
-  active.vertices = static_cast<int64_t>(keys.size());
-  return active;
-}
-
-}  // namespace
-
 agl::Status AnalyticsConfig::Validate() const {
   if (max_supersteps < 1) {
     return agl::Status::InvalidArgument(
@@ -423,6 +460,116 @@ std::string AnalyticsResult::SerializeValues() const {
   return w.Release();
 }
 
+agl::Result<std::vector<mr::KeyValue>> RunAnalyticsShard(
+    const AnalyticsConfig& config, const VertexProgram& program, int shard,
+    const std::vector<NodeRecord>& shard_nodes,
+    const std::vector<EdgeRecord>& shard_edges, int64_t num_vertices,
+    flat::Exchange* exchange, AnalyticsStats* stats) {
+  AnalyticsStats local;
+  RoundCtx ctx;
+  ctx.num_vertices = num_vertices;
+  ctx.program = &program;
+
+  const int num_shards = std::max(1, config.num_shards);
+  flat::ShardRouter router{flat::ShardPlan(num_shards)};
+
+  // Map phase over the shard's table slice; the home filter drops the
+  // duplicate stubs of edges mapped on both endpoint shards.
+  std::vector<mr::KeyValue> input;
+  input.reserve(shard_nodes.size() + shard_edges.size());
+  for (const NodeRecord& n : shard_nodes) {
+    input.push_back({"", Tagged(kTagNode, n.Serialize())});
+  }
+  for (const EdgeRecord& e : shard_edges) {
+    input.push_back({"", Tagged(kTagInEdge, e.Serialize())});
+  }
+  AGL_ASSIGN_OR_RETURN(
+      std::vector<mr::KeyValue> records,
+      mr::RunMapPhase(config.job, input,
+                      [] { return std::make_unique<AnalyticsMapper>(); },
+                      &local.job_stats));
+  router.FilterToShard(shard, &records);
+
+  // Init round: build states, scatter initial values.
+  {
+    const RoundCtx round_ctx = ctx;
+    AGL_ASSIGN_OR_RETURN(
+        records,
+        mr::RunReducePhase(config.job, std::move(records),
+                           [round_ctx] {
+                             return std::make_unique<InitReducer>(round_ctx);
+                           },
+                           &local.job_stats));
+    AGL_RETURN_IF_ERROR(exchange->Publish(0, shard, std::move(records)));
+    AGL_ASSIGN_OR_RETURN(records, exchange->Collect(0, shard));
+  }
+
+  // Superstep loop with per-round active sets: a round with zero pending
+  // messages globally means every vertex converged — stop generating
+  // traffic. The check index (= supersteps so far) tags each AllGather
+  // uniquely, and because every shard sums the same payloads, all shards
+  // take the same branch every iteration.
+  while (local.supersteps < config.max_supersteps) {
+    AGL_ASSIGN_OR_RETURN(
+        const ActiveSet active,
+        GlobalActive(exchange, shard, local.supersteps, records));
+    if (active.messages == 0) {
+      local.converged = true;
+      break;
+    }
+    local.messages_per_round.push_back(active.messages);
+    local.active_per_round.push_back(active.vertices);
+    ctx.round = local.supersteps + 1;
+    const RoundCtx round_ctx = ctx;
+    AGL_ASSIGN_OR_RETURN(
+        records,
+        mr::RunReducePhase(config.job, std::move(records),
+                           [round_ctx] {
+                             return std::make_unique<StepReducer>(round_ctx);
+                           },
+                           &local.job_stats));
+    AGL_RETURN_IF_ERROR(
+        exchange->Publish(ctx.round, shard, std::move(records)));
+    AGL_ASSIGN_OR_RETURN(records, exchange->Collect(ctx.round, shard));
+    local.supersteps++;
+  }
+  if (!local.converged) {
+    // Cap hit on every shard (supersteps == max_supersteps), so the check
+    // index is past all loop checks — still unique, still in lockstep.
+    AGL_ASSIGN_OR_RETURN(
+        const ActiveSet active,
+        GlobalActive(exchange, shard, local.supersteps, records));
+    local.converged = active.messages == 0;
+  }
+  if (stats != nullptr) *stats = std::move(local);
+  return records;
+}
+
+agl::Result<std::vector<std::pair<NodeId, double>>> CollectFinalValues(
+    const std::vector<std::vector<mr::KeyValue>>& shard_records,
+    int64_t num_vertices) {
+  // Messages a hit superstep cap left behind are dropped — they were never
+  // applied anywhere.
+  std::vector<std::pair<NodeId, double>> values;
+  values.reserve(num_vertices);
+  for (const auto& records : shard_records) {
+    for (const mr::KeyValue& kv : records) {
+      if (kv.value.empty() || kv.value[0] != kTagState) continue;
+      AGL_ASSIGN_OR_RETURN(VertexState state,
+                           VertexState::Parse(kv.value.substr(1)));
+      values.emplace_back(state.id, state.value);
+    }
+  }
+  if (static_cast<int64_t>(values.size()) != num_vertices) {
+    return agl::Status::Corruption(
+        "analytics: expected " + std::to_string(num_vertices) +
+        " final vertex states, found " + std::to_string(values.size()));
+  }
+  std::sort(values.begin(), values.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return values;
+}
+
 agl::Result<AnalyticsResult> RunVertexProgram(
     const AnalyticsConfig& config, const VertexProgram& program,
     const std::vector<NodeRecord>& nodes,
@@ -432,112 +579,52 @@ agl::Result<AnalyticsResult> RunVertexProgram(
     return agl::Status::InvalidArgument("analytics: max_supersteps < 0");
   }
   AGL_ASSIGN_OR_RETURN(std::vector<EdgeRecord> normalized,
-                       NormalizeTables(program, nodes, edges));
+                       NormalizeEdgeTable(program, nodes, edges));
 
   AnalyticsResult result;
   result.stats.num_vertices = static_cast<int64_t>(nodes.size());
   result.stats.num_gather_edges = static_cast<int64_t>(normalized.size());
-
-  RoundCtx ctx;
-  ctx.num_vertices = static_cast<int64_t>(nodes.size());
-  ctx.program = &program;
 
   const int num_shards = std::max(1, config.num_shards);
   flat::ShardRouter router{flat::ShardPlan(num_shards)};
   const flat::ShardedTables tables =
       router.PartitionTables(nodes, normalized);
 
+  flat::InMemoryExchange exchange{flat::ShardPlan(num_shards)};
   std::vector<std::vector<mr::KeyValue>> shard_records(num_shards);
-  std::vector<mr::JobStats> shard_stats(num_shards);
-
-  // Map phase, local per shard; the home filter drops the duplicate stubs
-  // of edges mapped on both endpoint shards.
+  std::vector<AnalyticsStats> shard_stats(num_shards);
   AGL_RETURN_IF_ERROR(flat::ParallelOverShards(num_shards, [&](int s) {
-    std::vector<mr::KeyValue> input;
-    input.reserve(tables.nodes[s].size() + tables.edges[s].size());
-    for (const NodeRecord& n : tables.nodes[s]) {
-      input.push_back({"", Tagged(kTagNode, n.Serialize())});
+    auto records = RunAnalyticsShard(config, program, s, tables.nodes[s],
+                                     tables.edges[s],
+                                     static_cast<int64_t>(nodes.size()),
+                                     &exchange, &shard_stats[s]);
+    if (!records.ok()) {
+      // A failed shard never publishes again — release the peers parked
+      // at the next barrier instead of deadlocking the pool.
+      exchange.Abort(records.status());
+      return records.status();
     }
-    for (const EdgeRecord& e : tables.edges[s]) {
-      input.push_back({"", Tagged(kTagInEdge, e.Serialize())});
-    }
-    AGL_ASSIGN_OR_RETURN(
-        shard_records[s],
-        mr::RunMapPhase(config.job, input,
-                        [] { return std::make_unique<AnalyticsMapper>(); },
-                        &shard_stats[s]));
-    router.FilterToShard(s, &shard_records[s]);
+    shard_records[s] = *std::move(records);
     return agl::Status::OK();
   }));
 
-  // Init round: build states, scatter initial values.
-  {
-    const RoundCtx round_ctx = ctx;
-    AGL_RETURN_IF_ERROR(flat::ParallelOverShards(num_shards, [&](int s) {
-      AGL_ASSIGN_OR_RETURN(
-          shard_records[s],
-          mr::RunReducePhase(config.job, std::move(shard_records[s]),
-                             [round_ctx] {
-                               return std::make_unique<InitReducer>(round_ctx);
-                             },
-                             &shard_stats[s]));
-      return agl::Status::OK();
-    }));
-    shard_records = router.Exchange(std::move(shard_records));
-  }
+  AGL_ASSIGN_OR_RETURN(
+      result.values,
+      CollectFinalValues(shard_records,
+                         static_cast<int64_t>(nodes.size())));
 
-  // Superstep loop with per-round active sets: a round with zero pending
-  // messages means every vertex converged — stop generating traffic.
-  while (result.stats.supersteps < config.max_supersteps) {
-    const ActiveSet active = ScanActive(shard_records);
-    if (active.messages == 0) {
-      result.stats.converged = true;
-      break;
-    }
-    result.stats.messages_per_round.push_back(active.messages);
-    result.stats.active_per_round.push_back(active.vertices);
-    ctx.round = result.stats.supersteps + 1;
-    const RoundCtx round_ctx = ctx;
-    AGL_RETURN_IF_ERROR(flat::ParallelOverShards(num_shards, [&](int s) {
-      AGL_ASSIGN_OR_RETURN(
-          shard_records[s],
-          mr::RunReducePhase(config.job, std::move(shard_records[s]),
-                             [round_ctx] {
-                               return std::make_unique<StepReducer>(round_ctx);
-                             },
-                             &shard_stats[s]));
-      return agl::Status::OK();
-    }));
-    shard_records = router.Exchange(std::move(shard_records));
-    result.stats.supersteps++;
+  // The superstep accounting is a pure function of the AllGather'd sums,
+  // so every shard computed identical numbers — take shard 0's. Job
+  // counters are per-shard work; accumulate them.
+  result.stats.supersteps = shard_stats[0].supersteps;
+  result.stats.converged = shard_stats[0].converged;
+  result.stats.active_per_round = std::move(shard_stats[0].active_per_round);
+  result.stats.messages_per_round =
+      std::move(shard_stats[0].messages_per_round);
+  for (const AnalyticsStats& ss : shard_stats) {
+    result.stats.job_stats.Accumulate(ss.job_stats);
   }
-  if (!result.stats.converged) {
-    result.stats.converged = ScanActive(shard_records).messages == 0;
-  }
-
-  // Collect final states (messages a hit superstep cap left behind are
-  // dropped — they were never applied anywhere).
-  result.values.reserve(nodes.size());
-  for (const auto& records : shard_records) {
-    for (const mr::KeyValue& kv : records) {
-      if (kv.value.empty() || kv.value[0] != kTagState) continue;
-      AGL_ASSIGN_OR_RETURN(VertexState state,
-                           VertexState::Parse(kv.value.substr(1)));
-      result.values.emplace_back(state.id, state.value);
-    }
-  }
-  if (result.values.size() != nodes.size()) {
-    return agl::Status::Corruption(
-        "analytics: expected " + std::to_string(nodes.size()) +
-        " final vertex states, found " +
-        std::to_string(result.values.size()));
-  }
-  std::sort(result.values.begin(), result.values.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-
-  for (const mr::JobStats& js : shard_stats) {
-    result.stats.job_stats.Accumulate(js);
-  }
+  result.stats.exchange = exchange.stats();
   result.stats.elapsed_seconds = watch.Seconds();
   return result;
 }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "flat/exchange.h"
 #include "flat/tables.h"
 #include "mr/local_dfs.h"
 #include "mr/mapreduce.h"
@@ -131,6 +132,8 @@ struct AnalyticsStats {
   std::vector<int64_t> messages_per_round;
   double elapsed_seconds = 0;
   mr::JobStats job_stats;
+  /// Boundary-exchange traffic (aggregated across shards).
+  flat::ExchangeStats exchange;
 };
 
 struct AnalyticsResult {
@@ -150,6 +153,41 @@ struct AnalyticsResult {
 agl::Result<AnalyticsResult> RunVertexProgram(
     const AnalyticsConfig& config, const VertexProgram& program,
     const std::vector<NodeRecord>& nodes, const std::vector<EdgeRecord>& edges);
+
+/// Upfront table validation + adjacency normalization: duplicate node ids
+/// and dangling edge endpoints are kInvalidArgument; undirected programs
+/// get a symmetrized edge table; parallel (src, dst) rows collapse to the
+/// minimum-weight edge. Exposed for the multi-process driver, which
+/// normalizes once and partitions the result across shard processes.
+agl::Result<std::vector<EdgeRecord>> NormalizeEdgeTable(
+    const VertexProgram& program, const std::vector<NodeRecord>& nodes,
+    const std::vector<EdgeRecord>& edges);
+
+/// One shard's complete superstep loop against an Exchange: map over the
+/// shard's table slice (post-NormalizeEdgeTable), the init reduce, then
+/// gather-apply-scatter rounds with Publish/Collect of boundary messages
+/// between them. Convergence is decided identically on every shard from an
+/// AllGather of the per-shard active counts (messages home uniquely, so
+/// the sums are exact), which keeps the shards' control flow in lockstep
+/// without a central coordinator. Returns the shard's final 'S'-tagged
+/// VertexState records. `stats` (optional) receives the shard-local job
+/// counters plus the globally-agreed superstep/convergence numbers
+/// (identical on every shard). This is the unit the in-process path runs
+/// on S threads over an InMemoryExchange and the multi-process driver runs
+/// in S shard worker processes over a DfsExchange.
+agl::Result<std::vector<mr::KeyValue>> RunAnalyticsShard(
+    const AnalyticsConfig& config, const VertexProgram& program, int shard,
+    const std::vector<NodeRecord>& shard_nodes,
+    const std::vector<EdgeRecord>& shard_edges, int64_t num_vertices,
+    flat::Exchange* exchange, AnalyticsStats* stats = nullptr);
+
+/// Folds the shards' final 'S'-tagged records into the id-sorted value
+/// list, validating that exactly `num_vertices` states survived. Exposed
+/// for the multi-process driver, which collects the records from the shard
+/// processes' output datasets.
+agl::Result<std::vector<std::pair<NodeId, double>>> CollectFinalValues(
+    const std::vector<std::vector<mr::KeyValue>>& shard_records,
+    int64_t num_vertices);
 
 /// Same, then stores the result on `dfs`/`dataset` as a GraphFeatures
 /// dataset: one single-node GraphFeature per vertex (target_id = vertex,

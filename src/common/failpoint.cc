@@ -327,9 +327,9 @@ bool IsInjectedCrash(const agl::Status& status) {
 
 const std::vector<std::string>& KnownSites() {
   static const std::vector<std::string>* sites = new std::vector<std::string>{
-      "dfs.read",      "dfs.rename", "dfs.write",
-      "infer.spill",   "mr.map",     "mr.reduce",
-      "ps.pull",       "ps.push",    "trainer.step",
+      "dfs.read",  "dfs.rename",   "dfs.write", "driver.spawn",
+      "infer.spill", "mr.map",     "mr.reduce", "ps.pull",
+      "ps.push",   "rpc.recv",     "rpc.send",  "trainer.step",
   };
   return *sites;
 }

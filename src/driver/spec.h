@@ -1,0 +1,111 @@
+// Job-spec codecs for the multi-process driver: everything a spawned
+// worker process needs to run its slice of a job — the job config, its
+// table/feature partition, and the result/error payloads it reports back —
+// serialized through the shared DFS. The encodings reuse the row/state
+// serializers the pipelines already emit (NodeRecord/EdgeRecord/
+// GraphFeature/state dicts), so a value that crosses the process boundary
+// is byte-identical to its in-process twin.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytics/vertex_program.h"
+#include "common/status.h"
+#include "io/codec.h"
+#include "flat/exchange.h"
+#include "flat/graphflat.h"
+#include "flat/tables.h"
+#include "mr/mapreduce.h"
+#include "trainer/trainer.h"
+
+namespace agl::driver {
+
+/// Which vertex program an analytics shard process should instantiate —
+/// programs are stateless-by-parameters, so a name + scalars round-trips
+/// them across the exec boundary.
+struct ProgramSpec {
+  std::string name;  // "pagerank" | "cc" | "sssp" | "lp"
+  double damping = 0.85;
+  double tolerance = 1e-10;
+  flat::NodeId source = 0;  // sssp only
+};
+
+/// Builds the program a spec names; kInvalidArgument for unknown names.
+agl::Result<std::unique_ptr<analytics::VertexProgram>> MakeProgram(
+    const ProgramSpec& spec);
+
+// --- status / stats ---------------------------------------------------------
+
+void PutStatus(io::BufferWriter* w, const agl::Status& status);
+agl::Status GetStatus(io::BufferReader* r, agl::Status* out);
+
+void PutJobStats(io::BufferWriter* w, const mr::JobStats& stats);
+agl::Status GetJobStats(io::BufferReader* r, mr::JobStats* out);
+
+void PutExchangeStats(io::BufferWriter* w, const flat::ExchangeStats& stats);
+agl::Status GetExchangeStats(io::BufferReader* r, flat::ExchangeStats* out);
+
+// --- table slices -----------------------------------------------------------
+
+/// One shard's map input: its node rows followed by its incident edges.
+std::string EncodeTableSlice(const std::vector<flat::NodeRecord>& nodes,
+                             const std::vector<flat::EdgeRecord>& edges);
+agl::Status DecodeTableSlice(const std::string& bytes,
+                             std::vector<flat::NodeRecord>* nodes,
+                             std::vector<flat::EdgeRecord>* edges);
+
+// --- job metas --------------------------------------------------------------
+
+/// GraphFlat shard-job meta: the config plus the feature dims the driver
+/// inferred from the full tables (a shard's slice may be edgeless).
+struct FlatJobMeta {
+  flat::GraphFlatConfig config;
+  int64_t node_feature_dim = 0;
+  int64_t edge_feature_dim = 0;
+  int exchange_poll_ms = 2;
+  int exchange_timeout_ms = 120000;
+};
+std::string EncodeFlatJobMeta(const FlatJobMeta& meta);
+agl::Result<FlatJobMeta> DecodeFlatJobMeta(const std::string& bytes);
+
+/// Analytics shard-job meta: config + program + the global vertex count
+/// every shard's convergence bookkeeping divides through.
+struct AnalyticsJobMeta {
+  analytics::AnalyticsConfig config;
+  ProgramSpec program;
+  int64_t num_vertices = 0;
+  int exchange_poll_ms = 2;
+  int exchange_timeout_ms = 120000;
+};
+std::string EncodeAnalyticsJobMeta(const AnalyticsJobMeta& meta);
+agl::Result<AnalyticsJobMeta> DecodeAnalyticsJobMeta(const std::string& bytes);
+
+/// Trainer worker-job meta. Only the schedule-shaping scalar config
+/// travels; DFS pointers and warm-start state stay with the driver (the
+/// worker pulls parameters from the wire PS).
+struct TrainJobMeta {
+  trainer::TrainerConfig config;
+  /// Workers actually running (partition count; <= config.num_workers).
+  int active_workers = 0;
+  int64_t num_examples = 0;
+};
+std::string EncodeTrainJobMeta(const TrainJobMeta& meta);
+agl::Result<TrainJobMeta> DecodeTrainJobMeta(const std::string& bytes);
+
+// --- worker reports ---------------------------------------------------------
+
+/// One trainer worker's epoch outcome (internal::WorkerResult + status).
+std::string EncodeWorkerResult(const trainer::internal::WorkerResult& res);
+agl::Result<trainer::internal::WorkerResult> DecodeWorkerResult(
+    const std::string& bytes);
+
+/// Analytics per-shard stats the driver folds into the job stats.
+std::string EncodeAnalyticsStats(const analytics::AnalyticsStats& stats);
+agl::Result<analytics::AnalyticsStats> DecodeAnalyticsStats(
+    const std::string& bytes);
+
+}  // namespace agl::driver

@@ -402,10 +402,12 @@ RoundContext MakeContext(const GraphFlatConfig& config,
   return ctx;
 }
 
-/// The sharded pipeline: one GraphFlat job per shard with the boundary
-/// exchange between rounds, then the merge stage. Produces the same final
+/// The sharded pipeline: one complete GraphFlat shard run (map, rounds,
+/// merge) per shard over an in-memory exchange. Produces the same final
 /// records as the single-shard pipeline (tests/sharding_test.cpp holds the
-/// byte-identity property over shard counts).
+/// byte-identity property over shard counts), and the same records the
+/// multi-process driver collects from shard worker processes running the
+/// identical per-shard unit over a DfsExchange.
 agl::Result<std::vector<mr::KeyValue>> RunShardedPipeline(
     const GraphFlatConfig& config, const std::vector<NodeRecord>& nodes,
     const std::vector<EdgeRecord>& edges, GraphFlatStats* stats) {
@@ -413,64 +415,30 @@ agl::Result<std::vector<mr::KeyValue>> RunShardedPipeline(
   if (nodes.empty()) {
     return agl::Status::InvalidArgument("GraphFlat: empty node table");
   }
-  RoundContext ctx = MakeContext(config, nodes, edges);
-  ctx.emit_state_at_last = true;
+  const RoundContext ctx = MakeContext(config, nodes, edges);
 
   const int num_shards = std::max(1, config.num_shards);
   ShardRouter router{ShardPlan(num_shards)};
-  const ShardedTables tables =
-      router.PartitionTables(nodes, edges);
+  const ShardedTables tables = router.PartitionTables(nodes, edges);
 
+  InMemoryExchange exchange{ShardPlan(num_shards)};
   std::vector<std::vector<mr::KeyValue>> shard_records(num_shards);
   std::vector<mr::JobStats> shard_stats(num_shards);
 
-  // Map phase: local per shard; the home filter drops the duplicate stubs
-  // of edges mapped on both endpoint shards.
+  // Each shard runs its whole pipeline span concurrently; the per-round
+  // barriers are implicit in Exchange::Collect, which blocks until every
+  // peer published the round.
   AGL_RETURN_IF_ERROR(ParallelOverShards(num_shards, [&](int s) {
-    AGL_ASSIGN_OR_RETURN(
-        shard_records[s],
-        mr::RunMapPhase(config.job,
-                        BuildMapInput(tables.nodes[s], tables.edges[s]),
-                        [] { return std::make_unique<FlatMapper>(); },
-                        &shard_stats[s]));
-    router.FilterToShard(s, &shard_records[s]);
-    return agl::Status::OK();
-  }));
-
-  for (int round = 0; round <= config.hops; ++round) {
-    ctx.round = round;
-    const RoundContext round_ctx = ctx;
-    AGL_RETURN_IF_ERROR(ParallelOverShards(num_shards, [&](int s) {
-      // Every record of a key sits on its home shard here, so the hub
-      // counts (and the suffix-shard sampling) match the single-shard run.
-      AGL_ASSIGN_OR_RETURN(
-          shard_records[s],
-          ReindexAndSampleHubKeys(config, std::move(shard_records[s]),
-                                  round));
-      AGL_ASSIGN_OR_RETURN(
-          shard_records[s],
-          mr::RunReducePhase(config.job, std::move(shard_records[s]),
-                             [round_ctx] {
-                               return std::make_unique<FlatReducer>(round_ctx);
-                             },
-                             &shard_stats[s]));
-      return agl::Status::OK();
-    }));
-    if (round < config.hops) {
-      // Boundary exchange: neighbor states propagated along cross-shard
-      // edges move to their destination's home shard.
-      shard_records = router.Exchange(std::move(shard_records));
+    auto records = RunFlatShard(config, s, tables.nodes[s], tables.edges[s],
+                                ctx.node_feature_dim, ctx.edge_feature_dim,
+                                &exchange, &shard_stats[s]);
+    if (!records.ok()) {
+      // A failed shard never publishes again — release the peers parked
+      // at the next barrier instead of deadlocking the pool.
+      exchange.Abort(records.status());
+      return records.status();
     }
-  }
-
-  // Merge stage (its own fault-tolerant job per shard): set-union the
-  // states per node, then Store. See MergeReducer for why this stays a
-  // separate stage even though exact routing leaves one state per node.
-  AGL_RETURN_IF_ERROR(ParallelOverShards(num_shards, [&](int s) {
-    AGL_ASSIGN_OR_RETURN(
-        shard_records[s],
-        MergeShardStates(config, ctx.node_feature_dim, ctx.edge_feature_dim,
-                         std::move(shard_records[s]), &shard_stats[s]));
+    shard_records[s] = *std::move(records);
     return agl::Status::OK();
   }));
 
@@ -483,6 +451,7 @@ agl::Result<std::vector<mr::KeyValue>> RunShardedPipeline(
   }
   if (stats != nullptr) {
     for (const mr::JobStats& js : shard_stats) stats->job_stats.Accumulate(js);
+    stats->exchange = exchange.stats();
     stats->elapsed_seconds = watch.Seconds();
   }
   return records;
@@ -529,6 +498,66 @@ agl::Result<std::vector<mr::KeyValue>> RunPipeline(
 }
 
 }  // namespace
+
+agl::Result<std::vector<mr::KeyValue>> RunFlatShard(
+    const GraphFlatConfig& config, int shard,
+    const std::vector<NodeRecord>& shard_nodes,
+    const std::vector<EdgeRecord>& shard_edges, int64_t node_feature_dim,
+    int64_t edge_feature_dim, Exchange* exchange, mr::JobStats* stats) {
+  RoundContext ctx;
+  ctx.last_round = config.hops;
+  ctx.sampler_config = config.sampler;
+  ctx.seed = config.job.seed;
+  ctx.targets = config.targets;
+  ctx.node_feature_dim = node_feature_dim;
+  ctx.edge_feature_dim = edge_feature_dim;
+  ctx.emit_state_at_last = true;
+
+  const int num_shards = std::max(1, config.num_shards);
+  ShardRouter router{ShardPlan(num_shards)};
+  mr::JobStats job_stats;
+
+  // Map phase: local to this shard's table slice; the home filter drops
+  // the duplicate stubs of edges mapped on both endpoint shards.
+  AGL_ASSIGN_OR_RETURN(
+      std::vector<mr::KeyValue> records,
+      mr::RunMapPhase(config.job, BuildMapInput(shard_nodes, shard_edges),
+                      [] { return std::make_unique<FlatMapper>(); },
+                      &job_stats));
+  router.FilterToShard(shard, &records);
+
+  for (int round = 0; round <= config.hops; ++round) {
+    ctx.round = round;
+    const RoundContext round_ctx = ctx;
+    // Every record of a key sits on its home shard here, so the hub
+    // counts (and the suffix-shard sampling) match the single-shard run.
+    AGL_ASSIGN_OR_RETURN(
+        records, ReindexAndSampleHubKeys(config, std::move(records), round));
+    AGL_ASSIGN_OR_RETURN(
+        records,
+        mr::RunReducePhase(config.job, std::move(records),
+                           [round_ctx] {
+                             return std::make_unique<FlatReducer>(round_ctx);
+                           },
+                           &job_stats));
+    if (round < config.hops) {
+      // Boundary exchange: neighbor states propagated along cross-shard
+      // edges move to their destination's home shard.
+      AGL_RETURN_IF_ERROR(exchange->Publish(round, shard, std::move(records)));
+      AGL_ASSIGN_OR_RETURN(records, exchange->Collect(round, shard));
+    }
+  }
+
+  // Merge stage (its own fault-tolerant job per shard): set-union the
+  // states per node, then Store. See MergeReducer for why this stays a
+  // separate stage even though exact routing leaves one state per node.
+  AGL_ASSIGN_OR_RETURN(records,
+                       MergeShardStates(config, node_feature_dim,
+                                        edge_feature_dim, std::move(records),
+                                        &job_stats));
+  if (stats != nullptr) stats->Accumulate(job_stats);
+  return records;
+}
 
 agl::Result<std::vector<mr::KeyValue>> MergeShardStates(
     const GraphFlatConfig& config, int64_t node_feature_dim,

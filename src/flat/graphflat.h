@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "flat/exchange.h"
 #include "flat/tables.h"
 #include "mr/local_dfs.h"
 #include "mr/mapreduce.h"
@@ -78,6 +79,8 @@ struct GraphFlatStats {
   int64_t max_nodes = 0;     // largest single neighborhood
   double elapsed_seconds = 0;
   mr::JobStats job_stats;
+  /// Boundary-exchange traffic (sharded runs only; zeros otherwise).
+  ExchangeStats exchange;
 };
 
 /// Runs the full pipeline and writes the flattened GraphFeatures to
@@ -112,6 +115,22 @@ agl::Status StoreFeaturePayloads(
     const GraphFlatConfig& config,
     std::vector<std::pair<NodeId, std::string>> finals, mr::LocalDfs* dfs,
     const std::string& dataset);
+
+/// One shard's complete sharded-pipeline run against an Exchange: map over
+/// the shard's table slice, the k+1 reduce rounds with Publish/Collect of
+/// boundary states between them, then the shard-local merge + Storing
+/// step. Returns the shard's final 'F'-tagged GraphFeature records. This
+/// is the unit the in-process path runs on S threads over an
+/// InMemoryExchange and the multi-process driver runs in S shard worker
+/// processes over a DfsExchange — byte-identical either way, because each
+/// reduce group sees the same value multiset and the engine delivers
+/// values in canonical order.
+agl::Result<std::vector<mr::KeyValue>> RunFlatShard(
+    const GraphFlatConfig& config, int shard,
+    const std::vector<NodeRecord>& shard_nodes,
+    const std::vector<EdgeRecord>& shard_edges, int64_t node_feature_dim,
+    int64_t edge_feature_dim, Exchange* exchange,
+    mr::JobStats* stats = nullptr);
 
 /// Exposed for tests: the shard-merge stage over one shard's last-round
 /// state records ('S'-tagged SubgraphState bytes keyed by node id). States

@@ -6,6 +6,8 @@
 #include <filesystem>
 
 #if !defined(_WIN32)
+#include <cerrno>
+#include <csignal>
 #include <fcntl.h>
 #include <unistd.h>
 #endif
@@ -34,14 +36,60 @@ std::string PartFileName(int part) {
 }
 
 /// True for directory names a crashed publish can leave behind:
-/// "<name>.tmp-<nonce>" (WriteDataset) or "<name>.unify-tmp"
-/// (UnifyDatasets).
+/// "<name>.tmp-<pid>-<nonce>" (WriteDataset), "<name>.unify-tmp-<pid>"
+/// (UnifyDatasets), or their legacy pid-less spellings.
 bool IsScratchDirName(const std::string& name) {
-  if (name.size() >= 10 &&
-      name.compare(name.size() - 10, 10, ".unify-tmp") == 0) {
-    return true;
+  return name.find(".unify-tmp") != std::string::npos ||
+         name.find(".tmp-") != std::string::npos;
+}
+
+int64_t SelfPid() {
+#if !defined(_WIN32)
+  return static_cast<int64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+/// Owner pid embedded in a scratch directory name, or 0 when the name
+/// predates pid-embedding (legacy scratch — always reclaimable).
+int64_t ScratchOwnerPid(const std::string& name) {
+  const auto parse_pid = [](const std::string& s) -> int64_t {
+    if (s.empty()) return 0;
+    int64_t v = 0;
+    for (const char c : s) {
+      if (c < '0' || c > '9') return 0;
+      v = v * 10 + (c - '0');
+    }
+    return v;
+  };
+  const std::size_t unify = name.rfind(".unify-tmp");
+  if (unify != std::string::npos) {
+    const std::string rest = name.substr(unify + 10);
+    if (rest.empty() || rest[0] != '-') return 0;  // legacy ".unify-tmp"
+    return parse_pid(rest.substr(1));
   }
-  return name.find(".tmp-") != std::string::npos;
+  const std::size_t tmp = name.rfind(".tmp-");
+  if (tmp == std::string::npos) return 0;
+  const std::string rest = name.substr(tmp + 5);
+  const std::size_t dash = rest.find('-');
+  if (dash == std::string::npos) return 0;  // legacy ".tmp-<nonce>"
+  return parse_pid(rest.substr(0, dash));
+}
+
+/// A scratch is live — and must not be reclaimed — only while a DIFFERENT
+/// process that owns it is still running (it is mid-publish on another
+/// dataset; the single-writer-per-dataset contract says it is not ours).
+/// Our own scratches reaching a sweep are leftovers of an injected crash
+/// or a failed publish, and legacy/dead-owner scratches are orphans.
+bool ScratchIsLive(const std::string& name) {
+  const int64_t pid = ScratchOwnerPid(name);
+  if (pid == 0 || pid == SelfPid()) return false;
+#if !defined(_WIN32)
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+#else
+  return false;
+#endif
 }
 
 /// Publishing a rename is only durable once the parent directory entry is
@@ -127,12 +175,15 @@ agl::Result<LocalDfs> LocalDfs::Open(const std::string& root) {
     return agl::Status::IoError("cannot create DFS root " + root + ": " +
                                 ec.message());
   }
-  // Sweep scratch directories orphaned by a crashed publish. Published
+  // Sweep scratch directories orphaned by a crashed publish. A scratch
+  // whose embedded owner pid is a live foreign process is a concurrent
+  // writer mid-publish on another dataset and is left alone. Published
   // datasets are untouched; spill files and other plain files under the
   // root are not directories and are skipped.
   for (const auto& entry : fs::directory_iterator(root, ec)) {
     if (!entry.is_directory()) continue;
-    if (IsScratchDirName(entry.path().filename().string())) {
+    const std::string dir_name = entry.path().filename().string();
+    if (IsScratchDirName(dir_name) && !ScratchIsLive(dir_name)) {
       std::error_code rm_ec;
       fs::remove_all(entry.path(), rm_ec);
     }
@@ -159,8 +210,9 @@ void LocalDfs::SweepScratchFor(const std::string& name) {
   for (const auto& entry : fs::directory_iterator(root_, ec)) {
     if (!entry.is_directory()) continue;
     const std::string dir_name = entry.path().filename().string();
-    if (dir_name == name + ".unify-tmp" ||
-        dir_name.rfind(name + ".tmp-", 0) == 0) {
+    const bool mine = dir_name.rfind(name + ".unify-tmp", 0) == 0 ||
+                      dir_name.rfind(name + ".tmp-", 0) == 0;
+    if (mine && !ScratchIsLive(dir_name)) {
       std::error_code rm_ec;
       fs::remove_all(entry.path(), rm_ec);
     }
@@ -174,9 +226,11 @@ agl::Status LocalDfs::WriteDataset(const std::string& name,
   // Stale scratches for this name (from a crashed earlier attempt) would
   // otherwise accumulate until the next Open.
   SweepScratchFor(name);
+  // The writer pid in the scratch name lets sweeps distinguish orphans
+  // from a live concurrent publisher in another process.
   static std::atomic<uint64_t> nonce{0};
   const std::string scratch_dir =
-      DatasetDir(name) + ".tmp-" +
+      DatasetDir(name) + ".tmp-" + std::to_string(SelfPid()) + "-" +
       std::to_string(nonce.fetch_add(1, std::memory_order_relaxed));
   std::error_code ec;
   fs::create_directories(scratch_dir, ec);
@@ -271,7 +325,8 @@ agl::Status LocalDfs::UnifyDatasets(const std::string& dest,
   // hard-linked (copied when the filesystem refuses links), not moved:
   // the sources stay valid until dest is published, which makes a crashed
   // unify simply re-runnable.
-  const std::string scratch_dir = DatasetDir(dest) + ".unify-tmp";
+  const std::string scratch_dir =
+      DatasetDir(dest) + ".unify-tmp-" + std::to_string(SelfPid());
   std::error_code ec;
   fs::remove_all(scratch_dir, ec);  // stale scratch from a crashed attempt
   fs::create_directories(scratch_dir, ec);
@@ -363,6 +418,9 @@ agl::Status LocalDfs::ValidateAllDatasets() const {
     if (!entry.is_directory()) continue;
     const std::string name = entry.path().filename().string();
     if (IsScratchDirName(name)) {
+      // A live foreign owner is mid-publish on another dataset — its
+      // scratch is expected traffic, not leaked state.
+      if (ScratchIsLive(name)) continue;
       return agl::Status::Corruption("stale scratch directory on DFS: " +
                                      name);
     }

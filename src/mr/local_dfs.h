@@ -4,13 +4,27 @@
 //
 // Crash consistency: a dataset is only ever published with a single
 // directory rename. Writers assemble parts plus a MANIFEST (part names and
-// sizes) in a scratch directory ("<name>.tmp-<nonce>" for WriteDataset,
-// "<name>.unify-tmp" for UnifyDatasets), fsync everything, and rename the
-// scratch over the destination. A crash therefore leaves either the old
-// dataset or the new one — never a readable partial. Scratch directories
-// orphaned by a crash are swept on Open and DropDataset; a dataset whose
-// MANIFEST is missing or disagrees with the part files on disk is reported
-// as kCorruption, never silently read.
+// sizes) in a scratch directory ("<name>.tmp-<pid>-<nonce>" for
+// WriteDataset, "<name>.unify-tmp-<pid>" for UnifyDatasets), fsync
+// everything, and rename the scratch over the destination. A crash
+// therefore leaves either the old dataset or the new one — never a
+// readable partial. Scratch directories orphaned by a crash are swept on
+// Open and DropDataset; a dataset whose MANIFEST is missing or disagrees
+// with the part files on disk is reported as kCorruption, never silently
+// read.
+//
+// Concurrency contract: many processes may Open the same root and
+// read/write concurrently, subject to single-writer-per-dataset — for any
+// dataset name, at most one process publishes (writes or unifies onto) it
+// at a time. Under that contract every sweep is safe: the owner pid
+// embedded in a scratch name lets Open / DropDataset / the pre-publish
+// sweep reclaim only scratches whose owner is dead (or ourselves —
+// leftovers of a failed earlier attempt), never a live peer's in-flight
+// publish. ValidateAllDatasets likewise treats a live foreign scratch as
+// expected traffic and flags only orphans. Legacy pid-less scratch names
+// are always treated as orphaned. Two processes racing a publish onto the
+// SAME name is outside the contract (last rename wins; a sweep may delete
+// the loser's scratch).
 
 #pragma once
 

@@ -168,10 +168,12 @@ struct GradMsg {
 
 using Snapshot = std::map<std::string, tensor::Tensor>;
 
-/// Everything one worker's pipeline stages share for one epoch.
+/// Everything one worker's pipeline stages share for one epoch. The PS is
+/// reached through the transport-neutral client, so the same pipeline
+/// runs against the in-process server or a remote PS process.
 struct WorkerEpochContext {
   const TrainerConfig* config;
-  ps::ParameterServer* server;
+  ps::PsClient* server;
   int worker;
   int epoch;
   bool ssp;
@@ -453,7 +455,12 @@ void RunPipelinedWorker(const WorkerEpochContext& ctx,
     if (ctx.ssp) ctx.server->CancelSsp();
     if (ctx.coord != nullptr) ctx.coord->Cancel();
   }
-  if (ctx.ssp) ctx.server->FinishSspWorker(ctx.worker);
+  if (ctx.ssp) {
+    // Transport loss here (a dead PS process) must surface: peers would
+    // otherwise wait forever on this worker's clock.
+    const agl::Status finish = ctx.server->FinishSspWorker(ctx.worker);
+    if (status.ok() && !finish.ok()) status = finish;
+  }
   if (ctx.coord != nullptr) ctx.coord->Finish(ctx.worker);
   res->status = status;
 }
@@ -537,7 +544,7 @@ agl::Result<std::map<std::string, tensor::Tensor>> LoadCheckpoint(
 
 agl::Result<TrainReport> GraphTrainer::TrainLoop(
     const std::function<agl::Status(
-        int epoch, ps::ParameterServer* server, ThreadPool* pool,
+        int epoch, ps::PsClient* client, ThreadPool* pool,
         std::vector<WorkerResult>* results,
         const internal::MidCheckpointEnv* ckpt)>& run_epoch,
     int active_workers, std::span<const GraphFeature> val,
@@ -572,11 +579,15 @@ agl::Result<TrainReport> GraphTrainer::TrainLoop(
   ps_opts.num_shards = config_.ps_shards;
   ps_opts.adam = config_.adam;
   ps::ParameterServer server(ps_opts);
+  // All PS access below goes through the transport-neutral client — the
+  // loopback here; the multi-process driver substitutes a RemotePsClient
+  // in front of the exact same control flow.
+  ps::LocalPsClient client(&server);
   if (config_.initial_state.empty()) {
-    server.Initialize(init_model.StateDict());
+    AGL_RETURN_IF_ERROR(client.Initialize(init_model.StateDict()));
   } else {
     AGL_RETURN_IF_ERROR(init_model.LoadStateDict(config_.initial_state));
-    server.Initialize(config_.initial_state);
+    AGL_RETURN_IF_ERROR(client.Initialize(config_.initial_state));
   }
 
   TrainReport report;
@@ -619,7 +630,7 @@ agl::Result<TrainReport> GraphTrainer::TrainLoop(
           "mid-epoch checkpoint worker count mismatch");
     }
     resume_ckpt = std::move(loaded);
-    server.ImportState(resume_ckpt->ps_state);
+    AGL_RETURN_IF_ERROR(client.ImportState(resume_ckpt->ps_state));
     start_epoch = static_cast<int>(resume_ckpt->epoch);
     report.best_val_metric = resume_ckpt->best_val_metric;
     bad_evals = static_cast<int>(resume_ckpt->bad_evals);
@@ -643,7 +654,7 @@ agl::Result<TrainReport> GraphTrainer::TrainLoop(
       env.bad_evals = &bad_evals;
       env_ptr = &env;
     }
-    AGL_RETURN_IF_ERROR(run_epoch(epoch, &server, &pool, &results,
+    AGL_RETURN_IF_ERROR(run_epoch(epoch, &client, &pool, &results,
                                   env_ptr));
 
     EpochRecord rec;
@@ -663,8 +674,8 @@ agl::Result<TrainReport> GraphTrainer::TrainLoop(
 
     if (!val.empty() && config_.eval_every > 0 &&
         (epoch + 1) % config_.eval_every == 0) {
-      AGL_ASSIGN_OR_RETURN(rec.val_metric,
-                           Evaluate(server.PullAll(), val));
+      AGL_ASSIGN_OR_RETURN(const Snapshot eval_state, client.PullAll());
+      AGL_ASSIGN_OR_RETURN(rec.val_metric, Evaluate(eval_state, val));
       if (rec.val_metric > report.best_val_metric) {
         report.best_val_metric = rec.val_metric;
         bad_evals = 0;
@@ -679,9 +690,10 @@ agl::Result<TrainReport> GraphTrainer::TrainLoop(
     }
     report.epochs.push_back(rec);
     if (config_.checkpoint_dfs != nullptr) {
+      AGL_ASSIGN_OR_RETURN(const Snapshot ckpt_state, client.PullAll());
       AGL_RETURN_IF_ERROR(config_.checkpoint_dfs->WriteDataset(
           config_.checkpoint_prefix + "-epoch-" + std::to_string(epoch),
-          {nn::SerializeStateDict(server.PullAll())}, /*num_parts=*/1));
+          {nn::SerializeStateDict(ckpt_state)}, /*num_parts=*/1));
     }
     if (config_.patience > 0 && bad_evals >= config_.patience) break;
   }
@@ -692,8 +704,8 @@ agl::Result<TrainReport> GraphTrainer::TrainLoop(
     AGL_RETURN_IF_ERROR(config_.checkpoint_dfs->DropDataset(mid_name));
   }
 
-  report.final_state = server.PullAll();
-  report.ps_stats = server.stats();
+  AGL_ASSIGN_OR_RETURN(report.final_state, client.PullAll());
+  AGL_ASSIGN_OR_RETURN(report.ps_stats, client.Stats());
   report.total_seconds = total_watch.Seconds();
   return report;
 }
@@ -710,14 +722,14 @@ agl::Result<TrainReport> GraphTrainer::Train(
   const int active_workers = static_cast<int>(partitions.size());
 
   return TrainLoop(
-      [&](int epoch, ps::ParameterServer* server, ThreadPool* pool,
+      [&](int epoch, ps::PsClient* client, ThreadPool* pool,
           std::vector<WorkerResult>* results,
           const internal::MidCheckpointEnv* ckpt) {
         if (config_.sync_mode == SyncMode::kBsp) {
-          return RunBspEpoch(train, epoch, server, pool, partitions,
+          return RunBspEpoch(train, epoch, client, pool, partitions,
                              results, ckpt);
         }
-        return RunPipelinedEpoch(train, epoch, server, pool, partitions,
+        return RunPipelinedEpoch(train, epoch, client, pool, partitions,
                                  results, ckpt);
       },
       active_workers, val, static_cast<uint64_t>(train.size()));
@@ -740,11 +752,11 @@ agl::Result<TrainReport> GraphTrainer::TrainStreaming(
                         source.num_parts()));
 
   return TrainLoop(
-      [&](int epoch, ps::ParameterServer* server, ThreadPool* pool,
+      [&](int epoch, ps::PsClient* client, ThreadPool* pool,
           std::vector<WorkerResult>* results,
           const internal::MidCheckpointEnv* ckpt) {
         (void)ckpt;  // validation rejects mid-epoch checkpoints up front
-        return RunStreamingEpoch(source, epoch, server, pool,
+        return RunStreamingEpoch(source, epoch, client, pool,
                                  active_workers, results);
       },
       active_workers, val, std::nullopt);
@@ -752,7 +764,7 @@ agl::Result<TrainReport> GraphTrainer::TrainStreaming(
 
 agl::Status GraphTrainer::RunPipelinedEpoch(
     std::span<const GraphFeature> train, int epoch,
-    ps::ParameterServer* server, ThreadPool* pool,
+    ps::PsClient* client, ThreadPool* pool,
     const std::vector<std::pair<std::size_t, std::size_t>>& partitions,
     std::vector<WorkerResult>* results,
     const internal::MidCheckpointEnv* ckpt) const {
@@ -769,10 +781,12 @@ agl::Status GraphTrainer::RunPipelinedEpoch(
       for (const WorkerCursor& c : resume->cursors) {
         clocks.push_back(c.next_batch);
       }
-      server->BeginSspEpochAt(active_workers, config_.staleness_bound,
-                              std::move(clocks), resume->tick);
+      AGL_RETURN_IF_ERROR(
+          client->BeginSspEpochAt(active_workers, config_.staleness_bound,
+                                  std::move(clocks), resume->tick));
     } else {
-      server->BeginSspEpoch(active_workers, config_.staleness_bound);
+      AGL_RETURN_IF_ERROR(
+          client->BeginSspEpoch(active_workers, config_.staleness_bound));
     }
   }
 
@@ -788,7 +802,9 @@ agl::Status GraphTrainer::RunPipelinedEpoch(
           c.best_val_metric = *ckpt->best_val_metric;
           c.bad_evals = *ckpt->bad_evals;
           c.cursors = std::move(cursors);
-          c.ps_state = server->ExportState();
+          auto exported = client->ExportState();
+          if (!exported.ok()) return exported.status();
+          c.ps_state = *std::move(exported);
           return ckpt->dfs->WriteDataset(
               ckpt->dataset, {SerializeTrainCheckpoint(c)},
               /*num_parts=*/1);
@@ -806,7 +822,7 @@ agl::Status GraphTrainer::RunPipelinedEpoch(
           static_cast<std::size_t>(
               resume != nullptr ? resume->cursors[w].next_batch : 0));
       WorkerEpochContext ctx{&config_,
-                             server,
+                             client,
                              w,
                              epoch,
                              ssp,
@@ -818,16 +834,21 @@ agl::Status GraphTrainer::RunPipelinedEpoch(
     }));
   }
   for (auto& f : futs) f.get();
-  if (ssp) server->EndSspEpoch();
-  return CollectWorkerStatuses(*results);
+  agl::Status end_status;
+  if (ssp) end_status = client->EndSspEpoch();
+  AGL_RETURN_IF_ERROR(CollectWorkerStatuses(*results));
+  return end_status;
 }
 
 agl::Status GraphTrainer::RunStreamingEpoch(
-    const DfsFeatureSource& source, int epoch, ps::ParameterServer* server,
+    const DfsFeatureSource& source, int epoch, ps::PsClient* client,
     ThreadPool* pool, int active_workers,
     std::vector<WorkerResult>* results) const {
   const bool ssp = config_.sync_mode == SyncMode::kSsp;
-  if (ssp) server->BeginSspEpoch(active_workers, config_.staleness_bound);
+  if (ssp) {
+    AGL_RETURN_IF_ERROR(
+        client->BeginSspEpoch(active_workers, config_.staleness_bound));
+  }
   StreamingShardReader::Options opts;
   opts.batch_size = std::max(1, config_.batch_size);
   opts.prefetch_batches = std::max(1, config_.prefetch_batches);
@@ -840,24 +861,26 @@ agl::Status GraphTrainer::RunStreamingEpoch(
       if (!reader.ok()) {
         res.status = reader.status();
         if (ssp) {
-          server->CancelSsp();
-          server->FinishSspWorker(w);
+          client->CancelSsp();
+          client->FinishSspWorker(w);
         }
         return;
       }
       StreamBatchProducer producer(std::move(*reader));
-      WorkerEpochContext ctx{&config_, server, w, epoch, ssp};
+      WorkerEpochContext ctx{&config_, client, w, epoch, ssp};
       RunPipelinedWorker(ctx, &producer, &res);
     }));
   }
   for (auto& f : futs) f.get();
-  if (ssp) server->EndSspEpoch();
-  return CollectWorkerStatuses(*results);
+  agl::Status end_status;
+  if (ssp) end_status = client->EndSspEpoch();
+  AGL_RETURN_IF_ERROR(CollectWorkerStatuses(*results));
+  return end_status;
 }
 
 agl::Status GraphTrainer::RunBspEpoch(
     std::span<const GraphFeature> train, int epoch,
-    ps::ParameterServer* server, ThreadPool* pool,
+    ps::PsClient* client, ThreadPool* pool,
     const std::vector<std::pair<std::size_t, std::size_t>>& partitions,
     std::vector<WorkerResult>* results,
     const internal::MidCheckpointEnv* ckpt) const {
@@ -904,7 +927,7 @@ agl::Status GraphTrainer::RunBspEpoch(
 
   for (std::size_t round = start_round; round < rounds; ++round) {
     // Barrier 1: every participating worker sees the same snapshot.
-    const std::map<std::string, tensor::Tensor> snapshot = server->PullAll();
+    AGL_ASSIGN_OR_RETURN(const Snapshot snapshot, client->PullAll());
     std::vector<std::map<std::string, tensor::Tensor>> grads(active_workers);
     std::vector<agl::Status> statuses(active_workers);
     std::vector<std::future<void>> futs;
@@ -957,7 +980,7 @@ agl::Status GraphTrainer::RunBspEpoch(
     for (auto& [key, g] : avg) {
       g.Scale(1.f / static_cast<float>(contributors));
     }
-    AGL_RETURN_IF_ERROR(server->PushGradients(avg));
+    AGL_RETURN_IF_ERROR(client->PushGradients(avg));
 
     // Between rounds the main thread is the only PS client, so the
     // checkpoint is trivially consistent. Stop once the smallest
@@ -981,13 +1004,35 @@ agl::Status GraphTrainer::RunBspEpoch(
         cursor.rng_state = oss.str();
         c.cursors.push_back(std::move(cursor));
       }
-      c.ps_state = server->ExportState();
+      AGL_ASSIGN_OR_RETURN(c.ps_state, client->ExportState());
       AGL_RETURN_IF_ERROR(ckpt->dfs->WriteDataset(
           ckpt->dataset, {SerializeTrainCheckpoint(c)}, /*num_parts=*/1));
     }
   }
   return agl::Status::OK();
 }
+
+namespace internal {
+
+agl::Result<WorkerResult> RunWorkerEpoch(
+    const TrainerConfig& config, std::span<const GraphFeature> train,
+    std::size_t begin, std::size_t end, int worker, int epoch,
+    ps::PsClient* client) {
+  if (begin > end || end > train.size()) {
+    return agl::Status::InvalidArgument("RunWorkerEpoch: bad partition");
+  }
+  WorkerResult res;
+  const bool ssp = config.sync_mode == SyncMode::kSsp;
+  SpanBatchProducer producer(
+      train, begin, end,
+      static_cast<std::size_t>(std::max(1, config.batch_size)),
+      /*start_batch=*/0);
+  WorkerEpochContext ctx{&config, client, worker, epoch, ssp};
+  RunPipelinedWorker(ctx, &producer, &res);
+  return res;
+}
+
+}  // namespace internal
 
 agl::Result<double> GraphTrainer::Evaluate(
     const std::map<std::string, tensor::Tensor>& state,

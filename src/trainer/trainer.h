@@ -34,6 +34,7 @@
 #include "common/thread_pool.h"
 #include "gnn/model.h"
 #include "mr/local_dfs.h"
+#include "ps/client.h"
 #include "ps/parameter_server.h"
 #include "subgraph/graph_feature.h"
 #include "trainer/checkpoint.h"
@@ -172,6 +173,20 @@ struct MidCheckpointEnv {
   const double* best_val_metric = nullptr;
   const int* bad_evals = nullptr;
 };
+
+/// One worker's complete epoch over its partition slice, against an
+/// arbitrary PS transport — the unit the multi-process driver runs inside
+/// a spawned worker process with a ps::RemotePsClient (the in-process
+/// trainer reaches the same code through its epoch runners with a
+/// LocalPsClient). `config.sync_mode` kSsp engages the SSP clock
+/// protocol; the driver maps kBsp onto kSsp at staleness bound 0, which
+/// the consistency suite proves bit-identical. The returned result's
+/// `status` field carries the worker's outcome (an error Result is
+/// reserved for setup failures).
+agl::Result<WorkerResult> RunWorkerEpoch(
+    const TrainerConfig& config,
+    std::span<const subgraph::GraphFeature> train, std::size_t begin,
+    std::size_t end, int worker, int epoch, ps::PsClient* client);
 }  // namespace internal
 
 /// Distributed (simulated: worker threads + in-process PS) GNN trainer.
@@ -205,24 +220,24 @@ class GraphTrainer {
   /// checkpoint/resume configs up front.
   agl::Result<TrainReport> TrainLoop(
       const std::function<agl::Status(
-          int epoch, ps::ParameterServer* server, ThreadPool* pool,
+          int epoch, ps::PsClient* client, ThreadPool* pool,
           std::vector<internal::WorkerResult>* results,
           const internal::MidCheckpointEnv* ckpt)>& run_epoch,
       int active_workers, std::span<const subgraph::GraphFeature> val,
       std::optional<uint64_t> num_examples) const;
   agl::Status RunPipelinedEpoch(
       std::span<const subgraph::GraphFeature> train, int epoch,
-      ps::ParameterServer* server, ThreadPool* pool,
+      ps::PsClient* client, ThreadPool* pool,
       const std::vector<std::pair<std::size_t, std::size_t>>& partitions,
       std::vector<internal::WorkerResult>* results,
       const internal::MidCheckpointEnv* ckpt) const;
   agl::Status RunStreamingEpoch(
       const DfsFeatureSource& source, int epoch,
-      ps::ParameterServer* server, ThreadPool* pool, int active_workers,
+      ps::PsClient* client, ThreadPool* pool, int active_workers,
       std::vector<internal::WorkerResult>* results) const;
   agl::Status RunBspEpoch(
       std::span<const subgraph::GraphFeature> train, int epoch,
-      ps::ParameterServer* server, ThreadPool* pool,
+      ps::PsClient* client, ThreadPool* pool,
       const std::vector<std::pair<std::size_t, std::size_t>>& partitions,
       std::vector<internal::WorkerResult>* results,
       const internal::MidCheckpointEnv* ckpt) const;
